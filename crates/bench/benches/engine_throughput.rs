@@ -1,0 +1,80 @@
+//! Execution-engine throughput: GetNext-counted rows per second for the
+//! main operator shapes. Companion to the paper's low-overhead claim —
+//! the counters and snapshots must not dominate execution.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use prosel_datagen::tpch::{generate, TpchConfig};
+use prosel_datagen::{PhysicalDesign, TuningLevel};
+use prosel_engine::plan::{CmpOp, OperatorKind, PhysicalPlan, PlanNode, Predicate};
+use prosel_engine::{run_plan, Catalog, ExecConfig};
+use std::hint::black_box;
+
+fn node(op: OperatorKind, children: Vec<usize>, est: f64, cols: usize) -> PlanNode {
+    PlanNode { op, children, est_rows: est, est_row_bytes: 8.0 * cols as f64, out_cols: cols }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let db = generate(&TpchConfig { scale: 2.0, skew: 1.0, seed: 42 });
+    let design = PhysicalDesign::derive(&db, TuningLevel::FullyTuned);
+    let catalog = Catalog::new(&db, &design);
+    let li_rows = db.table("lineitem").rows() as f64;
+
+    let mut group = c.benchmark_group("engine");
+
+    // Scan + filter over lineitem.
+    let scan_plan = PhysicalPlan {
+        nodes: vec![
+            node(
+                OperatorKind::TableScan { table: "lineitem".into(), cols: vec![0, 3] },
+                vec![],
+                li_rows,
+                2,
+            ),
+            node(
+                OperatorKind::Filter {
+                    pred: Predicate::ColCmp { col: 1, op: CmpOp::Lt, val: 25 },
+                },
+                vec![0],
+                li_rows / 2.0,
+                2,
+            ),
+        ],
+        root: 1,
+    };
+    group.throughput(Throughput::Elements(db.table("lineitem").rows() as u64));
+    group.bench_function("scan_filter_lineitem", |b| {
+        b.iter(|| black_box(run_plan(&catalog, &scan_plan, &ExecConfig::default())))
+    });
+
+    // Hash join orders x lineitem.
+    let o_rows = db.table("orders").rows() as f64;
+    let join_plan = PhysicalPlan {
+        nodes: vec![
+            node(
+                OperatorKind::TableScan { table: "lineitem".into(), cols: vec![0] },
+                vec![],
+                li_rows,
+                1,
+            ),
+            node(
+                OperatorKind::TableScan { table: "orders".into(), cols: vec![0] },
+                vec![],
+                o_rows,
+                1,
+            ),
+            node(OperatorKind::HashJoin { probe_key: 0, build_key: 0 }, vec![0, 1], li_rows, 2),
+        ],
+        root: 2,
+    };
+    group.throughput(Throughput::Elements(
+        (db.table("lineitem").rows() + db.table("orders").rows()) as u64,
+    ));
+    group.bench_function("hash_join_orders_lineitem", |b| {
+        b.iter(|| black_box(run_plan(&catalog, &join_plan, &ExecConfig::default())))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

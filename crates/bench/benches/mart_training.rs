@@ -1,0 +1,41 @@
+//! MART training throughput (Table 7's companion): time per model as a
+//! function of example count at the paper's M=200 / 30 leaves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prosel_mart::{BoostParams, Dataset, Mart};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn synthetic(n: usize, d: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Dataset::new(d);
+    let mut row = vec![0.0f32; d];
+    for _ in 0..n {
+        for v in row.iter_mut() {
+            *v = rng.random_range(-1.0..1.0);
+        }
+        let y = row[0] * 2.0 - row[1] + row[2] * row[2];
+        data.push(&row, y);
+    }
+    data
+}
+
+fn bench_mart(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mart_train");
+    group.sample_size(10);
+    for &n in &[500usize, 3000] {
+        let data = synthetic(n, 200, 7);
+        group.bench_with_input(BenchmarkId::new("m200_leaves30", n), &data, |b, data| {
+            b.iter(|| black_box(Mart::train(data, &BoostParams::default())))
+        });
+    }
+    // Prediction latency (selection-time inference).
+    let data = synthetic(3000, 200, 7);
+    let model = Mart::train(&data, &BoostParams::default());
+    group.bench_function("predict_one", |b| b.iter(|| black_box(model.predict(data.row(3)))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_mart);
+criterion_main!(benches);

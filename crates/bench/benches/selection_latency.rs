@@ -1,0 +1,28 @@
+//! End-to-end selection latency: predicted-error evaluation across all
+//! candidate models for one pipeline's features (what happens each time a
+//! pipeline starts / revises its estimator choice).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prosel_core::pipeline_runs::collect_workload_records;
+use prosel_core::selection::{EstimatorSelector, SelectorConfig};
+use prosel_core::training::TrainingSet;
+use prosel_mart::BoostParams;
+use prosel_planner::workload::{WorkloadKind, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench_selection(c: &mut Criterion) {
+    let spec = WorkloadSpec::new(WorkloadKind::TpchLike, 5).with_queries(60);
+    let records = collect_workload_records(&spec).expect("records");
+    let train = TrainingSet::from_records(&records);
+    let cfg = SelectorConfig::default()
+        .with_boost(BoostParams { iterations: 200, ..BoostParams::default() });
+    let selector = EstimatorSelector::train(&train, &cfg);
+    let features = records[0].features.clone();
+
+    c.bench_function("selector_select_one_pipeline", |b| {
+        b.iter(|| black_box(selector.select(&features)))
+    });
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Experiment driver: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments [--scale smoke|quick|full] [--out FILE] <experiment>...
+//! experiments all                  # everything, in paper order
+//! experiments fig4 table6 fig5     # the ad-hoc block only
+//! experiments --list
+//! ```
+
+use prosel_bench::experiments::{run_one, ALL};
+use prosel_bench::suite::{ExpScale, Suite};
+use std::io::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = ExpScale::Quick;
+    let mut out_path: Option<String> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_default();
+                scale = ExpScale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale {v:?}; use smoke|quick|full");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => out_path = it.next(),
+            "--list" => {
+                for n in ALL {
+                    println!("{n}");
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: experiments [--scale smoke|quick|full] [--out FILE] <name>...|all\n\
+                     experiments: {}",
+                    ALL.join(", ")
+                );
+                return;
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() || names.iter().any(|n| n == "all") {
+        names = ALL.iter().map(|s| s.to_string()).collect();
+        // fig4/table6/fig5 share one run; dedup.
+        names.retain(|n| n != "table6" && n != "fig5");
+    }
+
+    let mut suite = Suite::new(true);
+    let t0 = Instant::now();
+    let mut out_file = out_path.as_ref().map(|p| {
+        std::fs::File::create(p).unwrap_or_else(|e| panic!("create {p}: {e}"))
+    });
+    for name in &names {
+        eprintln!("\n===== {name} (scale {scale:?}) =====");
+        let t = Instant::now();
+        match run_one(name, &mut suite, scale) {
+            Some(text) => {
+                eprintln!("[{name}] done in {:.1}s", t.elapsed().as_secs_f64());
+                if let Some(f) = out_file.as_mut() {
+                    let _ = writeln!(f, "\n===== {name} =====");
+                    let _ = f.write_all(text.as_bytes());
+                    let _ = f.flush();
+                }
+            }
+            None => {
+                eprintln!("unknown experiment {name:?}; --list shows the options");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!("\nall experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+    if let Some(path) = out_path {
+        eprintln!("report written to {path}");
+    }
+}

@@ -1,0 +1,69 @@
+//! One module per table/figure of the paper's evaluation (Section 6),
+//! plus the design-choice ablations DESIGN.md calls out.
+//!
+//! Every experiment has the signature
+//! `run(suite: &mut Suite, scale: ExpScale) -> String`, printing and
+//! returning its report.
+
+pub mod ablation;
+pub mod adhoc;
+pub mod multiquery;
+pub mod refinement;
+pub mod curves;
+pub mod fig1;
+pub mod importance;
+pub mod sensitivity;
+pub mod table1;
+pub mod table7;
+pub mod table8;
+pub mod validate;
+
+use crate::suite::{ExpScale, Suite};
+
+/// All experiment names in paper order.
+pub const ALL: &[&str] = &[
+    "fig1",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig4",
+    "table6",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table7",
+    "feature-importance",
+    "table8",
+    "validate-models",
+    "ablate-classification",
+    "ablate-combination",
+    "ablate-refinement",
+    "multiquery",
+];
+
+/// Dispatch one experiment by name.
+pub fn run_one(name: &str, suite: &mut Suite, scale: ExpScale) -> Option<String> {
+    let out = match name {
+        "fig1" => fig1::run(suite, scale),
+        "table1" => table1::run(suite, scale),
+        "table2" => sensitivity::run_table2(suite, scale),
+        "table3" => sensitivity::run_table3(suite, scale),
+        "table4" => sensitivity::run_table4(suite, scale),
+        "table5" => sensitivity::run_table5(suite, scale),
+        "fig4" | "table6" | "fig5" => adhoc::run(suite, scale),
+        "fig6" => curves::run_fig6(suite, scale),
+        "fig7" => curves::run_fig7(suite, scale),
+        "table7" => table7::run(suite, scale),
+        "feature-importance" => importance::run(suite, scale),
+        "table8" => table8::run(suite, scale),
+        "validate-models" => validate::run(suite, scale),
+        "ablate-classification" => ablation::run_classification(suite, scale),
+        "ablate-combination" => ablation::run_combination(suite, scale),
+        "ablate-refinement" => refinement::run(suite, scale),
+        "multiquery" => multiquery::run(suite, scale),
+        _ => return None,
+    };
+    Some(out)
+}

@@ -1,0 +1,57 @@
+//! Table 7: MART training times (seconds) as a function of the number of
+//! training examples and boosting iterations M.
+//!
+//! Paper values (seconds): negligible below 6K examples, 15s at
+//! 60K × M=200, 41s at 60K × M=1000 — i.e. cheap enough to retrain the
+//! selector inside a running system.
+
+use crate::report::Table;
+use crate::suite::{paper_workloads, ExpScale, Suite};
+use prosel_core::training::{FeatureMode, TrainingSet};
+use prosel_estimators::EstimatorKind;
+use prosel_mart::{BoostParams, Dataset, Mart};
+use std::time::Instant;
+
+pub fn run(suite: &mut Suite, scale: ExpScale) -> String {
+    // Source examples from real collected records, bootstrapped up to the
+    // requested sizes.
+    let specs = paper_workloads(ExpScale::Smoke);
+    let records = suite.records_all(&specs[..2.min(specs.len())]);
+    let ts = TrainingSet::from_records(&records);
+    let base = ts.dataset_for(EstimatorKind::Dne, FeatureMode::StaticDynamic);
+    assert!(base.len() > 50, "need source examples");
+
+    let (sizes, iters): (&[usize], &[usize]) = match scale {
+        ExpScale::Smoke => (&[100, 500, 3000], &[20, 50, 100]),
+        ExpScale::Quick => (&[100, 500, 3000, 6000], &[20, 50, 100, 200]),
+        ExpScale::Full => (&[100, 500, 3000, 6000, 60_000], &[20, 50, 100, 200, 500, 1000]),
+    };
+
+    let header: Vec<String> = std::iter::once("examples".to_string())
+        .chain(iters.iter().map(|m| format!("M={m}")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new("Table 7 — training times (seconds)", &header_refs);
+
+    for &n in sizes {
+        // Bootstrap to n examples.
+        let mut data = Dataset::new(base.n_features());
+        for i in 0..n {
+            let src = i % base.len();
+            data.push(base.row(src), base.target(src));
+        }
+        let mut cells = vec![format!("{n}")];
+        for &m in iters {
+            let t = Instant::now();
+            let model = Mart::train(&data, &BoostParams { iterations: m, ..Default::default() });
+            let secs = t.elapsed().as_secs_f64();
+            std::hint::black_box(&model);
+            cells.push(if secs < 1.0 { "< 1".to_string() } else { format!("{secs:.0}") });
+        }
+        table.row(&cells);
+    }
+    let mut out = table.render();
+    out.push_str("paper: < 1s everywhere below 60K examples; 60K: 8..41s for M=20..1000.\n");
+    println!("{out}");
+    out
+}

@@ -1,0 +1,63 @@
+//! Table 8 / Section 6.6: how many estimators do we need?
+//!
+//! For every candidate estimator, the fraction of pipelines for which it
+//! is (a) *(close to) optimal* — optimal, or within 0.01 absolute or 1%
+//! relative of the optimum — and (b) *significantly outperforms all
+//! others* — strictly best, by more than 0.01 absolute and 1% relative.
+//!
+//! Paper conclusion: no estimator is close-to-optimal for even 50% of
+//! pipelines (so no single default suffices), and every estimator except
+//! DNE and PMAX significantly wins somewhere (so the candidate set should
+//! keep them).
+
+use crate::report::Table;
+use crate::suite::{paper_workloads, ExpScale, Suite};
+use prosel_estimators::EstimatorKind;
+
+pub fn run(suite: &mut Suite, scale: ExpScale) -> String {
+    let records = suite.records_all(&paper_workloads(scale));
+    let n = records.len() as f64;
+    let kinds = EstimatorKind::CANDIDATES;
+
+    let mut close = vec![0usize; kinds.len()];
+    let mut dominant = vec![0usize; kinds.len()];
+    for r in &records {
+        let errs: Vec<f32> = (0..kinds.len()).map(|i| r.errors_l1[i]).collect();
+        let min = errs.iter().cloned().fold(f32::INFINITY, f32::min);
+        for (i, &e) in errs.iter().enumerate() {
+            let abs_close = e - min < 0.01;
+            let rel_close = e <= min * 1.01 + 1e-9;
+            if e <= min || abs_close || rel_close {
+                close[i] += 1;
+            }
+            // Significantly outperforms: best, with the runner-up more
+            // than 0.01 absolute AND 1% relative worse.
+            let next_best = errs
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &v)| v)
+                .fold(f32::INFINITY, f32::min);
+            if e <= min && next_best - e > 0.01 && next_best > e * 1.01 {
+                dominant[i] += 1;
+            }
+        }
+    }
+
+    let mut table = Table::new(
+        "Table 8 — (close-to-)optimal and significantly-outperforms fractions",
+        &["estimator", "% (close to) optimal", "% significantly outperforms"],
+    );
+    for (i, k) in kinds.iter().enumerate() {
+        table.row_pct(k.name(), &[close[i] as f64 / n, dominant[i] as f64 / n]);
+    }
+    let mut out = table.render();
+    out.push_str(
+        "paper: close-to-optimal DNE 37.6 TGN 37.7 LUO 30.3 PMAX 0.2 SAFE 4.7\n\
+         BATCHDNE 39.2 DNESEEK 45.5 TGNINT 31.1 (%); significant wins TGN 17.7\n\
+         DNESEEK 9.4 TGNINT 6.7 SAFE 4.2 LUO 3.9 BATCHDNE 2.2 DNE 0.2 PMAX 0.06 (%).\n\
+         Conclusion: no single default estimator; all but DNE/PMAX earn their seat.\n",
+    );
+    println!("{out}");
+    out
+}

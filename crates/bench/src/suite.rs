@@ -1,0 +1,173 @@
+//! The canonical experiment suite: the paper's six workloads, with a
+//! size knob, plus cached record collection.
+
+use prosel_core::pipeline_runs::{collect_from_workload, CollectConfig, PipelineRecord};
+use prosel_mart::BoostParams;
+use prosel_datagen::TuningLevel;
+use prosel_planner::workload::{materialize, WorkloadKind, WorkloadSpec};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Experiment sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpScale {
+    /// Small sizes for CI / smoke runs (~1 minute total collection).
+    Smoke,
+    /// Default sizes: every experiment in a few minutes.
+    Quick,
+    /// Paper-sized query counts (1000 TPC-H queries etc.).
+    Full,
+}
+
+impl ExpScale {
+    pub fn parse(s: &str) -> Option<ExpScale> {
+        match s {
+            "smoke" => Some(ExpScale::Smoke),
+            "quick" => Some(ExpScale::Quick),
+            "full" => Some(ExpScale::Full),
+            _ => None,
+        }
+    }
+
+    /// Multiplier applied to per-workload query counts.
+    fn queries(&self, quick: usize, full: usize) -> usize {
+        match self {
+            ExpScale::Smoke => (quick / 4).max(20),
+            ExpScale::Quick => quick,
+            ExpScale::Full => full,
+        }
+    }
+}
+
+/// MART parameters used by the harness: the paper's M=200 / 30 leaves,
+/// with column subsampling (0.65) to keep the many leave-one-out foldings
+/// affordable. `--scale full` effects are dominated by data sizes, not
+/// this knob.
+pub fn harness_boost() -> BoostParams {
+    BoostParams { colsample: 0.65, ..BoostParams::default() }
+}
+
+/// The paper's six workloads: TPC-DS, TPC-H under three physical designs,
+/// and the two "real-world" workloads.
+pub fn paper_workloads(scale: ExpScale) -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec::new(WorkloadKind::TpcdsLike, 12).with_queries(scale.queries(150, 200)),
+        WorkloadSpec::new(WorkloadKind::TpchLike, 11)
+            .with_queries(scale.queries(250, 1000))
+            .with_tuning(TuningLevel::Untuned),
+        WorkloadSpec::new(WorkloadKind::TpchLike, 11)
+            .with_queries(scale.queries(250, 1000))
+            .with_tuning(TuningLevel::PartiallyTuned),
+        WorkloadSpec::new(WorkloadKind::TpchLike, 11)
+            .with_queries(scale.queries(250, 1000))
+            .with_tuning(TuningLevel::FullyTuned),
+        WorkloadSpec::new(WorkloadKind::Real1, 13).with_queries(scale.queries(180, 477)),
+        WorkloadSpec::new(WorkloadKind::Real2, 14).with_queries(scale.queries(180, 632)),
+    ]
+}
+
+/// Record cache: workload label → records. Collection is the expensive
+/// step shared by most experiments.
+#[derive(Default)]
+pub struct Suite {
+    cache: HashMap<String, Vec<PipelineRecord>>,
+    pub verbose: bool,
+}
+
+impl Suite {
+    pub fn new(verbose: bool) -> Self {
+        Suite { cache: HashMap::new(), verbose }
+    }
+
+    /// Collect (or fetch cached) records for a workload spec.
+    pub fn records(&mut self, spec: &WorkloadSpec) -> &[PipelineRecord] {
+        let label = spec.label();
+        if !self.cache.contains_key(&label) {
+            let t = Instant::now();
+            let w = materialize(spec);
+            let recs = collect_from_workload(&w, &CollectConfig::default())
+                .unwrap_or_else(|e| panic!("collect {label}: {e}"));
+            if self.verbose {
+                eprintln!(
+                    "[collect] {label}: {} queries -> {} pipeline records in {:.1}s",
+                    spec.queries,
+                    recs.len(),
+                    t.elapsed().as_secs_f64()
+                );
+            }
+            self.cache.insert(label.clone(), recs);
+        }
+        &self.cache[&label]
+    }
+
+    /// Records for several specs, concatenated.
+    pub fn records_all(&mut self, specs: &[WorkloadSpec]) -> Vec<PipelineRecord> {
+        let mut out = Vec::new();
+        for s in specs {
+            out.extend_from_slice(self.records(s));
+        }
+        out
+    }
+}
+
+/// Aggregate per-query L1 errors from pipeline records (weight-combined,
+/// eq. (5)); returns one error per (workload, query) per estimator index.
+pub fn per_query_errors(records: &[PipelineRecord], n_kinds: usize) -> Vec<Vec<f64>> {
+    let mut acc: HashMap<(String, usize), (Vec<f64>, f64)> = HashMap::new();
+    for r in records {
+        let e = acc
+            .entry((r.workload.clone(), r.query_idx))
+            .or_insert_with(|| (vec![0.0; n_kinds], 0.0));
+        let w = r.weight.max(1e-9);
+        for i in 0..n_kinds.min(r.errors_l1.len()) {
+            e.0[i] += r.errors_l1[i] as f64 * w;
+        }
+        e.1 += w;
+    }
+    acc.into_values()
+        .map(|(sums, w)| sums.into_iter().map(|s| s / w.max(1e-9)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_paper_workloads() {
+        let specs = paper_workloads(ExpScale::Quick);
+        assert_eq!(specs.len(), 6);
+        let labels: Vec<String> = specs.iter().map(|s| s.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 6, "labels must be unique: {labels:?}");
+        // Full scale uses paper-sized counts.
+        let full = paper_workloads(ExpScale::Full);
+        assert_eq!(full[1].queries, 1000);
+        assert_eq!(full[4].queries, 477);
+    }
+
+    #[test]
+    fn suite_caches_collections() {
+        let mut suite = Suite::new(false);
+        let spec = WorkloadSpec::new(WorkloadKind::TpchLike, 3).with_queries(8).with_scale(0.3);
+        let a = suite.records(&spec).len();
+        let b = suite.records(&spec).len();
+        assert_eq!(a, b);
+        assert_eq!(suite.cache.len(), 1);
+    }
+
+    #[test]
+    fn per_query_aggregation() {
+        let mut suite = Suite::new(false);
+        let spec = WorkloadSpec::new(WorkloadKind::TpchLike, 3).with_queries(8).with_scale(0.3);
+        let recs = suite.records(&spec).to_vec();
+        let per_q = per_query_errors(&recs, 3);
+        assert!(!per_q.is_empty());
+        for q in &per_q {
+            assert_eq!(q.len(), 3);
+            assert!(q.iter().all(|e| e.is_finite() && *e >= 0.0));
+        }
+    }
+}

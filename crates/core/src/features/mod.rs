@@ -1,0 +1,30 @@
+//! Feature extraction for estimator selection.
+//!
+//! Two families, following the paper's Sections 4.3 and 4.4:
+//!
+//! * [`static_features`] — computable from the plan and optimizer
+//!   estimates before execution starts;
+//! * [`dynamic_features`] — computed from execution feedback observed up
+//!   to the 20%-of-driver-input marker, allowing the initial choice to be
+//!   revised online.
+//!
+//! The combined vector has ~210 entries ("about 200 double values",
+//! paper §6.4); [`schema::FeatureSchema`] names every position.
+
+pub mod dynamic_features;
+pub mod schema;
+pub mod static_features;
+
+use prosel_engine::QueryRun;
+use prosel_estimators::PipelineObs;
+
+pub use schema::FeatureSchema;
+
+/// Extract the full feature vector (static ++ dynamic) for one pipeline.
+pub fn extract(run: &QueryRun, obs: &PipelineObs<'_>) -> Vec<f32> {
+    let mut v = static_features::extract(run, obs.pipeline_id());
+    v.extend(dynamic_features::extract(obs));
+    debug_assert_eq!(v.len(), FeatureSchema::get().len());
+    debug_assert!(v.iter().all(|x| x.is_finite()), "non-finite feature");
+    v
+}

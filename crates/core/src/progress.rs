@@ -1,0 +1,190 @@
+//! End-to-end progress monitoring: the full architecture of the paper's
+//! Figure 3 over a completed (or replayed) query run.
+//!
+//! For every pipeline the monitor selects an estimator — from static
+//! features while fewer than 20% of the pipeline's driver input has been
+//! consumed, then revised once the dynamic features are available — and
+//! combines the per-pipeline estimates into query-level progress as the
+//! E_i-weighted sum of eq. (5).
+
+use crate::features;
+use crate::selection::EstimatorSelector;
+use crate::training::FeatureMode;
+use prosel_engine::QueryRun;
+use prosel_estimators::{EstimatorKind, PipelineObs};
+
+/// One point of a monitored query's progress history.
+#[derive(Debug, Clone, Copy)]
+pub struct ProgressPoint {
+    /// Virtual time of the observation.
+    pub time: f64,
+    /// Estimated query progress in [0, 1].
+    pub estimate: f64,
+    /// True progress (elapsed-time fraction) — for evaluation.
+    pub truth: f64,
+}
+
+/// Per-pipeline choice trace.
+#[derive(Debug, Clone)]
+pub struct PipelineChoice {
+    pub pipeline_id: usize,
+    /// Estimator chosen from static features at pipeline start.
+    pub initial: EstimatorKind,
+    /// Estimator after the 20%-marker revision (if the pipeline lived
+    /// long enough to produce dynamic features).
+    pub revised: EstimatorKind,
+}
+
+/// Query progress monitor built on a trained [`EstimatorSelector`].
+pub struct ProgressMonitor<'a> {
+    selector: &'a EstimatorSelector,
+}
+
+impl<'a> ProgressMonitor<'a> {
+    pub fn new(selector: &'a EstimatorSelector) -> Self {
+        ProgressMonitor { selector }
+    }
+
+    /// Replay a run, producing the query-level progress curve the monitor
+    /// would have reported, plus the per-pipeline estimator choices.
+    pub fn monitor(&self, run: &QueryRun) -> (Vec<ProgressPoint>, Vec<PipelineChoice>) {
+        let n_snaps = run.trace.snapshots.len();
+        let mut acc = vec![0.0f64; n_snaps];
+        let mut total_weight = 0.0f64;
+        let mut choices = Vec::new();
+
+        for pid in 0..run.pipelines.len() {
+            let weight = run.pipeline_weight(pid);
+            if weight <= 0.0 {
+                continue;
+            }
+            total_weight += weight;
+            let Some(obs) = PipelineObs::new(run, pid) else {
+                // Too short to observe: counts as done once its window passed.
+                let (_, end) = run.trace.pipeline_windows[pid];
+                for (j, s) in run.trace.snapshots.iter().enumerate() {
+                    if s.time >= end {
+                        acc[j] += weight;
+                    }
+                }
+                continue;
+            };
+            let feats = features::extract(run, &obs);
+
+            // Static choice applies until the 20% driver marker; then the
+            // dynamic features are fully determined and the choice is
+            // revised (paper §4.4: dynamic features use x ≤ 20).
+            let static_choice = self.select_with_mode(&feats, FeatureMode::Static);
+            let revised_choice = match self.selector.config().mode {
+                FeatureMode::Static => static_choice,
+                FeatureMode::StaticDynamic => self.selector.select(&feats),
+            };
+            choices.push(PipelineChoice {
+                pipeline_id: pid,
+                initial: static_choice,
+                revised: revised_choice,
+            });
+
+            let marker = obs
+                .driver_fraction()
+                .iter()
+                .position(|&a| a >= 0.20)
+                .unwrap_or(obs.len().saturating_sub(1));
+            let c_init = obs.curve(static_choice);
+            let c_rev = obs.curve(revised_choice);
+            let (start, _) = obs.window;
+            let mut ci = 0usize;
+            for (j, s) in run.trace.snapshots.iter().enumerate() {
+                if s.time < start {
+                    continue;
+                }
+                while ci + 1 < obs.obs.len() && obs.obs[ci + 1] <= j {
+                    ci += 1;
+                }
+                if j > *obs.obs.last().unwrap() {
+                    acc[j] += weight; // pipeline finished
+                } else {
+                    let v = if ci < marker { c_init[ci] } else { c_rev[ci] };
+                    acc[j] += weight * v;
+                }
+            }
+        }
+
+        let points = (0..n_snaps)
+            .map(|j| ProgressPoint {
+                time: run.trace.snapshots[j].time,
+                estimate: if total_weight > 0.0 {
+                    (acc[j] / total_weight).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                },
+                truth: run.trace.true_progress(j),
+            })
+            .collect();
+        (points, choices)
+    }
+
+    fn select_with_mode(&self, features: &[f32], mode: FeatureMode) -> EstimatorKind {
+        match (mode, self.selector.config().mode) {
+            // The selector was trained with dynamic features but we only
+            // have static ones yet: fall back to zeroed dynamics.
+            (FeatureMode::Static, FeatureMode::StaticDynamic) => {
+                let mut masked = features.to_vec();
+                for v in masked.iter_mut().skip(crate::features::FeatureSchema::get().static_len())
+                {
+                    *v = 0.0;
+                }
+                self.selector.select(&masked)
+            }
+            _ => self.selector.select(features),
+        }
+    }
+
+    /// Mean absolute error of the monitored curve against true progress.
+    pub fn l1_of_points(points: &[ProgressPoint]) -> f64 {
+        if points.is_empty() {
+            return 0.0;
+        }
+        points.iter().map(|p| (p.estimate - p.truth).abs()).sum::<f64>() / points.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline_runs::{collect_from_workload, CollectConfig};
+    use crate::selection::SelectorConfig;
+    use crate::training::TrainingSet;
+    use prosel_engine::{run_plan, Catalog, ExecConfig};
+    use prosel_mart::BoostParams;
+    use prosel_planner::workload::{materialize, WorkloadKind, WorkloadSpec};
+    use prosel_planner::PlanBuilder;
+
+    #[test]
+    fn monitor_produces_sane_curves() {
+        let spec = WorkloadSpec::new(WorkloadKind::TpchLike, 21).with_queries(25).with_scale(0.5);
+        let w = materialize(&spec);
+        let records = collect_from_workload(&w, &CollectConfig::default()).unwrap();
+        let train = TrainingSet::from_records(&records);
+        let cfg = SelectorConfig::default().with_boost(BoostParams::fast());
+        let selector = crate::selection::EstimatorSelector::train(&train, &cfg);
+        let monitor = ProgressMonitor::new(&selector);
+
+        let catalog = Catalog::new(&w.db, &w.design);
+        let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
+        let plan = builder.build(&w.queries[0]).unwrap();
+        let run = run_plan(&catalog, &plan, &ExecConfig::default());
+        let (points, choices) = monitor.monitor(&run);
+        assert!(!points.is_empty());
+        assert!(!choices.is_empty());
+        for p in &points {
+            assert!((0.0..=1.0).contains(&p.estimate));
+            assert!((0.0..=1.0).contains(&p.truth));
+        }
+        // The curve should end complete and be reasonably accurate on a
+        // query from the training distribution.
+        assert!(points.last().unwrap().estimate > 0.9);
+        let l1 = ProgressMonitor::l1_of_points(&points);
+        assert!(l1 < 0.35, "monitored l1 {l1}");
+    }
+}

@@ -1,0 +1,343 @@
+//! The estimator-selection module (paper §4.1–4.2).
+//!
+//! Not classification: for each candidate estimator a MART *regression*
+//! model predicts the estimation error that estimator would incur on a
+//! pipeline; selection picks the candidate with the smallest predicted
+//! error. Modelling error magnitudes (rather than a class label) lets
+//! selection avoid the catastrophic choices — being "wrong" between two
+//! near-identical estimators costs nothing, picking an estimator that is
+//! 10× off costs a lot.
+
+use crate::training::{FeatureMode, TrainingSet};
+use prosel_estimators::EstimatorKind;
+use prosel_mart::{BoostParams, Mart};
+
+/// Selector configuration.
+#[derive(Debug, Clone)]
+pub struct SelectorConfig {
+    /// Candidate estimators (default: the paper's six-estimator set).
+    pub candidates: Vec<EstimatorKind>,
+    /// Feature visibility.
+    pub mode: FeatureMode,
+    /// MART hyper-parameters (paper defaults: M=200, 30 leaves).
+    pub boost: BoostParams,
+}
+
+impl Default for SelectorConfig {
+    fn default() -> Self {
+        SelectorConfig {
+            candidates: EstimatorKind::EXTENDED.to_vec(),
+            mode: FeatureMode::StaticDynamic,
+            boost: BoostParams::default(),
+        }
+    }
+}
+
+impl SelectorConfig {
+    /// The paper's initial setting: choose among DNE/TGN/LUO only.
+    pub fn original_three() -> Self {
+        SelectorConfig { candidates: EstimatorKind::ORIGINAL.to_vec(), ..Default::default() }
+    }
+
+    pub fn with_mode(mut self, mode: FeatureMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    pub fn with_boost(mut self, boost: BoostParams) -> Self {
+        self.boost = boost;
+        self
+    }
+}
+
+/// A trained estimator selector: one error-regression model per candidate.
+pub struct EstimatorSelector {
+    config: SelectorConfig,
+    models: Vec<(EstimatorKind, Mart)>,
+}
+
+impl EstimatorSelector {
+    /// Train the per-estimator error models.
+    pub fn train(train: &TrainingSet, config: &SelectorConfig) -> EstimatorSelector {
+        assert!(!train.is_empty(), "cannot train a selector on zero pipelines");
+        let models = config
+            .candidates
+            .iter()
+            .map(|&kind| {
+                let data = train.dataset_for(kind, config.mode);
+                let mut params = config.boost.clone();
+                // Derive a per-model seed so models differ deterministically.
+                params.seed ^= kind.candidate_index().unwrap_or(0) as u64 + 1;
+                (kind, Mart::train(&data, &params))
+            })
+            .collect();
+        EstimatorSelector { config: config.clone(), models }
+    }
+
+    pub fn config(&self) -> &SelectorConfig {
+        &self.config
+    }
+
+    /// Predicted error per candidate for one feature vector.
+    pub fn predicted_errors(&self, features: &[f32]) -> Vec<(EstimatorKind, f32)> {
+        let dims = self.config.mode.dims();
+        assert!(features.len() >= dims, "feature vector too short");
+        self.models.iter().map(|(k, m)| (*k, m.predict(&features[..dims]))).collect()
+    }
+
+    /// Choose the estimator with the smallest predicted error.
+    pub fn select(&self, features: &[f32]) -> EstimatorKind {
+        self.predicted_errors(features)
+            .into_iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(k, _)| k)
+            .expect("at least one candidate")
+    }
+
+    /// The model trained for a given candidate (for inspection).
+    pub fn model(&self, kind: EstimatorKind) -> Option<&Mart> {
+        self.models.iter().find(|(k, _)| *k == kind).map(|(_, m)| m)
+    }
+
+    /// Serialize the trained selector to a plain-text blob (candidates,
+    /// feature mode, and one MART model per candidate). The paper's
+    /// deployment story depends on models being cheap to ship and retrain.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("prosel-selector v1\n");
+        out.push_str(&format!(
+            "mode {}\ncandidates {}\n",
+            self.config.mode.name(),
+            self.config
+                .candidates
+                .iter()
+                .map(|k| k.name())
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+        for (kind, model) in &self.models {
+            out.push_str(&format!("model {}\n", kind.name()));
+            out.push_str(&prosel_mart::model_io::to_string(model));
+            out.push_str("endmodel\n");
+        }
+        out
+    }
+
+    /// Parse a selector from [`EstimatorSelector::to_text`] output.
+    /// The boost parameters of the returned config are defaults (they only
+    /// matter for retraining).
+    pub fn from_text(s: &str) -> Result<EstimatorSelector, String> {
+        let mut lines = s.lines().peekable();
+        if lines.next().map(str::trim) != Some("prosel-selector v1") {
+            return Err("bad selector header".into());
+        }
+        let mode_line = lines.next().ok_or("missing mode line")?;
+        let mode = match mode_line.strip_prefix("mode ").map(str::trim) {
+            Some("static") => FeatureMode::Static,
+            Some("dynamic") => FeatureMode::StaticDynamic,
+            other => return Err(format!("bad mode line: {other:?}")),
+        };
+        let cand_line = lines.next().ok_or("missing candidates line")?;
+        let names = cand_line
+            .strip_prefix("candidates ")
+            .ok_or("bad candidates line")?;
+        let kind_by_name = |n: &str| -> Result<EstimatorKind, String> {
+            EstimatorKind::CANDIDATES
+                .into_iter()
+                .find(|k| k.name() == n)
+                .ok_or_else(|| format!("unknown estimator {n}"))
+        };
+        let candidates: Vec<EstimatorKind> =
+            names.split(',').map(kind_by_name).collect::<Result<_, _>>()?;
+
+        let mut models = Vec::new();
+        while let Some(line) = lines.next() {
+            let Some(name) = line.strip_prefix("model ") else {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                return Err(format!("unexpected line: {line}"));
+            };
+            let kind = kind_by_name(name.trim())?;
+            let mut blob = String::new();
+            for l in lines.by_ref() {
+                if l.trim() == "endmodel" {
+                    break;
+                }
+                blob.push_str(l);
+                blob.push('\n');
+            }
+            models.push((kind, prosel_mart::model_io::from_str(&blob)?));
+        }
+        if models.len() != candidates.len() {
+            return Err(format!(
+                "expected {} models, found {}",
+                candidates.len(),
+                models.len()
+            ));
+        }
+        Ok(EstimatorSelector {
+            config: SelectorConfig { candidates, mode, boost: BoostParams::default() },
+            models,
+        })
+    }
+
+    /// Evaluate on a held-out set.
+    pub fn evaluate(&self, test: &TrainingSet) -> SelectionReport {
+        let kinds = &self.config.candidates;
+        let idxs: Vec<usize> =
+            kinds.iter().map(|k| k.candidate_index().expect("candidate")).collect();
+        let mut chosen_l1 = 0.0f64;
+        let mut chosen_l2 = 0.0f64;
+        let mut optimal = 0usize;
+        let mut ratios = Vec::with_capacity(test.len());
+        for r in &test.records {
+            let kind = self.select(&r.features);
+            let ci = kind.candidate_index().expect("candidate");
+            let e = r.errors_l1[ci] as f64;
+            chosen_l1 += e;
+            chosen_l2 += r.errors_l2[ci] as f64;
+            let min =
+                idxs.iter().map(|&i| r.errors_l1[i]).fold(f32::INFINITY, f32::min) as f64;
+            if e <= min + 1e-4 {
+                optimal += 1;
+            }
+            ratios.push(if min > 1e-9 { e / min } else { 1.0 });
+        }
+        let n = test.len().max(1) as f64;
+        SelectionReport {
+            n: test.len(),
+            chosen_l1: chosen_l1 / n,
+            chosen_l2: chosen_l2 / n,
+            pct_optimal: optimal as f64 / n,
+            ratio_over_2x: ratios.iter().filter(|&&r| r > 2.0).count() as f64 / n,
+            ratio_over_5x: ratios.iter().filter(|&&r| r > 5.0).count() as f64 / n,
+            ratio_over_10x: ratios.iter().filter(|&&r| r > 10.0).count() as f64 / n,
+            oracle_l1: test.oracle_l1(kinds),
+        }
+    }
+}
+
+/// Held-out evaluation summary.
+#[derive(Debug, Clone)]
+pub struct SelectionReport {
+    pub n: usize,
+    /// Mean L1 error of the *chosen* estimator per pipeline.
+    pub chosen_l1: f64,
+    pub chosen_l2: f64,
+    /// Fraction of pipelines where the chosen estimator is optimal.
+    pub pct_optimal: f64,
+    /// Fractions of pipelines whose chosen-vs-minimum error ratio exceeds
+    /// 2×/5×/10× (paper Table 6).
+    pub ratio_over_2x: f64,
+    pub ratio_over_5x: f64,
+    pub ratio_over_10x: f64,
+    /// Mean of the per-pipeline minimum error (oracle selection).
+    pub oracle_l1: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureSchema;
+    use crate::pipeline_runs::PipelineRecord;
+
+    /// Synthetic records where feature 0 perfectly determines which of
+    /// DNE/TGN is better; everything else is terrible.
+    fn synthetic_records(n: usize) -> Vec<PipelineRecord> {
+        let dims = FeatureSchema::get().len();
+        (0..n)
+            .map(|i| {
+                let x = (i % 2) as f32; // 0 => DNE good, 1 => TGN good
+                let mut features = vec![0.0f32; dims];
+                features[0] = x;
+                features[1] = (i % 7) as f32; // noise
+                let mut errors = vec![0.9f32; 8];
+                errors[0] = if x == 0.0 { 0.01 } else { 0.5 };
+                errors[1] = if x == 0.0 { 0.5 } else { 0.01 };
+                PipelineRecord {
+                    workload: "syn".into(),
+                    query_idx: i,
+                    pipeline_id: 0,
+                    features,
+                    errors_l1: errors.clone(),
+                    errors_l2: errors,
+                    total_getnext: 10,
+                    weight: 1.0,
+                    n_obs: 10,
+                    fingerprint: "syn".into(),
+            oracle_l1: [0.0; 2],
+            oracle_l2: [0.0; 2],
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn selector_learns_separable_rule() {
+        let records = synthetic_records(400);
+        let train = TrainingSet::from_records(&records[..300]);
+        let test = TrainingSet::from_records(&records[300..]);
+        let cfg = SelectorConfig {
+            candidates: vec![EstimatorKind::Dne, EstimatorKind::Tgn],
+            mode: FeatureMode::StaticDynamic,
+            boost: BoostParams::fast(),
+        };
+        let sel = EstimatorSelector::train(&train, &cfg);
+        let report = sel.evaluate(&test);
+        assert!(report.pct_optimal > 0.95, "pct_optimal {}", report.pct_optimal);
+        assert!(report.chosen_l1 < 0.05, "chosen_l1 {}", report.chosen_l1);
+        assert!((report.oracle_l1 - 0.01).abs() < 1e-3);
+    }
+
+    #[test]
+    fn static_mode_restricts_features() {
+        let records = synthetic_records(100);
+        let train = TrainingSet::from_records(&records);
+        let cfg = SelectorConfig {
+            candidates: vec![EstimatorKind::Dne, EstimatorKind::Tgn],
+            mode: FeatureMode::Static,
+            boost: BoostParams::fast(),
+        };
+        let sel = EstimatorSelector::train(&train, &cfg);
+        // Feature 0 is static, so static mode can still learn the rule.
+        let k0 = sel.select(&records[0].features);
+        let k1 = sel.select(&records[1].features);
+        assert_eq!(k0, EstimatorKind::Dne);
+        assert_eq!(k1, EstimatorKind::Tgn);
+    }
+
+    #[test]
+    fn selector_text_round_trip() {
+        let records = synthetic_records(120);
+        let ts = TrainingSet::from_records(&records);
+        let cfg = SelectorConfig {
+            candidates: vec![EstimatorKind::Dne, EstimatorKind::Tgn],
+            mode: FeatureMode::StaticDynamic,
+            boost: BoostParams::fast(),
+        };
+        let sel = EstimatorSelector::train(&ts, &cfg);
+        let text = sel.to_text();
+        let back = EstimatorSelector::from_text(&text).expect("parse");
+        for r in records.iter().take(20) {
+            assert_eq!(sel.select(&r.features), back.select(&r.features));
+        }
+        assert!(EstimatorSelector::from_text("junk").is_err());
+    }
+
+    #[test]
+    fn report_ratios_consistent() {
+        let records = synthetic_records(100);
+        let ts = TrainingSet::from_records(&records);
+        let cfg = SelectorConfig {
+            candidates: vec![EstimatorKind::Dne, EstimatorKind::Tgn],
+            mode: FeatureMode::StaticDynamic,
+            boost: BoostParams::fast(),
+        };
+        let sel = EstimatorSelector::train(&ts, &cfg);
+        let report = sel.evaluate(&ts);
+        assert!(report.ratio_over_10x <= report.ratio_over_5x);
+        assert!(report.ratio_over_5x <= report.ratio_over_2x);
+        assert_eq!(report.n, 100);
+    }
+}

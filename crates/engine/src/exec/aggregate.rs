@@ -1,0 +1,241 @@
+//! Hash (blocking) and stream (sorted-input) aggregation.
+
+use crate::context::ExecContext;
+use crate::exec::Executor;
+use crate::plan::{AggFunc, NodeId};
+use crate::tuple::Tuple;
+use std::collections::HashMap;
+
+/// Fixed-size group key (up to 4 grouping columns).
+type GroupKey = [i64; 4];
+
+fn group_key(t: &Tuple, cols: &[usize]) -> GroupKey {
+    debug_assert!(cols.len() <= 4, "at most 4 grouping columns supported");
+    let mut k = [i64::MIN; 4];
+    for (i, &c) in cols.iter().enumerate() {
+        k[i] = t.get(c);
+    }
+    k
+}
+
+/// Running aggregate state.
+#[derive(Debug, Clone, Copy)]
+enum AggState {
+    Count(u64),
+    Sum(i64),
+    Min(i64),
+    Max(i64),
+}
+
+impl AggState {
+    fn new(f: AggFunc) -> Self {
+        match f {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum { .. } => AggState::Sum(0),
+            AggFunc::Min { .. } => AggState::Min(i64::MAX),
+            AggFunc::Max { .. } => AggState::Max(i64::MIN),
+        }
+    }
+
+    #[inline]
+    fn update(&mut self, f: AggFunc, t: &Tuple) {
+        match (self, f) {
+            (AggState::Count(c), AggFunc::Count) => *c += 1,
+            (AggState::Sum(s), AggFunc::Sum { col }) => *s = s.wrapping_add(t.get(col)),
+            (AggState::Min(m), AggFunc::Min { col }) => *m = (*m).min(t.get(col)),
+            (AggState::Max(m), AggFunc::Max { col }) => *m = (*m).max(t.get(col)),
+            _ => unreachable!("aggregate state/function mismatch"),
+        }
+    }
+
+    fn value(&self) -> i64 {
+        match *self {
+            AggState::Count(c) => c as i64,
+            AggState::Sum(s) => s,
+            AggState::Min(m) => m,
+            AggState::Max(m) => m,
+        }
+    }
+}
+
+fn emit_group(key: &GroupKey, n_group_cols: usize, states: &[AggState]) -> Tuple {
+    let mut t = Tuple::new();
+    for v in key.iter().take(n_group_cols) {
+        t.push(*v);
+    }
+    for s in states {
+        t.push(s.value());
+    }
+    t
+}
+
+/// Blocking hash aggregation: consumes the input in `open`, emits one row
+/// per group. Group emission order is made deterministic by sorting keys.
+pub struct HashAggregateExec<'a> {
+    node: NodeId,
+    /// Plan node of the child: drain-phase work belongs to the input
+    /// pipeline (the aggregate node itself is a driver of the pipeline
+    /// above).
+    child_node: NodeId,
+    group_cols: Vec<usize>,
+    aggs: Vec<AggFunc>,
+    child: Box<dyn Executor + 'a>,
+    out: Vec<Tuple>,
+    pos: usize,
+}
+
+impl<'a> HashAggregateExec<'a> {
+    pub fn new(
+        node: NodeId,
+        child_node: NodeId,
+        group_cols: Vec<usize>,
+        aggs: Vec<AggFunc>,
+        child: Box<dyn Executor + 'a>,
+    ) -> Self {
+        HashAggregateExec { node, child_node, group_cols, aggs, child, out: Vec::new(), pos: 0 }
+    }
+}
+
+impl Executor for HashAggregateExec<'_> {
+    fn open(&mut self, ctx: &mut ExecContext) {
+        self.child.open(ctx);
+        self.out.clear();
+        self.pos = 0;
+        let mut groups: HashMap<GroupKey, Vec<AggState>> = HashMap::new();
+        while let Some(t) = self.child.next(ctx) {
+            ctx.charge_input(self.child_node, 7);
+            let key = group_key(&t, &self.group_cols);
+            let states = groups
+                .entry(key)
+                .or_insert_with(|| self.aggs.iter().map(|&f| AggState::new(f)).collect());
+            for (s, &f) in states.iter_mut().zip(&self.aggs) {
+                s.update(f, &t);
+            }
+        }
+        let group_bytes =
+            groups.len() as u64 * 8 * (self.group_cols.len() + self.aggs.len()) as u64;
+        if group_bytes > ctx.memory_budget() {
+            ctx.write_bytes(self.child_node, group_bytes);
+            ctx.read_bytes(self.child_node, group_bytes);
+        }
+        let mut keys: Vec<GroupKey> = groups.keys().copied().collect();
+        keys.sort_unstable();
+        self.out = keys
+            .iter()
+            .map(|k| emit_group(k, self.group_cols.len(), &groups[k]))
+            .collect();
+    }
+
+    fn reopen(&mut self, _ctx: &mut ExecContext, _binding: i64) {
+        self.pos = 0;
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Option<Tuple> {
+        if self.pos >= self.out.len() {
+            return None;
+        }
+        let t = self.out[self.pos];
+        self.pos += 1;
+        // Emitting traverses the materialized group table (byte signal for
+        // the bytes-processed model at hash-aggregate driver nodes).
+        ctx.read_bytes(self.node, t.width_bytes());
+        ctx.tick(self.node, 7);
+        Some(t)
+    }
+}
+
+/// Streaming aggregation over an input sorted by the grouping columns.
+pub struct StreamAggregateExec<'a> {
+    node: NodeId,
+    group_cols: Vec<usize>,
+    aggs: Vec<AggFunc>,
+    child: Box<dyn Executor + 'a>,
+    cur_key: Option<GroupKey>,
+    states: Vec<AggState>,
+    done: bool,
+}
+
+impl<'a> StreamAggregateExec<'a> {
+    pub fn new(
+        node: NodeId,
+        group_cols: Vec<usize>,
+        aggs: Vec<AggFunc>,
+        child: Box<dyn Executor + 'a>,
+    ) -> Self {
+        StreamAggregateExec {
+            node,
+            group_cols,
+            aggs,
+            child,
+            cur_key: None,
+            states: Vec::new(),
+            done: false,
+        }
+    }
+
+    fn fresh_states(&self) -> Vec<AggState> {
+        self.aggs.iter().map(|&f| AggState::new(f)).collect()
+    }
+}
+
+impl Executor for StreamAggregateExec<'_> {
+    fn open(&mut self, ctx: &mut ExecContext) {
+        self.child.open(ctx);
+        self.cur_key = None;
+        self.done = false;
+    }
+
+    fn reopen(&mut self, ctx: &mut ExecContext, binding: i64) {
+        self.child.reopen(ctx, binding);
+        self.cur_key = None;
+        self.done = false;
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Option<Tuple> {
+        if self.done {
+            return None;
+        }
+        loop {
+            match self.child.next(ctx) {
+                Some(t) => {
+                    ctx.charge_input(self.node, 8);
+                    let key = group_key(&t, &self.group_cols);
+                    match self.cur_key {
+                        Some(cur) if cur == key => {
+                            for (s, &f) in self.states.iter_mut().zip(&self.aggs) {
+                                s.update(f, &t);
+                            }
+                        }
+                        Some(cur) => {
+                            // Group boundary: emit the finished group, start new.
+                            let out = emit_group(&cur, self.group_cols.len(), &self.states);
+                            self.cur_key = Some(key);
+                            self.states = self.fresh_states();
+                            for (s, &f) in self.states.iter_mut().zip(&self.aggs) {
+                                s.update(f, &t);
+                            }
+                            ctx.tick(self.node, 8);
+                            return Some(out);
+                        }
+                        None => {
+                            self.cur_key = Some(key);
+                            self.states = self.fresh_states();
+                            for (s, &f) in self.states.iter_mut().zip(&self.aggs) {
+                                s.update(f, &t);
+                            }
+                        }
+                    }
+                }
+                None => {
+                    self.done = true;
+                    if let Some(cur) = self.cur_key.take() {
+                        let out = emit_group(&cur, self.group_cols.len(), &self.states);
+                        ctx.tick(self.node, 8);
+                        return Some(out);
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+}

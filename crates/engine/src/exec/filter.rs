@@ -1,0 +1,148 @@
+//! Streaming row operators: filter, compute-scalar, top.
+
+use crate::context::ExecContext;
+use crate::exec::Executor;
+use crate::plan::{NodeId, Predicate};
+use crate::tuple::Tuple;
+
+/// Predicate filter. Passes its current nested-loop binding down so that
+/// naive (rescan) nested-loop inners can use [`Predicate::BoundCmp`].
+pub struct FilterExec<'a> {
+    node: NodeId,
+    pred: Predicate,
+    child: Box<dyn Executor + 'a>,
+    binding: i64,
+}
+
+impl<'a> FilterExec<'a> {
+    pub fn new(node: NodeId, pred: Predicate, child: Box<dyn Executor + 'a>) -> Self {
+        FilterExec { node, pred, child, binding: 0 }
+    }
+}
+
+impl Executor for FilterExec<'_> {
+    fn open(&mut self, ctx: &mut ExecContext) {
+        self.child.open(ctx);
+    }
+
+    fn reopen(&mut self, ctx: &mut ExecContext, binding: i64) {
+        self.binding = binding;
+        self.child.reopen(ctx, binding);
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Option<Tuple> {
+        loop {
+            let t = self.child.next(ctx)?;
+            ctx.charge_input(self.node, 3);
+            if self.pred.eval(t.as_slice(), self.binding) {
+                ctx.tick(self.node, 3);
+                return Some(t);
+            }
+        }
+    }
+}
+
+/// Pass-through appending `added` computed columns (deterministic simple
+/// derivations standing in for scalar expressions).
+pub struct ComputeScalarExec<'a> {
+    node: NodeId,
+    added: usize,
+    child: Box<dyn Executor + 'a>,
+}
+
+impl<'a> ComputeScalarExec<'a> {
+    pub fn new(node: NodeId, added: usize, child: Box<dyn Executor + 'a>) -> Self {
+        ComputeScalarExec { node, added, child }
+    }
+}
+
+impl Executor for ComputeScalarExec<'_> {
+    fn open(&mut self, ctx: &mut ExecContext) {
+        self.child.open(ctx);
+    }
+
+    fn reopen(&mut self, ctx: &mut ExecContext, binding: i64) {
+        self.child.reopen(ctx, binding);
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Option<Tuple> {
+        let t = self.child.next(ctx)?;
+        let mut out = t;
+        let base: i64 = t.as_slice().iter().sum();
+        for i in 0..self.added {
+            out.push(base.wrapping_add(i as i64) % 1_000_003);
+        }
+        ctx.tick(self.node, 12);
+        Some(out)
+    }
+}
+
+/// Projection: keep only the listed child columns.
+pub struct ProjectExec<'a> {
+    node: NodeId,
+    cols: Vec<usize>,
+    child: Box<dyn Executor + 'a>,
+}
+
+impl<'a> ProjectExec<'a> {
+    pub fn new(node: NodeId, cols: Vec<usize>, child: Box<dyn Executor + 'a>) -> Self {
+        ProjectExec { node, cols, child }
+    }
+}
+
+impl Executor for ProjectExec<'_> {
+    fn open(&mut self, ctx: &mut ExecContext) {
+        self.child.open(ctx);
+    }
+
+    fn reopen(&mut self, ctx: &mut ExecContext, binding: i64) {
+        self.child.reopen(ctx, binding);
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Option<Tuple> {
+        let t = self.child.next(ctx)?;
+        let mut out = Tuple::new();
+        for &c in &self.cols {
+            out.push(t.get(c));
+        }
+        ctx.tick(self.node, 13);
+        Some(out)
+    }
+}
+
+/// Emit only the first `n` rows, then stop pulling from the child
+/// (early termination: descendant counters never reach their totals).
+pub struct TopExec<'a> {
+    node: NodeId,
+    n: u64,
+    emitted: u64,
+    child: Box<dyn Executor + 'a>,
+}
+
+impl<'a> TopExec<'a> {
+    pub fn new(node: NodeId, n: u64, child: Box<dyn Executor + 'a>) -> Self {
+        TopExec { node, n, emitted: 0, child }
+    }
+}
+
+impl Executor for TopExec<'_> {
+    fn open(&mut self, ctx: &mut ExecContext) {
+        self.child.open(ctx);
+        self.emitted = 0;
+    }
+
+    fn reopen(&mut self, ctx: &mut ExecContext, binding: i64) {
+        self.child.reopen(ctx, binding);
+        self.emitted = 0;
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Option<Tuple> {
+        if self.emitted >= self.n {
+            return None;
+        }
+        let t = self.child.next(ctx)?;
+        self.emitted += 1;
+        ctx.tick(self.node, 11);
+        Some(t)
+    }
+}

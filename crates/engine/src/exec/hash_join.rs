@@ -1,0 +1,206 @@
+//! Hash join with Grace-style spilling.
+//!
+//! The build side (child 1) is consumed during `open` — it forms its own
+//! pipeline. If the build side exceeds the memory budget, a fraction of
+//! its 16 hash partitions is spilled: spilled build rows are written out,
+//! probe rows hashing to spilled partitions are written out during the
+//! probe phase, and after the probe input is exhausted the spilled
+//! partitions are read back and joined. Per the paper's counter
+//! convention, the extra work appears both as additional bytes
+//! read/written at the join node and as the join's GetNext calls arriving
+//! late — exactly the behaviour that hurts estimators assuming smooth
+//! per-tuple work.
+
+use crate::context::ExecContext;
+use crate::exec::Executor;
+use crate::plan::NodeId;
+use crate::tuple::Tuple;
+use std::collections::HashMap;
+
+const N_PARTITIONS: u64 = 16;
+
+#[inline]
+fn partition_of(key: i64) -> u64 {
+    // SplitMix-style finalizer for partition spread.
+    let mut z = key as u64;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) % N_PARTITIONS
+}
+
+enum Phase {
+    /// Streaming probe against the in-memory partitions.
+    Probe,
+    /// Replaying spilled probe rows against re-read spilled partitions.
+    SpillReplay { idx: usize },
+    Done,
+}
+
+/// Hash join executor; children `[probe, build]`, output `probe ++ build`.
+pub struct HashJoinExec<'a> {
+    node: NodeId,
+    /// Plan node of the build child: build-phase work (inserts, build-side
+    /// spill writes) is charged there so it is attributed to the *build
+    /// pipeline*, matching the pipeline model of \[6\].
+    build_node: NodeId,
+    probe_key: usize,
+    build_key: usize,
+    probe: Box<dyn Executor + 'a>,
+    build: Box<dyn Executor + 'a>,
+    /// In-memory hash table over non-spilled partitions.
+    table: HashMap<i64, Vec<Tuple>>,
+    /// Hash table for spilled partitions (populated lazily in the replay
+    /// phase; rows physically "live on disk" until then).
+    spilled_table: HashMap<i64, Vec<Tuple>>,
+    spilled_build: Vec<Tuple>,
+    spilled_probe: Vec<Tuple>,
+    /// Partitions `0..mem_parts` stay in memory.
+    mem_parts: u64,
+    /// Pending matches for the current probe row.
+    pending: Vec<Tuple>,
+    pending_probe: Tuple,
+    pending_pos: usize,
+    phase: Phase,
+}
+
+impl<'a> HashJoinExec<'a> {
+    pub fn new(
+        node: NodeId,
+        build_node: NodeId,
+        probe_key: usize,
+        build_key: usize,
+        probe: Box<dyn Executor + 'a>,
+        build: Box<dyn Executor + 'a>,
+    ) -> Self {
+        HashJoinExec {
+            node,
+            build_node,
+            probe_key,
+            build_key,
+            probe,
+            build,
+            table: HashMap::new(),
+            spilled_table: HashMap::new(),
+            spilled_build: Vec::new(),
+            spilled_probe: Vec::new(),
+            mem_parts: N_PARTITIONS,
+            pending: Vec::new(),
+            pending_probe: Tuple::new(),
+            pending_pos: 0,
+            phase: Phase::Probe,
+        }
+    }
+
+    fn set_pending(&mut self, probe_row: Tuple, matches: &[Tuple]) {
+        self.pending.clear();
+        self.pending.extend_from_slice(matches);
+        self.pending_probe = probe_row;
+        self.pending_pos = 0;
+    }
+
+    fn emit_pending(&mut self, ctx: &mut ExecContext) -> Option<Tuple> {
+        if self.pending_pos < self.pending.len() {
+            let out = self.pending_probe.concat(&self.pending[self.pending_pos]);
+            self.pending_pos += 1;
+            ctx.tick(self.node, 4);
+            return Some(out);
+        }
+        None
+    }
+
+    /// Transition into the spill-replay phase: read back spilled build rows
+    /// and build their hash table.
+    fn start_spill_replay(&mut self, ctx: &mut ExecContext) {
+        for row in std::mem::take(&mut self.spilled_build) {
+            ctx.read_bytes(self.node, row.width_bytes());
+            ctx.charge_input(self.node, 4);
+            self.spilled_table.entry(row.get(self.build_key)).or_default().push(row);
+        }
+        self.phase = Phase::SpillReplay { idx: 0 };
+    }
+}
+
+impl Executor for HashJoinExec<'_> {
+    fn open(&mut self, ctx: &mut ExecContext) {
+        self.build.open(ctx);
+        let mut build_rows: Vec<Tuple> = Vec::new();
+        let mut build_bytes = 0u64;
+        while let Some(t) = self.build.next(ctx) {
+            ctx.charge_input(self.build_node, 4);
+            build_bytes += t.width_bytes();
+            build_rows.push(t);
+        }
+        let budget = ctx.memory_budget();
+        self.mem_parts = if build_bytes <= budget {
+            N_PARTITIONS
+        } else {
+            ((budget as u128 * N_PARTITIONS as u128 / build_bytes.max(1) as u128) as u64)
+                .clamp(1, N_PARTITIONS - 1)
+        };
+        for row in build_rows {
+            let key = row.get(self.build_key);
+            if partition_of(key) < self.mem_parts {
+                self.table.entry(key).or_default().push(row);
+            } else {
+                ctx.write_bytes(self.build_node, row.width_bytes());
+                self.spilled_build.push(row);
+            }
+        }
+        self.probe.open(ctx);
+        self.phase = Phase::Probe;
+    }
+
+    fn reopen(&mut self, _ctx: &mut ExecContext, _binding: i64) {
+        unimplemented!("hash join cannot appear on the inner side of a nested loop");
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Option<Tuple> {
+        loop {
+            if let Some(out) = self.emit_pending(ctx) {
+                return Some(out);
+            }
+            match self.phase {
+                Phase::Probe => {
+                    match self.probe.next(ctx) {
+                        Some(t) => {
+                            ctx.charge_input(self.node, 4);
+                            let key = t.get(self.probe_key);
+                            if partition_of(key) < self.mem_parts {
+                                if let Some(matches) = self.table.get(&key) {
+                                    let matches = matches.clone();
+                                    self.set_pending(t, &matches);
+                                }
+                            } else {
+                                ctx.write_bytes(self.node, t.width_bytes());
+                                self.spilled_probe.push(t);
+                            }
+                        }
+                        None => {
+                            if self.spilled_build.is_empty() && self.spilled_probe.is_empty() {
+                                self.phase = Phase::Done;
+                            } else {
+                                self.start_spill_replay(ctx);
+                            }
+                        }
+                    }
+                }
+                Phase::SpillReplay { idx } => {
+                    if idx >= self.spilled_probe.len() {
+                        self.phase = Phase::Done;
+                        continue;
+                    }
+                    let t = self.spilled_probe[idx];
+                    self.phase = Phase::SpillReplay { idx: idx + 1 };
+                    ctx.read_bytes(self.node, t.width_bytes());
+                    ctx.charge_input(self.node, 4);
+                    let key = t.get(self.probe_key);
+                    if let Some(matches) = self.spilled_table.get(&key) {
+                        let matches = matches.clone();
+                        self.set_pending(t, &matches);
+                    }
+                }
+                Phase::Done => return None,
+            }
+        }
+    }
+}

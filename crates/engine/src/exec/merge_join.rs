@@ -1,0 +1,133 @@
+//! Merge join over two sorted inputs.
+//!
+//! Both children stream within the same pipeline (both their leaves are
+//! driver nodes — the paper's "dominant inputs" for a merge pipeline).
+//! Duplicate keys on the right are buffered per group so left duplicates
+//! can replay the group (standard many-to-many merge join).
+
+use crate::context::ExecContext;
+use crate::exec::Executor;
+use crate::plan::NodeId;
+use crate::tuple::Tuple;
+
+pub struct MergeJoinExec<'a> {
+    node: NodeId,
+    left_key: usize,
+    right_key: usize,
+    left: Box<dyn Executor + 'a>,
+    right: Box<dyn Executor + 'a>,
+    left_row: Option<Tuple>,
+    /// Current right-side group (rows sharing `group_key`).
+    group: Vec<Tuple>,
+    group_key: i64,
+    group_pos: usize,
+    /// Lookahead row beyond the current group.
+    right_ahead: Option<Tuple>,
+    right_done: bool,
+}
+
+impl<'a> MergeJoinExec<'a> {
+    pub fn new(
+        node: NodeId,
+        left_key: usize,
+        right_key: usize,
+        left: Box<dyn Executor + 'a>,
+        right: Box<dyn Executor + 'a>,
+    ) -> Self {
+        MergeJoinExec {
+            node,
+            left_key,
+            right_key,
+            left,
+            right,
+            left_row: None,
+            group: Vec::new(),
+            group_key: 0,
+            group_pos: 0,
+            right_ahead: None,
+            right_done: false,
+        }
+    }
+
+    /// Load the next right-side group from the lookahead row.
+    fn fill_group(&mut self, ctx: &mut ExecContext) -> bool {
+        self.group.clear();
+        self.group_pos = 0;
+        let first = match self.right_ahead.take() {
+            Some(t) => t,
+            None => {
+                self.right_done = true;
+                return false;
+            }
+        };
+        self.group_key = first.get(self.right_key);
+        self.group.push(first);
+        while let Some(t) = self.right.next(ctx) {
+            ctx.charge_input(self.node, 5);
+            if t.get(self.right_key) == self.group_key {
+                self.group.push(t);
+            } else {
+                self.right_ahead = Some(t);
+                break;
+            }
+        }
+        true
+    }
+
+    fn advance_left(&mut self, ctx: &mut ExecContext) {
+        self.left_row = self.left.next(ctx);
+        if self.left_row.is_some() {
+            ctx.charge_input(self.node, 5);
+        }
+        self.group_pos = 0;
+    }
+}
+
+impl Executor for MergeJoinExec<'_> {
+    fn open(&mut self, ctx: &mut ExecContext) {
+        self.left.open(ctx);
+        self.right.open(ctx);
+        self.left_row = self.left.next(ctx);
+        if self.left_row.is_some() {
+            ctx.charge_input(self.node, 5);
+        }
+        self.right_ahead = self.right.next(ctx);
+        if self.right_ahead.is_some() {
+            ctx.charge_input(self.node, 5);
+        }
+        self.right_done = false;
+        self.fill_group(ctx);
+    }
+
+    fn reopen(&mut self, _ctx: &mut ExecContext, _binding: i64) {
+        unimplemented!("merge join cannot appear on the inner side of a nested loop");
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Option<Tuple> {
+        loop {
+            let l = self.left_row?;
+            if self.group.is_empty() && self.right_done {
+                return None;
+            }
+            let lk = l.get(self.left_key);
+            if lk < self.group_key || self.group.is_empty() {
+                self.advance_left(ctx);
+                continue;
+            }
+            if lk > self.group_key {
+                if !self.fill_group(ctx) {
+                    return None;
+                }
+                continue;
+            }
+            // Keys equal: emit the cross-pairs for this left row.
+            if self.group_pos < self.group.len() {
+                let out = l.concat(&self.group[self.group_pos]);
+                self.group_pos += 1;
+                ctx.tick(self.node, 5);
+                return Some(out);
+            }
+            self.advance_left(ctx);
+        }
+    }
+}

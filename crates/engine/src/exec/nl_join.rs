@@ -1,0 +1,63 @@
+//! Nested-loop join (nested iteration).
+//!
+//! For every outer row the inner subtree is re-opened with the outer key
+//! as the correlated binding. The inner side is typically an
+//! [`crate::exec::IndexSeekExec`] (tuned designs) or a rescan
+//! `Filter(BoundCmp) ∘ TableScan` (untuned designs). When the inner data
+//! distribution is skewed, per-outer-row work varies wildly — the failure
+//! mode of driver-node estimators the paper's Section 5.1.1 targets.
+
+use crate::context::ExecContext;
+use crate::exec::Executor;
+use crate::plan::NodeId;
+use crate::tuple::Tuple;
+
+pub struct NestedLoopJoinExec<'a> {
+    node: NodeId,
+    outer_key: usize,
+    outer: Box<dyn Executor + 'a>,
+    inner: Box<dyn Executor + 'a>,
+    cur_outer: Option<Tuple>,
+}
+
+impl<'a> NestedLoopJoinExec<'a> {
+    pub fn new(
+        node: NodeId,
+        outer_key: usize,
+        outer: Box<dyn Executor + 'a>,
+        inner: Box<dyn Executor + 'a>,
+    ) -> Self {
+        NestedLoopJoinExec { node, outer_key, outer, inner, cur_outer: None }
+    }
+}
+
+impl Executor for NestedLoopJoinExec<'_> {
+    fn open(&mut self, ctx: &mut ExecContext) {
+        self.outer.open(ctx);
+        self.inner.open(ctx);
+        self.cur_outer = None;
+    }
+
+    fn reopen(&mut self, ctx: &mut ExecContext, binding: i64) {
+        // A nested-loop join can itself sit on the inner side of another
+        // nested loop only in plans we do not generate; rewind defensively.
+        self.outer.reopen(ctx, binding);
+        self.cur_outer = None;
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Option<Tuple> {
+        loop {
+            if let Some(o) = self.cur_outer {
+                if let Some(i) = self.inner.next(ctx) {
+                    ctx.tick(self.node, 6);
+                    return Some(o.concat(&i));
+                }
+                self.cur_outer = None;
+            }
+            let o = self.outer.next(ctx)?;
+            let binding = o.get(self.outer_key);
+            self.inner.reopen(ctx, binding);
+            self.cur_outer = Some(o);
+        }
+    }
+}

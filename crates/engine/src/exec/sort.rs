@@ -1,0 +1,164 @@
+//! Full (blocking) sort and partial batch sort.
+
+use crate::context::ExecContext;
+use crate::exec::Executor;
+use crate::plan::NodeId;
+use crate::tuple::Tuple;
+use std::cmp::Ordering;
+
+fn cmp_keys(a: &Tuple, b: &Tuple, keys: &[usize]) -> Ordering {
+    for &k in keys {
+        match a.get(k).cmp(&b.get(k)) {
+            Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Full sort: consumes its input in `open` (pipeline breaker), emits in
+/// key order. Inputs larger than the memory budget pay one external-merge
+/// pass (write + read of the whole input).
+pub struct SortExec<'a> {
+    node: NodeId,
+    /// Plan node of the child: drain-phase work (inserts, comparison
+    /// passes, external-sort I/O) belongs to the *input pipeline*.
+    child_node: NodeId,
+    keys: Vec<usize>,
+    child: Box<dyn Executor + 'a>,
+    buf: Vec<Tuple>,
+    pos: usize,
+}
+
+impl<'a> SortExec<'a> {
+    pub fn new(
+        node: NodeId,
+        child_node: NodeId,
+        keys: Vec<usize>,
+        child: Box<dyn Executor + 'a>,
+    ) -> Self {
+        SortExec { node, child_node, keys, child, buf: Vec::new(), pos: 0 }
+    }
+}
+
+impl Executor for SortExec<'_> {
+    fn open(&mut self, ctx: &mut ExecContext) {
+        self.child.open(ctx);
+        self.buf.clear();
+        self.pos = 0;
+        let mut bytes = 0u64;
+        while let Some(t) = self.child.next(ctx) {
+            ctx.charge_input(self.child_node, 9);
+            bytes += t.width_bytes();
+            self.buf.push(t);
+        }
+        if !self.buf.is_empty() {
+            let n = self.buf.len() as f64;
+            // Comparison cost of the sort itself.
+            ctx.charge_cpu(self.child_node, 0.02 * n * (n + 1.0).log2());
+            if bytes > ctx.memory_budget() {
+                // One external merge pass over the whole input.
+                ctx.write_bytes(self.child_node, bytes);
+                ctx.read_bytes(self.child_node, bytes);
+            }
+        }
+        let keys = self.keys.clone();
+        self.buf.sort_by(|a, b| cmp_keys(a, b, &keys));
+    }
+
+    fn reopen(&mut self, _ctx: &mut ExecContext, _binding: i64) {
+        // Rescan of an already sorted buffer.
+        self.pos = 0;
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Option<Tuple> {
+        if self.pos >= self.buf.len() {
+            return None;
+        }
+        let t = self.buf[self.pos];
+        self.pos += 1;
+        // Emitting re-reads the materialized (possibly external) run, which
+        // is what the bytes-processed model observes at a sort-output
+        // driver node.
+        ctx.read_bytes(self.node, t.width_bytes());
+        ctx.tick(self.node, 9);
+        Some(t)
+    }
+}
+
+/// Partial batch sort (\[9\]; paper §5.1): repeatedly consume up to `batch`
+/// rows, sort them by `key_col`, emit them, refill. Only *partially*
+/// blocking — it stays inside its pipeline, and with large batches the
+/// driver nodes below it finish long before the pipeline does, which is
+/// precisely what breaks DNE-style estimators and motivates BATCHDNE.
+pub struct BatchSortExec<'a> {
+    node: NodeId,
+    key_col: usize,
+    batch: usize,
+    child: Box<dyn Executor + 'a>,
+    buf: Vec<Tuple>,
+    pos: usize,
+    input_done: bool,
+}
+
+impl<'a> BatchSortExec<'a> {
+    pub fn new(node: NodeId, key_col: usize, batch: usize, child: Box<dyn Executor + 'a>) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        BatchSortExec { node, key_col, batch, child, buf: Vec::new(), pos: 0, input_done: false }
+    }
+
+    fn refill(&mut self, ctx: &mut ExecContext) {
+        self.buf.clear();
+        self.pos = 0;
+        while self.buf.len() < self.batch {
+            match self.child.next(ctx) {
+                Some(t) => {
+                    ctx.charge_input(self.node, 10);
+                    self.buf.push(t);
+                }
+                None => {
+                    self.input_done = true;
+                    break;
+                }
+            }
+        }
+        if !self.buf.is_empty() {
+            let n = self.buf.len() as f64;
+            ctx.charge_cpu(self.node, 0.02 * n * (n + 1.0).log2());
+            let key = self.key_col;
+            self.buf.sort_by_key(|t| t.get(key));
+        }
+    }
+}
+
+impl Executor for BatchSortExec<'_> {
+    fn open(&mut self, ctx: &mut ExecContext) {
+        self.child.open(ctx);
+        self.buf.clear();
+        self.pos = 0;
+        self.input_done = false;
+    }
+
+    fn reopen(&mut self, ctx: &mut ExecContext, binding: i64) {
+        self.child.reopen(ctx, binding);
+        self.buf.clear();
+        self.pos = 0;
+        self.input_done = false;
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Option<Tuple> {
+        if self.pos >= self.buf.len() {
+            if self.input_done {
+                return None;
+            }
+            self.refill(ctx);
+            if self.buf.is_empty() {
+                return None;
+            }
+        }
+        let t = self.buf[self.pos];
+        self.pos += 1;
+        ctx.tick(self.node, 10);
+        Some(t)
+    }
+}

@@ -1,0 +1,331 @@
+//! Pipeline (segment) decomposition and driver-node identification.
+//!
+//! Following \[6\] (Chaudhuri et al., SIGMOD'04) and \[13\] (Luo et al.,
+//! SIGMOD'04), a *pipeline* is a maximal subtree of plan nodes that execute
+//! concurrently: blocking operator inputs cut the tree. In this engine the
+//! blocking ("pipeline breaker") edges are:
+//!
+//! * `Sort` → its child (full sort materializes its input),
+//! * `HashAggregate` → its child (hash build consumes everything first),
+//! * `HashJoin` → its *build* child only (the probe side streams).
+//!
+//! `BatchSort` is deliberately **not** a breaker: it is only partially
+//! blocking, which is exactly why it breaks driver-node estimators
+//! (paper §5.1).
+//!
+//! The *driver nodes* (dominant inputs) of a pipeline are its source
+//! leaves — nodes with no child inside the pipeline — **excluding** any
+//! node on the inner side of a nested-loop join (the shaded-node semantics
+//! of the paper's Figure 2). Blocking operators cut off from their inputs
+//! (a `Sort` seen from the pipeline above it) act as sources and therefore
+//! *are* driver nodes: by the time the pipeline starts, their output size
+//! is exactly known.
+
+use crate::plan::{NodeId, OperatorKind, PhysicalPlan};
+
+/// One pipeline of a plan.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// Dense pipeline id, in ascending order of execution start (post-order
+    /// of the breaker tree, which matches Volcano open() order).
+    pub id: usize,
+    /// Plan nodes belonging to this pipeline, ascending.
+    pub nodes: Vec<NodeId>,
+    /// Driver nodes (dominant inputs).
+    pub driver_nodes: Vec<NodeId>,
+    /// Nodes on the inner side of a nested-loop join within this pipeline.
+    pub nl_inner_nodes: Vec<NodeId>,
+    /// BatchSort nodes (driver-set extension used by BATCHDNE).
+    pub batch_sort_nodes: Vec<NodeId>,
+    /// IndexSeek nodes (driver-set extension used by DNESEEK).
+    pub index_seek_nodes: Vec<NodeId>,
+}
+
+impl Pipeline {
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.nodes.binary_search(&n).is_ok()
+    }
+}
+
+/// Is the edge `parent -> parent.children[child_idx]` a pipeline breaker?
+pub fn is_breaker_edge(plan: &PhysicalPlan, parent: NodeId, child_idx: usize) -> bool {
+    match plan.node(parent).op {
+        OperatorKind::Sort { .. } | OperatorKind::HashAggregate { .. } => true,
+        // children[1] is the build side by convention.
+        OperatorKind::HashJoin { .. } => child_idx == 1,
+        _ => false,
+    }
+}
+
+/// Decompose a plan into pipelines, ordered by execution start.
+pub fn decompose(plan: &PhysicalPlan) -> Vec<Pipeline> {
+    let n = plan.len();
+    // Union nodes connected by non-breaker edges.
+    let mut comp: Vec<usize> = (0..n).collect();
+    fn find(comp: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while comp[root] != root {
+            root = comp[root];
+        }
+        let mut cur = x;
+        while comp[cur] != root {
+            let next = comp[cur];
+            comp[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for id in 0..n {
+        for (ci, &c) in plan.node(id).children.iter().enumerate() {
+            if !is_breaker_edge(plan, id, ci) {
+                let (a, b) = (find(&mut comp, id), find(&mut comp, c));
+                if a != b {
+                    comp[a] = b;
+                }
+            }
+        }
+    }
+
+    // Execution order: mirror the Volcano open() cascade. A blocking input
+    // (breaker edge) is drained during the parent's open, so pipelines
+    // under breaker edges start and complete before the parent's pipeline
+    // emits. Rank components by recursing into breaker children first
+    // (hash-join build before probe), then streaming children.
+    let mut comp_rank: Vec<Option<usize>> = vec![None; n];
+    let mut next_rank = 0usize;
+    fn assign(
+        plan: &PhysicalPlan,
+        node: NodeId,
+        comp: &mut Vec<usize>,
+        comp_rank: &mut Vec<Option<usize>>,
+        next_rank: &mut usize,
+    ) {
+        let children = plan.node(node).children.clone();
+        for (ci, &c) in children.iter().enumerate() {
+            if is_breaker_edge(plan, node, ci) {
+                assign(plan, c, comp, comp_rank, next_rank);
+            }
+        }
+        for (ci, &c) in children.iter().enumerate() {
+            if !is_breaker_edge(plan, node, ci) {
+                assign(plan, c, comp, comp_rank, next_rank);
+            }
+        }
+        let root = find(comp, node);
+        if comp_rank[root].is_none() {
+            comp_rank[root] = Some(*next_rank);
+            *next_rank += 1;
+        }
+    }
+    assign(plan, plan.root, &mut comp, &mut comp_rank, &mut next_rank);
+
+    // Group nodes by component, ranked.
+    let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); next_rank];
+    for id in 0..n {
+        let c = find(&mut comp, id);
+        if let Some(rank) = comp_rank[c] {
+            groups[rank].push(id);
+        }
+    }
+    for g in &mut groups {
+        g.sort_unstable();
+    }
+
+    // Mark nested-loop inner nodes (within the same pipeline as the NLJ).
+    let mut nl_inner = vec![false; n];
+    for id in 0..n {
+        if let OperatorKind::NestedLoopJoin { .. } = plan.node(id).op {
+            let inner_root = plan.node(id).children[1];
+            let mut stack = vec![inner_root];
+            while let Some(x) = stack.pop() {
+                nl_inner[x] = true;
+                stack.extend_from_slice(&plan.node(x).children);
+            }
+        }
+    }
+
+    groups
+        .into_iter()
+        .enumerate()
+        .map(|(pid, nodes)| {
+            let in_pipe = |x: NodeId| nodes.binary_search(&x).is_ok();
+            let driver_nodes: Vec<NodeId> = nodes
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    let no_child_inside =
+                        plan.node(id).children.iter().all(|&c| !in_pipe(c));
+                    no_child_inside && !nl_inner[id]
+                })
+                .collect();
+            let batch_sort_nodes = nodes
+                .iter()
+                .copied()
+                .filter(|&id| matches!(plan.node(id).op, OperatorKind::BatchSort { .. }))
+                .collect();
+            let index_seek_nodes = nodes
+                .iter()
+                .copied()
+                .filter(|&id| matches!(plan.node(id).op, OperatorKind::IndexSeek { .. }))
+                .collect();
+            let nl_inner_nodes =
+                nodes.iter().copied().filter(|&id| nl_inner[id]).collect();
+            Pipeline {
+                id: pid,
+                nodes,
+                driver_nodes,
+                nl_inner_nodes,
+                batch_sort_nodes,
+                index_seek_nodes,
+            }
+        })
+        .collect()
+}
+
+/// Map each node to its pipeline id. Indexed by [`NodeId`].
+pub fn pipeline_of(plan: &PhysicalPlan, pipelines: &[Pipeline]) -> Vec<usize> {
+    let mut out = vec![usize::MAX; plan.len()];
+    for p in pipelines {
+        for &nid in &p.nodes {
+            out[nid] = p.id;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{CmpOp, PlanNode, Predicate};
+
+    fn node(op: OperatorKind, children: Vec<NodeId>, out_cols: usize) -> PlanNode {
+        PlanNode { op, children, est_rows: 10.0, est_row_bytes: 8.0, out_cols }
+    }
+
+    /// scan(0) -> filter(1) -> hashjoin(4) <- scan(2) -> sort... build side.
+    ///
+    /// ```text
+    ///        HashJoin(4)
+    ///        /        \
+    ///   Filter(1)    Scan(2)   <- build side (breaker edge)
+    ///      |
+    ///   Scan(0)
+    /// ```
+    fn hash_join_plan() -> PhysicalPlan {
+        PhysicalPlan {
+            nodes: vec![
+                node(OperatorKind::TableScan { table: "a".into(), cols: vec![0] }, vec![], 1),
+                node(
+                    OperatorKind::Filter {
+                        pred: Predicate::ColCmp { col: 0, op: CmpOp::Gt, val: 0 },
+                    },
+                    vec![0],
+                    1,
+                ),
+                node(OperatorKind::TableScan { table: "b".into(), cols: vec![0] }, vec![], 1),
+                node(OperatorKind::Top { n: 5 }, vec![4], 2),
+                node(OperatorKind::HashJoin { probe_key: 0, build_key: 0 }, vec![1, 2], 2),
+            ],
+            root: 3,
+        }
+    }
+
+    #[test]
+    fn hash_join_splits_build_side() {
+        let plan = hash_join_plan();
+        let pipes = decompose(&plan);
+        assert_eq!(pipes.len(), 2);
+        // Build pipeline (scan b) completes first.
+        let build = &pipes[0];
+        assert_eq!(build.nodes, vec![2]);
+        assert_eq!(build.driver_nodes, vec![2]);
+        // Probe pipeline: scan a, filter, join, top.
+        let probe = &pipes[1];
+        assert_eq!(probe.nodes, vec![0, 1, 3, 4]);
+        assert_eq!(probe.driver_nodes, vec![0]);
+    }
+
+    /// Sort splits; the sort node becomes a driver of the parent pipeline.
+    #[test]
+    fn sort_is_driver_of_parent_pipeline() {
+        let plan = PhysicalPlan {
+            nodes: vec![
+                node(OperatorKind::TableScan { table: "a".into(), cols: vec![0] }, vec![], 1),
+                node(OperatorKind::Sort { key_cols: vec![0] }, vec![0], 1),
+                node(OperatorKind::Top { n: 3 }, vec![1], 1),
+            ],
+            root: 2,
+        };
+        let pipes = decompose(&plan);
+        assert_eq!(pipes.len(), 2);
+        assert_eq!(pipes[0].nodes, vec![0]);
+        assert_eq!(pipes[1].nodes, vec![1, 2]);
+        assert_eq!(pipes[1].driver_nodes, vec![1]);
+    }
+
+    /// Nested-loop inner nodes are excluded from drivers, mirrored after
+    /// the paper's Figure 2.
+    #[test]
+    fn nlj_inner_not_driver() {
+        let plan = PhysicalPlan {
+            nodes: vec![
+                node(OperatorKind::TableScan { table: "o".into(), cols: vec![0] }, vec![], 1),
+                node(
+                    OperatorKind::IndexSeek {
+                        table: "i".into(),
+                        key_col: 0,
+                        cols: vec![0],
+                        seek: crate::plan::SeekKind::BoundParam,
+                    },
+                    vec![],
+                    1,
+                ),
+                node(OperatorKind::NestedLoopJoin { outer_key: 0 }, vec![0, 1], 2),
+            ],
+            root: 2,
+        };
+        let pipes = decompose(&plan);
+        assert_eq!(pipes.len(), 1);
+        let p = &pipes[0];
+        assert_eq!(p.driver_nodes, vec![0]);
+        assert_eq!(p.nl_inner_nodes, vec![1]);
+        assert_eq!(p.index_seek_nodes, vec![1]);
+    }
+
+    #[test]
+    fn batch_sort_stays_in_pipeline() {
+        let plan = PhysicalPlan {
+            nodes: vec![
+                node(OperatorKind::TableScan { table: "o".into(), cols: vec![0] }, vec![], 1),
+                node(OperatorKind::BatchSort { key_col: 0, batch: 100 }, vec![0], 1),
+                node(
+                    OperatorKind::IndexSeek {
+                        table: "i".into(),
+                        key_col: 0,
+                        cols: vec![0],
+                        seek: crate::plan::SeekKind::BoundParam,
+                    },
+                    vec![],
+                    1,
+                ),
+                node(OperatorKind::NestedLoopJoin { outer_key: 0 }, vec![1, 2], 2),
+            ],
+            root: 3,
+        };
+        let pipes = decompose(&plan);
+        assert_eq!(pipes.len(), 1, "batch sort must not break the pipeline");
+        assert_eq!(pipes[0].batch_sort_nodes, vec![1]);
+        assert_eq!(pipes[0].driver_nodes, vec![0]);
+    }
+
+    #[test]
+    fn pipeline_of_maps_every_node() {
+        let plan = hash_join_plan();
+        let pipes = decompose(&plan);
+        let map = pipeline_of(&plan, &pipes);
+        assert_eq!(map.len(), plan.len());
+        for (nid, &pid) in map.iter().enumerate() {
+            assert!(pipes[pid].contains(nid), "node {nid} not in pipeline {pid}");
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Observation traces: what a progress estimator is allowed to see.
+//!
+//! A running query is observed at (approximately) evenly spaced points of
+//! virtual time. Each [`Snapshot`] records, per plan node, the counters
+//! the paper's estimators consume: K_i (GetNext calls so far), bytes
+//! logically read (R_i) and written (W_i). The trace also records the
+//! final totals (the true N_i, unknowable mid-query) and per-pipeline
+//! activity windows, which define "true progress" for error measurement.
+
+use crate::pipeline::Pipeline;
+use crate::plan::PhysicalPlan;
+
+/// Counter state at one observation point.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Virtual time of this observation.
+    pub time: f64,
+    /// GetNext calls so far per node (K_i^t).
+    pub k: Box<[u64]>,
+    /// Bytes logically read so far per node.
+    pub bytes_read: Box<[u64]>,
+    /// Bytes logically written so far per node.
+    pub bytes_written: Box<[u64]>,
+}
+
+/// The full observable history of one query execution.
+#[derive(Debug, Clone)]
+pub struct ObservationTrace {
+    pub snapshots: Vec<Snapshot>,
+    /// True totals N_i (available only after termination).
+    pub final_k: Vec<u64>,
+    pub final_bytes_read: Vec<u64>,
+    pub final_bytes_written: Vec<u64>,
+    /// Total virtual execution time.
+    pub total_time: f64,
+    /// Per-pipeline `(first_tick_time, last_tick_time)` activity windows,
+    /// indexed by pipeline id. Pipelines that never produced a tick have
+    /// `(f64::INFINITY, f64::NEG_INFINITY)`.
+    pub pipeline_windows: Vec<(f64, f64)>,
+}
+
+impl ObservationTrace {
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// True query-level progress (elapsed-time fraction) at snapshot `j`.
+    pub fn true_progress(&self, j: usize) -> f64 {
+        if self.total_time <= 0.0 {
+            return 1.0;
+        }
+        (self.snapshots[j].time / self.total_time).clamp(0.0, 1.0)
+    }
+
+    /// True *pipeline-level* progress at snapshot `j` for pipeline `pid`:
+    /// elapsed fraction of the pipeline's own activity window, clamped to
+    /// `[0,1]` outside the window.
+    pub fn true_pipeline_progress(&self, pid: usize, j: usize) -> f64 {
+        let (start, end) = self.pipeline_windows[pid];
+        let t = self.snapshots[j].time;
+        if !start.is_finite() || end <= start {
+            return 1.0;
+        }
+        ((t - start) / (end - start)).clamp(0.0, 1.0)
+    }
+
+    /// Indices of snapshots that fall inside pipeline `pid`'s activity
+    /// window (inclusive of the first snapshot at/after completion so the
+    /// curve reaches 1.0).
+    pub fn pipeline_observations(&self, pid: usize) -> Vec<usize> {
+        let (start, end) = self.pipeline_windows[pid];
+        if !start.is_finite() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut past_end = false;
+        for (j, s) in self.snapshots.iter().enumerate() {
+            if s.time < start {
+                continue;
+            }
+            if s.time <= end {
+                out.push(j);
+            } else if !past_end {
+                out.push(j);
+                past_end = true;
+            }
+        }
+        out
+    }
+}
+
+/// A completed query execution: plan, pipelines, trace.
+#[derive(Debug, Clone)]
+pub struct QueryRun {
+    pub plan: PhysicalPlan,
+    pub pipelines: Vec<Pipeline>,
+    pub trace: ObservationTrace,
+    /// Number of result rows produced at the root.
+    pub result_rows: u64,
+}
+
+impl QueryRun {
+    /// Total true GetNext calls across all nodes (Σ N_i).
+    pub fn total_getnext(&self) -> u64 {
+        self.trace.final_k.iter().sum()
+    }
+
+    /// Weight of pipeline `pid` for query-level progress (eq. (5)):
+    /// ΣE_i within the pipeline over ΣE_i in the whole plan.
+    pub fn pipeline_weight(&self, pid: usize) -> f64 {
+        let total = self.plan.total_est_rows();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let p: f64 =
+            self.pipelines[pid].nodes.iter().map(|&n| self.plan.node(n).est_rows).sum();
+        p / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_trace() -> ObservationTrace {
+        ObservationTrace {
+            snapshots: (0..=10)
+                .map(|i| Snapshot {
+                    time: i as f64 * 10.0,
+                    k: vec![i as u64].into_boxed_slice(),
+                    bytes_read: vec![0].into_boxed_slice(),
+                    bytes_written: vec![0].into_boxed_slice(),
+                })
+                .collect(),
+            final_k: vec![10],
+            final_bytes_read: vec![0],
+            final_bytes_written: vec![0],
+            total_time: 100.0,
+            pipeline_windows: vec![(0.0, 40.0), (40.0, 100.0), (f64::INFINITY, f64::NEG_INFINITY)],
+        }
+    }
+
+    #[test]
+    fn true_progress_is_time_fraction() {
+        let t = toy_trace();
+        assert_eq!(t.true_progress(0), 0.0);
+        assert_eq!(t.true_progress(5), 0.5);
+        assert_eq!(t.true_progress(10), 1.0);
+    }
+
+    #[test]
+    fn pipeline_progress_clamps_to_window() {
+        let t = toy_trace();
+        // Pipeline 0 active over [0, 40].
+        assert_eq!(t.true_pipeline_progress(0, 0), 0.0);
+        assert_eq!(t.true_pipeline_progress(0, 2), 0.5);
+        assert_eq!(t.true_pipeline_progress(0, 4), 1.0);
+        assert_eq!(t.true_pipeline_progress(0, 9), 1.0);
+        // Pipeline 1 active over [40, 100].
+        assert_eq!(t.true_pipeline_progress(1, 4), 0.0);
+        assert_eq!(t.true_pipeline_progress(1, 7), 0.5);
+        assert_eq!(t.true_pipeline_progress(1, 10), 1.0);
+        // Never-active pipeline reports complete.
+        assert_eq!(t.true_pipeline_progress(2, 3), 1.0);
+    }
+
+    #[test]
+    fn pipeline_observations_cover_window() {
+        let t = toy_trace();
+        let obs = t.pipeline_observations(0);
+        // Snapshots at t=0..40 plus one past the end (t=50).
+        assert_eq!(obs, vec![0, 1, 2, 3, 4, 5]);
+        assert!(t.pipeline_observations(2).is_empty());
+    }
+}

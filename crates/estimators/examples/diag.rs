@@ -1,0 +1,33 @@
+use prosel_engine::{run_plan, Catalog, ExecConfig};
+use prosel_estimators::{evaluate_pipeline, EstimatorKind};
+use prosel_planner::workload::{materialize, WorkloadKind, WorkloadSpec};
+use prosel_planner::PlanBuilder;
+
+fn main() {
+    let spec = WorkloadSpec::new(WorkloadKind::TpchLike, 1234).with_queries(40).with_scale(0.8);
+    let w = materialize(&spec);
+    let catalog = Catalog::new(&w.db, &w.design);
+    let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
+    let kinds = EstimatorKind::CANDIDATES;
+    let mut wins = vec![0usize; 3];
+    let mut sums = vec![0.0f64; kinds.len()];
+    let mut n = 0;
+    for (qi, q) in w.queries.iter().enumerate() {
+        let plan = builder.build(q).expect("plan");
+        let run = run_plan(&catalog, &plan, &ExecConfig { seed: 0xABC ^ qi as u64, ..ExecConfig::default() });
+        for pid in 0..run.pipelines.len() {
+            if let Some(errs) = evaluate_pipeline(&run, pid, &kinds) {
+                let three: Vec<f64> = errs[..3].iter().map(|e| e.l1).collect();
+                let best = (0..3).min_by(|&a, &b| three[a].partial_cmp(&three[b]).unwrap()).unwrap();
+                wins[best] += 1;
+                for (i, e) in errs.iter().enumerate() { sums[i] += e.l1; }
+                n += 1;
+            }
+        }
+    }
+    println!("pipelines: {n}");
+    println!("wins of DNE/TGN/LUO: {wins:?}");
+    for (i, k) in kinds.iter().enumerate() {
+        println!("{:>10}: avg L1 {:.4}", k.name(), sums[i] / n as f64);
+    }
+}

@@ -1,0 +1,167 @@
+//! Error metrics and per-pipeline / per-query evaluation.
+//!
+//! The paper's primary metric is the average absolute (L1) difference
+//! between estimated and true progress over all observations of a
+//! pipeline, with L2 reported to penalize large deviations (Section 6,
+//! "Error Metric"); the ratio error is retained for the worst-case
+//! estimator discussion.
+
+use crate::kinds::EstimatorKind;
+use crate::pipeline_obs::PipelineObs;
+use prosel_engine::trace::QueryRun;
+
+/// Mean absolute error between two aligned curves.
+pub fn l1_error(est: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(est.len(), truth.len());
+    if est.is_empty() {
+        return 0.0;
+    }
+    est.iter().zip(truth).map(|(a, b)| (a - b).abs()).sum::<f64>() / est.len() as f64
+}
+
+/// Root-mean-square error between two aligned curves.
+pub fn l2_error(est: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(est.len(), truth.len());
+    if est.is_empty() {
+        return 0.0;
+    }
+    (est.iter().zip(truth).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / est.len() as f64).sqrt()
+}
+
+/// Maximum ratio error `max(est/true, true/est)` over the observations,
+/// ignoring points where either side is ~0 (the ratio error
+/// overemphasizes the start of a query — the reason the paper prefers L1).
+pub fn ratio_error(est: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(est.len(), truth.len());
+    let mut worst = 1.0f64;
+    for (&e, &t) in est.iter().zip(truth) {
+        if e > 1e-6 && t > 1e-6 {
+            worst = worst.max((e / t).max(t / e));
+        }
+    }
+    worst
+}
+
+/// Errors of one estimator on one pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct EstimatorError {
+    pub kind: EstimatorKind,
+    pub l1: f64,
+    pub l2: f64,
+}
+
+/// Evaluate `kinds` on pipeline `pid` of a run. `None` when the pipeline
+/// has no observations.
+pub fn evaluate_pipeline(
+    run: &QueryRun,
+    pid: usize,
+    kinds: &[EstimatorKind],
+) -> Option<Vec<EstimatorError>> {
+    let obs = PipelineObs::new(run, pid)?;
+    let truth = obs.truth();
+    Some(
+        kinds
+            .iter()
+            .map(|&kind| {
+                let curve = obs.curve(kind);
+                EstimatorError {
+                    kind,
+                    l1: l1_error(&curve, &truth),
+                    l2: l2_error(&curve, &truth),
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Query-level progress curve obtained by combining per-pipeline
+/// estimates as the E_i-weighted sum of eq. (5). `choose` maps a pipeline
+/// id to the estimator used for it. The curve is aligned with *all*
+/// snapshots of the run.
+pub fn query_progress_curve(
+    run: &QueryRun,
+    choose: impl Fn(usize) -> EstimatorKind,
+) -> Vec<f64> {
+    let n_snaps = run.trace.snapshots.len();
+    let mut acc = vec![0.0f64; n_snaps];
+    let mut total_weight = 0.0;
+    for pid in 0..run.pipelines.len() {
+        let weight = run.pipeline_weight(pid);
+        if weight <= 0.0 {
+            continue;
+        }
+        total_weight += weight;
+        let Some(obs) = PipelineObs::new(run, pid) else {
+            // Pipeline too fast to observe: contributes its full weight
+            // from the moment it finished.
+            let (_, end) = run.trace.pipeline_windows[pid];
+            for (j, s) in run.trace.snapshots.iter().enumerate() {
+                if s.time >= end {
+                    acc[j] += weight;
+                }
+            }
+            continue;
+        };
+        let kind = choose(pid);
+        let curve = obs.curve(kind);
+        let (start, _) = obs.window;
+        // Before the window: 0; inside: the estimate; after: final value
+        // pinned to 1 (the pipeline's counters are final).
+        let mut ci = 0usize;
+        for (j, s) in run.trace.snapshots.iter().enumerate() {
+            if s.time < start {
+                continue;
+            }
+            while ci + 1 < obs.obs.len() && obs.obs[ci + 1] <= j {
+                ci += 1;
+            }
+            if j > *obs.obs.last().unwrap() {
+                acc[j] += weight;
+            } else {
+                acc[j] += weight * curve[ci.min(curve.len() - 1)];
+            }
+        }
+    }
+    if total_weight > 0.0 {
+        for v in &mut acc {
+            *v = (*v / total_weight).clamp(0.0, 1.0);
+        }
+    }
+    acc
+}
+
+/// Query-level L1 error for a fixed estimator used on every pipeline.
+pub fn query_l1(run: &QueryRun, kind: EstimatorKind) -> f64 {
+    let curve = query_progress_curve(run, |_| kind);
+    let truth: Vec<f64> = (0..curve.len()).map(|j| run.trace.true_progress(j)).collect();
+    l1_error(&curve, &truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_l2_basics() {
+        let truth = vec![0.0, 0.5, 1.0];
+        assert_eq!(l1_error(&truth, &truth), 0.0);
+        assert_eq!(l2_error(&truth, &truth), 0.0);
+        let off = vec![0.1, 0.6, 0.9];
+        assert!((l1_error(&off, &truth) - 0.1).abs() < 1e-12);
+        assert!((l2_error(&off, &truth) - 0.1).abs() < 1e-12);
+        assert!(l2_error(&[0.0, 0.3, 0.0], &[0.0, 0.0, 0.0]) > l1_error(&[0.0, 0.3, 0.0], &[0.0, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn ratio_ignores_near_zero() {
+        let est = vec![0.0, 0.5];
+        let truth = vec![0.000001, 0.25];
+        assert!((ratio_error(&est, &truth) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = l1_error(&[0.0], &[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # prosel-estimators
+//!
+//! The SQL progress estimators of the paper and its predecessors:
+//!
+//! * **DNE** — DriverNode estimator (\[6\], eq. (4)): progress = fraction of
+//!   driver-node input consumed. Robust to cardinality errors (driver
+//!   sizes are known), fails when per-tuple work varies (nested
+//!   iterations, batch sorts).
+//! * **TGN** — Total GetNext (\[6\], eq. (3)) with bound-clamped E_i:
+//!   accounts for work at every node but inherits optimizer estimation
+//!   errors.
+//! * **LUO** — the bytes-processed / speed model of Luo et al. (\[13\]):
+//!   driver input bytes + output/spill bytes, converted to remaining time
+//!   via the recent processing speed.
+//! * **PMAX / SAFE** — the worst-case estimators of \[5\], built on
+//!   worst-case progress bounds ([`refine::bounds`]).
+//! * **BATCHDNE / DNESEEK / TGNINT** — the paper's novel special-purpose
+//!   estimators (Section 5).
+//! * **GetNextOracle / BytesOracle** — the idealized models of Section 6.7
+//!   (true totals) used to validate the underlying progress models.
+//!
+//! [`pipeline_obs::PipelineObs`] renders any of these as a progress curve
+//! over a pipeline's observations; [`eval`] scores curves against true
+//! (time-fraction) progress.
+
+pub mod eval;
+pub mod kinds;
+pub mod pipeline_obs;
+pub mod refine;
+
+pub use eval::{
+    evaluate_pipeline, l1_error, l2_error, query_l1, query_progress_curve, ratio_error,
+    EstimatorError,
+};
+pub use kinds::EstimatorKind;
+pub use pipeline_obs::PipelineObs;

@@ -1,0 +1,516 @@
+//! Per-pipeline estimator evaluation over an observation trace.
+//!
+//! [`PipelineObs`] precomputes, for one pipeline of a completed
+//! [`QueryRun`], everything the candidate estimators need at each
+//! observation point — driver-node totals, bound-clamped E_i sums,
+//! progress bounds, byte counters — and then renders any
+//! [`EstimatorKind`] as a progress *curve* aligned with the pipeline's
+//! observations.
+//!
+//! Driver-node denominators follow the paper's Section 3.4: the exact
+//! input sizes of driver nodes are known when the pipeline starts
+//! (table cardinalities for scans; materialized sizes for sort /
+//! hash-aggregate outputs), while index-seek drivers only have optimizer
+//! estimates.
+
+use crate::kinds::EstimatorKind;
+use crate::refine::{alpha, bounds, clamp_estimate};
+use prosel_engine::plan::{NodeId, OperatorKind};
+use prosel_engine::trace::QueryRun;
+
+/// Precomputed observation-aligned state for one pipeline.
+pub struct PipelineObs<'a> {
+    run: &'a QueryRun,
+    pid: usize,
+    /// Snapshot indices within the pipeline's activity window.
+    pub obs: Vec<usize>,
+    /// Absolute virtual times of those snapshots.
+    pub times: Vec<f64>,
+    /// Pipeline activity window.
+    pub window: (f64, f64),
+    /// Pipeline nodes.
+    nodes: Vec<NodeId>,
+    /// `(node, known-or-estimated total)` for plain driver nodes.
+    drivers: Vec<(NodeId, f64)>,
+    /// Batch-sort extension of the driver set (BATCHDNE).
+    batch_extra: Vec<(NodeId, f64)>,
+    /// Index-seek extension of the driver set (DNESEEK).
+    seek_extra: Vec<(NodeId, f64)>,
+    /// Topmost node of the pipeline (its output).
+    top: NodeId,
+    /// Σ over drivers of `D_i · row_bytes_i` (total driver input bytes).
+    driver_total_bytes: f64,
+    // Per-observation aggregates (same length as `obs`):
+    sum_k: Vec<f64>,
+    sum_e_clamped: Vec<f64>,
+    sum_e_raw: f64,
+    work_lb: Vec<f64>,
+    work_ub: Vec<f64>,
+    alpha_curve: Vec<f64>,
+    done_bytes: Vec<f64>,
+    /// Spill bytes written but not yet re-read (hash-join partitions on
+    /// disk that the pipeline still has to process).
+    pending_spill: Vec<f64>,
+}
+
+impl<'a> PipelineObs<'a> {
+    /// Build for pipeline `pid`; `None` when the pipeline produced no
+    /// observations (it never ran, or ran entirely between snapshots).
+    pub fn new(run: &'a QueryRun, pid: usize) -> Option<Self> {
+        let pipeline = &run.pipelines[pid];
+        let obs = run.trace.pipeline_observations(pid);
+        if obs.is_empty() {
+            return None;
+        }
+        let plan = &run.plan;
+        let nodes = pipeline.nodes.clone();
+
+        let driver_total = |id: NodeId| -> f64 {
+            match plan.node(id).op {
+                // Materialized inputs: size exactly known at pipeline start.
+                OperatorKind::Sort { .. } | OperatorKind::HashAggregate { .. } => {
+                    run.trace.final_k[id] as f64
+                }
+                // Scans: base cardinality known; seeks & everything else:
+                // optimizer estimate.
+                _ => plan.node(id).est_rows,
+            }
+        };
+        let drivers: Vec<(NodeId, f64)> =
+            pipeline.driver_nodes.iter().map(|&d| (d, driver_total(d).max(1.0))).collect();
+        let driver_set: Vec<NodeId> = drivers.iter().map(|&(d, _)| d).collect();
+        let batch_extra: Vec<(NodeId, f64)> = pipeline
+            .batch_sort_nodes
+            .iter()
+            .filter(|d| !driver_set.contains(d))
+            .map(|&d| (d, plan.node(d).est_rows.max(1.0)))
+            .collect();
+        let seek_extra: Vec<(NodeId, f64)> = pipeline
+            .index_seek_nodes
+            .iter()
+            .filter(|d| !driver_set.contains(d))
+            .map(|&d| (d, plan.node(d).est_rows.max(1.0)))
+            .collect();
+
+        // Topmost node: the one whose parent is outside the pipeline.
+        let parents = plan.parents();
+        let top = nodes
+            .iter()
+            .copied()
+            .find(|&n| match parents[n] {
+                None => true,
+                Some(p) => !pipeline.contains(p),
+            })
+            .unwrap_or(nodes[nodes.len() - 1]);
+
+        let driver_total_bytes: f64 =
+            drivers.iter().map(|&(d, total)| total * plan.node(d).est_row_bytes).sum();
+        let sum_e_raw: f64 = nodes.iter().map(|&n| plan.node(n).est_rows).sum();
+        let sum_d: f64 = drivers.iter().map(|&(_, d)| d).sum();
+
+        // Leaf access nodes whose reads count as driver input (scans) vs
+        // nested-iteration reads (seeks, excluded by the bytes model).
+        let is_leaf_read = |id: NodeId| {
+            matches!(
+                plan.node(id).op,
+                OperatorKind::TableScan { .. }
+                    | OperatorKind::IndexScan { .. }
+                    | OperatorKind::IndexSeek { .. }
+            )
+        };
+
+        // Hash joins in this pipeline: the build side's final spill writes
+        // are known once the build pipeline completed (before this pipeline
+        // starts), and must be re-read here.
+        let hash_joins: Vec<(NodeId, u64)> = nodes
+            .iter()
+            .copied()
+            .filter(|&n| matches!(plan.node(n).op, OperatorKind::HashJoin { .. }))
+            .map(|n| (n, run.trace.final_bytes_written[plan.node(n).children[1]]))
+            .collect();
+
+        let mut sum_k = Vec::with_capacity(obs.len());
+        let mut sum_e_clamped = Vec::with_capacity(obs.len());
+        let mut work_lb = Vec::with_capacity(obs.len());
+        let mut work_ub = Vec::with_capacity(obs.len());
+        let mut alpha_curve = Vec::with_capacity(obs.len());
+        let mut done_bytes = Vec::with_capacity(obs.len());
+        let mut pending_spill = Vec::with_capacity(obs.len());
+        let mut times = Vec::with_capacity(obs.len());
+
+        for &j in &obs {
+            let snap = &run.trace.snapshots[j];
+            times.push(snap.time);
+            let (lb, ub) = bounds(plan, &snap.k);
+
+            let mut k_total = 0.0;
+            let mut e_clamped = 0.0;
+            let mut wl = 0.0;
+            let mut wu = 0.0;
+            let mut bytes = 0.0;
+            for &n in &nodes {
+                let k = snap.k[n] as f64;
+                k_total += k;
+                e_clamped += clamp_estimate(plan.node(n).est_rows, lb[n], ub[n]);
+                wu += ub[n];
+                // Work lower bound: remaining driver input must be read.
+                wl += k;
+                // Bytes processed: driver reads + spill reads + all writes.
+                if driver_set.contains(&n) || !is_leaf_read(n) {
+                    bytes += snap.bytes_read[n] as f64;
+                }
+                bytes += snap.bytes_written[n] as f64;
+            }
+            for &(d, total) in &drivers {
+                wl += (total - snap.k[d] as f64).max(0.0);
+            }
+            let k_driver: f64 = drivers.iter().map(|&(d, _)| snap.k[d] as f64).sum();
+            sum_k.push(k_total);
+            sum_e_clamped.push(e_clamped.max(1.0));
+            work_lb.push(wl.max(1.0));
+            work_ub.push(wu.max(1.0));
+            alpha_curve.push(alpha(k_driver, sum_d));
+            done_bytes.push(bytes);
+            let mut pending = 0.0;
+            for &(j_node, build_spill) in &hash_joins {
+                let expected = build_spill as f64 + snap.bytes_written[j_node] as f64;
+                pending += (expected - snap.bytes_read[j_node] as f64).max(0.0);
+            }
+            pending_spill.push(pending);
+        }
+
+        let window = run.trace.pipeline_windows[pid];
+        Some(PipelineObs {
+            run,
+            pid,
+            obs,
+            times,
+            window,
+            nodes,
+            drivers,
+            batch_extra,
+            seek_extra,
+            top,
+            driver_total_bytes,
+            sum_k,
+            sum_e_clamped,
+            sum_e_raw: sum_e_raw.max(1.0),
+            work_lb,
+            work_ub,
+            alpha_curve,
+            done_bytes,
+            pending_spill,
+        })
+    }
+
+    /// Pipeline id.
+    pub fn pipeline_id(&self) -> usize {
+        self.pid
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.obs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.obs.is_empty()
+    }
+
+    /// True pipeline progress at each observation (elapsed-time fraction
+    /// of the activity window).
+    pub fn truth(&self) -> Vec<f64> {
+        self.obs.iter().map(|&j| self.run.trace.true_pipeline_progress(self.pid, j)).collect()
+    }
+
+    /// Fraction of driver input consumed at each observation (the paper's
+    /// x-axis for dynamic-feature markers t{x}).
+    pub fn driver_fraction(&self) -> &[f64] {
+        &self.alpha_curve
+    }
+
+    /// Total true GetNext calls in this pipeline.
+    pub fn total_getnext(&self) -> u64 {
+        self.nodes.iter().map(|&n| self.run.trace.final_k[n]).sum()
+    }
+
+    /// Render the progress curve of one estimator.
+    pub fn curve(&self, kind: EstimatorKind) -> Vec<f64> {
+        match kind {
+            EstimatorKind::Dne => self.driver_curve(&self.drivers, &[]),
+            EstimatorKind::BatchDne => self.driver_curve(&self.drivers, &self.batch_extra),
+            EstimatorKind::DneSeek => self.driver_curve(&self.drivers, &self.seek_extra),
+            EstimatorKind::Tgn => (0..self.len())
+                .map(|i| clamp01(self.sum_k[i] / self.sum_e_clamped[i]))
+                .collect(),
+            EstimatorKind::TgnRaw => {
+                (0..self.len()).map(|i| clamp01(self.sum_k[i] / self.sum_e_raw)).collect()
+            }
+            EstimatorKind::TgnInt => (0..self.len())
+                .map(|i| {
+                    let a = self.alpha_curve[i];
+                    let denom = self.sum_k[i] + (1.0 - a) * self.sum_e_raw;
+                    clamp01(self.sum_k[i] / denom.max(1.0))
+                })
+                .collect(),
+            EstimatorKind::Pmax => {
+                (0..self.len()).map(|i| clamp01(self.sum_k[i] / self.work_ub[i])).collect()
+            }
+            EstimatorKind::Safe => (0..self.len())
+                .map(|i| {
+                    let l = clamp01(self.sum_k[i] / self.work_ub[i]);
+                    let u = clamp01(self.sum_k[i] / self.work_lb[i]);
+                    (l * u).sqrt()
+                })
+                .collect(),
+            EstimatorKind::Luo => self.luo_curve(),
+            EstimatorKind::GetNextOracle => {
+                let total: f64 =
+                    self.nodes.iter().map(|&n| self.run.trace.final_k[n] as f64).sum();
+                (0..self.len()).map(|i| clamp01(self.sum_k[i] / total.max(1.0))).collect()
+            }
+            EstimatorKind::BytesOracle => {
+                let total = *self.done_bytes.last().unwrap_or(&0.0);
+                if total <= 0.0 {
+                    return vec![1.0; self.len()];
+                }
+                self.done_bytes.iter().map(|&b| clamp01(b / total)).collect()
+            }
+        }
+    }
+
+    /// DNE-family curve over `drivers ∪ extra` (eq. (4), (6), (7)).
+    fn driver_curve(&self, drivers: &[(NodeId, f64)], extra: &[(NodeId, f64)]) -> Vec<f64> {
+        let total: f64 =
+            drivers.iter().chain(extra).map(|&(_, d)| d).sum();
+        if total <= 0.0 {
+            return vec![0.0; self.len()];
+        }
+        self.obs
+            .iter()
+            .map(|&j| {
+                let snap = &self.run.trace.snapshots[j];
+                let k: f64 =
+                    drivers.iter().chain(extra).map(|&(n, _)| snap.k[n] as f64).sum();
+                clamp01(k / total)
+            })
+            .collect()
+    }
+
+    /// The bytes-processed / speed model of \[13\]: estimate remaining
+    /// *time* from the byte-processing speed over a trailing window, then
+    /// convert to a progress fraction.
+    fn luo_curve(&self) -> Vec<f64> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(n);
+        let start = self.window.0;
+        // Expected total output bytes. Only the plan root writes its
+        // results out (to the client / result spool); interior pipeline
+        // tops hand tuples to a consuming operator in memory, so their
+        // only writes are spills, which are observed rather than
+        // predicted.
+        let e_out_total = if self.top == self.run.plan.root {
+            self.run.plan.node(self.top).est_rows * self.run.plan.node(self.top).est_row_bytes
+        } else {
+            0.0
+        };
+        let mut prev = 0.0f64;
+        for i in 0..n {
+            let t = self.times[i];
+            let elapsed = (t - start).max(1e-9);
+            let a = self.alpha_curve[i];
+            let driver_read: f64 = self
+                .drivers
+                .iter()
+                .map(|&(d, _)| self.run.trace.snapshots[self.obs[i]].bytes_read[d] as f64)
+                .sum();
+            // Remaining output writes, interpolation-refined: trust the
+            // optimizer estimate early (α≈0), what we've seen late (α≈1).
+            let remaining_out = ((1.0 - a) * e_out_total).clamp(0.0, e_out_total);
+            let remaining_bytes = (self.driver_total_bytes - driver_read).max(0.0)
+                + remaining_out
+                + self.pending_spill[i];
+            // Speed over a trailing window (~10% of elapsed time, at least
+            // back to the previous observation) — the paper's T-second
+            // window rescaled to virtual time.
+            let win = (elapsed * 0.1).max(1e-9);
+            let mut w = i;
+            while w > 0 && t - self.times[w - 1] < win {
+                w -= 1;
+            }
+            w = w.saturating_sub(1);
+            let dt = t - self.times[w];
+            let db = self.done_bytes[i] - self.done_bytes[w];
+            let est = if i == 0 || dt <= 0.0 || db <= 0.0 {
+                // No speed sample yet: fall back to the byte fraction.
+                let total = self.done_bytes[i] + remaining_bytes;
+                if total > 0.0 {
+                    self.done_bytes[i] / total
+                } else {
+                    prev
+                }
+            } else {
+                let speed = db / dt;
+                let remaining_time = remaining_bytes / speed.max(1e-9);
+                elapsed / (elapsed + remaining_time)
+            };
+            let est = clamp01(est);
+            prev = est;
+            out.push(est);
+        }
+        out
+    }
+}
+
+#[inline]
+fn clamp01(v: f64) -> f64 {
+    if v.is_finite() {
+        v.clamp(0.0, 1.0)
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prosel_datagen::schema::{ColumnMeta, ColumnRole, TableMeta};
+    use prosel_datagen::{Column, Database, PhysicalDesign, Table, TuningLevel};
+    use prosel_engine::plan::{CmpOp, PhysicalPlan, PlanNode, Predicate};
+    use prosel_engine::{run_plan, Catalog, CostModel, ExecConfig};
+
+    fn db_with_rows(n: usize) -> Database {
+        let mut db = Database::new("d");
+        let meta = TableMeta::new(
+            "t",
+            64,
+            vec![
+                ColumnMeta::new("a", ColumnRole::PrimaryKey),
+                ColumnMeta::new("b", ColumnRole::Value { min: 0, max: 9 }),
+            ],
+        );
+        db.add(Table::new(
+            meta,
+            vec![
+                Column { name: "a".into(), data: (1..=n as i64).collect() },
+                Column { name: "b".into(), data: (0..n as i64).map(|x| x % 10).collect() },
+            ],
+        ));
+        db
+    }
+
+    fn node(op: OperatorKind, children: Vec<usize>, est: f64, cols: usize) -> PlanNode {
+        PlanNode { op, children, est_rows: est, est_row_bytes: 8.0 * cols as f64, out_cols: cols }
+    }
+
+    fn run_scan_filter(est_filter: f64) -> QueryRun {
+        let db = db_with_rows(2000);
+        let design = PhysicalDesign::derive(&db, TuningLevel::Untuned);
+        let cat = Catalog::new(&db, &design);
+        let plan = PhysicalPlan {
+            nodes: vec![
+                node(OperatorKind::TableScan { table: "t".into(), cols: vec![0, 1] }, vec![], 2000.0, 2),
+                node(
+                    OperatorKind::Filter {
+                        pred: Predicate::ColCmp { col: 1, op: CmpOp::Lt, val: 5 },
+                    },
+                    vec![0],
+                    est_filter,
+                    2,
+                ),
+            ],
+            root: 1,
+        };
+        run_plan(
+            &cat,
+            &plan,
+            &ExecConfig {
+                cost: CostModel::deterministic(),
+                initial_snapshot_interval: 50.0,
+                ..ExecConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn curves_are_probabilities_and_end_near_one() {
+        let run = run_scan_filter(1000.0);
+        let p = PipelineObs::new(&run, 0).expect("observations");
+        for kind in EstimatorKind::CANDIDATES {
+            let c = p.curve(kind);
+            assert_eq!(c.len(), p.len());
+            for &v in &c {
+                assert!((0.0..=1.0).contains(&v), "{kind}: {v}");
+            }
+        }
+        // DNE and the oracle must end at 1 (all driver input consumed).
+        let dne = p.curve(EstimatorKind::Dne);
+        assert!((dne.last().unwrap() - 1.0).abs() < 1e-9);
+        let oracle = p.curve(EstimatorKind::GetNextOracle);
+        assert!((oracle.last().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dne_accurate_when_work_uniform() {
+        let run = run_scan_filter(1000.0);
+        let p = PipelineObs::new(&run, 0).unwrap();
+        let dne = p.curve(EstimatorKind::Dne);
+        let truth = p.truth();
+        let l1: f64 =
+            dne.iter().zip(&truth).map(|(a, b)| (a - b).abs()).sum::<f64>() / dne.len() as f64;
+        assert!(l1 < 0.05, "uniform scan should be easy for DNE, l1={l1}");
+    }
+
+    #[test]
+    fn tgn_hurt_by_bad_estimate_dne_immune() {
+        // Optimizer thinks the filter passes 10 rows; truth is ~1000.
+        let run = run_scan_filter(10.0);
+        let p = PipelineObs::new(&run, 0).unwrap();
+        let truth = p.truth();
+        let l1 = |c: &[f64]| -> f64 {
+            c.iter().zip(&truth).map(|(a, b)| (a - b).abs()).sum::<f64>() / c.len() as f64
+        };
+        let tgn = l1(&p.curve(EstimatorKind::Tgn));
+        let dne = l1(&p.curve(EstimatorKind::Dne));
+        assert!(
+            tgn > dne + 0.05,
+            "TGN should suffer from the cardinality error: tgn={tgn} dne={dne}"
+        );
+    }
+
+    #[test]
+    fn oracle_is_best_in_class() {
+        let run = run_scan_filter(10.0);
+        let p = PipelineObs::new(&run, 0).unwrap();
+        let truth = p.truth();
+        let l1 = |c: &[f64]| -> f64 {
+            c.iter().zip(&truth).map(|(a, b)| (a - b).abs()).sum::<f64>() / c.len() as f64
+        };
+        let oracle = l1(&p.curve(EstimatorKind::GetNextOracle));
+        for kind in [EstimatorKind::Tgn, EstimatorKind::Pmax, EstimatorKind::Safe] {
+            assert!(
+                oracle <= l1(&p.curve(kind)) + 1e-9,
+                "oracle should beat {kind}"
+            );
+        }
+        assert!(oracle < 0.05, "oracle l1={oracle}");
+    }
+
+    #[test]
+    fn pmax_is_most_pessimistic() {
+        let run = run_scan_filter(1000.0);
+        let p = PipelineObs::new(&run, 0).unwrap();
+        let pmax = p.curve(EstimatorKind::Pmax);
+        let safe = p.curve(EstimatorKind::Safe);
+        for (a, b) in pmax.iter().zip(&safe) {
+            assert!(a <= b, "PMAX must lower-bound SAFE");
+        }
+    }
+
+    #[test]
+    fn missing_pipeline_returns_none() {
+        let run = run_scan_filter(1000.0);
+        assert!(PipelineObs::new(&run, 0).is_some());
+        assert_eq!(run.pipelines.len(), 1);
+    }
+}

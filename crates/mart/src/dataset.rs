@@ -1,0 +1,224 @@
+//! Dense training data and feature binning.
+//!
+//! MART trees split on feature thresholds; for speed, features are
+//! quantized once into at most 256 quantile bins ([`BinnedDataset`]) and
+//! split search runs over bin histograms — the standard histogram
+//! gradient-boosting construction.
+
+/// A dense row-major feature matrix with regression targets.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    n_features: usize,
+    x: Vec<f32>,
+    y: Vec<f32>,
+}
+
+impl Dataset {
+    pub fn new(n_features: usize) -> Self {
+        Dataset { n_features, x: Vec::new(), y: Vec::new() }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Append one example.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != n_features`.
+    pub fn push(&mut self, row: &[f32], target: f32) {
+        assert_eq!(row.len(), self.n_features, "feature arity mismatch");
+        self.x.extend_from_slice(row);
+        self.y.push(target);
+    }
+
+    /// Feature row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.x[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// Target of example `i`.
+    #[inline]
+    pub fn target(&self, i: usize) -> f32 {
+        self.y[i]
+    }
+
+    pub fn targets(&self) -> &[f32] {
+        &self.y
+    }
+
+    /// Replace all targets (used when fitting residuals).
+    pub fn with_targets(&self, y: Vec<f32>) -> Dataset {
+        assert_eq!(y.len(), self.len());
+        Dataset { n_features: self.n_features, x: self.x.clone(), y }
+    }
+}
+
+/// Maximum number of bins per feature.
+pub const MAX_BINS: usize = 256;
+
+/// Quantile-binned view of a dataset.
+#[derive(Debug, Clone)]
+pub struct BinnedDataset {
+    n_rows: usize,
+    n_features: usize,
+    /// Row-major bin codes.
+    bins: Vec<u8>,
+    /// Per feature: ascending cut points; bin `b` holds values in
+    /// `(cuts[b-1], cuts[b]]`, bin 0 holds `<= cuts[0]`, the last bin holds
+    /// the rest. `cuts.len() <= MAX_BINS - 1`.
+    cuts: Vec<Vec<f32>>,
+}
+
+impl BinnedDataset {
+    /// Quantile-bin `data`.
+    pub fn build(data: &Dataset) -> Self {
+        let n_rows = data.len();
+        let n_features = data.n_features();
+        let mut cuts = Vec::with_capacity(n_features);
+        for f in 0..n_features {
+            let mut vals: Vec<f32> = (0..n_rows).map(|i| data.row(i)[f]).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            vals.dedup();
+            let c = if vals.len() <= MAX_BINS {
+                // Midpoints between consecutive distinct values.
+                vals.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect::<Vec<f32>>()
+            } else {
+                let mut c = Vec::with_capacity(MAX_BINS - 1);
+                for b in 1..MAX_BINS {
+                    let idx = b * (vals.len() - 1) / MAX_BINS;
+                    let cut = vals[idx];
+                    if c.last().is_none_or(|&l| cut > l) {
+                        c.push(cut);
+                    }
+                }
+                c
+            };
+            cuts.push(c);
+        }
+        let mut bins = vec![0u8; n_rows * n_features];
+        for i in 0..n_rows {
+            let row = data.row(i);
+            for f in 0..n_features {
+                bins[i * n_features + f] = bin_of(&cuts[f], row[f]);
+            }
+        }
+        BinnedDataset { n_rows, n_features, bins, cuts }
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Bin code of (row, feature).
+    #[inline]
+    pub fn bin(&self, row: usize, feature: usize) -> u8 {
+        self.bins[row * self.n_features + feature]
+    }
+
+    /// Bin codes of one row.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[u8] {
+        &self.bins[row * self.n_features..(row + 1) * self.n_features]
+    }
+
+    /// Number of used bins for a feature.
+    pub fn n_bins(&self, feature: usize) -> usize {
+        self.cuts[feature].len() + 1
+    }
+
+    /// Real-valued threshold equivalent to "bin <= b" for a feature
+    /// (used to convert a binned split into a raw-feature split).
+    pub fn threshold(&self, feature: usize, bin: usize) -> f32 {
+        let c = &self.cuts[feature];
+        if c.is_empty() {
+            return f32::INFINITY;
+        }
+        c[bin.min(c.len() - 1)]
+    }
+}
+
+#[inline]
+fn bin_of(cuts: &[f32], v: f32) -> u8 {
+    cuts.partition_point(|&c| c < v).min(MAX_BINS - 1) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut d = Dataset::new(2);
+        for i in 0..100 {
+            d.push(&[i as f32, (i % 10) as f32], i as f32 * 2.0);
+        }
+        d
+    }
+
+    #[test]
+    fn dataset_round_trip() {
+        let d = toy();
+        assert_eq!(d.len(), 100);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.row(3), &[3.0, 3.0]);
+        assert_eq!(d.target(3), 6.0);
+    }
+
+    #[test]
+    fn binning_preserves_order() {
+        let d = toy();
+        let b = BinnedDataset::build(&d);
+        // Feature 0 has 100 distinct values -> 100 bins; binning must be
+        // monotone in the raw value.
+        for i in 1..100 {
+            assert!(b.bin(i, 0) >= b.bin(i - 1, 0));
+        }
+        // Feature 1 has 10 distinct values -> 10 bins.
+        assert_eq!(b.n_bins(1), 10);
+    }
+
+    #[test]
+    fn binning_caps_at_max_bins() {
+        let mut d = Dataset::new(1);
+        for i in 0..10_000 {
+            d.push(&[i as f32], 0.0);
+        }
+        let b = BinnedDataset::build(&d);
+        assert!(b.n_bins(0) <= MAX_BINS);
+        assert!(b.n_bins(0) > 200);
+    }
+
+    #[test]
+    fn thresholds_separate_bins() {
+        let d = toy();
+        let b = BinnedDataset::build(&d);
+        // Splitting feature 1 at bin of value 4 must put 0..=4 left.
+        let t = b.threshold(1, b.bin(4, 1) as usize);
+        assert!(t > 4.0 && t <= 5.0, "threshold {t}");
+    }
+
+    #[test]
+    fn constant_feature_single_bin() {
+        let mut d = Dataset::new(1);
+        for _ in 0..50 {
+            d.push(&[7.0], 1.0);
+        }
+        let b = BinnedDataset::build(&d);
+        assert_eq!(b.n_bins(0), 1);
+        assert_eq!(b.threshold(0, 0), f32::INFINITY);
+    }
+}

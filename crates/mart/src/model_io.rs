@@ -1,0 +1,117 @@
+//! Plain-text (de)serialization of trained models.
+//!
+//! A deliberately simple line-oriented format (no serde dependency):
+//!
+//! ```text
+//! mart v1
+//! base <f32> shrinkage <f32> trees <n> features <d>
+//! tree <n_nodes>
+//! node <feature|-1> <threshold> <bin_threshold> <left> <right> <value>
+//! ...
+//! ```
+
+use crate::boost::Mart;
+use crate::tree::{RegressionTree, TreeNode};
+use std::fmt::Write as _;
+
+/// Serialize a model to a string.
+pub fn to_string(model: &Mart) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "mart v1");
+    let _ = writeln!(
+        out,
+        "base {} shrinkage {} trees {} features {}",
+        model.base,
+        model.shrinkage,
+        model.trees.len(),
+        model.feature_gain.len()
+    );
+    for tree in &model.trees {
+        let _ = writeln!(out, "tree {}", tree.nodes.len());
+        for n in &tree.nodes {
+            let f = if n.is_leaf() { -1i64 } else { n.feature as i64 };
+            let _ = writeln!(
+                out,
+                "node {} {} {} {} {} {}",
+                f, n.threshold, n.bin_threshold, n.left, n.right, n.value
+            );
+        }
+    }
+    out
+}
+
+/// Parse a model from [`to_string`] output.
+pub fn from_str(s: &str) -> Result<Mart, String> {
+    let mut lines = s.lines();
+    let header = lines.next().ok_or("empty input")?;
+    if header.trim() != "mart v1" {
+        return Err(format!("unsupported header: {header}"));
+    }
+    let meta = lines.next().ok_or("missing meta line")?;
+    let parts: Vec<&str> = meta.split_whitespace().collect();
+    if parts.len() != 8 || parts[0] != "base" || parts[2] != "shrinkage" {
+        return Err(format!("bad meta line: {meta}"));
+    }
+    let base: f32 = parts[1].parse().map_err(|e| format!("base: {e}"))?;
+    let shrinkage: f32 = parts[3].parse().map_err(|e| format!("shrinkage: {e}"))?;
+    let n_trees: usize = parts[5].parse().map_err(|e| format!("trees: {e}"))?;
+    let n_features: usize = parts[7].parse().map_err(|e| format!("features: {e}"))?;
+
+    let mut trees = Vec::with_capacity(n_trees);
+    for _ in 0..n_trees {
+        let tl = lines.next().ok_or("missing tree line")?;
+        let tparts: Vec<&str> = tl.split_whitespace().collect();
+        if tparts.len() != 2 || tparts[0] != "tree" {
+            return Err(format!("bad tree line: {tl}"));
+        }
+        let n_nodes: usize = tparts[1].parse().map_err(|e| format!("tree size: {e}"))?;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let nl = lines.next().ok_or("missing node line")?;
+            let np: Vec<&str> = nl.split_whitespace().collect();
+            if np.len() != 7 || np[0] != "node" {
+                return Err(format!("bad node line: {nl}"));
+            }
+            let f: i64 = np[1].parse().map_err(|e| format!("feature: {e}"))?;
+            nodes.push(TreeNode {
+                feature: if f < 0 { u32::MAX } else { f as u32 },
+                threshold: np[2].parse().map_err(|e| format!("threshold: {e}"))?,
+                bin_threshold: np[3].parse().map_err(|e| format!("bin: {e}"))?,
+                left: np[4].parse().map_err(|e| format!("left: {e}"))?,
+                right: np[5].parse().map_err(|e| format!("right: {e}"))?,
+                value: np[6].parse().map_err(|e| format!("value: {e}"))?,
+            });
+        }
+        trees.push(RegressionTree { nodes, split_gains: Vec::new() });
+    }
+    Ok(Mart { base, shrinkage, trees, feature_gain: vec![0.0; n_features] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boost::BoostParams;
+    use crate::dataset::Dataset;
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let mut d = Dataset::new(2);
+        for i in 0..300 {
+            let x = i as f32 / 10.0;
+            d.push(&[x, -x], (x * 1.7).sin());
+        }
+        let model = Mart::train(&d, &BoostParams::fast());
+        let text = to_string(&model);
+        let back = from_str(&text).expect("parse");
+        for i in (0..300).step_by(17) {
+            assert_eq!(model.predict(d.row(i)), back.predict(d.row(i)), "row {i}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str("").is_err());
+        assert!(from_str("not a model").is_err());
+        assert!(from_str("mart v1\nbase x shrinkage y trees 0 features 0").is_err());
+    }
+}

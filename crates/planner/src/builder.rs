@@ -1,0 +1,1114 @@
+//! Physical plan construction (the optimizer stand-in).
+//!
+//! Builds left-deep plans from [`QuerySpec`]s: access-path selection
+//! (table scan vs index-range seek), join-method selection (hash vs merge
+//! vs nested-loop-with-seek vs naive rescan nested loop, with batch sorts
+//! inserted above large nested-iteration outers), aggregate placement
+//! (stream when sorted, hash otherwise), and dead-column projection.
+//!
+//! Every node is annotated with E_i from [`crate::cardinality`] — exact
+//! for base-table scans (like a real system, which knows base cardinalities)
+//! and *estimated* (with realistic errors) everywhere else.
+//!
+//! The available indexes — the physical design — steer the choices, which
+//! is how the paper's Table 1 operator-mix shift across tuning levels
+//! arises.
+
+use crate::cardinality::{conjunct_selectivity, filter_selectivity, group_count, join_size};
+use crate::query::{AggKind, AggSpec, FilterSpec, OrderTarget, QuerySpec, TableRef};
+use crate::stats::DbStats;
+use prosel_datagen::{Database, PhysicalDesign};
+use prosel_engine::plan::{
+    AggFunc, CmpOp, NodeId, OperatorKind, PhysicalPlan, PlanNode, Predicate, SeekKind,
+};
+
+/// Tunables for plan construction.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Use an index-range seek as the access path when some indexed filter
+    /// has selectivity at or below this.
+    pub seek_max_selectivity: f64,
+    /// Amortized planner-cost of one inner-side index lookup.
+    pub seek_cost: f64,
+    /// Planner-cost per build-side row of a hash join.
+    pub hash_build_cost: f64,
+    /// Inner tables at or below this many rows may use naive rescan
+    /// nested-loop joins.
+    pub tiny_inner_rows: u64,
+    /// Insert a batch sort above nested-loop outers estimated at or above
+    /// this many rows.
+    pub batch_sort_min_outer: f64,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            seek_max_selectivity: 0.25,
+            seek_cost: 12.0,
+            hash_build_cost: 2.0,
+            tiny_inner_rows: 64,
+            batch_sort_min_outer: 150.0,
+        }
+    }
+}
+
+/// A column of the current intermediate result: which base table
+/// occurrence it came from and its name there. Aggregate outputs use
+/// [`BoundCol::agg`].
+#[derive(Debug, Clone, PartialEq)]
+struct BoundCol {
+    table_idx: usize,
+    name: String,
+}
+
+impl BoundCol {
+    fn agg(idx: usize) -> Self {
+        BoundCol { table_idx: usize::MAX, name: format!("$agg{idx}") }
+    }
+}
+
+/// Projection requirement for one table: `cols[..carry_len]` must survive
+/// past the access path (join/group/aggregate/order columns);
+/// `cols[carry_len..]` are filter-only and get projected away right above
+/// the access-path filter.
+#[derive(Debug, Clone)]
+struct Needed {
+    cols: Vec<String>,
+    carry_len: usize,
+}
+
+/// Plan builder over one database + statistics + physical design.
+pub struct PlanBuilder<'a> {
+    db: &'a Database,
+    stats: &'a DbStats,
+    design: &'a PhysicalDesign,
+    cfg: PlannerConfig,
+}
+
+/// Intermediate build state: the partially constructed left-deep plan.
+struct Partial {
+    root: NodeId,
+    est: f64,
+    bound: Vec<BoundCol>,
+    /// Column (position in `bound`) the output is currently sorted by.
+    sorted: Option<usize>,
+}
+
+impl<'a> PlanBuilder<'a> {
+    pub fn new(db: &'a Database, stats: &'a DbStats, design: &'a PhysicalDesign) -> Self {
+        PlanBuilder { db, stats, design, cfg: PlannerConfig::default() }
+    }
+
+    pub fn with_config(mut self, cfg: PlannerConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Build the physical plan for `spec`.
+    pub fn build(&self, spec: &QuerySpec) -> Result<PhysicalPlan, String> {
+        spec.validate()?;
+        let mut nodes: Vec<PlanNode> = Vec::new();
+        let needed = self.needed_columns(spec);
+
+        // Access path for the driving table; prefer sorted access on the
+        // first join column if that could enable a merge join.
+        let first_merge_col = spec.joins.first().and_then(|j| {
+            if j.left_table == 0 && self.has_index(&spec.tables[0].table, &j.left_col) {
+                Some(j.left_col.clone())
+            } else {
+                None
+            }
+        });
+        let mut cur = self.access_path(
+            &mut nodes,
+            0,
+            &spec.tables[0],
+            &needed[0],
+            first_merge_col.as_deref(),
+        );
+
+        for ji in 0..spec.joins.len() {
+            let right_idx = ji + 1;
+            cur = self.attach_join(&mut nodes, cur, spec, ji, right_idx, &needed[right_idx])?;
+            cur = self.project_dead_columns(&mut nodes, cur, spec, ji + 1);
+        }
+
+        if let Some(agg) = &spec.aggregate {
+            cur = self.attach_aggregate(&mut nodes, cur, spec, agg)?;
+        }
+        if let Some(order) = &spec.order_by {
+            cur = self.attach_order(&mut nodes, cur, spec, order)?;
+        }
+        if let Some(n) = spec.top {
+            let est = cur.est.min(n as f64);
+            let out_cols = cur.bound.len();
+            let root = push(
+                &mut nodes,
+                OperatorKind::Top { n },
+                vec![cur.root],
+                est,
+                8.0 * out_cols as f64,
+                out_cols,
+            );
+            cur = Partial { root, est, bound: cur.bound, sorted: cur.sorted };
+        }
+
+        let plan = PhysicalPlan { nodes, root: cur.root };
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    fn has_index(&self, table: &str, col: &str) -> bool {
+        self.design.has_index(table, col)
+    }
+
+    /// Per-table projection lists: carry columns (joins, aggregates,
+    /// ordering) first, then filter-only columns.
+    fn needed_columns(&self, spec: &QuerySpec) -> Vec<Needed> {
+        let n = spec.tables.len();
+        let mut lists: Vec<Vec<String>> = vec![Vec::new(); n];
+        let add = |lists: &mut Vec<Vec<String>>, t: usize, col: &str| {
+            if !lists[t].iter().any(|c| c == col) {
+                lists[t].push(col.to_string());
+            }
+        };
+        for (ji, j) in spec.joins.iter().enumerate() {
+            add(&mut lists, j.left_table, &j.left_col);
+            add(&mut lists, ji + 1, &j.right_col);
+        }
+        if let Some(agg) = &spec.aggregate {
+            for (t, c) in &agg.group_cols {
+                add(&mut lists, *t, c);
+            }
+            for a in &agg.aggs {
+                match a {
+                    AggKind::Count => {}
+                    AggKind::Sum { table, col }
+                    | AggKind::Min { table, col }
+                    | AggKind::Max { table, col } => add(&mut lists, *table, col),
+                }
+            }
+        }
+        if let Some(OrderTarget::Column { table, col }) = &spec.order_by {
+            add(&mut lists, *table, col);
+        }
+        // Every table must carry at least one column (its first column when
+        // nothing else is referenced — e.g. single-table COUNT(*) scans).
+        for (t, tref) in spec.tables.iter().enumerate() {
+            if lists[t].is_empty() {
+                let table = self.db.table(&tref.table);
+                add(&mut lists, t, &table.meta.columns[0].name);
+            }
+        }
+        let carry_lens: Vec<usize> = lists.iter().map(|l| l.len()).collect();
+        // Filter columns go last so they can be projected away.
+        for (t, tref) in spec.tables.iter().enumerate() {
+            for f in &tref.filters {
+                add(&mut lists, t, f.col());
+            }
+        }
+        lists
+            .into_iter()
+            .zip(carry_lens)
+            .map(|(cols, carry_len)| Needed { cols, carry_len })
+            .collect()
+    }
+
+    /// Build the access path for one table: `IndexSeek(StaticRange)` when a
+    /// selective indexed filter exists, an ordered `IndexScan` when the
+    /// caller wants sorted output, plain `TableScan` otherwise; remaining
+    /// filters above; filter-only columns projected away.
+    fn access_path(
+        &self,
+        nodes: &mut Vec<PlanNode>,
+        table_idx: usize,
+        tref: &TableRef,
+        needed: &Needed,
+        prefer_sort_col: Option<&str>,
+    ) -> Partial {
+        let table = self.db.table(&tref.table);
+        let tstats = self.stats.table(&tref.table);
+        let rows = tstats.rows as f64;
+        let col_idx = |name: &str| -> usize { table.col(name) };
+        let proj: Vec<usize> = needed.cols.iter().map(|c| col_idx(c)).collect();
+        let pos_of = |name: &str| -> usize {
+            needed.cols.iter().position(|c| c == name).expect("needed column missing")
+        };
+
+        // Candidate indexed filter with the best (lowest) selectivity.
+        let mut best_seek: Option<(usize, f64)> = None;
+        for (fi, f) in tref.filters.iter().enumerate() {
+            if !self.has_index(&tref.table, f.col()) {
+                continue;
+            }
+            let range_ok = match f {
+                FilterSpec::Range { .. } => true,
+                FilterSpec::Cmp { op, .. } => !matches!(op, CmpOp::Ne),
+            };
+            if !range_ok {
+                continue;
+            }
+            let sel = filter_selectivity(tstats, col_idx(f.col()), f);
+            if sel <= self.cfg.seek_max_selectivity && best_seek.is_none_or(|(_, s)| sel < s) {
+                best_seek = Some((fi, sel));
+            }
+        }
+
+        let (leaf, leaf_est, mut sorted, seek_filter): (NodeId, f64, Option<usize>, Option<usize>) =
+            if let Some((fi, sel)) = best_seek {
+                let f = &tref.filters[fi];
+                let key = col_idx(f.col());
+                let cs = &tstats.columns[key];
+                let (lo, hi) = match f {
+                    FilterSpec::Range { lo, hi, .. } => (*lo, *hi),
+                    FilterSpec::Cmp { op, val, .. } => match op {
+                        CmpOp::Eq => (*val, *val),
+                        CmpOp::Lt => (cs.min, val.saturating_sub(1)),
+                        CmpOp::Le => (cs.min, *val),
+                        CmpOp::Gt => (val.saturating_add(1), cs.max),
+                        CmpOp::Ge => (*val, cs.max),
+                        CmpOp::Ne => unreachable!("filtered above"),
+                    },
+                };
+                let est = (rows * sel).max(1.0);
+                let id = push(
+                    nodes,
+                    OperatorKind::IndexSeek {
+                        table: tref.table.clone(),
+                        key_col: key,
+                        cols: proj.clone(),
+                        seek: SeekKind::StaticRange { lo, hi },
+                    },
+                    vec![],
+                    est,
+                    table.row_bytes() as f64,
+                    proj.len(),
+                );
+                (id, est, Some(pos_of(f.col())), Some(fi))
+            } else if let Some(sort_col) =
+                prefer_sort_col.filter(|c| self.has_index(&tref.table, c))
+            {
+                let key = col_idx(sort_col);
+                let id = push(
+                    nodes,
+                    OperatorKind::IndexScan {
+                        table: tref.table.clone(),
+                        key_col: key,
+                        cols: proj.clone(),
+                    },
+                    vec![],
+                    rows.max(1.0), // base cardinality is known exactly
+                    table.row_bytes() as f64,
+                    proj.len(),
+                );
+                (id, rows.max(1.0), Some(pos_of(sort_col)), None)
+            } else {
+                let id = push(
+                    nodes,
+                    OperatorKind::TableScan { table: tref.table.clone(), cols: proj.clone() },
+                    vec![],
+                    rows.max(1.0),
+                    table.row_bytes() as f64,
+                    proj.len(),
+                );
+                (id, rows.max(1.0), None, None)
+            };
+
+        // Remaining filters above the leaf.
+        let rest: Vec<(usize, FilterSpec)> = tref
+            .filters
+            .iter()
+            .enumerate()
+            .filter(|(fi, _)| Some(*fi) != seek_filter)
+            .map(|(_, f)| (col_idx(f.col()), f.clone()))
+            .collect();
+        let mut root = leaf;
+        let mut est = leaf_est;
+        if !rest.is_empty() {
+            let sel = conjunct_selectivity(tstats, &rest);
+            let specs: Vec<FilterSpec> = rest.iter().map(|(_, f)| f.clone()).collect();
+            let pred = filters_to_predicate(&specs, &|name| pos_of(name));
+            est = (est * sel).max(1.0);
+            root = push(
+                nodes,
+                OperatorKind::Filter { pred },
+                vec![root],
+                est,
+                table.row_bytes() as f64,
+                proj.len(),
+            );
+        }
+
+        let mut bound: Vec<BoundCol> = needed
+            .cols
+            .iter()
+            .map(|c| BoundCol { table_idx, name: c.clone() })
+            .collect();
+
+        // Project away the filter-only suffix.
+        if needed.carry_len < needed.cols.len() {
+            let keep: Vec<usize> = (0..needed.carry_len).collect();
+            bound.truncate(needed.carry_len);
+            sorted = sorted.filter(|&s| s < needed.carry_len);
+            root = push(
+                nodes,
+                OperatorKind::Project { cols: keep },
+                vec![root],
+                est,
+                8.0 * needed.carry_len as f64,
+                needed.carry_len,
+            );
+        }
+
+        Partial { root, est, bound, sorted }
+    }
+
+    /// Join `cur` with `spec.tables[right_idx]`.
+    fn attach_join(
+        &self,
+        nodes: &mut Vec<PlanNode>,
+        cur: Partial,
+        spec: &QuerySpec,
+        join_idx: usize,
+        right_idx: usize,
+        right_needed: &Needed,
+    ) -> Result<Partial, String> {
+        let join = &spec.joins[join_idx];
+        let tref = &spec.tables[right_idx];
+        let table = self.db.table(&tref.table);
+        let tstats = self.stats.table(&tref.table);
+        let t_rows = tstats.rows as f64;
+
+        let left_pos = cur
+            .bound
+            .iter()
+            .position(|b| b.table_idx == join.left_table && b.name == join.left_col)
+            .ok_or_else(|| {
+                format!(
+                    "join {join_idx}: left column {}.{} not in scope",
+                    join.left_table, join.left_col
+                )
+            })?;
+
+        let local_filters: Vec<(usize, FilterSpec)> =
+            tref.filters.iter().map(|f| (table.col(f.col()), f.clone())).collect();
+        let local_sel =
+            if local_filters.is_empty() { 1.0 } else { conjunct_selectivity(tstats, &local_filters) };
+        let t_after = (t_rows * local_sel).max(1.0);
+
+        let left_base = &spec.tables[join.left_table].table;
+        let lcol_stats =
+            &self.stats.table(left_base).columns[self.db.table(left_base).col(&join.left_col)];
+        let rcol_stats = &tstats.columns[table.col(&join.right_col)];
+        let raw_join = join_size(cur.est, t_rows, lcol_stats, rcol_stats).max(1.0);
+        let post_join = (raw_join * local_sel).max(1.0);
+
+        // Method costs. Seeks are cheap when the inner table is small
+        // enough to stay buffer-pool resident, or when the batch sort that
+        // would be inserted localizes the references ([9]; paper §5.1).
+        let idx_on_right = self.has_index(&tref.table, &join.right_col);
+        let inner_bytes = t_rows * table.row_bytes() as f64;
+        let eff_seek_cost = if inner_bytes <= 96.0 * 1024.0 {
+            2.5
+        } else if cur.est >= self.cfg.batch_sort_min_outer {
+            self.cfg.seek_cost * 0.35
+        } else {
+            self.cfg.seek_cost
+        };
+        let cost_nlj = if idx_on_right {
+            cur.est * eff_seek_cost + post_join
+        } else {
+            f64::INFINITY
+        };
+        let cost_rescan = if tstats.rows <= self.cfg.tiny_inner_rows {
+            cur.est * t_rows * 0.5 + post_join
+        } else {
+            f64::INFINITY
+        };
+        let merge_feasible =
+            idx_on_right && cur.sorted == Some(left_pos) && local_filters.is_empty();
+        let cost_merge =
+            if merge_feasible { cur.est + t_rows + post_join } else { f64::INFINITY };
+        // Hash joins whose build side exceeds memory pay for spilling.
+        let est_build_bytes = t_after.min(cur.est) * 24.0;
+        let spill_penalty = if est_build_bytes > 24.0 * 1024.0 {
+            0.8 * (t_after + cur.est)
+        } else {
+            0.0
+        };
+        let cost_hash = t_after.min(cur.est) * self.cfg.hash_build_cost
+            + t_after.max(cur.est)
+            + post_join
+            + spill_penalty;
+        // Sort both inputs, then merge — attractive for large-large joins
+        // that would make the hash join spill.
+        let cost_sort_merge = 0.08
+            * (cur.est * (cur.est + 2.0).log2() + t_after * (t_after + 2.0).log2())
+            + cur.est
+            + t_after
+            + post_join;
+        let best = cost_nlj.min(cost_rescan).min(cost_merge).min(cost_hash).min(cost_sort_merge);
+
+        if best == cost_merge {
+            return Ok(self.build_merge_join(
+                nodes, cur, join_idx, right_idx, spec, right_needed, left_pos, t_rows, post_join,
+            ));
+        }
+        if best == cost_sort_merge {
+            return Ok(self.build_sort_merge_join(
+                nodes, cur, spec, join_idx, right_idx, right_needed, left_pos, post_join,
+            ));
+        }
+        if best == cost_nlj || best == cost_rescan {
+            return Ok(self.build_nl_join(
+                nodes,
+                cur,
+                spec,
+                join_idx,
+                right_idx,
+                right_needed,
+                left_pos,
+                raw_join,
+                post_join,
+                t_rows,
+                best == cost_nlj,
+            ));
+        }
+        Ok(self.build_hash_join(nodes, cur, spec, join_idx, right_idx, right_needed, left_pos, post_join))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_merge_join(
+        &self,
+        nodes: &mut Vec<PlanNode>,
+        cur: Partial,
+        join_idx: usize,
+        right_idx: usize,
+        spec: &QuerySpec,
+        right_needed: &Needed,
+        left_pos: usize,
+        t_rows: f64,
+        post_join: f64,
+    ) -> Partial {
+        let join = &spec.joins[join_idx];
+        let tref = &spec.tables[right_idx];
+        let table = self.db.table(&tref.table);
+        // No local filters by feasibility; carry columns only.
+        let carry = &right_needed.cols[..right_needed.carry_len];
+        let key = table.col(&join.right_col);
+        let proj: Vec<usize> = carry.iter().map(|c| table.col(c)).collect();
+        let right = push(
+            nodes,
+            OperatorKind::IndexScan { table: tref.table.clone(), key_col: key, cols: proj },
+            vec![],
+            t_rows.max(1.0),
+            table.row_bytes() as f64,
+            carry.len(),
+        );
+        let right_key =
+            carry.iter().position(|c| c == &join.right_col).expect("join col projected");
+        let out_cols = cur.bound.len() + carry.len();
+        let root = push(
+            nodes,
+            OperatorKind::MergeJoin { left_key: left_pos, right_key },
+            vec![cur.root, right],
+            post_join,
+            8.0 * out_cols as f64,
+            out_cols,
+        );
+        let mut bound = cur.bound;
+        bound.extend(carry.iter().map(|c| BoundCol { table_idx: right_idx, name: c.clone() }));
+        Partial { root, est: post_join, bound, sorted: Some(left_pos) }
+    }
+
+    /// Sort both inputs on the join key, then merge-join them.
+    #[allow(clippy::too_many_arguments)]
+    fn build_sort_merge_join(
+        &self,
+        nodes: &mut Vec<PlanNode>,
+        cur: Partial,
+        spec: &QuerySpec,
+        join_idx: usize,
+        right_idx: usize,
+        right_needed: &Needed,
+        left_pos: usize,
+        post_join: f64,
+    ) -> Partial {
+        let join = &spec.joins[join_idx];
+        let tref = &spec.tables[right_idx];
+        // Left input sorted on the join column (unless already sorted).
+        let left_sorted = if cur.sorted == Some(left_pos) {
+            cur.root
+        } else {
+            push(
+                nodes,
+                OperatorKind::Sort { key_cols: vec![left_pos] },
+                vec![cur.root],
+                cur.est,
+                8.0 * cur.bound.len() as f64,
+                cur.bound.len(),
+            )
+        };
+        // Right input: access path, then sort on its join column.
+        let right_sub = self.access_path(nodes, right_idx, tref, right_needed, None);
+        let right_key = right_sub
+            .bound
+            .iter()
+            .position(|b| b.name == join.right_col)
+            .expect("join col projected");
+        let right_sorted = if right_sub.sorted == Some(right_key) {
+            right_sub.root
+        } else {
+            push(
+                nodes,
+                OperatorKind::Sort { key_cols: vec![right_key] },
+                vec![right_sub.root],
+                right_sub.est,
+                8.0 * right_sub.bound.len() as f64,
+                right_sub.bound.len(),
+            )
+        };
+        let out_cols = cur.bound.len() + right_sub.bound.len();
+        let root = push(
+            nodes,
+            OperatorKind::MergeJoin { left_key: left_pos, right_key },
+            vec![left_sorted, right_sorted],
+            post_join,
+            8.0 * out_cols as f64,
+            out_cols,
+        );
+        let mut bound = cur.bound;
+        bound.extend(right_sub.bound);
+        Partial { root, est: post_join, bound, sorted: Some(left_pos) }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_nl_join(
+        &self,
+        nodes: &mut Vec<PlanNode>,
+        cur: Partial,
+        spec: &QuerySpec,
+        join_idx: usize,
+        right_idx: usize,
+        right_needed: &Needed,
+        left_pos: usize,
+        raw_join: f64,
+        post_join: f64,
+        t_rows: f64,
+        use_seek: bool,
+    ) -> Partial {
+        let join = &spec.joins[join_idx];
+        let tref = &spec.tables[right_idx];
+        let table = self.db.table(&tref.table);
+
+        // Maybe batch-sort the outer to localize inner references.
+        let mut outer_root = cur.root;
+        let mut outer_sorted = cur.sorted;
+        if use_seek && cur.est >= self.cfg.batch_sort_min_outer && cur.sorted != Some(left_pos) {
+            let batch = (cur.est / 3.0).clamp(64.0, 4096.0) as usize;
+            outer_root = push(
+                nodes,
+                OperatorKind::BatchSort { key_col: left_pos, batch },
+                vec![outer_root],
+                cur.est,
+                8.0 * cur.bound.len() as f64,
+                cur.bound.len(),
+            );
+            outer_sorted = None; // sorted only within batches
+        }
+
+        let proj: Vec<usize> = right_needed.cols.iter().map(|c| table.col(c)).collect();
+        let pos_of = |name: &str| -> usize {
+            right_needed.cols.iter().position(|c| c == name).expect("needed column missing")
+        };
+        let mut inner = if use_seek {
+            push(
+                nodes,
+                OperatorKind::IndexSeek {
+                    table: tref.table.clone(),
+                    key_col: table.col(&join.right_col),
+                    cols: proj,
+                    seek: SeekKind::BoundParam,
+                },
+                vec![],
+                raw_join, // total GetNext calls over all rebinds
+                table.row_bytes() as f64,
+                right_needed.cols.len(),
+            )
+        } else {
+            let scan = push(
+                nodes,
+                OperatorKind::TableScan { table: tref.table.clone(), cols: proj },
+                vec![],
+                (cur.est * t_rows).max(1.0),
+                table.row_bytes() as f64,
+                right_needed.cols.len(),
+            );
+            push(
+                nodes,
+                OperatorKind::Filter {
+                    pred: Predicate::BoundCmp { col: pos_of(&join.right_col), op: CmpOp::Eq },
+                },
+                vec![scan],
+                raw_join,
+                table.row_bytes() as f64,
+                right_needed.cols.len(),
+            )
+        };
+        if !tref.filters.is_empty() {
+            let pred = filters_to_predicate(&tref.filters, &|name| pos_of(name));
+            inner = push(
+                nodes,
+                OperatorKind::Filter { pred },
+                vec![inner],
+                post_join,
+                table.row_bytes() as f64,
+                right_needed.cols.len(),
+            );
+        }
+        // Project the inner down to carry columns before the join output.
+        if right_needed.carry_len < right_needed.cols.len() {
+            inner = push(
+                nodes,
+                OperatorKind::Project { cols: (0..right_needed.carry_len).collect() },
+                vec![inner],
+                post_join,
+                8.0 * right_needed.carry_len as f64,
+                right_needed.carry_len,
+            );
+        }
+        let carry = &right_needed.cols[..right_needed.carry_len];
+        let out_cols = cur.bound.len() + carry.len();
+        let root = push(
+            nodes,
+            OperatorKind::NestedLoopJoin { outer_key: left_pos },
+            vec![outer_root, inner],
+            post_join,
+            8.0 * out_cols as f64,
+            out_cols,
+        );
+        let mut bound = cur.bound;
+        bound.extend(carry.iter().map(|c| BoundCol { table_idx: right_idx, name: c.clone() }));
+        Partial { root, est: post_join, bound, sorted: outer_sorted }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_hash_join(
+        &self,
+        nodes: &mut Vec<PlanNode>,
+        cur: Partial,
+        spec: &QuerySpec,
+        join_idx: usize,
+        right_idx: usize,
+        right_needed: &Needed,
+        left_pos: usize,
+        post_join: f64,
+    ) -> Partial {
+        let join = &spec.joins[join_idx];
+        let tref = &spec.tables[right_idx];
+        let right_sub = self.access_path(nodes, right_idx, tref, right_needed, None);
+        let right_key = right_sub
+            .bound
+            .iter()
+            .position(|b| b.name == join.right_col)
+            .expect("join col projected");
+        // Build the smaller estimated side.
+        let (probe, build, probe_key, build_key, probe_bound, build_bound, probe_sorted) =
+            if right_sub.est <= cur.est {
+                (cur.root, right_sub.root, left_pos, right_key, cur.bound, right_sub.bound, cur.sorted)
+            } else {
+                (right_sub.root, cur.root, right_key, left_pos, right_sub.bound, cur.bound, right_sub.sorted)
+            };
+        let out_cols = probe_bound.len() + build_bound.len();
+        let root = push(
+            nodes,
+            OperatorKind::HashJoin { probe_key, build_key },
+            vec![probe, build],
+            post_join,
+            8.0 * out_cols as f64,
+            out_cols,
+        );
+        let mut bound = probe_bound;
+        bound.extend(build_bound);
+        Partial { root, est: post_join, bound, sorted: probe_sorted }
+    }
+
+    /// Insert a projection dropping columns not used by joins after
+    /// `next_join`, aggregation, or ordering.
+    fn project_dead_columns(
+        &self,
+        nodes: &mut Vec<PlanNode>,
+        cur: Partial,
+        spec: &QuerySpec,
+        next_join: usize,
+    ) -> Partial {
+        let live = |b: &BoundCol| -> bool {
+            for j in spec.joins.iter().skip(next_join) {
+                if j.left_table == b.table_idx && j.left_col == b.name {
+                    return true;
+                }
+            }
+            if let Some(agg) = &spec.aggregate {
+                for (t, c) in &agg.group_cols {
+                    if *t == b.table_idx && c == &b.name {
+                        return true;
+                    }
+                }
+                for a in &agg.aggs {
+                    match a {
+                        AggKind::Count => {}
+                        AggKind::Sum { table, col }
+                        | AggKind::Min { table, col }
+                        | AggKind::Max { table, col } => {
+                            if *table == b.table_idx && col == &b.name {
+                                return true;
+                            }
+                        }
+                    }
+                }
+                return false; // aggregation consumes everything else
+            }
+            if let Some(OrderTarget::Column { table, col }) = &spec.order_by {
+                if *table == b.table_idx && col == &b.name {
+                    return true;
+                }
+            }
+            // Without aggregation every column is in the SELECT list.
+            true
+        };
+        let keep: Vec<usize> = (0..cur.bound.len()).filter(|&i| live(&cur.bound[i])).collect();
+        if keep.is_empty() || cur.bound.len() - keep.len() < 2 {
+            return cur;
+        }
+        let bound: Vec<BoundCol> = keep.iter().map(|&i| cur.bound[i].clone()).collect();
+        let sorted = cur.sorted.and_then(|s| keep.iter().position(|&i| i == s));
+        let root = push(
+            nodes,
+            OperatorKind::Project { cols: keep.clone() },
+            vec![cur.root],
+            cur.est,
+            8.0 * keep.len() as f64,
+            keep.len(),
+        );
+        Partial { root, est: cur.est, bound, sorted }
+    }
+
+    fn attach_aggregate(
+        &self,
+        nodes: &mut Vec<PlanNode>,
+        cur: Partial,
+        spec: &QuerySpec,
+        agg: &AggSpec,
+    ) -> Result<Partial, String> {
+        let find = |t: usize, c: &str| -> Result<usize, String> {
+            cur.bound
+                .iter()
+                .position(|b| b.table_idx == t && b.name == c)
+                .ok_or_else(|| format!("aggregate column {t}.{c} not in scope"))
+        };
+        let group_pos: Vec<usize> = agg
+            .group_cols
+            .iter()
+            .map(|(t, c)| find(*t, c))
+            .collect::<Result<_, String>>()?;
+        let aggs: Vec<AggFunc> = agg
+            .aggs
+            .iter()
+            .map(|a| {
+                Ok(match a {
+                    AggKind::Count => AggFunc::Count,
+                    AggKind::Sum { table, col } => AggFunc::Sum { col: find(*table, col)? },
+                    AggKind::Min { table, col } => AggFunc::Min { col: find(*table, col)? },
+                    AggKind::Max { table, col } => AggFunc::Max { col: find(*table, col)? },
+                })
+            })
+            .collect::<Result<_, String>>()?;
+
+        let group_stats: Vec<&crate::stats::ColumnStats> = agg
+            .group_cols
+            .iter()
+            .map(|(t, c)| {
+                let base = &spec.tables[*t].table;
+                &self.stats.table(base).columns[self.db.table(base).col(c)]
+            })
+            .collect();
+        let est = group_count(cur.est, &group_stats);
+        let out_cols = group_pos.len() + aggs.len();
+        let streaming =
+            group_pos.len() == 1 && cur.sorted.is_some() && cur.sorted == group_pos.first().copied();
+        let op = if streaming {
+            OperatorKind::StreamAggregate { group_cols: group_pos.clone(), aggs }
+        } else {
+            OperatorKind::HashAggregate { group_cols: group_pos.clone(), aggs }
+        };
+        let mut root = push(nodes, op, vec![cur.root], est, 8.0 * out_cols as f64, out_cols);
+        let mut bound: Vec<BoundCol> = agg
+            .group_cols
+            .iter()
+            .map(|(t, c)| BoundCol { table_idx: *t, name: c.clone() })
+            .collect();
+        for i in 0..agg.aggs.len() {
+            bound.push(BoundCol::agg(i));
+        }
+        let mut est_out = est;
+        if let Some((op_cmp, val)) = &agg.having {
+            // Real optimizers guess a fixed selectivity for HAVING.
+            est_out = (est * 0.33).max(1.0);
+            root = push(
+                nodes,
+                OperatorKind::Filter {
+                    pred: Predicate::ColCmp { col: group_pos.len(), op: *op_cmp, val: *val },
+                },
+                vec![root],
+                est_out,
+                8.0 * out_cols as f64,
+                out_cols,
+            );
+        }
+        let sorted = if streaming { Some(0) } else { None };
+        Ok(Partial { root, est: est_out, bound, sorted })
+    }
+
+    fn attach_order(
+        &self,
+        nodes: &mut Vec<PlanNode>,
+        cur: Partial,
+        spec: &QuerySpec,
+        order: &OrderTarget,
+    ) -> Result<Partial, String> {
+        let pos = match order {
+            OrderTarget::Column { table, col } => cur
+                .bound
+                .iter()
+                .position(|b| b.table_idx == *table && &b.name == col)
+                .ok_or_else(|| format!("order column {table}.{col} not in scope"))?,
+            OrderTarget::AggResult { idx } => {
+                let agg = spec.aggregate.as_ref().expect("validated");
+                agg.group_cols.len() + idx
+            }
+        };
+        if cur.sorted == Some(pos) {
+            return Ok(cur);
+        }
+        let out_cols = cur.bound.len();
+        let root = push(
+            nodes,
+            OperatorKind::Sort { key_cols: vec![pos] },
+            vec![cur.root],
+            cur.est,
+            8.0 * out_cols as f64,
+            out_cols,
+        );
+        Ok(Partial { root, est: cur.est, bound: cur.bound, sorted: Some(pos) })
+    }
+}
+
+/// Lower filter specs to a conjunctive [`Predicate`] over projected
+/// positions.
+fn filters_to_predicate(filters: &[FilterSpec], pos: &dyn Fn(&str) -> usize) -> Predicate {
+    let mut preds: Vec<Predicate> = filters
+        .iter()
+        .map(|f| match f {
+            FilterSpec::Cmp { col, op, val } => {
+                Predicate::ColCmp { col: pos(col), op: *op, val: *val }
+            }
+            FilterSpec::Range { col, lo, hi } => {
+                Predicate::ColRange { col: pos(col), lo: *lo, hi: *hi }
+            }
+        })
+        .collect();
+    let mut acc = preds.pop().expect("at least one filter");
+    while let Some(p) = preds.pop() {
+        acc = Predicate::And(Box::new(p), Box::new(acc));
+    }
+    acc
+}
+
+/// Append a node, returning its id.
+fn push(
+    nodes: &mut Vec<PlanNode>,
+    op: OperatorKind,
+    children: Vec<NodeId>,
+    est_rows: f64,
+    est_row_bytes: f64,
+    out_cols: usize,
+) -> NodeId {
+    let id = nodes.len();
+    nodes.push(PlanNode { op, children, est_rows, est_row_bytes, out_cols });
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{JoinSpec, TableRef};
+    use prosel_datagen::tpch::{generate, TpchConfig};
+    use prosel_datagen::TuningLevel;
+
+    fn setup() -> (prosel_datagen::Database, DbStats) {
+        let db = generate(&TpchConfig { scale: 0.3, skew: 1.0, seed: 11 });
+        let stats = DbStats::build(&db);
+        (db, stats)
+    }
+
+    #[test]
+    fn single_table_scan_plan() {
+        let (db, stats) = setup();
+        let design = PhysicalDesign::derive(&db, TuningLevel::Untuned);
+        let b = PlanBuilder::new(&db, &stats, &design);
+        let spec = QuerySpec::single(TableRef::new("lineitem").with_filter(FilterSpec::Range {
+            col: "l_shipdate".into(),
+            lo: 100,
+            hi: 500,
+        }));
+        let plan = b.build(&spec).unwrap();
+        assert!(plan.validate().is_ok());
+        // Untuned: table scan + filter (+ maybe project).
+        assert!(matches!(plan.node(0).op, OperatorKind::TableScan { .. }));
+        assert!(plan.nodes.iter().any(|n| matches!(n.op, OperatorKind::Filter { .. })));
+    }
+
+    #[test]
+    fn tuned_design_uses_index_seek_access() {
+        let (db, stats) = setup();
+        let design = PhysicalDesign::derive(&db, TuningLevel::FullyTuned);
+        let b = PlanBuilder::new(&db, &stats, &design);
+        let spec = QuerySpec::single(TableRef::new("lineitem").with_filter(FilterSpec::Range {
+            col: "l_shipdate".into(),
+            lo: 100,
+            hi: 200,
+        }));
+        let plan = b.build(&spec).unwrap();
+        assert!(
+            plan.nodes.iter().any(|n| matches!(n.op, OperatorKind::IndexSeek { .. })),
+            "expected a seek access path:\n{}",
+            plan.render()
+        );
+    }
+
+    #[test]
+    fn untuned_join_is_hash_join() {
+        let (db, stats) = setup();
+        let design = PhysicalDesign::derive(&db, TuningLevel::Untuned);
+        let b = PlanBuilder::new(&db, &stats, &design);
+        let spec = QuerySpec {
+            tables: vec![TableRef::new("orders"), TableRef::new("lineitem")],
+            joins: vec![JoinSpec {
+                left_table: 0,
+                left_col: "o_orderkey".into(),
+                right_col: "l_orderkey".into(),
+            }],
+            aggregate: None,
+            order_by: None,
+            top: None,
+        };
+        let plan = b.build(&spec).unwrap();
+        assert!(
+            plan.nodes.iter().any(|n| matches!(n.op, OperatorKind::HashJoin { .. })),
+            "expected hash join:\n{}",
+            plan.render()
+        );
+    }
+
+    #[test]
+    fn tuned_selective_outer_uses_nlj_with_seek() {
+        let (db, stats) = setup();
+        let design = PhysicalDesign::derive(&db, TuningLevel::FullyTuned);
+        let b = PlanBuilder::new(&db, &stats, &design);
+        // Small filtered orders side drives a seek into lineitem.
+        let spec = QuerySpec {
+            tables: vec![
+                TableRef::new("orders").with_filter(FilterSpec::Range {
+                    col: "o_orderdate".into(),
+                    lo: 0,
+                    hi: 60,
+                }),
+                TableRef::new("lineitem"),
+            ],
+            joins: vec![JoinSpec {
+                left_table: 0,
+                left_col: "o_orderkey".into(),
+                right_col: "l_orderkey".into(),
+            }],
+            aggregate: None,
+            order_by: None,
+            top: None,
+        };
+        let plan = b.build(&spec).unwrap();
+        assert!(
+            plan.nodes.iter().any(|n| matches!(n.op, OperatorKind::NestedLoopJoin { .. })),
+            "expected nested loop:\n{}",
+            plan.render()
+        );
+        assert!(plan
+            .nodes
+            .iter()
+            .any(|n| matches!(n.op, OperatorKind::IndexSeek { seek: SeekKind::BoundParam, .. })));
+    }
+
+    #[test]
+    fn aggregate_and_order_compose() {
+        let (db, stats) = setup();
+        let design = PhysicalDesign::derive(&db, TuningLevel::Untuned);
+        let b = PlanBuilder::new(&db, &stats, &design);
+        let spec = QuerySpec {
+            tables: vec![TableRef::new("lineitem")],
+            joins: vec![],
+            aggregate: Some(AggSpec {
+                group_cols: vec![(0, "l_returnflag".into())],
+                aggs: vec![AggKind::Count, AggKind::Sum { table: 0, col: "l_quantity".into() }],
+                having: None,
+            }),
+            order_by: Some(OrderTarget::AggResult { idx: 0 }),
+            top: Some(5),
+        };
+        let plan = b.build(&spec).unwrap();
+        let kinds: Vec<&str> = plan.nodes.iter().map(|n| n.op.name()).collect();
+        assert!(kinds.contains(&"HashAggregate"));
+        assert!(kinds.contains(&"Sort"));
+        assert!(kinds.contains(&"Top"));
+    }
+
+    #[test]
+    fn estimates_are_positive_and_finite() {
+        let (db, stats) = setup();
+        for level in TuningLevel::ALL {
+            let design = PhysicalDesign::derive(&db, level);
+            let b = PlanBuilder::new(&db, &stats, &design);
+            let spec = QuerySpec {
+                tables: vec![
+                    TableRef::new("customer").with_filter(FilterSpec::Cmp {
+                        col: "c_mktsegment".into(),
+                        op: CmpOp::Eq,
+                        val: 1,
+                    }),
+                    TableRef::new("orders"),
+                    TableRef::new("lineitem"),
+                ],
+                joins: vec![
+                    JoinSpec {
+                        left_table: 0,
+                        left_col: "c_custkey".into(),
+                        right_col: "o_custkey".into(),
+                    },
+                    JoinSpec {
+                        left_table: 1,
+                        left_col: "o_orderkey".into(),
+                        right_col: "l_orderkey".into(),
+                    },
+                ],
+                aggregate: Some(AggSpec {
+                    group_cols: vec![(1, "o_orderdate".into())],
+                    aggs: vec![AggKind::Sum { table: 2, col: "l_extendedprice".into() }],
+                    having: None,
+                }),
+                order_by: None,
+                top: None,
+            };
+            let plan = b.build(&spec).unwrap();
+            for n in &plan.nodes {
+                assert!(n.est_rows.is_finite() && n.est_rows >= 0.0);
+            }
+        }
+    }
+}

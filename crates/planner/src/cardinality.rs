@@ -1,0 +1,147 @@
+//! Cardinality estimation (the E_i oracle with realistic errors).
+//!
+//! Standard System-R style estimation: histogram lookups for single-column
+//! predicates, attribute independence for conjunctions, NDV containment
+//! for equi-joins, and distinct-count capping for aggregations. With
+//! skewed and correlated data these assumptions misestimate in exactly the
+//! ways the paper's Section 4.4.1 identifies as the factor that hurts TGN.
+
+use crate::query::FilterSpec;
+use crate::stats::{ColumnStats, TableStats};
+use prosel_engine::CmpOp;
+
+/// Selectivity of one filter against a column's statistics.
+pub fn filter_selectivity(stats: &TableStats, col: usize, filter: &FilterSpec) -> f64 {
+    let rows = stats.rows as f64;
+    if rows <= 0.0 {
+        return 0.0;
+    }
+    let cs = &stats.columns[col];
+    let est_rows = match *filter {
+        FilterSpec::Cmp { op, val, .. } => match op {
+            CmpOp::Eq => cs.histogram.estimate_eq(val),
+            CmpOp::Ne => rows - cs.histogram.estimate_eq(val),
+            CmpOp::Lt => cs.histogram.estimate_range(cs.min, val.saturating_sub(1)),
+            CmpOp::Le => cs.histogram.estimate_range(cs.min, val),
+            CmpOp::Gt => cs.histogram.estimate_range(val.saturating_add(1), cs.max),
+            CmpOp::Ge => cs.histogram.estimate_range(val, cs.max),
+        },
+        FilterSpec::Range { lo, hi, .. } => cs.histogram.estimate_range(lo, hi),
+    };
+    (est_rows / rows).clamp(0.0, 1.0)
+}
+
+/// Combined selectivity of several filters on one table under the
+/// attribute-independence assumption.
+pub fn conjunct_selectivity(
+    stats: &TableStats,
+    filters: &[(usize, FilterSpec)],
+) -> f64 {
+    filters
+        .iter()
+        .map(|(col, f)| filter_selectivity(stats, *col, f))
+        .product()
+}
+
+/// Equi-join size estimate under the containment assumption:
+/// `|L ⋈ R| = |L|·|R| / max(ndv_L, ndv_R)`.
+///
+/// NDVs come from *base-table* statistics — filters are assumed not to
+/// change the value distribution (independence again), a second classic
+/// error source.
+pub fn join_size(left_rows: f64, right_rows: f64, left_col: &ColumnStats, right_col: &ColumnStats) -> f64 {
+    let ndv = left_col.ndv.max(right_col.ndv).max(1.0);
+    (left_rows * right_rows / ndv).max(0.0)
+}
+
+/// Estimated number of groups for a grouping over `cols`' statistics with
+/// `input_rows` input rows: product of NDVs, capped by the input size
+/// (and damped like real optimizers to avoid absurd products).
+pub fn group_count(input_rows: f64, group_col_stats: &[&ColumnStats]) -> f64 {
+    if input_rows <= 0.0 {
+        return 0.0;
+    }
+    let mut ndv_product: f64 = 1.0;
+    for cs in group_col_stats {
+        ndv_product *= cs.ndv.max(1.0);
+    }
+    // Cap: cannot exceed input rows; damp products of multiple columns.
+    if group_col_stats.len() > 1 {
+        ndv_product = ndv_product.powf(0.8);
+    }
+    ndv_product.min(input_rows).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TableStats;
+    use prosel_datagen::schema::{ColumnMeta, ColumnRole, TableMeta};
+    use prosel_datagen::{Column, Table};
+
+    fn table_with(col: Vec<i64>) -> TableStats {
+        let meta = TableMeta::new(
+            "t",
+            64,
+            vec![ColumnMeta::new("c", ColumnRole::Value { min: 0, max: 1000 })],
+        );
+        let t = Table::new(meta, vec![Column { name: "c".into(), data: col }]);
+        TableStats::build(&t)
+    }
+
+    #[test]
+    fn eq_selectivity_uniform() {
+        let stats = table_with((0..1000).map(|i| i % 10).collect());
+        let sel = filter_selectivity(
+            &stats,
+            0,
+            &FilterSpec::Cmp { col: "c".into(), op: CmpOp::Eq, val: 3 },
+        );
+        assert!((sel - 0.1).abs() < 0.05, "sel {sel}");
+    }
+
+    #[test]
+    fn range_selectivity() {
+        let stats = table_with((0..1000).collect());
+        let sel = filter_selectivity(
+            &stats,
+            0,
+            &FilterSpec::Range { col: "c".into(), lo: 0, hi: 249 },
+        );
+        assert!((sel - 0.25).abs() < 0.1, "sel {sel}");
+        let gt = filter_selectivity(
+            &stats,
+            0,
+            &FilterSpec::Cmp { col: "c".into(), op: CmpOp::Gt, val: 499 },
+        );
+        assert!((gt - 0.5).abs() < 0.1, "gt {gt}");
+    }
+
+    #[test]
+    fn independence_multiplies() {
+        let stats = table_with((0..1000).collect());
+        let f1 = (0usize, FilterSpec::Range { col: "c".into(), lo: 0, hi: 499 });
+        let f2 = (0usize, FilterSpec::Range { col: "c".into(), lo: 250, hi: 749 });
+        let sel = conjunct_selectivity(&stats, &[f1, f2]);
+        // Independence says 0.25; truth is 0.25 here but the point is the product.
+        assert!((sel - 0.25).abs() < 0.1, "sel {sel}");
+    }
+
+    #[test]
+    fn join_size_containment() {
+        let l = table_with((0..1000).map(|i| i % 100).collect());
+        let r = table_with((0..100).collect());
+        let est = join_size(1000.0, 100.0, &l.columns[0], &r.columns[0]);
+        // ndv = 100 on both sides => 1000*100/100 = 1000.
+        assert!((est - 1000.0).abs() / 1000.0 < 0.3, "est {est}");
+    }
+
+    #[test]
+    fn group_count_capped() {
+        let s = table_with((0..1000).collect());
+        let g = group_count(50.0, &[&s.columns[0]]);
+        assert!(g <= 50.0);
+        let g2 = group_count(1e9, &[&s.columns[0]]);
+        assert!(g2 <= s.columns[0].ndv * 1.01);
+    }
+}

@@ -1,0 +1,96 @@
+//! Substrate smoke test: every workload's queries must plan and execute.
+
+use prosel_engine::{run_plan, Catalog, ExecConfig, OperatorKind};
+use prosel_planner::workload::{materialize, WorkloadKind, WorkloadSpec};
+use prosel_planner::PlanBuilder;
+
+fn run_workload(kind: WorkloadKind) -> (usize, Vec<&'static str>) {
+    let spec = WorkloadSpec::new(kind, 42).with_queries(25).with_scale(0.6);
+    let w = materialize(&spec);
+    let catalog = Catalog::new(&w.db, &w.design);
+    let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
+    let cfg = ExecConfig::default();
+    let mut ops = Vec::new();
+    let mut pipelines = 0usize;
+    for (qi, q) in w.queries.iter().enumerate() {
+        let plan = builder
+            .build(q)
+            .unwrap_or_else(|e| panic!("{kind:?} query {qi} failed to plan: {e}\n{q:?}"));
+        let run = run_plan(&catalog, &plan, &ExecConfig { seed: qi as u64, ..cfg.clone() });
+        assert!(run.trace.total_time > 0.0, "{kind:?} query {qi} did no work");
+        assert!(!run.trace.snapshots.is_empty());
+        pipelines += run.pipelines.len();
+        for n in &plan.nodes {
+            ops.push(n.op.name());
+        }
+        // True totals must be consistent with the last snapshot.
+        let last = run.trace.snapshots.last().unwrap();
+        assert_eq!(last.k.as_ref(), run.trace.final_k.as_slice());
+    }
+    (pipelines, ops)
+}
+
+#[test]
+fn tpch_workload_end_to_end() {
+    let (pipelines, ops) = run_workload(WorkloadKind::TpchLike);
+    assert!(pipelines >= 25, "each query has at least one pipeline");
+    // The operator mix must include the interesting operators.
+    for needed in ["HashJoin", "Filter", "TableScan"] {
+        assert!(ops.contains(&needed), "missing {needed} in tpch plans");
+    }
+}
+
+#[test]
+fn tpcds_workload_end_to_end() {
+    let (_p, ops) = run_workload(WorkloadKind::TpcdsLike);
+    assert!(ops.contains(&"HashAggregate") || ops.contains(&"StreamAggregate"));
+}
+
+#[test]
+fn real1_workload_end_to_end() {
+    let (_p, ops) = run_workload(WorkloadKind::Real1);
+    assert!(ops.iter().filter(|&&o| o == "NestedLoopJoin" || o == "HashJoin").count() > 10);
+}
+
+#[test]
+fn real2_workload_end_to_end() {
+    let (_p, ops) = run_workload(WorkloadKind::Real2);
+    let joins = ops
+        .iter()
+        .filter(|&&o| o == "NestedLoopJoin" || o == "HashJoin" || o == "MergeJoin")
+        .count();
+    assert!(joins >= 100, "real2 should be join-heavy, saw {joins}");
+}
+
+#[test]
+fn tuned_designs_shift_operator_mix() {
+    use prosel_datagen::TuningLevel;
+    let mix = |tuning: TuningLevel| -> (usize, usize) {
+        let spec = WorkloadSpec::new(WorkloadKind::TpchLike, 42)
+            .with_queries(40)
+            .with_scale(0.6)
+            .with_tuning(tuning);
+        let w = materialize(&spec);
+        let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
+        let mut seeks = 0;
+        let mut nlj = 0;
+        for q in &w.queries {
+            let plan = builder.build(q).expect("plan");
+            for n in &plan.nodes {
+                match n.op {
+                    OperatorKind::IndexSeek { .. } => seeks += 1,
+                    OperatorKind::NestedLoopJoin { .. } => nlj += 1,
+                    _ => {}
+                }
+            }
+        }
+        (seeks, nlj)
+    };
+    let (seek_u, _nlj_u) = mix(TuningLevel::Untuned);
+    let (seek_f, nlj_f) = mix(TuningLevel::FullyTuned);
+    assert!(
+        seek_f > seek_u,
+        "tuning should add index seeks: untuned {seek_u}, full {seek_f}"
+    );
+    assert!(nlj_f > 0, "fully tuned should use nested loops");
+}

@@ -1,0 +1,62 @@
+//! Ad-hoc generalization: train the selector on three workload families
+//! and evaluate it on a fourth it has never seen (different schema,
+//! different database, different query templates) — the paper's core
+//! robustness claim (Section 6.2).
+//!
+//! ```text
+//! cargo run --example adhoc_selection --release
+//! ```
+
+use prosel::core::pipeline_runs::collect_workload_records;
+use prosel::core::selection::{EstimatorSelector, SelectorConfig};
+use prosel::core::training::{FeatureMode, TrainingSet};
+use prosel::estimators::EstimatorKind;
+use prosel::planner::workload::{WorkloadKind, WorkloadSpec};
+
+fn main() {
+    let train_specs = [
+        WorkloadSpec::new(WorkloadKind::TpchLike, 11).with_queries(150),
+        WorkloadSpec::new(WorkloadKind::TpcdsLike, 12).with_queries(100),
+        WorkloadSpec::new(WorkloadKind::Real2, 14).with_queries(100),
+    ];
+    let test_spec = WorkloadSpec::new(WorkloadKind::Real1, 13).with_queries(120);
+
+    let mut train_records = Vec::new();
+    for s in &train_specs {
+        println!("collecting {} ...", s.label());
+        train_records.extend(collect_workload_records(s).expect("collect"));
+    }
+    println!("collecting TEST workload {} (never seen in training)", test_spec.label());
+    let test_records = collect_workload_records(&test_spec).expect("collect");
+
+    let train = TrainingSet::from_records(&train_records);
+    let test = TrainingSet::from_records(&test_records);
+    println!("\ntrain: {} pipelines | test: {} pipelines", train.len(), test.len());
+
+    // Baselines: each estimator used exclusively on the test workload.
+    println!("\nfixed-estimator baselines on the unseen workload:");
+    for k in EstimatorKind::EXTENDED {
+        println!("  always-{:<9} L1 {:.4}", k.name(), test.mean_l1(k));
+    }
+    println!("  oracle selection  L1 {:.4} (lower bound)", test.oracle_l1(&EstimatorKind::EXTENDED));
+
+    for mode in [FeatureMode::Static, FeatureMode::StaticDynamic] {
+        let cfg = SelectorConfig::default().with_mode(mode);
+        let selector = EstimatorSelector::train(&train, &cfg);
+        let report = selector.evaluate(&test);
+        println!(
+            "\nestimator selection ({} features):\n  \
+             chosen L1 {:.4} | optimal on {:.1}% of pipelines | \
+             error ratio >2x on {:.1}%, >5x on {:.1}%",
+            mode.name(),
+            report.chosen_l1,
+            report.pct_optimal * 100.0,
+            report.ratio_over_2x * 100.0,
+            report.ratio_over_5x * 100.0,
+        );
+    }
+    println!(
+        "\nthe paper's claim: selection stays accurate on workloads it never saw,\n\
+         beating every fixed estimator — the features generalize, not the queries."
+    );
+}

@@ -1,0 +1,60 @@
+//! Quickstart: train an estimator selector and monitor a query with it.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use prosel::core::pipeline_runs::collect_workload_records;
+use prosel::core::progress::ProgressMonitor;
+use prosel::core::selection::{EstimatorSelector, SelectorConfig};
+use prosel::core::training::TrainingSet;
+use prosel::engine::{run_plan, Catalog, ExecConfig};
+use prosel::planner::workload::{materialize, WorkloadKind, WorkloadSpec};
+use prosel::planner::PlanBuilder;
+
+fn main() {
+    // 1. Build a TPC-H-shaped database + workload and execute it, gathering
+    //    one labelled record per pipeline (features + per-estimator errors).
+    let spec = WorkloadSpec::new(WorkloadKind::TpchLike, 0x5eed).with_queries(120);
+    println!("collecting training data from {} ...", spec.label());
+    let records = collect_workload_records(&spec).expect("workload runs");
+    println!("  {} pipeline records", records.len());
+
+    // 2. Train the selector: one MART error model per candidate estimator.
+    let train = TrainingSet::from_records(&records);
+    let selector = EstimatorSelector::train(&train, &SelectorConfig::default());
+    println!("selector trained ({} candidates)", selector.config().candidates.len());
+
+    // 3. Use it on a fresh query (different template parameters).
+    let fresh = WorkloadSpec::new(WorkloadKind::TpchLike, 0xD1FF).with_queries(3);
+    let w = materialize(&fresh);
+    let catalog = Catalog::new(&w.db, &w.design);
+    let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
+    let plan = builder.build(&w.queries[0]).expect("plan");
+    println!("\nfresh query plan:\n{}", plan.render());
+
+    let run = run_plan(&catalog, &plan, &ExecConfig::default());
+    let monitor = ProgressMonitor::new(&selector);
+    let (points, choices) = monitor.monitor(&run);
+
+    println!("per-pipeline estimator choices:");
+    for c in &choices {
+        println!(
+            "  pipeline {}: start with {}, revised to {} at the 20% marker",
+            c.pipeline_id,
+            c.initial.name(),
+            c.revised.name()
+        );
+    }
+
+    println!("\nprogress report (true vs estimated):");
+    let step = (points.len() / 12).max(1);
+    for p in points.iter().step_by(step) {
+        let bar = "#".repeat((p.estimate * 30.0) as usize);
+        println!("  t={:9.0}  true {:5.1}%  est {:5.1}%  {bar}", p.time, p.truth * 100.0, p.estimate * 100.0);
+    }
+    println!(
+        "\nmean |estimate - truth| over the run: {:.4}",
+        ProgressMonitor::l1_of_points(&points)
+    );
+}

@@ -1,0 +1,85 @@
+//! Monitor the progress of a SQL query end to end: parse SQL text, plan
+//! it, execute it, and report live progress with a trained selector.
+//!
+//! ```text
+//! cargo run --example sql_progress --release
+//! cargo run --example sql_progress --release -- \
+//!   "SELECT o_orderpriority, COUNT(*) FROM orders, lineitem \
+//!    WHERE o_orderkey = l_orderkey AND o_orderdate BETWEEN 100 AND 600 \
+//!    GROUP BY o_orderpriority"
+//! ```
+
+use prosel::core::pipeline_runs::collect_workload_records;
+use prosel::core::progress::ProgressMonitor;
+use prosel::core::selection::{EstimatorSelector, SelectorConfig};
+use prosel::core::training::TrainingSet;
+use prosel::engine::{run_plan, Catalog, ExecConfig};
+use prosel::planner::sql::parse_sql;
+use prosel::planner::workload::{materialize, WorkloadKind, WorkloadSpec};
+use prosel::planner::PlanBuilder;
+
+const DEFAULT_SQL: &str = "SELECT n_nationkey, SUM(l_extendedprice), COUNT(*) \
+     FROM customer, orders, lineitem, supplier, nation \
+     WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey \
+       AND l_suppkey = s_suppkey AND s_nationkey = n_nationkey \
+       AND o_orderdate BETWEEN 200 AND 1400 \
+     GROUP BY n_nationkey ORDER BY 2 LIMIT 10";
+
+fn main() {
+    let sql = std::env::args().nth(1).unwrap_or_else(|| DEFAULT_SQL.to_string());
+
+    // Database + trained selector (one TPC-H-shaped training workload).
+    let spec = WorkloadSpec::new(WorkloadKind::TpchLike, 0xCAFE).with_queries(100);
+    let w = materialize(&spec);
+    println!("training selector on {} ...", spec.label());
+    let records = {
+        let train_spec = spec.clone();
+        collect_workload_records(&train_spec).expect("training workload")
+    };
+    let selector = EstimatorSelector::train(
+        &TrainingSet::from_records(&records),
+        &SelectorConfig::default(),
+    );
+
+    // Parse, plan, execute the user's SQL.
+    println!("\nSQL> {sql}\n");
+    let query = match parse_sql(&w.db, &sql) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
+    let plan = builder.build(&query).expect("plan");
+    println!("plan:\n{}", plan.render());
+
+    let catalog = Catalog::new(&w.db, &w.design);
+    let run = run_plan(&catalog, &plan, &ExecConfig::default());
+    let monitor = ProgressMonitor::new(&selector);
+    let (points, choices) = monitor.monitor(&run);
+
+    for c in &choices {
+        println!(
+            "pipeline {}: {} -> {}",
+            c.pipeline_id,
+            c.initial.name(),
+            c.revised.name()
+        );
+    }
+    println!("\n   time |  true | estimate");
+    for p in points.iter().step_by((points.len() / 14).max(1)) {
+        println!(
+            "{:8.0} | {:4.0}% | {:4.0}%  {}",
+            p.time,
+            p.truth * 100.0,
+            p.estimate * 100.0,
+            "#".repeat((p.estimate * 32.0) as usize)
+        );
+    }
+    println!(
+        "\n{} result rows; monitored error (mean |est-true|): {:.4}",
+        run.result_rows,
+        ProgressMonitor::l1_of_points(&points)
+    );
+}

@@ -1,0 +1,76 @@
+//! Concurrency × estimation integration: traces from the multi-query
+//! scheduler must flow through the estimator / feature / selection stack
+//! unchanged.
+
+use prosel::core::pipeline_runs::records_from_run;
+use prosel::core::selection::{EstimatorSelector, SelectorConfig};
+use prosel::core::training::TrainingSet;
+use prosel::engine::{run_concurrent, Catalog, ConcurrentConfig, ExecConfig};
+use prosel::estimators::{EstimatorKind, PipelineObs};
+use prosel::mart::BoostParams;
+use prosel::planner::workload::{materialize, WorkloadKind, WorkloadSpec};
+use prosel::planner::PlanBuilder;
+
+#[test]
+fn concurrent_traces_feed_the_full_stack() {
+    let spec = WorkloadSpec::new(WorkloadKind::TpchLike, 808).with_queries(18);
+    let w = materialize(&spec);
+    let catalog = Catalog::new(&w.db, &w.design);
+    let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
+    let plans: Vec<_> = w.queries.iter().map(|q| builder.build(q).expect("plan")).collect();
+
+    let mut records = Vec::new();
+    for (gi, group) in plans.chunks(3).enumerate() {
+        let runs = run_concurrent(
+            &catalog,
+            group,
+            &ConcurrentConfig {
+                exec: ExecConfig { seed: gi as u64, ..ExecConfig::default() },
+                ..Default::default()
+            },
+        );
+        for (qi, run) in runs.iter().enumerate() {
+            // Estimator curves stay probabilities on concurrent traces.
+            for pid in 0..run.pipelines.len() {
+                if let Some(obs) = PipelineObs::new(run, pid) {
+                    for kind in EstimatorKind::CANDIDATES {
+                        for v in obs.curve(kind) {
+                            assert!((0.0..=1.0).contains(&v), "{kind}: {v}");
+                        }
+                    }
+                }
+            }
+            records_from_run(run, "concurrent", gi * 3 + qi, 5, &mut records);
+        }
+    }
+    assert!(records.len() >= 18, "got {} records", records.len());
+
+    // A selector trains and evaluates on concurrent data end to end.
+    let ts = TrainingSet::from_records(&records);
+    let cfg = SelectorConfig::default()
+        .with_boost(BoostParams { iterations: 40, ..BoostParams::default() });
+    let selector = EstimatorSelector::train(&ts, &cfg);
+    let report = selector.evaluate(&ts);
+    assert!(report.chosen_l1.is_finite() && report.chosen_l1 < 0.5);
+    assert!(report.pct_optimal > 0.2);
+}
+
+#[test]
+fn shared_clock_orders_query_completions() {
+    let spec = WorkloadSpec::new(WorkloadKind::TpcdsLike, 909).with_queries(4);
+    let w = materialize(&spec);
+    let catalog = Catalog::new(&w.db, &w.design);
+    let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
+    let plans: Vec<_> = w.queries.iter().map(|q| builder.build(q).expect("plan")).collect();
+    let runs = run_concurrent(&catalog, &plans, &ConcurrentConfig::default());
+    // All traces live on one shared axis: every pipeline window must fall
+    // within the workload makespan.
+    let makespan = runs.iter().map(|r| r.trace.total_time).fold(0.0, f64::max);
+    for run in &runs {
+        for &(a, b) in &run.trace.pipeline_windows {
+            if a.is_finite() {
+                assert!(a >= 0.0 && b <= makespan + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Cross-crate integration: datagen → planner → engine → estimators →
+//! features → MART → selection, end to end.
+
+use prosel::core::pipeline_runs::collect_workload_records;
+use prosel::core::selection::{EstimatorSelector, SelectorConfig};
+use prosel::core::training::{FeatureMode, TrainingSet};
+use prosel::estimators::EstimatorKind;
+use prosel::mart::BoostParams;
+use prosel::planner::workload::{WorkloadKind, WorkloadSpec};
+
+fn quick_boost() -> BoostParams {
+    BoostParams { iterations: 60, colsample: 0.7, ..BoostParams::default() }
+}
+
+#[test]
+fn selection_generalizes_across_query_split() {
+    // Train and test on disjoint query halves of the same workload.
+    let spec = WorkloadSpec::new(WorkloadKind::TpchLike, 2024).with_queries(120);
+    let records = collect_workload_records(&spec).expect("collect");
+    assert!(records.len() > 120, "expected >1 pipeline per query on average");
+
+    let (train_records, test_records): (Vec<_>, Vec<_>) =
+        records.into_iter().partition(|r| r.query_idx % 2 == 0);
+    let train = TrainingSet::from_records(&train_records);
+    let test = TrainingSet::from_records(&test_records);
+
+    let cfg = SelectorConfig::default().with_boost(quick_boost());
+    let selector = EstimatorSelector::train(&train, &cfg);
+    let report = selector.evaluate(&test);
+
+    // Selection must beat the *worst* fixed estimator clearly and be at
+    // least competitive with the best one.
+    let fixed: Vec<f64> =
+        EstimatorKind::EXTENDED.iter().map(|&k| test.mean_l1(k)).collect();
+    let best = fixed.iter().cloned().fold(f64::INFINITY, f64::min);
+    let worst = fixed.iter().cloned().fold(0.0f64, f64::max);
+    assert!(
+        report.chosen_l1 < worst,
+        "selection {:.4} must beat the worst fixed estimator {:.4}",
+        report.chosen_l1,
+        worst
+    );
+    assert!(
+        report.chosen_l1 < best * 1.15,
+        "selection {:.4} should be close to or better than the best fixed {:.4}",
+        report.chosen_l1,
+        best
+    );
+    // And it must stay above the oracle floor.
+    assert!(report.chosen_l1 >= report.oracle_l1 - 1e-9);
+    assert!(report.pct_optimal > 0.3, "pct_optimal {:.3}", report.pct_optimal);
+}
+
+#[test]
+fn selection_transfers_to_unseen_workload_family() {
+    // Train on TPC-H + Real-2, test on TPC-DS (never seen).
+    let mut train_records = Vec::new();
+    for spec in [
+        WorkloadSpec::new(WorkloadKind::TpchLike, 7).with_queries(90),
+        WorkloadSpec::new(WorkloadKind::Real2, 8).with_queries(60),
+    ] {
+        train_records.extend(collect_workload_records(&spec).expect("collect"));
+    }
+    let test_records = collect_workload_records(
+        &WorkloadSpec::new(WorkloadKind::TpcdsLike, 9).with_queries(60),
+    )
+    .expect("collect");
+
+    let train = TrainingSet::from_records(&train_records);
+    let test = TrainingSet::from_records(&test_records);
+    let cfg = SelectorConfig::default().with_boost(quick_boost());
+    let selector = EstimatorSelector::train(&train, &cfg);
+    let report = selector.evaluate(&test);
+
+    let worst = EstimatorKind::EXTENDED
+        .iter()
+        .map(|&k| test.mean_l1(k))
+        .fold(0.0f64, f64::max);
+    assert!(
+        report.chosen_l1 < worst,
+        "ad-hoc selection {:.4} must beat the worst fixed {:.4}",
+        report.chosen_l1,
+        worst
+    );
+    // Catastrophic choices must be rare even on an unseen schema.
+    assert!(report.ratio_over_10x < 0.15, "10x blowups: {:.3}", report.ratio_over_10x);
+}
+
+#[test]
+fn static_and_dynamic_modes_are_both_usable() {
+    let spec = WorkloadSpec::new(WorkloadKind::Real1, 31).with_queries(80);
+    let records = collect_workload_records(&spec).expect("collect");
+    let (train_records, test_records): (Vec<_>, Vec<_>) =
+        records.into_iter().partition(|r| r.query_idx % 2 == 0);
+    let train = TrainingSet::from_records(&train_records);
+    let test = TrainingSet::from_records(&test_records);
+
+    for mode in [FeatureMode::Static, FeatureMode::StaticDynamic] {
+        let cfg = SelectorConfig::default().with_mode(mode).with_boost(quick_boost());
+        let selector = EstimatorSelector::train(&train, &cfg);
+        let report = selector.evaluate(&test);
+        assert!(report.chosen_l1.is_finite());
+        assert!(report.chosen_l1 < 0.3, "{mode:?}: chosen_l1 {}", report.chosen_l1);
+    }
+}
+
+#[test]
+fn training_is_deterministic() {
+    let spec = WorkloadSpec::new(WorkloadKind::TpcdsLike, 17).with_queries(40);
+    let records = collect_workload_records(&spec).expect("collect");
+    let ts = TrainingSet::from_records(&records);
+    let cfg = SelectorConfig::default().with_boost(quick_boost());
+    let a = EstimatorSelector::train(&ts, &cfg);
+    let b = EstimatorSelector::train(&ts, &cfg);
+    for r in ts.records.iter().take(25) {
+        assert_eq!(a.select(&r.features), b.select(&r.features));
+    }
+}
