@@ -31,9 +31,7 @@ fn bench_engine(c: &mut Criterion) {
                 2,
             ),
             node(
-                OperatorKind::Filter {
-                    pred: Predicate::ColCmp { col: 1, op: CmpOp::Lt, val: 25 },
-                },
+                OperatorKind::Filter { pred: Predicate::ColCmp { col: 1, op: CmpOp::Lt, val: 25 } },
                 vec![0],
                 li_rows / 2.0,
                 2,

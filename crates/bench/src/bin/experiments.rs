@@ -53,9 +53,9 @@ fn main() {
 
     let mut suite = Suite::new(true);
     let t0 = Instant::now();
-    let mut out_file = out_path.as_ref().map(|p| {
-        std::fs::File::create(p).unwrap_or_else(|e| panic!("create {p}: {e}"))
-    });
+    let mut out_file = out_path
+        .as_ref()
+        .map(|p| std::fs::File::create(p).unwrap_or_else(|e| panic!("create {p}: {e}")));
     for name in &names {
         eprintln!("\n===== {name} (scale {scale:?}) =====");
         let t = Instant::now();

@@ -116,10 +116,7 @@ pub fn run(suite: &mut Suite, scale: ExpScale) -> String {
             }
         }
         let n = full.len() as f64;
-        t6.row_pct(
-            k.name(),
-            &[over[0] as f64 / n, over[1] as f64 / n, over[2] as f64 / n],
-        );
+        t6.row_pct(k.name(), &[over[0] as f64 / n, over[1] as f64 / n, over[2] as f64 / n]);
     }
     t6.row_pct(
         "EST. SEL. (ST)",
@@ -146,27 +143,11 @@ pub fn run(suite: &mut Suite, scale: ExpScale) -> String {
     for (vi, (name, _, _)) in variants.iter().enumerate() {
         fig5.row_f(name, &[aggs[vi].l1 / aggs[vi].n, aggs[vi].l2 / aggs[vi].n], 4);
     }
-    fig5.row_f(
-        "oracle over 3",
-        &[full.oracle_l1(&EstimatorKind::ORIGINAL), f64::NAN],
-        4,
-    );
-    fig5.row_f(
-        "oracle over 6",
-        &[full.oracle_l1(&EstimatorKind::EXTENDED), f64::NAN],
-        4,
-    );
+    fig5.row_f("oracle over 3", &[full.oracle_l1(&EstimatorKind::ORIGINAL), f64::NAN], 4);
+    fig5.row_f("oracle over 6", &[full.oracle_l1(&EstimatorKind::EXTENDED), f64::NAN], 4);
     // §6.2 text: worst-case estimators are impractical.
-    fig5.row_f(
-        "PMAX",
-        &[full.mean_l1(EstimatorKind::Pmax), full.mean_l2(EstimatorKind::Pmax)],
-        4,
-    );
-    fig5.row_f(
-        "SAFE",
-        &[full.mean_l1(EstimatorKind::Safe), full.mean_l2(EstimatorKind::Safe)],
-        4,
-    );
+    fig5.row_f("PMAX", &[full.mean_l1(EstimatorKind::Pmax), full.mean_l2(EstimatorKind::Pmax)], 4);
+    fig5.row_f("SAFE", &[full.mean_l1(EstimatorKind::Safe), full.mean_l2(EstimatorKind::Safe)], 4);
     out.push_str(&fig5.render());
     out.push_str(
         "paper L1: DNE .1748 TGN .1463 LUO .1616 | SEL3 .1410(st)/.1294(dy)\n\

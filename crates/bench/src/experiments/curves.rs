@@ -12,12 +12,12 @@
 use crate::report::Table;
 use crate::suite::{ExpScale, Suite};
 use prosel_datagen::TuningLevel;
+use prosel_engine::plan::OperatorKind;
 use prosel_engine::{run_plan, Catalog, ExecConfig};
 use prosel_estimators::{EstimatorKind, PipelineObs};
 use prosel_planner::query::{FilterSpec, JoinSpec, QuerySpec, TableRef};
 use prosel_planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use prosel_planner::{PlanBuilder, PlannerConfig};
-use prosel_engine::plan::OperatorKind;
 
 fn curve_table(
     title: &str,
@@ -26,8 +26,7 @@ fn curve_table(
     points: usize,
 ) -> String {
     let truth = obs.truth();
-    let curves: Vec<(EstimatorKind, Vec<f64>)> =
-        kinds.iter().map(|&k| (k, obs.curve(k))).collect();
+    let curves: Vec<(EstimatorKind, Vec<f64>)> = kinds.iter().map(|&k| (k, obs.curve(k))).collect();
     let mut header = vec!["time%", "true"];
     for (k, _) in &curves {
         header.push(k.name());
@@ -175,12 +174,7 @@ pub fn run_fig7(_suite: &mut Suite, _scale: ExpScale) -> String {
     out.push_str(&curve_table(
         "progress over time",
         &obs,
-        &[
-            EstimatorKind::Dne,
-            EstimatorKind::Tgn,
-            EstimatorKind::Luo,
-            EstimatorKind::TgnInt,
-        ],
+        &[EstimatorKind::Dne, EstimatorKind::Tgn, EstimatorKind::Luo, EstimatorKind::TgnInt],
         14,
     ));
     out.push_str(

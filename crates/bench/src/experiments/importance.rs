@@ -53,11 +53,7 @@ pub fn run(suite: &mut Suite, scale: ExpScale) -> String {
         &["round", "feature", "holdout MSE"],
     );
     for (i, s) in steps.iter().enumerate() {
-        t.row(&[
-            format!("{}", i + 1),
-            schema.name(s.feature).to_string(),
-            format!("{:.5}", s.mse),
-        ]);
+        t.row(&[format!("{}", i + 1), schema.name(s.feature).to_string(), format!("{:.5}", s.mse)]);
     }
     out.push_str(&t.render());
 
@@ -89,8 +85,7 @@ pub fn run(suite: &mut Suite, scale: ExpScale) -> String {
         ]);
     }
     out.push_str(&t2.render());
-    let dyn_in_top10 =
-        ranked.iter().take(10).filter(|(f, _)| *f >= static_len).count();
+    let dyn_in_top10 = ranked.iter().take(10).filter(|(f, _)| *f >= static_len).count();
     out.push_str(&format!(
         "dynamic features in gain top-10: {dyn_in_top10}\n\
          paper: SelBelow_NLJoin first, then Cor_DNESEEK, then SelAtDN; 7 of the\n\

@@ -7,11 +7,11 @@
 
 pub mod ablation;
 pub mod adhoc;
-pub mod multiquery;
-pub mod refinement;
 pub mod curves;
 pub mod fig1;
 pub mod importance;
+pub mod multiquery;
+pub mod refinement;
 pub mod sensitivity;
 pub mod table1;
 pub mod table7;

@@ -50,15 +50,12 @@ fn three_bucket_experiment(
         };
         let sel = EstimatorSelector::train(&train, &cfg);
         let report = sel.evaluate(&test);
-        let mut col: Vec<f64> =
-            three.iter().map(|&k| test.pct_optimal(k, &three, 1e-4)).collect();
+        let mut col: Vec<f64> = three.iter().map(|&k| test.pct_optimal(k, &three, 1e-4)).collect();
         col.push(report.pct_optimal);
         cols.push(col);
     }
-    let mut table = Table::new(
-        title,
-        &["estimator", bucket_names[0], bucket_names[1], bucket_names[2]],
-    );
+    let mut table =
+        Table::new(title, &["estimator", bucket_names[0], bucket_names[1], bucket_names[2]]);
     for (i, name) in ["DNE", "TGN", "LUO", "EST. SEL."].iter().enumerate() {
         table.row_pct(name, &[cols[0][i], cols[1][i], cols[2][i]]);
     }
@@ -137,8 +134,7 @@ pub fn run_table5(suite: &mut Suite, scale: ExpScale) -> String {
     for sf in [2.0, 5.0, 10.0] {
         // Fewer queries at the larger scale factors to bound runtime.
         let q = (tpch_queries(scale) as f64 * (2.0f64 / sf).min(1.0)).max(40.0) as usize;
-        let spec =
-            WorkloadSpec::new(WorkloadKind::TpchLike, 11).with_queries(q).with_scale(sf);
+        let spec = WorkloadSpec::new(WorkloadKind::TpchLike, 11).with_queries(q).with_scale(sf);
         buckets.push(suite.records(&spec).to_vec());
     }
     let [a, b, c]: [Vec<PipelineRecord>; 3] = buckets.try_into().unwrap();

@@ -15,8 +15,8 @@
 use crate::report::Table;
 use crate::suite::{ExpScale, Suite};
 use prosel_datagen::TuningLevel;
-use prosel_engine::plan::OperatorKind;
 use prosel_engine::pipeline::decompose;
+use prosel_engine::plan::OperatorKind;
 use prosel_planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use prosel_planner::PlanBuilder;
 
@@ -72,9 +72,7 @@ pub fn run(_suite: &mut Suite, scale: ExpScale) -> String {
         table.row_pct(name, &fractions[gi]);
     }
     let mut out = table.render();
-    out.push_str(
-        "paper trend: index seeks, nested loops and batch sorts increase with tuning.\n",
-    );
+    out.push_str("paper trend: index seeks, nested loops and batch sorts increase with tuning.\n");
     println!("{out}");
     out
 }

@@ -33,11 +33,7 @@ pub fn run(suite: &mut Suite, scale: ExpScale) -> String {
     );
     for k in [EstimatorKind::Tgn, EstimatorKind::Luo] {
         let ts = prosel_core::TrainingSet::from_records(&records);
-        table.row_f(
-            &format!("{} (practical)", k.name()),
-            &[ts.mean_l1(k), ts.mean_l2(k)],
-            4,
-        );
+        table.row_f(&format!("{} (practical)", k.name()), &[ts.mean_l1(k), ts.mean_l2(k)], 4);
     }
     let mut out = table.render();
     out.push_str(

@@ -2,8 +2,8 @@
 //! size knob, plus cached record collection.
 
 use prosel_core::pipeline_runs::{collect_from_workload, CollectConfig, PipelineRecord};
-use prosel_mart::BoostParams;
 use prosel_datagen::TuningLevel;
+use prosel_mart::BoostParams;
 use prosel_planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -124,9 +124,7 @@ pub fn per_query_errors(records: &[PipelineRecord], n_kinds: usize) -> Vec<Vec<f
         }
         e.1 += w;
     }
-    acc.into_values()
-        .map(|(sums, w)| sums.into_iter().map(|s| s / w.max(1e-9)).collect())
-        .collect()
+    acc.into_values().map(|(sums, w)| sums.into_iter().map(|s| s / w.max(1e-9)).collect()).collect()
 }
 
 #[cfg(test)]

@@ -13,9 +13,15 @@ fn main() {
     // designs, Real-1, Real-2.
     let specs = [
         WorkloadSpec::new(WorkloadKind::TpcdsLike, 12).with_queries(150),
-        WorkloadSpec::new(WorkloadKind::TpchLike, 11).with_queries(250).with_tuning(TuningLevel::Untuned),
-        WorkloadSpec::new(WorkloadKind::TpchLike, 11).with_queries(250).with_tuning(TuningLevel::PartiallyTuned),
-        WorkloadSpec::new(WorkloadKind::TpchLike, 11).with_queries(250).with_tuning(TuningLevel::FullyTuned),
+        WorkloadSpec::new(WorkloadKind::TpchLike, 11)
+            .with_queries(250)
+            .with_tuning(TuningLevel::Untuned),
+        WorkloadSpec::new(WorkloadKind::TpchLike, 11)
+            .with_queries(250)
+            .with_tuning(TuningLevel::PartiallyTuned),
+        WorkloadSpec::new(WorkloadKind::TpchLike, 11)
+            .with_queries(250)
+            .with_tuning(TuningLevel::FullyTuned),
         WorkloadSpec::new(WorkloadKind::Real1, 13).with_queries(180),
         WorkloadSpec::new(WorkloadKind::Real2, 14).with_queries(180),
     ];
@@ -27,27 +33,45 @@ fn main() {
     let full = TrainingSet::from_records(&all);
     println!("total records: {}", full.len());
     for k in EstimatorKind::CANDIDATES {
-        println!("  always-{k}: L1 {:.4}  (opt {:.2})", full.mean_l1(k),
-            full.pct_optimal(k, &EstimatorKind::ORIGINAL, 1e-4));
+        println!(
+            "  always-{k}: L1 {:.4}  (opt {:.2})",
+            full.mean_l1(k),
+            full.pct_optimal(k, &EstimatorKind::ORIGINAL, 1e-4)
+        );
     }
-    println!("  oracle-3: {:.4}  oracle-6: {:.4}",
-        full.oracle_l1(&EstimatorKind::ORIGINAL), full.oracle_l1(&EstimatorKind::EXTENDED));
+    println!(
+        "  oracle-3: {:.4}  oracle-6: {:.4}",
+        full.oracle_l1(&EstimatorKind::ORIGINAL),
+        full.oracle_l1(&EstimatorKind::EXTENDED)
+    );
 
     let labels: Vec<String> = specs.iter().map(|s| s.label()).collect();
     for mode in [FeatureMode::Static, FeatureMode::StaticDynamic] {
-        let mut sum_l1 = 0.0; let mut sum_opt = 0.0; let mut n = 0.0;
-        let mut sum_2x = 0.0; let mut sum_5x = 0.0;
-        let mut sum_dne = 0.0; let mut sum_tgn = 0.0; let mut sum_luo = 0.0;
+        let mut sum_l1 = 0.0;
+        let mut sum_opt = 0.0;
+        let mut n = 0.0;
+        let mut sum_2x = 0.0;
+        let mut sum_5x = 0.0;
+        let mut sum_dne = 0.0;
+        let mut sum_tgn = 0.0;
+        let mut sum_luo = 0.0;
         for label in &labels {
             let (test, train) = full.split_by(|r| &r.workload == label);
-            let cfg = SelectorConfig { candidates: EstimatorKind::EXTENDED.to_vec(), mode, boost: prosel_mart::BoostParams::default() };
+            let cfg = SelectorConfig {
+                candidates: EstimatorKind::EXTENDED.to_vec(),
+                mode,
+                boost: prosel_mart::BoostParams::default(),
+            };
             let t1 = Instant::now();
             let sel = EstimatorSelector::train(&train, &cfg);
             let rep = sel.evaluate(&test);
             println!("  [{}] test={label}: n={} l1={:.4} opt={:.2} >2x={:.3} >5x={:.3} oracle={:.4} ({:.0}s)",
                 mode.name(), rep.n, rep.chosen_l1, rep.pct_optimal, rep.ratio_over_2x, rep.ratio_over_5x, rep.oracle_l1, t1.elapsed().as_secs_f64());
-            sum_l1 += rep.chosen_l1 * rep.n as f64; sum_opt += rep.pct_optimal * rep.n as f64; n += rep.n as f64;
-            sum_2x += rep.ratio_over_2x * rep.n as f64; sum_5x += rep.ratio_over_5x * rep.n as f64;
+            sum_l1 += rep.chosen_l1 * rep.n as f64;
+            sum_opt += rep.pct_optimal * rep.n as f64;
+            n += rep.n as f64;
+            sum_2x += rep.ratio_over_2x * rep.n as f64;
+            sum_5x += rep.ratio_over_5x * rep.n as f64;
             sum_dne += test.mean_l1(EstimatorKind::Dne) * test.len() as f64;
             sum_tgn += test.mean_l1(EstimatorKind::Tgn) * test.len() as f64;
             sum_luo += test.mean_l1(EstimatorKind::Luo) * test.len() as f64;

@@ -45,9 +45,8 @@ pub fn extract(obs: &PipelineObs<'_>) -> Vec<f32> {
             (k, obs.curve(k))
         })
         .collect();
-    let curve_of = |k: EstimatorKind| -> &[f64] {
-        &curves.iter().find(|(kk, _)| *kk == k).expect("curve").1
-    };
+    let curve_of =
+        |k: EstimatorKind| -> &[f64] { &curves.iter().find(|(kk, _)| *kk == k).expect("curve").1 };
 
     let start = obs.window.0;
     let mut out = Vec::with_capacity(DIFF_PAIRS.len() * X_MARKERS.len() + 120);

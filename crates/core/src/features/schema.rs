@@ -10,8 +10,7 @@ pub const X_MARKERS: [u32; 5] = [1, 2, 5, 10, 20];
 pub const COR_ESTIMATORS: [&str; 6] = ["DNE", "TGN", "LUO", "BATCHDNE", "DNESEEK", "TGNINT"];
 
 /// Pairs whose at-marker differences are computed.
-pub const DIFF_PAIRS: [(&str, &str); 3] =
-    [("DNE", "TGN"), ("DNE", "TGNINT"), ("TGN", "TGNINT")];
+pub const DIFF_PAIRS: [(&str, &str); 3] = [("DNE", "TGN"), ("DNE", "TGNINT"), ("TGN", "TGNINT")];
 
 /// Number of time-correlation reference points per marker (the paper's
 /// `i = 1, …, 4`).

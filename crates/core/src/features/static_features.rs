@@ -29,13 +29,8 @@ pub fn extract(run: &QueryRun, pid: usize) -> Vec<f32> {
     // each node *within the pipeline*.
     let mut below_mask = vec![0u32; plan.len()]; // op types among descendants
     for &n in nodes {
-        let mut stack: Vec<usize> = plan
-            .node(n)
-            .children
-            .iter()
-            .copied()
-            .filter(|&c| in_pipe(c))
-            .collect();
+        let mut stack: Vec<usize> =
+            plan.node(n).children.iter().copied().filter(|&c| in_pipe(c)).collect();
         let mut mask = 0u32;
         while let Some(c) = stack.pop() {
             mask |= 1 << plan.node(c).op.type_code();
@@ -87,8 +82,7 @@ pub fn extract(run: &QueryRun, pid: usize) -> Vec<f32> {
         out.push((sel_below / total_e) as f32);
     }
 
-    let driver_e: f64 =
-        pipeline.driver_nodes.iter().map(|&n| plan.node(n).est_rows).sum();
+    let driver_e: f64 = pipeline.driver_nodes.iter().map(|&n| plan.node(n).est_rows).sum();
     out.push((driver_e / total_e) as f32); // SelAtDN
     out.push((total_e.ln_1p()) as f32); // LogTotalE
     out.push(nodes.len() as f32); // NodeCount
@@ -130,7 +124,9 @@ mod tests {
         for pid in 0..run.pipelines.len() {
             let v = extract(&run, pid);
             for (i, name) in s.names()[..s.static_len()].iter().enumerate() {
-                if name.starts_with("SelAt") || name.starts_with("SelAbove") || name.starts_with("SelBelow")
+                if name.starts_with("SelAt")
+                    || name.starts_with("SelAbove")
+                    || name.starts_with("SelBelow")
                 {
                     assert!(
                         (0.0..=1.0 + 1e-6).contains(&(v[i] as f64)),
@@ -149,7 +145,10 @@ mod tests {
         for pid in 0..run.pipelines.len() {
             let v = extract(&run, pid);
             let total: f32 = (0..prosel_engine::plan::OP_TYPE_COUNT)
-                .map(|op| v[s.index_of(&format!("Count_{}", prosel_engine::plan::OP_TYPE_NAMES[op])).unwrap()])
+                .map(|op| {
+                    v[s.index_of(&format!("Count_{}", prosel_engine::plan::OP_TYPE_NAMES[op]))
+                        .unwrap()]
+                })
                 .sum();
             assert_eq!(total as usize, run.pipelines[pid].nodes.len());
         }

@@ -119,9 +119,8 @@ pub fn records_from_run(
         }
         let mut oracle_l1 = [0.0f32; 2];
         let mut oracle_l2 = [0.0f32; 2];
-        for (i, kind) in [EstimatorKind::GetNextOracle, EstimatorKind::BytesOracle]
-            .into_iter()
-            .enumerate()
+        for (i, kind) in
+            [EstimatorKind::GetNextOracle, EstimatorKind::BytesOracle].into_iter().enumerate()
         {
             let curve = obs.curve(kind);
             oracle_l1[i] = l1_error(&curve, &truth) as f32;
@@ -145,7 +144,10 @@ pub fn records_from_run(
 }
 
 /// Execute every query of a materialized workload and collect records.
-pub fn collect_from_workload(w: &Workload, cfg: &CollectConfig) -> Result<Vec<PipelineRecord>, String> {
+pub fn collect_from_workload(
+    w: &Workload,
+    cfg: &CollectConfig,
+) -> Result<Vec<PipelineRecord>, String> {
     let catalog = Catalog::new(&w.db, &w.design);
     let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
     let label = w.spec.label();

@@ -108,12 +108,7 @@ impl EstimatorSelector {
         out.push_str(&format!(
             "mode {}\ncandidates {}\n",
             self.config.mode.name(),
-            self.config
-                .candidates
-                .iter()
-                .map(|k| k.name())
-                .collect::<Vec<_>>()
-                .join(",")
+            self.config.candidates.iter().map(|k| k.name()).collect::<Vec<_>>().join(",")
         ));
         for (kind, model) in &self.models {
             out.push_str(&format!("model {}\n", kind.name()));
@@ -138,9 +133,7 @@ impl EstimatorSelector {
             other => return Err(format!("bad mode line: {other:?}")),
         };
         let cand_line = lines.next().ok_or("missing candidates line")?;
-        let names = cand_line
-            .strip_prefix("candidates ")
-            .ok_or("bad candidates line")?;
+        let names = cand_line.strip_prefix("candidates ").ok_or("bad candidates line")?;
         let kind_by_name = |n: &str| -> Result<EstimatorKind, String> {
             EstimatorKind::CANDIDATES
                 .into_iter()
@@ -170,11 +163,7 @@ impl EstimatorSelector {
             models.push((kind, prosel_mart::model_io::from_str(&blob)?));
         }
         if models.len() != candidates.len() {
-            return Err(format!(
-                "expected {} models, found {}",
-                candidates.len(),
-                models.len()
-            ));
+            return Err(format!("expected {} models, found {}", candidates.len(), models.len()));
         }
         Ok(EstimatorSelector {
             config: SelectorConfig { candidates, mode, boost: BoostParams::default() },
@@ -197,8 +186,7 @@ impl EstimatorSelector {
             let e = r.errors_l1[ci] as f64;
             chosen_l1 += e;
             chosen_l2 += r.errors_l2[ci] as f64;
-            let min =
-                idxs.iter().map(|&i| r.errors_l1[i]).fold(f32::INFINITY, f32::min) as f64;
+            let min = idxs.iter().map(|&i| r.errors_l1[i]).fold(f32::INFINITY, f32::min) as f64;
             if e <= min + 1e-4 {
                 optimal += 1;
             }
@@ -266,8 +254,8 @@ mod tests {
                     weight: 1.0,
                     n_obs: 10,
                     fingerprint: "syn".into(),
-            oracle_l1: [0.0; 2],
-            oracle_l2: [0.0; 2],
+                    oracle_l1: [0.0; 2],
+                    oracle_l2: [0.0; 2],
                 }
             })
             .collect()

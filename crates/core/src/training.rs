@@ -116,8 +116,7 @@ impl TrainingSet {
             .records
             .iter()
             .filter(|r| {
-                let min =
-                    idxs.iter().map(|&i| r.errors_l1[i]).fold(f32::INFINITY, f32::min);
+                let min = idxs.iter().map(|&i| r.errors_l1[i]).fold(f32::INFINITY, f32::min);
                 r.errors_l1[idx] <= min + tol
             })
             .count();

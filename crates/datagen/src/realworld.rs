@@ -85,11 +85,10 @@ pub fn generate_real1(cfg: &RealConfig) -> Database {
         );
         let industry_dist = Zipf::new(30, 1.0);
         let region: Vec<i64> = (0..n_acct).map(|_| rng.random_range(1..=15)).collect();
-        let industry: Vec<i64> = (0..n_acct).map(|_| industry_dist.sample(&mut rng) as i64).collect();
-        let size = industry
-            .iter()
-            .map(|&i| (i * 30 + rng.random_range(1..=100)).min(1000))
-            .collect();
+        let industry: Vec<i64> =
+            (0..n_acct).map(|_| industry_dist.sample(&mut rng) as i64).collect();
+        let size =
+            industry.iter().map(|&i| (i * 30 + rng.random_range(1i64..=100)).min(1000)).collect();
         db.add(Table::new(
             meta,
             vec![
@@ -115,7 +114,7 @@ pub fn generate_real1(cfg: &RealConfig) -> Database {
         let cat_dist = Zipf::new(12, 0.8);
         let category: Vec<i64> = (0..n_prod).map(|_| cat_dist.sample(&mut rng) as i64).collect();
         let price: Vec<i64> =
-            category.iter().map(|&c| c * 100 + rng.random_range(5..=100)).collect();
+            category.iter().map(|&c| c * 100 + rng.random_range(5i64..=100)).collect();
         db.add(Table::new(
             meta,
             vec![
@@ -134,7 +133,10 @@ pub fn generate_real1(cfg: &RealConfig) -> Database {
             150,
             vec![
                 ColumnMeta::new("e_id", ColumnRole::PrimaryKey),
-                ColumnMeta::new("e_territory", ColumnRole::ForeignKey { table: "territories".into() }),
+                ColumnMeta::new(
+                    "e_territory",
+                    ColumnRole::ForeignKey { table: "territories".into() },
+                ),
                 ColumnMeta::new("e_quota", ColumnRole::Value { min: 100, max: 10_000 }),
             ],
         );
@@ -217,7 +219,7 @@ pub fn generate_real1(cfg: &RealConfig) -> Database {
             employee.push(rng.random_range(1..=n_emp as i64));
             let base = n_dates as f64 * frac;
             date.push(
-                (base + rng.random_range(-90.0..90.0)).round().clamp(1.0, n_dates as f64) as i64,
+                (base + rng.random_range(-90.0f64..90.0)).round().clamp(1.0, n_dates as f64) as i64
             );
             let u = unit_dist.sample(&mut rng) as i64;
             units.push(u);
@@ -276,7 +278,10 @@ pub fn generate_real1(cfg: &RealConfig) -> Database {
             "targets",
             72,
             vec![
-                ColumnMeta::new("tg_employee", ColumnRole::ForeignKey { table: "employees".into() }),
+                ColumnMeta::new(
+                    "tg_employee",
+                    ColumnRole::ForeignKey { table: "employees".into() },
+                ),
                 ColumnMeta::new("tg_quarter", ColumnRole::Value { min: 1, max: 12 }),
                 ColumnMeta::new("tg_amount", ColumnRole::Value { min: 100, max: 20_000 }),
             ],
@@ -309,9 +314,8 @@ pub fn generate_real2(cfg: &RealConfig) -> Database {
     let mut db = Database::new(&format!("real2_sf{}", cfg.scale));
 
     let n_fact = ((5000.0 * cfg.scale) as usize).max(300);
-    let dim_sizes: Vec<usize> = (0..REAL2_DIMS)
-        .map(|i| (((40 + i * 70) as f64 * cfg.scale) as usize).max(8))
-        .collect();
+    let dim_sizes: Vec<usize> =
+        (0..REAL2_DIMS).map(|i| (((40 + i * 70) as f64 * cfg.scale) as usize).max(8)).collect();
     let sub_sizes: Vec<usize> = (0..REAL2_DIMS).map(|i| 8 + i * 7).collect();
 
     for i in 0..REAL2_DIMS {
@@ -350,7 +354,7 @@ pub fn generate_real2(cfg: &RealConfig) -> Database {
         let sub = (0..dim_sizes[i]).map(|_| sub_dist.sample(&mut rng) as i64).collect();
         let attr: Vec<i64> = (0..dim_sizes[i]).map(|_| rng.random_range(1..=10)).collect();
         // Weight correlates with attr.
-        let weight = attr.iter().map(|&a| a * 40 + rng.random_range(1..=100)).collect();
+        let weight = attr.iter().map(|&a| a * 40 + rng.random_range(1i64..=100)).collect();
         db.add(Table::new(
             meta,
             vec![
@@ -390,11 +394,7 @@ pub fn generate_real2(cfg: &RealConfig) -> Database {
     let names: Vec<String> = meta.columns.iter().map(|c| c.name.clone()).collect();
     db.add(Table::new(
         meta,
-        names
-            .into_iter()
-            .zip(data)
-            .map(|(name, data)| Column { name, data })
-            .collect(),
+        names.into_iter().zip(data).map(|(name, data)| Column { name, data }).collect(),
     ));
     db
 }
@@ -450,10 +450,7 @@ mod tests {
     fn real_generators_deterministic() {
         let a = generate_real1(&RealConfig::default());
         let b = generate_real1(&RealConfig::default());
-        assert_eq!(
-            a.table("sales").column(1),
-            b.table("sales").column(1)
-        );
+        assert_eq!(a.table("sales").column(1), b.table("sales").column(1));
         let c = generate_real2(&RealConfig::default());
         let d = generate_real2(&RealConfig::default());
         assert_eq!(c.table("events").column(1), d.table("events").column(1));

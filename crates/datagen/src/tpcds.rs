@@ -102,7 +102,7 @@ fn item(n: usize, skew: f64, rng: &mut StdRng) -> Table {
     let category: Vec<i64> = (0..n).map(|_| cat_dist.sample(rng) as i64).collect();
     let brand = (0..n).map(|_| brand_dist.sample(rng) as i64).collect();
     // Price correlates with category: categories have price bands.
-    let price = category.iter().map(|&c| c * 25 + rng.random_range(1..=50)).collect();
+    let price = category.iter().map(|&c| c * 25 + rng.random_range(1i64..=50)).collect();
     Table::new(
         meta,
         vec![
@@ -191,7 +191,10 @@ fn store_sales(
             ColumnMeta::new("ss_sold_date_sk", ColumnRole::ForeignKey { table: "date_dim".into() }),
             ColumnMeta::new("ss_item_sk", ColumnRole::ForeignKey { table: "item".into() }),
             ColumnMeta::new("ss_store_sk", ColumnRole::ForeignKey { table: "store".into() }),
-            ColumnMeta::new("ss_customer_sk", ColumnRole::ForeignKey { table: "customer_dim".into() }),
+            ColumnMeta::new(
+                "ss_customer_sk",
+                ColumnRole::ForeignKey { table: "customer_dim".into() },
+            ),
             ColumnMeta::new("ss_promo_sk", ColumnRole::ForeignKey { table: "promotion".into() }),
             ColumnMeta::new("ss_quantity", ColumnRole::Value { min: 1, max: 100 }),
             ColumnMeta::new("ss_ext_sales_price", ColumnRole::Value { min: 1, max: 30_000 }),
@@ -210,8 +213,9 @@ fn store_sales(
     for i in 0..n {
         // Fact rows are appended chronologically with jitter.
         let base = N_DATES as f64 * (i as f64 / n as f64);
-        sold_date
-            .push((base + rng.random_range(-60.0..60.0)).round().clamp(1.0, N_DATES as f64) as i64);
+        sold_date.push(
+            (base + rng.random_range(-60.0f64..60.0)).round().clamp(1.0, N_DATES as f64) as i64,
+        );
         let it = item_dist.sample_permuted(rng) as i64;
         item_sk.push(it);
         store_sk.push(rng.random_range(1..=n_store as i64));

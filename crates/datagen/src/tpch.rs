@@ -47,11 +47,7 @@ pub const DATE_MAX: i64 = 2556;
 /// Generate a TPC-H-shaped [`Database`].
 pub fn generate(cfg: &TpchConfig) -> Database {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7c67_15c3);
-    let mut db = Database::new(&format!(
-        "tpch_sf{}_z{}",
-        cfg.scale,
-        cfg.skew
-    ));
+    let mut db = Database::new(&format!("tpch_sf{}_z{}", cfg.scale, cfg.skew));
 
     let n_supplier = scaled(10, cfg.scale);
     let n_customer = scaled(150, cfg.scale);
@@ -79,11 +75,8 @@ fn pk(n: usize) -> Vec<i64> {
 }
 
 fn region() -> Table {
-    let meta = TableMeta::new(
-        "region",
-        120,
-        vec![ColumnMeta::new("r_regionkey", ColumnRole::PrimaryKey)],
-    );
+    let meta =
+        TableMeta::new("region", 120, vec![ColumnMeta::new("r_regionkey", ColumnRole::PrimaryKey)]);
     Table::new(meta, vec![Column { name: "r_regionkey".into(), data: pk(5) }])
 }
 
@@ -234,7 +227,10 @@ fn orders(n: usize, n_customer: usize, skew: f64, rng: &mut StdRng) -> Table {
         vec![
             ColumnMeta::new("o_orderkey", ColumnRole::PrimaryKey),
             ColumnMeta::new("o_custkey", ColumnRole::ForeignKey { table: "customer".into() }),
-            ColumnMeta::new("o_orderdate", ColumnRole::Date { min_day: DATE_MIN, max_day: DATE_MAX }),
+            ColumnMeta::new(
+                "o_orderdate",
+                ColumnRole::Date { min_day: DATE_MIN, max_day: DATE_MAX },
+            ),
             ColumnMeta::new("o_totalprice", ColumnRole::Value { min: 800, max: 500_000 }),
             ColumnMeta::new("o_orderpriority", ColumnRole::Category { cardinality: 5 }),
             ColumnMeta::new("o_orderstatus", ColumnRole::Category { cardinality: 3 }),
@@ -256,8 +252,9 @@ fn orders(n: usize, n_customer: usize, skew: f64, rng: &mut StdRng) -> Table {
     let orderdate: Vec<i64> = (0..n)
         .map(|i| {
             let base = DATE_MIN as f64 + span * (i as f64 / n as f64);
-            (base + rng.random_range(-120.0..120.0)).round().clamp(DATE_MIN as f64, DATE_MAX as f64)
-                as i64
+            (base + rng.random_range(-120.0f64..120.0))
+                .round()
+                .clamp(DATE_MIN as f64, DATE_MAX as f64) as i64
         })
         .collect();
     let totalprice = (0..n).map(|_| rng.random_range(800..=500_000)).collect();
@@ -293,8 +290,14 @@ fn lineitem(
             ColumnMeta::new("l_quantity", ColumnRole::Value { min: 1, max: 50 }),
             ColumnMeta::new("l_extendedprice", ColumnRole::Value { min: 900, max: 110_000 }),
             ColumnMeta::new("l_discount", ColumnRole::Value { min: 0, max: 10 }),
-            ColumnMeta::new("l_shipdate", ColumnRole::Date { min_day: DATE_MIN, max_day: DATE_MAX + 122 }),
-            ColumnMeta::new("l_receiptdate", ColumnRole::Date { min_day: DATE_MIN, max_day: DATE_MAX + 152 }),
+            ColumnMeta::new(
+                "l_shipdate",
+                ColumnRole::Date { min_day: DATE_MIN, max_day: DATE_MAX + 122 },
+            ),
+            ColumnMeta::new(
+                "l_receiptdate",
+                ColumnRole::Date { min_day: DATE_MIN, max_day: DATE_MAX + 152 },
+            ),
             ColumnMeta::new("l_returnflag", ColumnRole::Category { cardinality: 3 }),
             ColumnMeta::new("l_linestatus", ColumnRole::Category { cardinality: 2 }),
             ColumnMeta::new("l_shipmode", ColumnRole::Category { cardinality: 7 }),
@@ -336,15 +339,11 @@ fn lineitem(
             // it is a real source of optimizer estimation error).
             extendedprice.push(q * (900 + (p % 1000) + (p / 10) % 200));
             discount.push(rng.random_range(0..=10));
-            let sd = order_date + rng.random_range(1..=121);
+            let sd = order_date + rng.random_range(1i64..=121);
             shipdate.push(sd);
-            receiptdate.push(sd + rng.random_range(1..=30));
+            receiptdate.push(sd + rng.random_range(1i64..=30));
             // Return flag correlates with ship date (older lines returned).
-            returnflag.push(if sd < DATE_MAX / 2 {
-                rng.random_range(1..=2)
-            } else {
-                3
-            });
+            returnflag.push(if sd < DATE_MAX / 2 { rng.random_range(1..=2) } else { 3 });
             linestatus.push(if sd < DATE_MAX * 3 / 4 { 1 } else { 2 });
             shipmode.push(mode_dist.sample(rng) as i64);
         }
@@ -375,9 +374,9 @@ mod tests {
     #[test]
     fn generates_all_eight_tables() {
         let db = generate(&TpchConfig { scale: 0.5, skew: 1.0, seed: 1 });
-        for t in [
-            "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
-        ] {
+        for t in
+            ["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"]
+        {
             assert!(db.try_table(t).is_some(), "missing {t}");
         }
     }

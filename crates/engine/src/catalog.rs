@@ -105,8 +105,10 @@ impl<'a> Catalog<'a> {
     /// indexes that exist in the design).
     pub fn index_required(&self, table: &str, col: usize) -> &SortedIndex {
         self.index(table, col).unwrap_or_else(|| {
-            panic!("plan requires missing index on {table}.[{col}] (physical design {:?})",
-                   self.design.level)
+            panic!(
+                "plan requires missing index on {table}.[{col}] (physical design {:?})",
+                self.design.level
+            )
         })
     }
 }

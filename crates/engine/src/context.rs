@@ -66,7 +66,12 @@ pub struct ExecContext {
 impl ExecContext {
     /// Create a context for a plan with `n_nodes` nodes whose node→pipeline
     /// mapping is `pipeline_of` (see [`crate::pipeline::pipeline_of`]).
-    pub fn new(cfg: &ExecConfig, n_nodes: usize, pipeline_of: Vec<usize>, n_pipelines: usize) -> Self {
+    pub fn new(
+        cfg: &ExecConfig,
+        n_nodes: usize,
+        pipeline_of: Vec<usize>,
+        n_pipelines: usize,
+    ) -> Self {
         assert_eq!(pipeline_of.len(), n_nodes);
         let max_snapshots = cfg.max_snapshots.max(16);
         ExecContext {
@@ -119,8 +124,7 @@ impl ExecContext {
             // that fell inside the gap are skipped (nothing changed).
             self.take_snapshot();
             if self.next_snap <= self.clock {
-                let missed =
-                    ((self.clock - self.next_snap) / self.snap_interval).floor() + 1.0;
+                let missed = ((self.clock - self.next_snap) / self.snap_interval).floor() + 1.0;
                 self.next_snap += missed * self.snap_interval;
             }
         }
@@ -246,10 +250,8 @@ impl ExecContext {
             }
             self.snapshots = keep;
             self.snap_interval *= 2.0;
-            self.next_snap = self
-                .snapshots
-                .last()
-                .map_or(self.snap_interval, |s| s.time + self.snap_interval);
+            self.next_snap =
+                self.snapshots.last().map_or(self.snap_interval, |s| s.time + self.snap_interval);
         }
     }
 
@@ -262,12 +264,7 @@ impl ExecContext {
             bytes_read: self.bytes_read.clone().into_boxed_slice(),
             bytes_written: self.bytes_written.clone().into_boxed_slice(),
         });
-        let windows = self
-            .pipe_first
-            .iter()
-            .zip(&self.pipe_last)
-            .map(|(&a, &b)| (a, b))
-            .collect();
+        let windows = self.pipe_first.iter().zip(&self.pipe_last).map(|(&a, &b)| (a, b)).collect();
         ObservationTrace {
             snapshots: self.snapshots,
             final_k: self.k,
@@ -338,10 +335,7 @@ mod tests {
 
     #[test]
     fn pipeline_windows_track_activity() {
-        let cfg = ExecConfig {
-            cost: CostModel::deterministic(),
-            ..ExecConfig::default()
-        };
+        let cfg = ExecConfig { cost: CostModel::deterministic(), ..ExecConfig::default() };
         let mut ctx = ExecContext::new(&cfg, 2, vec![0, 1], 2);
         ctx.tick(0, 0);
         ctx.tick(0, 0);

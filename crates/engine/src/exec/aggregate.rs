@@ -120,10 +120,7 @@ impl Executor for HashAggregateExec<'_> {
         }
         let mut keys: Vec<GroupKey> = groups.keys().copied().collect();
         keys.sort_unstable();
-        self.out = keys
-            .iter()
-            .map(|k| emit_group(k, self.group_cols.len(), &groups[k]))
-            .collect();
+        self.out = keys.iter().map(|k| emit_group(k, self.group_cols.len(), &groups[k])).collect();
     }
 
     fn reopen(&mut self, _ctx: &mut ExecContext, _binding: i64) {

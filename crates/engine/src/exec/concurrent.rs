@@ -140,8 +140,7 @@ pub fn run_concurrent(
                 scope.spawn(move || {
                     let pipelines = decompose(plan);
                     let pmap = pipeline_of(plan, &pipelines);
-                    let mut ctx =
-                        ExecContext::new(&exec_cfg, plan.len(), pmap, pipelines.len());
+                    let mut ctx = ExecContext::new(&exec_cfg, plan.len(), pmap, pipelines.len());
                     ctx.attach_scheduler(Arc::clone(&sched), qi, quantum);
                     let start = sched.wait_turn(qi);
                     ctx.fast_forward(start);
@@ -155,19 +154,11 @@ pub fn run_concurrent(
                     }
                     drop(exec);
                     sched.finish(qi, ctx.now());
-                    QueryRun {
-                        plan: plan.clone(),
-                        pipelines,
-                        trace: ctx.finish(),
-                        result_rows,
-                    }
+                    QueryRun { plan: plan.clone(), pipelines, trace: ctx.finish(), result_rows }
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("query thread panicked"))
-            .collect()
+        handles.into_iter().map(|h| h.join().expect("query thread panicked")).collect()
     })
 }
 

@@ -32,7 +32,9 @@ enum Phase {
     /// Streaming probe against the in-memory partitions.
     Probe,
     /// Replaying spilled probe rows against re-read spilled partitions.
-    SpillReplay { idx: usize },
+    SpillReplay {
+        idx: usize,
+    },
     Done,
 }
 
@@ -160,30 +162,28 @@ impl Executor for HashJoinExec<'_> {
                 return Some(out);
             }
             match self.phase {
-                Phase::Probe => {
-                    match self.probe.next(ctx) {
-                        Some(t) => {
-                            ctx.charge_input(self.node, 4);
-                            let key = t.get(self.probe_key);
-                            if partition_of(key) < self.mem_parts {
-                                if let Some(matches) = self.table.get(&key) {
-                                    let matches = matches.clone();
-                                    self.set_pending(t, &matches);
-                                }
-                            } else {
-                                ctx.write_bytes(self.node, t.width_bytes());
-                                self.spilled_probe.push(t);
+                Phase::Probe => match self.probe.next(ctx) {
+                    Some(t) => {
+                        ctx.charge_input(self.node, 4);
+                        let key = t.get(self.probe_key);
+                        if partition_of(key) < self.mem_parts {
+                            if let Some(matches) = self.table.get(&key) {
+                                let matches = matches.clone();
+                                self.set_pending(t, &matches);
                             }
-                        }
-                        None => {
-                            if self.spilled_build.is_empty() && self.spilled_probe.is_empty() {
-                                self.phase = Phase::Done;
-                            } else {
-                                self.start_spill_replay(ctx);
-                            }
+                        } else {
+                            ctx.write_bytes(self.node, t.width_bytes());
+                            self.spilled_probe.push(t);
                         }
                     }
-                }
+                    None => {
+                        if self.spilled_build.is_empty() && self.spilled_probe.is_empty() {
+                            self.phase = Phase::Done;
+                        } else {
+                            self.start_spill_replay(ctx);
+                        }
+                    }
+                },
                 Phase::SpillReplay { idx } => {
                     if idx >= self.spilled_probe.len() {
                         self.phase = Phase::Done;

@@ -153,8 +153,7 @@ pub fn decompose(plan: &PhysicalPlan) -> Vec<Pipeline> {
                 .iter()
                 .copied()
                 .filter(|&id| {
-                    let no_child_inside =
-                        plan.node(id).children.iter().all(|&c| !in_pipe(c));
+                    let no_child_inside = plan.node(id).children.iter().all(|&c| !in_pipe(c));
                     no_child_inside && !nl_inner[id]
                 })
                 .collect();
@@ -168,8 +167,7 @@ pub fn decompose(plan: &PhysicalPlan) -> Vec<Pipeline> {
                 .copied()
                 .filter(|&id| matches!(plan.node(id).op, OperatorKind::IndexSeek { .. }))
                 .collect();
-            let nl_inner_nodes =
-                nodes.iter().copied().filter(|&id| nl_inner[id]).collect();
+            let nl_inner_nodes = nodes.iter().copied().filter(|&id| nl_inner[id]).collect();
             Pipeline {
                 id: pid,
                 nodes,

@@ -46,12 +46,23 @@ impl CmpOp {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Predicate {
     /// `col <op> constant`.
-    ColCmp { col: usize, op: CmpOp, val: i64 },
+    ColCmp {
+        col: usize,
+        op: CmpOp,
+        val: i64,
+    },
     /// `lo <= col <= hi`.
-    ColRange { col: usize, lo: i64, hi: i64 },
+    ColRange {
+        col: usize,
+        lo: i64,
+        hi: i64,
+    },
     /// `col <op> <current nested-loop binding>` — used on the inner side of
     /// a naive (rescan) nested-loop join.
-    BoundCmp { col: usize, op: CmpOp },
+    BoundCmp {
+        col: usize,
+        op: CmpOp,
+    },
     And(Box<Predicate>, Box<Predicate>),
     Or(Box<Predicate>, Box<Predicate>),
 }
@@ -351,8 +362,7 @@ impl PhysicalPlan {
             if !node.est_rows.is_finite() || node.est_rows < 0.0 {
                 return Err(format!("node {id} has invalid est_rows {}", node.est_rows));
             }
-            let child_cols =
-                |i: usize| -> usize { self.nodes[node.children[i]].out_cols };
+            let child_cols = |i: usize| -> usize { self.nodes[node.children[i]].out_cols };
             match &node.op {
                 OperatorKind::Filter { pred } => {
                     if let Some(mc) = pred.max_col() {
@@ -506,9 +516,8 @@ mod tests {
     #[test]
     fn validate_rejects_bad_filter_col() {
         let mut p = scan_filter_plan();
-        p.nodes[1].op = OperatorKind::Filter {
-            pred: Predicate::ColCmp { col: 7, op: CmpOp::Eq, val: 0 },
-        };
+        p.nodes[1].op =
+            OperatorKind::Filter { pred: Predicate::ColCmp { col: 7, op: CmpOp::Eq, val: 0 } };
         assert!(p.validate().is_err());
     }
 

@@ -117,8 +117,7 @@ impl QueryRun {
         if total <= 0.0 {
             return 0.0;
         }
-        let p: f64 =
-            self.pipelines[pid].nodes.iter().map(|&n| self.plan.node(n).est_rows).sum();
+        let p: f64 = self.pipelines[pid].nodes.iter().map(|&n| self.plan.node(n).est_rows).sum();
         p / total
     }
 }

@@ -91,9 +91,7 @@ fn filter_selectivity() {
         nodes: vec![
             node(OperatorKind::TableScan { table: "t".into(), cols: vec![0, 1] }, vec![], 10.0, 2),
             node(
-                OperatorKind::Filter {
-                    pred: Predicate::ColCmp { col: 1, op: CmpOp::Gt, val: 50 },
-                },
+                OperatorKind::Filter { pred: Predicate::ColCmp { col: 1, op: CmpOp::Gt, val: 50 } },
                 vec![0],
                 5.0,
                 2,

@@ -14,13 +14,20 @@ fn main() {
     let mut n = 0;
     for (qi, q) in w.queries.iter().enumerate() {
         let plan = builder.build(q).expect("plan");
-        let run = run_plan(&catalog, &plan, &ExecConfig { seed: 0xABC ^ qi as u64, ..ExecConfig::default() });
+        let run = run_plan(
+            &catalog,
+            &plan,
+            &ExecConfig { seed: 0xABC ^ qi as u64, ..ExecConfig::default() },
+        );
         for pid in 0..run.pipelines.len() {
             if let Some(errs) = evaluate_pipeline(&run, pid, &kinds) {
                 let three: Vec<f64> = errs[..3].iter().map(|e| e.l1).collect();
-                let best = (0..3).min_by(|&a, &b| three[a].partial_cmp(&three[b]).unwrap()).unwrap();
+                let best =
+                    (0..3).min_by(|&a, &b| three[a].partial_cmp(&three[b]).unwrap()).unwrap();
                 wins[best] += 1;
-                for (i, e) in errs.iter().enumerate() { sums[i] += e.l1; }
+                for (i, e) in errs.iter().enumerate() {
+                    sums[i] += e.l1;
+                }
                 n += 1;
             }
         }

@@ -64,11 +64,7 @@ pub fn evaluate_pipeline(
             .iter()
             .map(|&kind| {
                 let curve = obs.curve(kind);
-                EstimatorError {
-                    kind,
-                    l1: l1_error(&curve, &truth),
-                    l2: l2_error(&curve, &truth),
-                }
+                EstimatorError { kind, l1: l1_error(&curve, &truth), l2: l2_error(&curve, &truth) }
             })
             .collect(),
     )
@@ -78,10 +74,7 @@ pub fn evaluate_pipeline(
 /// estimates as the E_i-weighted sum of eq. (5). `choose` maps a pipeline
 /// id to the estimator used for it. The curve is aligned with *all*
 /// snapshots of the run.
-pub fn query_progress_curve(
-    run: &QueryRun,
-    choose: impl Fn(usize) -> EstimatorKind,
-) -> Vec<f64> {
+pub fn query_progress_curve(run: &QueryRun, choose: impl Fn(usize) -> EstimatorKind) -> Vec<f64> {
     let n_snaps = run.trace.snapshots.len();
     let mut acc = vec![0.0f64; n_snaps];
     let mut total_weight = 0.0;
@@ -104,9 +97,13 @@ pub fn query_progress_curve(
         };
         let kind = choose(pid);
         let curve = obs.curve(kind);
-        let (start, _) = obs.window;
-        // Before the window: 0; inside: the estimate; after: final value
-        // pinned to 1 (the pipeline's counters are final).
+        let (start, end) = obs.window;
+        // Before the window: 0; inside: the estimate; once the pipeline
+        // has finished (snapshot time at or past the window end): pinned
+        // to its full weight. The monitor observes pipeline completion
+        // directly, so a driver that was never exhausted (e.g. the inner
+        // side of an early-terminating merge join) must not leave the
+        // pipeline's contribution stuck below its weight forever.
         let mut ci = 0usize;
         for (j, s) in run.trace.snapshots.iter().enumerate() {
             if s.time < start {
@@ -115,7 +112,7 @@ pub fn query_progress_curve(
             while ci + 1 < obs.obs.len() && obs.obs[ci + 1] <= j {
                 ci += 1;
             }
-            if j > *obs.obs.last().unwrap() {
+            if s.time >= end || j > *obs.obs.last().unwrap() {
                 acc[j] += weight;
             } else {
                 acc[j] += weight * curve[ci.min(curve.len() - 1)];
@@ -149,7 +146,10 @@ mod tests {
         let off = vec![0.1, 0.6, 0.9];
         assert!((l1_error(&off, &truth) - 0.1).abs() < 1e-12);
         assert!((l2_error(&off, &truth) - 0.1).abs() < 1e-12);
-        assert!(l2_error(&[0.0, 0.3, 0.0], &[0.0, 0.0, 0.0]) > l1_error(&[0.0, 0.3, 0.0], &[0.0, 0.0, 0.0]));
+        assert!(
+            l2_error(&[0.0, 0.3, 0.0], &[0.0, 0.0, 0.0])
+                > l1_error(&[0.0, 0.3, 0.0], &[0.0, 0.0, 0.0])
+        );
     }
 
     #[test]

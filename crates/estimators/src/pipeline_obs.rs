@@ -240,9 +240,9 @@ impl<'a> PipelineObs<'a> {
             EstimatorKind::Dne => self.driver_curve(&self.drivers, &[]),
             EstimatorKind::BatchDne => self.driver_curve(&self.drivers, &self.batch_extra),
             EstimatorKind::DneSeek => self.driver_curve(&self.drivers, &self.seek_extra),
-            EstimatorKind::Tgn => (0..self.len())
-                .map(|i| clamp01(self.sum_k[i] / self.sum_e_clamped[i]))
-                .collect(),
+            EstimatorKind::Tgn => {
+                (0..self.len()).map(|i| clamp01(self.sum_k[i] / self.sum_e_clamped[i])).collect()
+            }
             EstimatorKind::TgnRaw => {
                 (0..self.len()).map(|i| clamp01(self.sum_k[i] / self.sum_e_raw)).collect()
             }
@@ -265,8 +265,7 @@ impl<'a> PipelineObs<'a> {
                 .collect(),
             EstimatorKind::Luo => self.luo_curve(),
             EstimatorKind::GetNextOracle => {
-                let total: f64 =
-                    self.nodes.iter().map(|&n| self.run.trace.final_k[n] as f64).sum();
+                let total: f64 = self.nodes.iter().map(|&n| self.run.trace.final_k[n] as f64).sum();
                 (0..self.len()).map(|i| clamp01(self.sum_k[i] / total.max(1.0))).collect()
             }
             EstimatorKind::BytesOracle => {
@@ -281,8 +280,7 @@ impl<'a> PipelineObs<'a> {
 
     /// DNE-family curve over `drivers ∪ extra` (eq. (4), (6), (7)).
     fn driver_curve(&self, drivers: &[(NodeId, f64)], extra: &[(NodeId, f64)]) -> Vec<f64> {
-        let total: f64 =
-            drivers.iter().chain(extra).map(|&(_, d)| d).sum();
+        let total: f64 = drivers.iter().chain(extra).map(|&(_, d)| d).sum();
         if total <= 0.0 {
             return vec![0.0; self.len()];
         }
@@ -290,8 +288,7 @@ impl<'a> PipelineObs<'a> {
             .iter()
             .map(|&j| {
                 let snap = &self.run.trace.snapshots[j];
-                let k: f64 =
-                    drivers.iter().chain(extra).map(|&(n, _)| snap.k[n] as f64).sum();
+                let k: f64 = drivers.iter().chain(extra).map(|&(n, _)| snap.k[n] as f64).sum();
                 clamp01(k / total)
             })
             .collect()
@@ -409,7 +406,12 @@ mod tests {
         let cat = Catalog::new(&db, &design);
         let plan = PhysicalPlan {
             nodes: vec![
-                node(OperatorKind::TableScan { table: "t".into(), cols: vec![0, 1] }, vec![], 2000.0, 2),
+                node(
+                    OperatorKind::TableScan { table: "t".into(), cols: vec![0, 1] },
+                    vec![],
+                    2000.0,
+                    2,
+                ),
                 node(
                     OperatorKind::Filter {
                         pred: Predicate::ColCmp { col: 1, op: CmpOp::Lt, val: 5 },
@@ -488,10 +490,7 @@ mod tests {
         };
         let oracle = l1(&p.curve(EstimatorKind::GetNextOracle));
         for kind in [EstimatorKind::Tgn, EstimatorKind::Pmax, EstimatorKind::Safe] {
-            assert!(
-                oracle <= l1(&p.curve(kind)) + 1e-9,
-                "oracle should beat {kind}"
-            );
+            assert!(oracle <= l1(&p.curve(kind)) + 1e-9, "oracle should beat {kind}");
         }
         assert!(oracle < 0.05, "oracle l1={oracle}");
     }

@@ -115,7 +115,12 @@ mod tests {
     fn scan_filter() -> PhysicalPlan {
         PhysicalPlan {
             nodes: vec![
-                node(OperatorKind::TableScan { table: "t".into(), cols: vec![0] }, vec![], 100.0, 1),
+                node(
+                    OperatorKind::TableScan { table: "t".into(), cols: vec![0] },
+                    vec![],
+                    100.0,
+                    1,
+                ),
                 node(
                     OperatorKind::Filter {
                         pred: Predicate::ColCmp { col: 0, op: CmpOp::Gt, val: 0 },
@@ -185,7 +190,12 @@ mod tests {
     fn top_bound_caps_at_n() {
         let plan = PhysicalPlan {
             nodes: vec![
-                node(OperatorKind::TableScan { table: "t".into(), cols: vec![0] }, vec![], 100.0, 1),
+                node(
+                    OperatorKind::TableScan { table: "t".into(), cols: vec![0] },
+                    vec![],
+                    100.0,
+                    1,
+                ),
                 node(OperatorKind::Top { n: 5 }, vec![0], 5.0, 1),
             ],
             root: 1,

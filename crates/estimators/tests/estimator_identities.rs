@@ -32,8 +32,7 @@ fn specialized_estimators_collapse_to_dne_without_their_operators() {
             }
             // DNESEEK only differs when seeks exist *outside* the driver
             // set (driver-set seeks are already part of DNE).
-            let extra_seeks =
-                p.index_seek_nodes.iter().any(|n| !p.driver_nodes.contains(n));
+            let extra_seeks = p.index_seek_nodes.iter().any(|n| !p.driver_nodes.contains(n));
             if !extra_seeks {
                 assert_eq!(dne, seek, "DNESEEK must equal DNE without non-driver seeks");
                 plain += 1;

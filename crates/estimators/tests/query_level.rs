@@ -60,10 +60,13 @@ fn mixed_per_pipeline_choices_are_valid() {
     // Alternate estimators per pipeline: still a valid probability curve.
     for run in some_runs(6) {
         let curve = query_progress_curve(&run, |pid| {
-            if pid % 2 == 0 { EstimatorKind::Tgn } else { EstimatorKind::Dne }
+            if pid % 2 == 0 {
+                EstimatorKind::Tgn
+            } else {
+                EstimatorKind::Dne
+            }
         });
-        let truth: Vec<f64> =
-            (0..curve.len()).map(|j| run.trace.true_progress(j)).collect();
+        let truth: Vec<f64> = (0..curve.len()).map(|j| run.trace.true_progress(j)).collect();
         let err = l1_error(&curve, &truth);
         assert!((0.0..=0.6).contains(&err), "mixed-choice query error {err}");
     }

@@ -39,9 +39,7 @@ fn no_single_estimator_dominates() {
     let three = [EstimatorKind::Dne, EstimatorKind::Tgn, EstimatorKind::Luo];
     let mut wins = [0usize; 3];
     for pipeline_errors in &errors {
-        let of = |k: EstimatorKind| {
-            pipeline_errors.iter().find(|(kk, _)| *kk == k).unwrap().1
-        };
+        let of = |k: EstimatorKind| pipeline_errors.iter().find(|(kk, _)| *kk == k).unwrap().1;
         let best = three
             .iter()
             .enumerate()
@@ -66,10 +64,7 @@ fn estimator_errors_bounded() {
         let errors = collect_errors(kind, 15);
         for pipeline_errors in &errors {
             for &(k, l1) in pipeline_errors {
-                assert!(
-                    (0.0..=1.0).contains(&l1),
-                    "{k}: implausible L1 {l1} on {kind:?}"
-                );
+                assert!((0.0..=1.0).contains(&l1), "{k}: implausible L1 {l1} on {kind:?}");
             }
         }
     }
@@ -81,12 +76,8 @@ fn oracle_getnext_model_outperforms_estimators_on_average() {
     let w = materialize(&spec);
     let catalog = Catalog::new(&w.db, &w.design);
     let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
-    let kinds = [
-        EstimatorKind::Dne,
-        EstimatorKind::Tgn,
-        EstimatorKind::Luo,
-        EstimatorKind::GetNextOracle,
-    ];
+    let kinds =
+        [EstimatorKind::Dne, EstimatorKind::Tgn, EstimatorKind::Luo, EstimatorKind::GetNextOracle];
     let mut sums = [0.0f64; 4];
     let mut n = 0usize;
     for (qi, q) in w.queries.iter().enumerate() {
@@ -107,12 +98,7 @@ fn oracle_getnext_model_outperforms_estimators_on_average() {
     // §6.7: the idealized GetNext model is far better than any practical
     // estimator and has a small absolute error.
     for i in 0..3 {
-        assert!(
-            oracle < avg[i],
-            "oracle {oracle:.4} should beat {} ({:.4})",
-            kinds[i],
-            avg[i]
-        );
+        assert!(oracle < avg[i], "oracle {oracle:.4} should beat {} ({:.4})", kinds[i], avg[i]);
     }
     assert!(oracle < 0.12, "oracle L1 too high: {oracle:.4}");
 }
@@ -121,10 +107,8 @@ fn oracle_getnext_model_outperforms_estimators_on_average() {
 fn worst_case_estimators_are_poor_in_practice() {
     let errors = collect_errors(WorkloadKind::TpchLike, 25);
     let mean = |k: EstimatorKind| -> f64 {
-        let vals: Vec<f64> = errors
-            .iter()
-            .map(|pe| pe.iter().find(|(kk, _)| *kk == k).unwrap().1)
-            .collect();
+        let vals: Vec<f64> =
+            errors.iter().map(|pe| pe.iter().find(|(kk, _)| *kk == k).unwrap().1).collect();
         vals.iter().sum::<f64>() / vals.len() as f64
     };
     let pmax = mean(EstimatorKind::Pmax);
@@ -162,8 +146,7 @@ fn specialized_estimators_help_their_target_cases() {
             if p.index_seek_nodes.is_empty() || p.batch_sort_nodes.is_empty() {
                 continue;
             }
-            let kinds =
-                [EstimatorKind::Dne, EstimatorKind::DneSeek, EstimatorKind::BatchDne];
+            let kinds = [EstimatorKind::Dne, EstimatorKind::DneSeek, EstimatorKind::BatchDne];
             if let Some(errs) = evaluate_pipeline(&run, pid, &kinds) {
                 dne_sum += errs[0].l1;
                 seek_sum += errs[1].l1;

@@ -239,8 +239,7 @@ mod tests {
     #[test]
     fn subsample_one_trains_on_everything() {
         let train = synthetic(300, 6);
-        let model =
-            Mart::train(&train, &BoostParams { subsample: 1.0, ..BoostParams::default() });
+        let model = Mart::train(&train, &BoostParams { subsample: 1.0, ..BoostParams::default() });
         assert!(model.mse(&train) < 0.05);
     }
 }

@@ -19,14 +19,7 @@ pub struct TreeNode {
 
 impl TreeNode {
     fn leaf(value: f32) -> Self {
-        TreeNode {
-            feature: u32::MAX,
-            threshold: 0.0,
-            bin_threshold: 0,
-            left: 0,
-            right: 0,
-            value,
-        }
+        TreeNode { feature: u32::MAX, threshold: 0.0, bin_threshold: 0, left: 0, right: 0, value }
     }
 
     #[inline]
@@ -104,8 +97,7 @@ impl RegressionTree {
             if rs.is_empty() {
                 0.0
             } else {
-                rs.iter().map(|&r| targets[r as usize] as f64).sum::<f64>() as f32
-                    / rs.len() as f32
+                rs.iter().map(|&r| targets[r as usize] as f64).sum::<f64>() as f32 / rs.len() as f32
             }
         };
 
@@ -135,10 +127,8 @@ impl RegressionTree {
             let leaf = leaves.swap_remove(best_idx);
             let split = leaf.split.unwrap();
 
-            let (left_rows, right_rows): (Vec<u32>, Vec<u32>) = leaf
-                .rows
-                .iter()
-                .partition(|&&r| data.bin(r as usize, split.feature) <= split.bin);
+            let (left_rows, right_rows): (Vec<u32>, Vec<u32>) =
+                leaf.rows.iter().partition(|&&r| data.bin(r as usize, split.feature) <= split.bin);
             debug_assert!(!left_rows.is_empty() && !right_rows.is_empty());
 
             let left_node = tree.nodes.len();
@@ -223,8 +213,7 @@ fn best_split(
     }
     let nf = data.n_features();
     // Histograms: per feature per bin, (count, target sum).
-    let max_bins =
-        features.iter().map(|&f| data.n_bins(f as usize)).max().unwrap_or(1);
+    let max_bins = features.iter().map(|&f| data.n_bins(f as usize)).max().unwrap_or(1);
     let mut hist_cnt = vec![0u32; nf * max_bins];
     let mut hist_sum = vec![0f64; nf * max_bins];
     let mut total_sum = 0f64;
@@ -262,8 +251,7 @@ fn best_split(
                 continue;
             }
             let sum_r = total_sum - sum_l;
-            let score =
-                sum_l * sum_l / cnt_l as f64 + sum_r * sum_r / cnt_r as f64 - base_score;
+            let score = sum_l * sum_l / cnt_l as f64 + sum_r * sum_r / cnt_r as f64 - base_score;
             if score > 1e-12 && best.is_none_or(|s| score > s.gain) {
                 best = Some(Split { gain: score, feature: f, bin: b as u8 });
             }
@@ -292,15 +280,12 @@ mod tests {
     fn learns_step_function() {
         let (d, b) = step_data();
         let rows: Vec<u32> = (0..d.len() as u32).collect();
-        let (tree, preds) =
-            RegressionTree::fit(&b, d.targets(), &rows, &TreeParams::default());
+        let (tree, preds) = RegressionTree::fit(&b, d.targets(), &rows, &TreeParams::default());
         assert!(tree.n_leaves() >= 2);
         // Perfectly separable: training MSE should be ~0.
-        let mse: f64 = (0..d.len())
-            .map(|i| (preds[i] - d.target(i)) as f64)
-            .map(|e| e * e)
-            .sum::<f64>()
-            / d.len() as f64;
+        let mse: f64 =
+            (0..d.len()).map(|i| (preds[i] - d.target(i)) as f64).map(|e| e * e).sum::<f64>()
+                / d.len() as f64;
         assert!(mse < 1e-6, "mse {mse}");
         // Raw-value prediction agrees with binned prediction.
         for i in [0usize, 10, 51, 199] {
@@ -329,8 +314,7 @@ mod tests {
         }
         let b = BinnedDataset::build(&d);
         let rows: Vec<u32> = (0..50).collect();
-        let (tree, preds) =
-            RegressionTree::fit(&b, d.targets(), &rows, &TreeParams::default());
+        let (tree, preds) = RegressionTree::fit(&b, d.targets(), &rows, &TreeParams::default());
         assert_eq!(tree.n_leaves(), 1);
         assert!(preds.iter().all(|&p| (p - 3.25).abs() < 1e-6));
     }

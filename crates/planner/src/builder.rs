@@ -339,11 +339,8 @@ impl<'a> PlanBuilder<'a> {
             );
         }
 
-        let mut bound: Vec<BoundCol> = needed
-            .cols
-            .iter()
-            .map(|c| BoundCol { table_idx, name: c.clone() })
-            .collect();
+        let mut bound: Vec<BoundCol> =
+            needed.cols.iter().map(|c| BoundCol { table_idx, name: c.clone() }).collect();
 
         // Project away the filter-only suffix.
         if needed.carry_len < needed.cols.len() {
@@ -392,8 +389,11 @@ impl<'a> PlanBuilder<'a> {
 
         let local_filters: Vec<(usize, FilterSpec)> =
             tref.filters.iter().map(|f| (table.col(f.col()), f.clone())).collect();
-        let local_sel =
-            if local_filters.is_empty() { 1.0 } else { conjunct_selectivity(tstats, &local_filters) };
+        let local_sel = if local_filters.is_empty() {
+            1.0
+        } else {
+            conjunct_selectivity(tstats, &local_filters)
+        };
         let t_after = (t_rows * local_sel).max(1.0);
 
         let left_base = &spec.tables[join.left_table].table;
@@ -415,11 +415,8 @@ impl<'a> PlanBuilder<'a> {
         } else {
             self.cfg.seek_cost
         };
-        let cost_nlj = if idx_on_right {
-            cur.est * eff_seek_cost + post_join
-        } else {
-            f64::INFINITY
-        };
+        let cost_nlj =
+            if idx_on_right { cur.est * eff_seek_cost + post_join } else { f64::INFINITY };
         let cost_rescan = if tstats.rows <= self.cfg.tiny_inner_rows {
             cur.est * t_rows * 0.5 + post_join
         } else {
@@ -427,15 +424,11 @@ impl<'a> PlanBuilder<'a> {
         };
         let merge_feasible =
             idx_on_right && cur.sorted == Some(left_pos) && local_filters.is_empty();
-        let cost_merge =
-            if merge_feasible { cur.est + t_rows + post_join } else { f64::INFINITY };
+        let cost_merge = if merge_feasible { cur.est + t_rows + post_join } else { f64::INFINITY };
         // Hash joins whose build side exceeds memory pay for spilling.
         let est_build_bytes = t_after.min(cur.est) * 24.0;
-        let spill_penalty = if est_build_bytes > 24.0 * 1024.0 {
-            0.8 * (t_after + cur.est)
-        } else {
-            0.0
-        };
+        let spill_penalty =
+            if est_build_bytes > 24.0 * 1024.0 { 0.8 * (t_after + cur.est) } else { 0.0 };
         let cost_hash = t_after.min(cur.est) * self.cfg.hash_build_cost
             + t_after.max(cur.est)
             + post_join
@@ -451,12 +444,27 @@ impl<'a> PlanBuilder<'a> {
 
         if best == cost_merge {
             return Ok(self.build_merge_join(
-                nodes, cur, join_idx, right_idx, spec, right_needed, left_pos, t_rows, post_join,
+                nodes,
+                cur,
+                join_idx,
+                right_idx,
+                spec,
+                right_needed,
+                left_pos,
+                t_rows,
+                post_join,
             ));
         }
         if best == cost_sort_merge {
             return Ok(self.build_sort_merge_join(
-                nodes, cur, spec, join_idx, right_idx, right_needed, left_pos, post_join,
+                nodes,
+                cur,
+                spec,
+                join_idx,
+                right_idx,
+                right_needed,
+                left_pos,
+                post_join,
             ));
         }
         if best == cost_nlj || best == cost_rescan {
@@ -474,7 +482,16 @@ impl<'a> PlanBuilder<'a> {
                 best == cost_nlj,
             ));
         }
-        Ok(self.build_hash_join(nodes, cur, spec, join_idx, right_idx, right_needed, left_pos, post_join))
+        Ok(self.build_hash_join(
+            nodes,
+            cur,
+            spec,
+            join_idx,
+            right_idx,
+            right_needed,
+            left_pos,
+            post_join,
+        ))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -715,9 +732,25 @@ impl<'a> PlanBuilder<'a> {
         // Build the smaller estimated side.
         let (probe, build, probe_key, build_key, probe_bound, build_bound, probe_sorted) =
             if right_sub.est <= cur.est {
-                (cur.root, right_sub.root, left_pos, right_key, cur.bound, right_sub.bound, cur.sorted)
+                (
+                    cur.root,
+                    right_sub.root,
+                    left_pos,
+                    right_key,
+                    cur.bound,
+                    right_sub.bound,
+                    cur.sorted,
+                )
             } else {
-                (right_sub.root, cur.root, right_key, left_pos, right_sub.bound, cur.bound, right_sub.sorted)
+                (
+                    right_sub.root,
+                    cur.root,
+                    right_key,
+                    left_pos,
+                    right_sub.bound,
+                    cur.bound,
+                    right_sub.sorted,
+                )
             };
         let out_cols = probe_bound.len() + build_bound.len();
         let root = push(
@@ -806,11 +839,8 @@ impl<'a> PlanBuilder<'a> {
                 .position(|b| b.table_idx == t && b.name == c)
                 .ok_or_else(|| format!("aggregate column {t}.{c} not in scope"))
         };
-        let group_pos: Vec<usize> = agg
-            .group_cols
-            .iter()
-            .map(|(t, c)| find(*t, c))
-            .collect::<Result<_, String>>()?;
+        let group_pos: Vec<usize> =
+            agg.group_cols.iter().map(|(t, c)| find(*t, c)).collect::<Result<_, String>>()?;
         let aggs: Vec<AggFunc> = agg
             .aggs
             .iter()
@@ -834,8 +864,9 @@ impl<'a> PlanBuilder<'a> {
             .collect();
         let est = group_count(cur.est, &group_stats);
         let out_cols = group_pos.len() + aggs.len();
-        let streaming =
-            group_pos.len() == 1 && cur.sorted.is_some() && cur.sorted == group_pos.first().copied();
+        let streaming = group_pos.len() == 1
+            && cur.sorted.is_some()
+            && cur.sorted == group_pos.first().copied();
         let op = if streaming {
             OperatorKind::StreamAggregate { group_cols: group_pos.clone(), aggs }
         } else {

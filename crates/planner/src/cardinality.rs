@@ -33,14 +33,8 @@ pub fn filter_selectivity(stats: &TableStats, col: usize, filter: &FilterSpec) -
 
 /// Combined selectivity of several filters on one table under the
 /// attribute-independence assumption.
-pub fn conjunct_selectivity(
-    stats: &TableStats,
-    filters: &[(usize, FilterSpec)],
-) -> f64 {
-    filters
-        .iter()
-        .map(|(col, f)| filter_selectivity(stats, *col, f))
-        .product()
+pub fn conjunct_selectivity(stats: &TableStats, filters: &[(usize, FilterSpec)]) -> f64 {
+    filters.iter().map(|(col, f)| filter_selectivity(stats, *col, f)).product()
 }
 
 /// Equi-join size estimate under the containment assumption:
@@ -49,7 +43,12 @@ pub fn conjunct_selectivity(
 /// NDVs come from *base-table* statistics — filters are assumed not to
 /// change the value distribution (independence again), a second classic
 /// error source.
-pub fn join_size(left_rows: f64, right_rows: f64, left_col: &ColumnStats, right_col: &ColumnStats) -> f64 {
+pub fn join_size(
+    left_rows: f64,
+    right_rows: f64,
+    left_col: &ColumnStats,
+    right_col: &ColumnStats,
+) -> f64 {
     let ndv = left_col.ndv.max(right_col.ndv).max(1.0);
     (left_rows * right_rows / ndv).max(0.0)
 }
@@ -103,11 +102,8 @@ mod tests {
     #[test]
     fn range_selectivity() {
         let stats = table_with((0..1000).collect());
-        let sel = filter_selectivity(
-            &stats,
-            0,
-            &FilterSpec::Range { col: "c".into(), lo: 0, hi: 249 },
-        );
+        let sel =
+            filter_selectivity(&stats, 0, &FilterSpec::Range { col: "c".into(), lo: 0, hi: 249 });
         assert!((sel - 0.25).abs() < 0.1, "sel {sel}");
         let gt = filter_selectivity(
             &stats,

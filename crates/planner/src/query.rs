@@ -90,7 +90,13 @@ pub struct QuerySpec {
 impl QuerySpec {
     /// Single-table query.
     pub fn single(table: TableRef) -> Self {
-        QuerySpec { tables: vec![table], joins: Vec::new(), aggregate: None, order_by: None, top: None }
+        QuerySpec {
+            tables: vec![table],
+            joins: Vec::new(),
+            aggregate: None,
+            order_by: None,
+            top: None,
+        }
     }
 
     /// Validate index invariants (joins reference earlier tables, etc.).
@@ -171,7 +177,8 @@ mod tests {
     #[test]
     fn validate_aggregate_rules() {
         let mut q = QuerySpec::single(TableRef::new("a"));
-        q.aggregate = Some(AggSpec { group_cols: vec![], aggs: vec![AggKind::Count], having: None });
+        q.aggregate =
+            Some(AggSpec { group_cols: vec![], aggs: vec![AggKind::Count], having: None });
         assert!(q.validate().is_err());
         q.aggregate = Some(AggSpec {
             group_cols: vec![(0, "c".into())],

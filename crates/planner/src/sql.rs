@@ -229,9 +229,7 @@ fn parse_raw(sql: &str) -> Result<RawQuery, SqlError> {
         let t = p.next()?.clone();
         match t {
             Tok::Ident(name)
-                if ["COUNT", "SUM", "MIN", "MAX"]
-                    .iter()
-                    .any(|f| name.eq_ignore_ascii_case(f))
+                if ["COUNT", "SUM", "MIN", "MAX"].iter().any(|f| name.eq_ignore_ascii_case(f))
                     && p.peek() == Some(&Tok::LParen) =>
             {
                 p.next()?; // (
@@ -247,9 +245,7 @@ fn parse_raw(sql: &str) -> Result<RawQuery, SqlError> {
                 select.push(SelectItem::Agg { func: name.to_uppercase(), col });
             }
             Tok::Ident(name) => select.push(SelectItem::Column(name)),
-            Tok::Star => {
-                return err("SELECT * is not supported; name the columns".to_string())
-            }
+            Tok::Star => return err("SELECT * is not supported; name the columns".to_string()),
             t => return err(format!("bad select item {t:?}")),
         }
         if p.peek() == Some(&Tok::Comma) {
@@ -389,9 +385,7 @@ fn parse_raw(sql: &str) -> Result<RawQuery, SqlError> {
 fn table_of(db: &Database, from: &[String], col: &str) -> Result<usize, SqlError> {
     let mut found = None;
     for (ti, t) in from.iter().enumerate() {
-        let table = db
-            .try_table(t)
-            .ok_or_else(|| SqlError(format!("unknown table {t}")))?;
+        let table = db.try_table(t).ok_or_else(|| SqlError(format!("unknown table {t}")))?;
         if table.meta.col(col).is_some() {
             if found.is_some() {
                 return err(format!("ambiguous column {col}"));
@@ -479,7 +473,9 @@ pub fn parse_sql(db: &Database, sql: &str) -> Result<QuerySpec, SqlError> {
             }
         }
         if !attached {
-            return err("FROM tables are not connected by join predicates (cross joins are not supported)");
+            return err(
+                "FROM tables are not connected by join predicates (cross joins are not supported)",
+            );
         }
     }
     let pos_of = |from_idx: usize| order.iter().position(|&t| t == from_idx).expect("ordered");
@@ -539,18 +535,15 @@ pub fn parse_sql(db: &Database, sql: &str) -> Result<QuerySpec, SqlError> {
                 let SelectItem::Agg { func, col } = item else { unreachable!() };
                 Ok(match (func.as_str(), col) {
                     ("COUNT", _) => AggKind::Count,
-                    ("SUM", Some(c)) => AggKind::Sum {
-                        table: pos_of(table_of(db, &raw.from, c)?),
-                        col: c.clone(),
-                    },
-                    ("MIN", Some(c)) => AggKind::Min {
-                        table: pos_of(table_of(db, &raw.from, c)?),
-                        col: c.clone(),
-                    },
-                    ("MAX", Some(c)) => AggKind::Max {
-                        table: pos_of(table_of(db, &raw.from, c)?),
-                        col: c.clone(),
-                    },
+                    ("SUM", Some(c)) => {
+                        AggKind::Sum { table: pos_of(table_of(db, &raw.from, c)?), col: c.clone() }
+                    }
+                    ("MIN", Some(c)) => {
+                        AggKind::Min { table: pos_of(table_of(db, &raw.from, c)?), col: c.clone() }
+                    }
+                    ("MAX", Some(c)) => {
+                        AggKind::Max { table: pos_of(table_of(db, &raw.from, c)?), col: c.clone() }
+                    }
                     (f, None) => return err(format!("{f} requires a column")),
                     (f, _) => return err(format!("unknown aggregate {f}")),
                 })
@@ -582,18 +575,16 @@ pub fn parse_sql(db: &Database, sql: &str) -> Result<QuerySpec, SqlError> {
             }
         }
         Some(OrderBy::Column(c)) => {
-            if aggregate.is_some() {
-                // Must be a group column to survive the aggregate.
-                Some(OrderTarget::Column {
-                    table: pos_of(table_of(db, &raw.from, &c)?),
-                    col: c,
-                })
-            } else {
-                Some(OrderTarget::Column {
-                    table: pos_of(table_of(db, &raw.from, &c)?),
-                    col: c,
-                })
+            let table = pos_of(table_of(db, &raw.from, &c)?);
+            // Must be a group column to survive the aggregate.
+            if let Some(agg) = &aggregate {
+                if !agg.group_cols.iter().any(|(t, gc)| *t == table && *gc == c) {
+                    return Err(SqlError(format!(
+                        "ORDER BY column {c:?} is not in the GROUP BY list"
+                    )));
+                }
             }
+            Some(OrderTarget::Column { table, col: c })
         }
     };
 
@@ -677,14 +668,8 @@ mod tests {
             ("SELECT FROM lineitem", "expected FROM"),
             ("SELECT l_quantity FROM nosuch", "unknown table"),
             ("SELECT zzz FROM lineitem", "unknown column"),
-            (
-                "SELECT l_quantity, o_totalprice FROM lineitem, orders",
-                "not connected",
-            ),
-            (
-                "SELECT l_quantity FROM lineitem WHERE l_quantity < l_discount",
-                "equi-join",
-            ),
+            ("SELECT l_quantity, o_totalprice FROM lineitem, orders", "not connected"),
+            ("SELECT l_quantity FROM lineitem WHERE l_quantity < l_discount", "equi-join"),
             ("SELECT COUNT(*) FROM lineitem LIMIT 0", "LIMIT must be positive"),
             ("SELECT l_quantity FROM lineitem HAVING COUNT(*) > 1", "HAVING requires"),
         ] {

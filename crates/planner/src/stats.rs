@@ -35,7 +35,11 @@ impl EquiDepthHistogram {
     /// The sample is sorted in place.
     pub fn build(sample: &mut [i64], total_rows: u64) -> Self {
         if sample.is_empty() {
-            return EquiDepthHistogram { bounds: vec![0, 0], counts: vec![0.0], distincts: vec![0.0] };
+            return EquiDepthHistogram {
+                bounds: vec![0, 0],
+                counts: vec![0.0],
+                distincts: vec![0.0],
+            };
         }
         sample.sort_unstable();
         let n = sample.len();
@@ -235,17 +239,12 @@ pub struct DbStats {
 impl DbStats {
     pub fn build(db: &Database) -> Self {
         DbStats {
-            tables: db
-                .tables()
-                .map(|t| (t.name().to_string(), TableStats::build(t)))
-                .collect(),
+            tables: db.tables().map(|t| (t.name().to_string(), TableStats::build(t))).collect(),
         }
     }
 
     pub fn table(&self, name: &str) -> &TableStats {
-        self.tables
-            .get(name)
-            .unwrap_or_else(|| panic!("no statistics for table {name}"))
+        self.tables.get(name).unwrap_or_else(|| panic!("no statistics for table {name}"))
     }
 }
 

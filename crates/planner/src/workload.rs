@@ -110,13 +110,7 @@ impl WorkloadSpec {
 
     /// Short identifier used in reports.
     pub fn label(&self) -> String {
-        format!(
-            "{}_sf{}_z{}_{}",
-            self.kind.name(),
-            self.scale,
-            self.skew,
-            self.tuning.name()
-        )
+        format!("{}_sf{}_z{}_{}", self.kind.name(), self.scale, self.skew, self.tuning.name())
     }
 }
 
@@ -245,7 +239,13 @@ fn tpch_template(rng: &mut StdRng, stats: &DbStats) -> QuerySpec {
         // Q1-style pricing summary over lineitem.
         0 => QuerySpec {
             tables: vec![TableRef::new("lineitem").with_filter(range_filter(
-                stats, rng, "lineitem", L_SHIPDATE, "l_shipdate", 0.5, 0.95,
+                stats,
+                rng,
+                "lineitem",
+                L_SHIPDATE,
+                "l_shipdate",
+                0.5,
+                0.95,
             ))],
             joins: vec![],
             aggregate: Some(AggSpec {
@@ -264,17 +264,24 @@ fn tpch_template(rng: &mut StdRng, stats: &DbStats) -> QuerySpec {
         1 => QuerySpec {
             tables: vec![
                 TableRef::new("customer").with_filter(eq_filter(
-                    stats, rng, "customer", C_MKTSEGMENT, "c_mktsegment",
+                    stats,
+                    rng,
+                    "customer",
+                    C_MKTSEGMENT,
+                    "c_mktsegment",
                 )),
                 TableRef::new("orders").with_filter(range_filter(
-                    stats, rng, "orders", O_ORDERDATE, "o_orderdate", 0.1, 0.6,
+                    stats,
+                    rng,
+                    "orders",
+                    O_ORDERDATE,
+                    "o_orderdate",
+                    0.1,
+                    0.6,
                 )),
                 TableRef::new("lineitem"),
             ],
-            joins: vec![
-                join(0, "c_custkey", "o_custkey"),
-                join(1, "o_orderkey", "l_orderkey"),
-            ],
+            joins: vec![join(0, "c_custkey", "o_custkey"), join(1, "o_orderkey", "l_orderkey")],
             aggregate: Some(AggSpec {
                 group_cols: vec![(1, "o_orderdate".into())],
                 aggs: vec![AggKind::Sum { table: 2, col: "l_extendedprice".into() }],
@@ -287,7 +294,13 @@ fn tpch_template(rng: &mut StdRng, stats: &DbStats) -> QuerySpec {
         2 => QuerySpec {
             tables: vec![
                 TableRef::new("orders").with_filter(range_filter(
-                    stats, rng, "orders", O_ORDERDATE, "o_orderdate", 0.05, 0.3,
+                    stats,
+                    rng,
+                    "orders",
+                    O_ORDERDATE,
+                    "o_orderdate",
+                    0.05,
+                    0.3,
                 )),
                 TableRef::new("lineitem"),
             ],
@@ -305,7 +318,13 @@ fn tpch_template(rng: &mut StdRng, stats: &DbStats) -> QuerySpec {
             tables: vec![
                 TableRef::new("customer"),
                 TableRef::new("orders").with_filter(range_filter(
-                    stats, rng, "orders", O_ORDERDATE, "o_orderdate", 0.1, 0.4,
+                    stats,
+                    rng,
+                    "orders",
+                    O_ORDERDATE,
+                    "o_orderdate",
+                    0.1,
+                    0.4,
                 )),
                 TableRef::new("lineitem"),
                 TableRef::new("supplier"),
@@ -335,7 +354,13 @@ fn tpch_template(rng: &mut StdRng, stats: &DbStats) -> QuerySpec {
         4 => QuerySpec {
             tables: vec![TableRef::new("lineitem")
                 .with_filter(range_filter(
-                    stats, rng, "lineitem", L_SHIPDATE, "l_shipdate", 0.1, 0.25,
+                    stats,
+                    rng,
+                    "lineitem",
+                    L_SHIPDATE,
+                    "l_shipdate",
+                    0.1,
+                    0.25,
                 ))
                 .with_filter(FilterSpec::Range {
                     col: "l_discount".into(),
@@ -359,7 +384,8 @@ fn tpch_template(rng: &mut StdRng, stats: &DbStats) -> QuerySpec {
         // Q17-style small-quantity-order revenue: part ⋈ lineitem.
         5 => QuerySpec {
             tables: vec![
-                TableRef::new("part").with_filter(eq_filter(stats, rng, "part", P_BRAND, "p_brand")),
+                TableRef::new("part")
+                    .with_filter(eq_filter(stats, rng, "part", P_BRAND, "p_brand")),
                 TableRef::new("lineitem"),
             ],
             joins: vec![join(0, "p_partkey", "l_partkey")],
@@ -407,14 +433,17 @@ fn tpch_template(rng: &mut StdRng, stats: &DbStats) -> QuerySpec {
             tables: vec![
                 TableRef::new("supplier"),
                 TableRef::new("lineitem").with_filter(range_filter(
-                    stats, rng, "lineitem", L_SHIPDATE, "l_shipdate", 0.2, 0.6,
+                    stats,
+                    rng,
+                    "lineitem",
+                    L_SHIPDATE,
+                    "l_shipdate",
+                    0.2,
+                    0.6,
                 )),
                 TableRef::new("orders"),
             ],
-            joins: vec![
-                join(0, "s_suppkey", "l_suppkey"),
-                join(1, "l_orderkey", "o_orderkey"),
-            ],
+            joins: vec![join(0, "s_suppkey", "l_suppkey"), join(1, "l_orderkey", "o_orderkey")],
             aggregate: Some(AggSpec {
                 group_cols: vec![(0, "s_suppkey".into())],
                 aggs: vec![AggKind::Count],
@@ -426,7 +455,13 @@ fn tpch_template(rng: &mut StdRng, stats: &DbStats) -> QuerySpec {
         // Expensive-orders listing: sort + top, no aggregate.
         9 => QuerySpec {
             tables: vec![TableRef::new("orders").with_filter(range_filter(
-                stats, rng, "orders", O_TOTALPRICE, "o_totalprice", 0.05, 0.4,
+                stats,
+                rng,
+                "orders",
+                O_TOTALPRICE,
+                "o_totalprice",
+                0.05,
+                0.4,
             ))],
             joins: vec![],
             aggregate: None,
@@ -440,10 +475,7 @@ fn tpch_template(rng: &mut StdRng, stats: &DbStats) -> QuerySpec {
                 TableRef::new("supplier"),
                 TableRef::new("nation"),
             ],
-            joins: vec![
-                join(0, "ps_suppkey", "s_suppkey"),
-                join(1, "s_nationkey", "n_nationkey"),
-            ],
+            joins: vec![join(0, "ps_suppkey", "s_suppkey"), join(1, "s_nationkey", "n_nationkey")],
             aggregate: Some(AggSpec {
                 group_cols: vec![(2, "n_nationkey".into())],
                 aggs: vec![AggKind::Sum { table: 0, col: "ps_availqty".into() }],
@@ -458,15 +490,18 @@ fn tpch_template(rng: &mut StdRng, stats: &DbStats) -> QuerySpec {
         11 => QuerySpec {
             tables: vec![
                 TableRef::new("orders").with_filter(range_filter(
-                    stats, rng, "orders", O_ORDERDATE, "o_orderdate", 0.01, 0.06,
+                    stats,
+                    rng,
+                    "orders",
+                    O_ORDERDATE,
+                    "o_orderdate",
+                    0.01,
+                    0.06,
                 )),
                 TableRef::new("customer"),
                 TableRef::new("nation"),
             ],
-            joins: vec![
-                join(0, "o_custkey", "c_custkey"),
-                join(1, "c_nationkey", "n_nationkey"),
-            ],
+            joins: vec![join(0, "o_custkey", "c_custkey"), join(1, "c_nationkey", "n_nationkey")],
             aggregate: Some(AggSpec {
                 group_cols: vec![(2, "n_nationkey".into())],
                 aggs: vec![AggKind::Sum { table: 0, col: "o_totalprice".into() }],
@@ -480,7 +515,13 @@ fn tpch_template(rng: &mut StdRng, stats: &DbStats) -> QuerySpec {
         12 => QuerySpec {
             tables: vec![
                 TableRef::new("lineitem").with_filter(range_filter(
-                    stats, rng, "lineitem", L_SHIPDATE, "l_shipdate", 0.01, 0.05,
+                    stats,
+                    rng,
+                    "lineitem",
+                    L_SHIPDATE,
+                    "l_shipdate",
+                    0.01,
+                    0.05,
                 )),
                 TableRef::new("orders"),
             ],
@@ -499,7 +540,13 @@ fn tpch_template(rng: &mut StdRng, stats: &DbStats) -> QuerySpec {
                 TableRef::new("lineitem")
                     .with_filter(eq_filter(stats, rng, "lineitem", 10, "l_shipmode"))
                     .with_filter(range_filter(
-                        stats, rng, "lineitem", 7, "l_receiptdate", 0.1, 0.5,
+                        stats,
+                        rng,
+                        "lineitem",
+                        7,
+                        "l_receiptdate",
+                        0.1,
+                        0.5,
                     )),
                 TableRef::new("orders"),
             ],
@@ -536,7 +583,11 @@ fn tpcds_template(rng: &mut StdRng, stats: &DbStats) -> QuerySpec {
                         val: rng.random_range(1..=12),
                     }),
                 TableRef::new("item").with_filter(eq_filter(
-                    stats, rng, "item", I_CATEGORY, "i_category",
+                    stats,
+                    rng,
+                    "item",
+                    I_CATEGORY,
+                    "i_category",
                 )),
             ],
             joins: vec![
@@ -556,7 +607,11 @@ fn tpcds_template(rng: &mut StdRng, stats: &DbStats) -> QuerySpec {
             tables: vec![
                 TableRef::new("store_sales"),
                 TableRef::new("item").with_filter(eq_filter(
-                    stats, rng, "item", I_CATEGORY, "i_category",
+                    stats,
+                    rng,
+                    "item",
+                    I_CATEGORY,
+                    "i_category",
                 )),
             ],
             joins: vec![join(0, "ss_item_sk", "i_item_sk")],
@@ -573,7 +628,13 @@ fn tpcds_template(rng: &mut StdRng, stats: &DbStats) -> QuerySpec {
             tables: vec![
                 TableRef::new("store_sales"),
                 TableRef::new("date_dim").with_filter(range_filter(
-                    stats, rng, "date_dim", 0, "d_date_sk", 0.1, 0.5,
+                    stats,
+                    rng,
+                    "date_dim",
+                    0,
+                    "d_date_sk",
+                    0.1,
+                    0.5,
                 )),
                 TableRef::new("store"),
                 TableRef::new("customer_dim").with_filter(FilterSpec::Cmp {
@@ -606,10 +667,7 @@ fn tpcds_template(rng: &mut StdRng, stats: &DbStats) -> QuerySpec {
                 }),
                 TableRef::new("item"),
             ],
-            joins: vec![
-                join(0, "ss_promo_sk", "p_promo_sk"),
-                join(0, "ss_item_sk", "i_item_sk"),
-            ],
+            joins: vec![join(0, "ss_promo_sk", "p_promo_sk"), join(0, "ss_item_sk", "i_item_sk")],
             aggregate: Some(AggSpec {
                 group_cols: vec![(2, "i_category".into())],
                 aggs: vec![AggKind::Sum { table: 0, col: "ss_ext_sales_price".into() }],
@@ -621,7 +679,13 @@ fn tpcds_template(rng: &mut StdRng, stats: &DbStats) -> QuerySpec {
         // Hot items (heavy aggregation + having + top).
         4 => QuerySpec {
             tables: vec![TableRef::new("store_sales").with_filter(range_filter(
-                stats, rng, "store_sales", 5, "ss_quantity", 0.2, 0.7,
+                stats,
+                rng,
+                "store_sales",
+                5,
+                "ss_quantity",
+                0.2,
+                0.7,
             ))],
             joins: vec![],
             aggregate: Some(AggSpec {
@@ -637,7 +701,13 @@ fn tpcds_template(rng: &mut StdRng, stats: &DbStats) -> QuerySpec {
             tables: vec![
                 TableRef::new("store_sales"),
                 TableRef::new("customer_dim").with_filter(range_filter(
-                    stats, rng, "customer_dim", C_BIRTH, "c_birth_year", 0.1, 0.4,
+                    stats,
+                    rng,
+                    "customer_dim",
+                    C_BIRTH,
+                    "c_birth_year",
+                    0.1,
+                    0.4,
                 )),
                 TableRef::new("date_dim"),
             ],
@@ -701,9 +771,7 @@ fn real1_template(rng: &mut StdRng, stats: &DbStats) -> QuerySpec {
                 )),
                 TableRef::new("accounts")
                     .with_filter(eq_filter(stats, rng, "accounts", 2, "a_industry"))
-                    .with_filter(range_filter(
-                        stats, rng, "accounts", A_SIZE, "a_size", 0.2, 0.8,
-                    )),
+                    .with_filter(range_filter(stats, rng, "accounts", A_SIZE, "a_size", 0.2, 0.8)),
                 TableRef::new("dates").with_filter(eq_filter(stats, rng, "dates", 1, "d_year")),
             ],
             joins: vec![
@@ -860,10 +928,7 @@ fn real2_template(rng: &mut StdRng, db: &Database, stats: &DbStats) -> QuerySpec
         joins,
         aggregate: Some(AggSpec {
             group_cols: vec![group.expect("at least one dim")],
-            aggs: vec![
-                AggKind::Sum { table: 0, col: "e_metric1".into() },
-                AggKind::Count,
-            ],
+            aggs: vec![AggKind::Sum { table: 0, col: "e_metric1".into() }, AggKind::Count],
             having: if rng.random_bool(0.3) {
                 Some((CmpOp::Gt, rng.random_range(2..30)))
             } else {

@@ -5,7 +5,9 @@
 use prosel_datagen::{PhysicalDesign, TuningLevel};
 use prosel_engine::plan::{OperatorKind, SeekKind};
 use prosel_engine::{run_plan, Catalog, ExecConfig, MAX_COLS};
-use prosel_planner::query::{AggKind, AggSpec, FilterSpec, JoinSpec, OrderTarget, QuerySpec, TableRef};
+use prosel_planner::query::{
+    AggKind, AggSpec, FilterSpec, JoinSpec, OrderTarget, QuerySpec, TableRef,
+};
 use prosel_planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use prosel_planner::{DbStats, PlanBuilder, PlannerConfig};
 
@@ -119,10 +121,8 @@ fn index_merge_join_when_both_sides_ordered() {
 #[test]
 fn nlj_inner_filters_sit_above_the_seek() {
     let (db, stats, design) = tpch(TuningLevel::FullyTuned);
-    let b = PlanBuilder::new(&db, &stats, &design).with_config(PlannerConfig {
-        seek_cost: 0.5,
-        ..Default::default()
-    });
+    let b = PlanBuilder::new(&db, &stats, &design)
+        .with_config(PlannerConfig { seek_cost: 0.5, ..Default::default() });
     let q = QuerySpec {
         tables: vec![
             TableRef::new("orders").with_filter(FilterSpec::Range {
@@ -154,13 +154,15 @@ fn nlj_inner_filters_sit_above_the_seek() {
         .position(|n| matches!(n.op, OperatorKind::NestedLoopJoin { .. }))
         .unwrap_or_else(|| panic!("no NLJ:\n{}", plan.render()));
     let inner = plan.node(nlj).children[1];
-    let inner_ops: Vec<&str> =
-        std::iter::once(inner).chain(plan.descendants(inner)).map(|n| plan.node(n).op.name()).collect();
+    let inner_ops: Vec<&str> = std::iter::once(inner)
+        .chain(plan.descendants(inner))
+        .map(|n| plan.node(n).op.name())
+        .collect();
     assert!(inner_ops.contains(&"Filter"), "inner filter missing:\n{}", plan.render());
     assert!(
-        plan.nodes.iter().any(
-            |n| matches!(&n.op, OperatorKind::IndexSeek { seek: SeekKind::BoundParam, .. })
-        ),
+        plan.nodes
+            .iter()
+            .any(|n| matches!(&n.op, OperatorKind::IndexSeek { seek: SeekKind::BoundParam, .. })),
         "bound-param seek missing:\n{}",
         plan.render()
     );
@@ -232,7 +234,10 @@ fn having_becomes_filter_over_aggregate() {
         .nodes
         .iter()
         .position(|n| {
-            matches!(n.op, OperatorKind::HashAggregate { .. } | OperatorKind::StreamAggregate { .. })
+            matches!(
+                n.op,
+                OperatorKind::HashAggregate { .. } | OperatorKind::StreamAggregate { .. }
+            )
         })
         .expect("aggregate");
     let parent = parents[agg].expect("aggregate has a parent");

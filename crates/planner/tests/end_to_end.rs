@@ -88,9 +88,6 @@ fn tuned_designs_shift_operator_mix() {
     };
     let (seek_u, _nlj_u) = mix(TuningLevel::Untuned);
     let (seek_f, nlj_f) = mix(TuningLevel::FullyTuned);
-    assert!(
-        seek_f > seek_u,
-        "tuning should add index seeks: untuned {seek_u}, full {seek_f}"
-    );
+    assert!(seek_f > seek_u, "tuning should add index seeks: untuned {seek_u}, full {seek_f}");
     assert!(nlj_f > 0, "fully tuned should use nested loops");
 }

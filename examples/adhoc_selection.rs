@@ -38,7 +38,10 @@ fn main() {
     for k in EstimatorKind::EXTENDED {
         println!("  always-{:<9} L1 {:.4}", k.name(), test.mean_l1(k));
     }
-    println!("  oracle selection  L1 {:.4} (lower bound)", test.oracle_l1(&EstimatorKind::EXTENDED));
+    println!(
+        "  oracle selection  L1 {:.4} (lower bound)",
+        test.oracle_l1(&EstimatorKind::EXTENDED)
+    );
 
     for mode in [FeatureMode::Static, FeatureMode::StaticDynamic] {
         let cfg = SelectorConfig::default().with_mode(mode);

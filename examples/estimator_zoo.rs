@@ -14,8 +14,7 @@ use prosel::planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use prosel::planner::PlanBuilder;
 
 fn main() {
-    let query_idx: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2);
+    let query_idx: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2);
 
     let spec = WorkloadSpec::new(WorkloadKind::TpchLike, 99)
         .with_queries(query_idx + 1)

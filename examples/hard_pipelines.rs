@@ -98,7 +98,11 @@ fn main() {
         ],
         joins: vec![
             JoinSpec { left_table: 0, left_col: "c_custkey".into(), right_col: "o_custkey".into() },
-            JoinSpec { left_table: 1, left_col: "o_orderkey".into(), right_col: "l_orderkey".into() },
+            JoinSpec {
+                left_table: 1,
+                left_col: "o_orderkey".into(),
+                right_col: "l_orderkey".into(),
+            },
         ],
         aggregate: None,
         order_by: None,

@@ -51,7 +51,12 @@ fn main() {
     let step = (points.len() / 12).max(1);
     for p in points.iter().step_by(step) {
         let bar = "#".repeat((p.estimate * 30.0) as usize);
-        println!("  t={:9.0}  true {:5.1}%  est {:5.1}%  {bar}", p.time, p.truth * 100.0, p.estimate * 100.0);
+        println!(
+            "  t={:9.0}  true {:5.1}%  est {:5.1}%  {bar}",
+            p.time,
+            p.truth * 100.0,
+            p.estimate * 100.0
+        );
     }
     println!(
         "\nmean |estimate - truth| over the run: {:.4}",

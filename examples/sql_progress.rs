@@ -36,10 +36,8 @@ fn main() {
         let train_spec = spec.clone();
         collect_workload_records(&train_spec).expect("training workload")
     };
-    let selector = EstimatorSelector::train(
-        &TrainingSet::from_records(&records),
-        &SelectorConfig::default(),
-    );
+    let selector =
+        EstimatorSelector::train(&TrainingSet::from_records(&records), &SelectorConfig::default());
 
     // Parse, plan, execute the user's SQL.
     println!("\nSQL> {sql}\n");
@@ -60,12 +58,7 @@ fn main() {
     let (points, choices) = monitor.monitor(&run);
 
     for c in &choices {
-        println!(
-            "pipeline {}: {} -> {}",
-            c.pipeline_id,
-            c.initial.name(),
-            c.revised.name()
-        );
+        println!("pipeline {}: {} -> {}", c.pipeline_id, c.initial.name(), c.revised.name());
     }
     println!("\n   time |  true | estimate");
     for p in points.iter().step_by((points.len() / 14).max(1)) {

@@ -1,0 +1,345 @@
+//! Offline stand-in for the subset of the `proptest` crate that prosel's
+//! property tests use.
+//!
+//! The build environment has no route to a crates.io mirror, so the
+//! workspace vendors this minimal implementation under the same crate name.
+//! It supports:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` inner attribute
+//!   and `name(arg in strategy, ...)` test functions;
+//! * range strategies over integers and floats (`-50i64..50`,
+//!   `0.0f64..1.0`, inclusive variants);
+//! * [`prelude::any`] for primitive types;
+//! * [`collection::vec`] and [`option::of`] combinators;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Unlike real proptest there is **no shrinking** and no failure
+//! persistence: each test runs a fixed number of deterministic cases (the
+//! RNG is seeded from the test body's strategy expressions, so runs are
+//! reproducible), and a failing case panics with the values baked into the
+//! assertion message.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Runtime configuration. Mirrors `proptest::test_runner::Config` in the
+/// one field the tests touch.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the seed suite fast while
+        // still exercising each property broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod test_runner {
+    pub use crate::ProptestConfig as Config;
+    pub use crate::ProptestConfig;
+    pub use crate::TestRng;
+}
+
+/// The RNG handed to strategies. A thin newtype so the `Strategy` trait is
+/// not generic over the generator.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn seeded(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    pub fn inner(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// A generator of values for one test parameter.
+pub trait Strategy {
+    type Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+pub mod strategy {
+    pub use crate::Strategy;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.inner().random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.inner().random_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Strategy for "any value of `T`" — uniform over the full domain, with the
+/// edge cases mixed in explicitly (real proptest biases toward them too).
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // 1-in-8 cases draw an edge value.
+                if rng.inner().random_range(0u32..8) == 0 {
+                    match rng.inner().random_range(0u32..3) {
+                        0 => 0 as $t,
+                        1 => <$t>::MIN,
+                        _ => <$t>::MAX,
+                    }
+                } else {
+                    rng.inner().random()
+                }
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.inner().random()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.inner().random()
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy { _marker: std::marker::PhantomData }
+}
+
+pub mod arbitrary {
+    pub use crate::{any, Arbitrary};
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(strategy, 0..24)` — a vector whose length is drawn from `size`
+    /// and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.inner().random_range(self.size.clone());
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `of(strategy)` — `None` in roughly a quarter of cases, `Some(value)`
+    /// otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.inner().random_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.inner.new_value(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// FNV-1a over the test name, used to give every generated test its own
+/// deterministic RNG stream.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( config = $cfg:expr;
+      $(
+          $(#[$meta:meta])*
+          fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::seeded($crate::seed_for(stringify!($name)));
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg = $crate::Strategy::new_value(&($strat), &mut __rng);
+                    )+
+                    let __run = || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    };
+                    if let Err(msg) = __run() {
+                        panic!(
+                            "proptest case {}/{} for `{}` failed: {}",
+                            __case + 1,
+                            __config.cases,
+                            stringify!($name),
+                            msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($lhs),
+            stringify!($rhs),
+            l,
+            r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($lhs),
+            stringify!($rhs),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(a in -50i64..50, b in 1u64..=9, f in 0.0f64..1.0) {
+            prop_assert!((-50..50).contains(&a));
+            prop_assert!((1..=9).contains(&b));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_option(v in crate::collection::vec(any::<i64>(), 0..24), o in crate::option::of(1u64..50)) {
+            prop_assert!(v.len() < 24);
+            if let Some(x) = o {
+                prop_assert!((1..50).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::seeded(7);
+        let mut b = crate::TestRng::seeded(7);
+        let s = crate::collection::vec(any::<u64>(), 1..10);
+        for _ in 0..16 {
+            assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
+        }
+    }
+}

@@ -30,8 +30,7 @@ fn selection_generalizes_across_query_split() {
 
     // Selection must beat the *worst* fixed estimator clearly and be at
     // least competitive with the best one.
-    let fixed: Vec<f64> =
-        EstimatorKind::EXTENDED.iter().map(|&k| test.mean_l1(k)).collect();
+    let fixed: Vec<f64> = EstimatorKind::EXTENDED.iter().map(|&k| test.mean_l1(k)).collect();
     let best = fixed.iter().cloned().fold(f64::INFINITY, f64::min);
     let worst = fixed.iter().cloned().fold(0.0f64, f64::max);
     assert!(
@@ -61,10 +60,9 @@ fn selection_transfers_to_unseen_workload_family() {
     ] {
         train_records.extend(collect_workload_records(&spec).expect("collect"));
     }
-    let test_records = collect_workload_records(
-        &WorkloadSpec::new(WorkloadKind::TpcdsLike, 9).with_queries(60),
-    )
-    .expect("collect");
+    let test_records =
+        collect_workload_records(&WorkloadSpec::new(WorkloadKind::TpcdsLike, 9).with_queries(60))
+            .expect("collect");
 
     let train = TrainingSet::from_records(&train_records);
     let test = TrainingSet::from_records(&test_records);
@@ -72,10 +70,7 @@ fn selection_transfers_to_unseen_workload_family() {
     let selector = EstimatorSelector::train(&train, &cfg);
     let report = selector.evaluate(&test);
 
-    let worst = EstimatorKind::EXTENDED
-        .iter()
-        .map(|&k| test.mean_l1(k))
-        .fold(0.0f64, f64::max);
+    let worst = EstimatorKind::EXTENDED.iter().map(|&k| test.mean_l1(k)).fold(0.0f64, f64::max);
     assert!(
         report.chosen_l1 < worst,
         "ad-hoc selection {:.4} must beat the worst fixed {:.4}",

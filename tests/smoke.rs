@@ -1,0 +1,49 @@
+//! Workspace smoke test: the `prosel::` facade runs the full paper
+//! pipeline end-to-end on a small synthetic workload — datagen → planner →
+//! engine → estimators → features → MART → selection — and the trained
+//! selector is no worse than the worst single estimator.
+//!
+//! Deliberately small (fast enough for every CI run); the heavier
+//! generalization checks live in `tests/integration_selection.rs`.
+
+use prosel::core::pipeline_runs::collect_workload_records;
+use prosel::core::selection::{EstimatorSelector, SelectorConfig};
+use prosel::core::training::TrainingSet;
+use prosel::estimators::EstimatorKind;
+use prosel::mart::BoostParams;
+use prosel::planner::workload::{WorkloadKind, WorkloadSpec};
+
+#[test]
+fn facade_end_to_end_selection_beats_worst_estimator() {
+    // 1. Small synthetic workload, executed into labelled records.
+    let spec = WorkloadSpec::new(WorkloadKind::TpchLike, 0x5eed).with_queries(40);
+    let records = collect_workload_records(&spec).expect("workload executes");
+    assert!(!records.is_empty(), "workload produced no pipeline records");
+
+    // 2. Train a selector (fast boosting parameters).
+    let train = TrainingSet::from_records(&records);
+    let cfg =
+        SelectorConfig::default().with_boost(BoostParams { iterations: 40, ..BoostParams::fast() });
+    let selector = EstimatorSelector::train(&train, &cfg);
+
+    // 3. Selected-estimator L1 must not exceed the worst fixed
+    //    estimator's (in-sample; the floor any useful selector clears).
+    let report = selector.evaluate(&train);
+    let worst = EstimatorKind::EXTENDED.iter().map(|&k| train.mean_l1(k)).fold(0.0f64, f64::max);
+    assert!(
+        report.chosen_l1 <= worst,
+        "selected-estimator L1 {:.4} exceeds worst single estimator {:.4}",
+        report.chosen_l1,
+        worst
+    );
+
+    // Sanity on the report itself.
+    assert!(report.chosen_l1.is_finite() && report.chosen_l1 >= 0.0);
+    assert!(report.chosen_l1 >= report.oracle_l1 - 1e-9);
+
+    // 4. The selector answers for fresh feature vectors.
+    let choice = selector.select(&records[0].features);
+    assert!(
+        EstimatorKind::EXTENDED.contains(&choice) || EstimatorKind::CANDIDATES.contains(&choice)
+    );
+}
