@@ -15,7 +15,7 @@
 //!   incorporate the actual passage of time.
 
 use crate::features::schema::{COR_ESTIMATORS, COR_POINTS, DIFF_PAIRS, X_MARKERS};
-use prosel_estimators::{EstimatorKind, PipelineObs};
+use prosel_estimators::{EstimatorKind, ObsView};
 
 fn kind_by_name(name: &str) -> EstimatorKind {
     match name {
@@ -31,24 +31,32 @@ fn kind_by_name(name: &str) -> EstimatorKind {
 
 /// First observation index where the driver fraction reaches `frac`
 /// (clamped to the last observation when never reached).
-fn marker(obs: &PipelineObs<'_>, frac: f64) -> usize {
+fn marker(obs: &impl ObsView, frac: f64) -> usize {
     let df = obs.driver_fraction();
     df.iter().position(|&a| a >= frac).unwrap_or(df.len().saturating_sub(1))
 }
 
 /// Extract the dynamic feature suffix.
-pub fn extract(obs: &PipelineObs<'_>) -> Vec<f32> {
-    let curves: Vec<(EstimatorKind, Vec<f64>)> = COR_ESTIMATORS
+///
+/// Generic over [`ObsView`] so the same definitions serve the post-hoc
+/// path (batch `PipelineObs`) and the live path (`IncrementalObs` fed by
+/// the monitor): on a prefix of a run, markers not yet reached clamp to
+/// the latest observation, giving the *provisional* dynamic features the
+/// online re-selection uses until the real markers arrive.
+pub fn extract(obs: &impl ObsView) -> Vec<f32> {
+    let curves: Vec<(EstimatorKind, std::borrow::Cow<'_, [f64]>)> = COR_ESTIMATORS
         .iter()
         .map(|&name| {
             let k = kind_by_name(name);
             (k, obs.curve(k))
         })
         .collect();
-    let curve_of =
-        |k: EstimatorKind| -> &[f64] { &curves.iter().find(|(kk, _)| *kk == k).expect("curve").1 };
+    let curve_of = |k: EstimatorKind| -> &[f64] {
+        curves.iter().find(|(kk, _)| *kk == k).expect("curve").1.as_ref()
+    };
 
-    let start = obs.window.0;
+    let start = obs.window_start();
+    let times = obs.obs_times();
     let mut out = Vec::with_capacity(DIFF_PAIRS.len() * X_MARKERS.len() + 120);
 
     // Pairwise differences at t{x}.
@@ -70,8 +78,8 @@ pub fn extract(obs: &PipelineObs<'_>) -> Vec<f32> {
             for x in X_MARKERS {
                 let jx = marker(obs, x as f64 / 100.0);
                 let ji = marker(obs, (x as f64 * i as f64 / COR_POINTS as f64) / 100.0);
-                let t_x = (obs.times[jx] - start).max(1e-9);
-                let t_i = (obs.times[ji] - start).max(0.0);
+                let t_x = (times[jx] - start).max(1e-9);
+                let t_i = (times[ji] - start).max(0.0);
                 let est = c[jx].max(1e-3); // guard 1/est
                 let v = (t_i / t_x) * (1.0 / est);
                 out.push(v.clamp(0.0, 1e4) as f32);
@@ -86,6 +94,7 @@ mod tests {
     use super::*;
     use crate::features::schema::FeatureSchema;
     use prosel_engine::{run_plan, Catalog, ExecConfig};
+    use prosel_estimators::PipelineObs;
     use prosel_planner::workload::{materialize, WorkloadKind, WorkloadSpec};
     use prosel_planner::PlanBuilder;
 

@@ -13,13 +13,21 @@
 //!
 //! Plus `SelAtDN` (driver-node share of E) and a few structural counts.
 
-use prosel_engine::plan::OP_TYPE_COUNT;
-use prosel_engine::QueryRun;
+use prosel_engine::plan::{PhysicalPlan, OP_TYPE_COUNT};
+use prosel_engine::{Pipeline, QueryRun};
 
-/// Extract the static feature prefix for pipeline `pid`.
+/// Extract the static feature prefix for pipeline `pid` of a run.
 pub fn extract(run: &QueryRun, pid: usize) -> Vec<f32> {
-    let plan = &run.plan;
-    let pipeline = &run.pipelines[pid];
+    extract_parts(&run.plan, &run.pipelines, pid)
+}
+
+/// Extract the static feature prefix from the plan and its pipeline
+/// decomposition alone — no execution required. This is the form the
+/// online monitor uses at query *registration*, before the first snapshot
+/// exists (paper §4.3: static features are computable from the plan and
+/// optimizer estimates).
+pub fn extract_parts(plan: &PhysicalPlan, pipelines: &[Pipeline], pid: usize) -> Vec<f32> {
+    let pipeline = &pipelines[pid];
     let nodes = &pipeline.nodes;
     let in_pipe = |n: usize| pipeline.contains(n);
 
@@ -88,7 +96,7 @@ pub fn extract(run: &QueryRun, pid: usize) -> Vec<f32> {
     out.push(nodes.len() as f32); // NodeCount
     out.push(pipeline.driver_nodes.len() as f32); // DriverCount
     out.push(pipeline.nl_inner_nodes.len() as f32); // NlInnerCount
-    out.push(run.pipeline_weight(pid) as f32); // PipelineWeight
+    out.push(prosel_engine::pipeline_weight(plan, pipeline) as f32); // PipelineWeight
     out
 }
 

@@ -74,7 +74,7 @@ impl<'a> ProgressMonitor<'a> {
             // Static choice applies until the 20% driver marker; then the
             // dynamic features are fully determined and the choice is
             // revised (paper §4.4: dynamic features use x ≤ 20).
-            let static_choice = self.select_with_mode(&feats, FeatureMode::Static);
+            let static_choice = self.selector.select_static(&feats);
             let revised_choice = match self.selector.config().mode {
                 FeatureMode::Static => static_choice,
                 FeatureMode::StaticDynamic => self.selector.select(&feats),
@@ -122,22 +122,6 @@ impl<'a> ProgressMonitor<'a> {
             })
             .collect();
         (points, choices)
-    }
-
-    fn select_with_mode(&self, features: &[f32], mode: FeatureMode) -> EstimatorKind {
-        match (mode, self.selector.config().mode) {
-            // The selector was trained with dynamic features but we only
-            // have static ones yet: fall back to zeroed dynamics.
-            (FeatureMode::Static, FeatureMode::StaticDynamic) => {
-                let mut masked = features.to_vec();
-                for v in masked.iter_mut().skip(crate::features::FeatureSchema::get().static_len())
-                {
-                    *v = 0.0;
-                }
-                self.selector.select(&masked)
-            }
-            _ => self.selector.select(features),
-        }
     }
 
     /// Mean absolute error of the monitored curve against true progress.

@@ -94,6 +94,25 @@ impl EstimatorSelector {
             .expect("at least one candidate")
     }
 
+    /// Choose from *static features only* — the information available at
+    /// pipeline registration, before any execution feedback exists.
+    /// `features` may be the static prefix alone or a full vector; any
+    /// dynamic suffix is zeroed (the convention the monitor and the
+    /// Figure 3 replay both use for the pre-20%-marker phase).
+    pub fn select_static(&self, features: &[f32]) -> EstimatorKind {
+        let schema = crate::features::FeatureSchema::get();
+        let static_len = schema.static_len();
+        assert!(features.len() >= static_len, "need at least the static feature prefix");
+        match self.config.mode {
+            FeatureMode::Static => self.select(&features[..static_len]),
+            FeatureMode::StaticDynamic => {
+                let mut full = vec![0.0f32; schema.len()];
+                full[..static_len].copy_from_slice(&features[..static_len]);
+                self.select(&full)
+            }
+        }
+    }
+
     /// The model trained for a given candidate (for inspection).
     pub fn model(&self, kind: EstimatorKind) -> Option<&Mart> {
         self.models.iter().find(|(k, _)| *k == kind).map(|(_, m)| m)

@@ -10,7 +10,7 @@
 
 use crate::cost::{CostModel, SplitMix64};
 use crate::exec::TurnScheduler;
-use crate::trace::{ObservationTrace, Snapshot};
+use crate::trace::{ObservationTrace, Snapshot, TraceEvent, TraceTap};
 use std::sync::Arc;
 
 /// Configuration for one execution.
@@ -50,6 +50,7 @@ pub struct ExecContext {
     k: Vec<u64>,
     bytes_read: Vec<u64>,
     bytes_written: Vec<u64>,
+    materialized: Vec<u64>,
     rng: SplitMix64,
     snapshots: Vec<Snapshot>,
     next_snap: f64,
@@ -61,6 +62,10 @@ pub struct ExecContext {
     /// Concurrent-execution hook: (scheduler, my id, quantum).
     sched: Option<(Arc<TurnScheduler>, usize, u32)>,
     ticks_left: u32,
+    /// Live observation stream: (sender, query id). Dropped on send error.
+    tap: Option<(TraceTap, usize)>,
+    /// Snapshots emitted so far (tap event sequence number).
+    snap_seq: u64,
 }
 
 impl ExecContext {
@@ -81,6 +86,7 @@ impl ExecContext {
             k: vec![0; n_nodes],
             bytes_read: vec![0; n_nodes],
             bytes_written: vec![0; n_nodes],
+            materialized: vec![0; n_nodes],
             rng: SplitMix64::new(cfg.seed),
             snapshots: Vec::with_capacity(max_snapshots + 1),
             next_snap: cfg.initial_snapshot_interval,
@@ -91,6 +97,8 @@ impl ExecContext {
             pipe_last: vec![f64::NEG_INFINITY; n_pipelines],
             sched: None,
             ticks_left: u32::MAX,
+            tap: None,
+            snap_seq: 0,
         }
     }
 
@@ -100,6 +108,38 @@ impl ExecContext {
     pub fn attach_scheduler(&mut self, sched: Arc<TurnScheduler>, id: usize, quantum: u32) {
         self.sched = Some((sched, id, quantum.max(1)));
         self.ticks_left = quantum.max(1);
+    }
+
+    /// Attach a live observation stream: every retained snapshot (and the
+    /// thinning/termination events that keep a mirror aligned with the
+    /// final trace) is sent to `tap` as it happens, tagged with `query`.
+    /// Tapping never alters execution — counters, clock and snapshot
+    /// cadence are identical with and without a tap attached.
+    pub fn attach_tap(&mut self, tap: TraceTap, query: usize) {
+        self.tap = Some((tap, query));
+    }
+
+    fn emit(&mut self, ev: TraceEvent) {
+        if let Some((tx, _)) = &self.tap {
+            if tx.send(ev).is_err() {
+                // Receiver gone: stop paying for event construction.
+                self.tap = None;
+            }
+        }
+    }
+
+    fn emit_snapshot(&mut self) {
+        if let Some((_, query)) = self.tap {
+            let seq = self.snap_seq;
+            self.snap_seq += 1;
+            let snapshot = self.snapshots.last().expect("snapshot just pushed").clone();
+            let windows = self.windows();
+            self.emit(TraceEvent::Snapshot { query, seq, snapshot, windows });
+        }
+    }
+
+    fn windows(&self) -> Box<[(f64, f64)]> {
+        self.pipe_first.iter().zip(&self.pipe_last).map(|(&a, &b)| (a, b)).collect()
     }
 
     /// Current virtual time.
@@ -212,6 +252,16 @@ impl ExecContext {
         self.advance(node, bytes as f64 * self.cost.write_per_byte);
     }
 
+    /// Report the materialized output size of a blocking operator (sort
+    /// buffer length, hash-aggregate group count) when its build phase
+    /// completes. This is the paper's §3.4 driver-node total: exactly
+    /// known *before* the pipeline the operator drives starts, and the
+    /// only driver denominator an online consumer may legitimately use.
+    #[inline]
+    pub fn report_materialized(&mut self, node: usize, rows: u64) {
+        self.materialized[node] = rows;
+    }
+
     /// Charge a seek: `local` seeks (close to the previous position in the
     /// index) are much cheaper than random I/Os.
     #[inline]
@@ -232,13 +282,19 @@ impl ExecContext {
         self.cost.cached_table_bytes
     }
 
-    fn take_snapshot(&mut self) {
+    fn push_snapshot(&mut self) {
         self.snapshots.push(Snapshot {
             time: self.clock,
             k: self.k.clone().into_boxed_slice(),
             bytes_read: self.bytes_read.clone().into_boxed_slice(),
             bytes_written: self.bytes_written.clone().into_boxed_slice(),
+            materialized: self.materialized.clone().into_boxed_slice(),
         });
+        self.emit_snapshot();
+    }
+
+    fn take_snapshot(&mut self) {
+        self.push_snapshot();
         self.next_snap += self.snap_interval;
         if self.snapshots.len() >= self.max_snapshots {
             // Thin: keep every other snapshot, double the interval.
@@ -252,24 +308,31 @@ impl ExecContext {
             self.snap_interval *= 2.0;
             self.next_snap =
                 self.snapshots.last().map_or(self.snap_interval, |s| s.time + self.snap_interval);
+            if let Some((_, query)) = self.tap {
+                self.emit(TraceEvent::Thinned { query });
+            }
         }
     }
 
     /// Finish execution and produce the observation trace.
     pub fn finish(mut self) -> ObservationTrace {
         // Always record the terminal state.
-        self.snapshots.push(Snapshot {
-            time: self.clock,
-            k: self.k.clone().into_boxed_slice(),
-            bytes_read: self.bytes_read.clone().into_boxed_slice(),
-            bytes_written: self.bytes_written.clone().into_boxed_slice(),
-        });
-        let windows = self.pipe_first.iter().zip(&self.pipe_last).map(|(&a, &b)| (a, b)).collect();
+        self.push_snapshot();
+        let windows: Vec<(f64, f64)> =
+            self.pipe_first.iter().zip(&self.pipe_last).map(|(&a, &b)| (a, b)).collect();
+        if let Some((_, query)) = self.tap {
+            self.emit(TraceEvent::Finished {
+                query,
+                windows: windows.clone().into_boxed_slice(),
+                total_time: self.clock,
+            });
+        }
         ObservationTrace {
             snapshots: self.snapshots,
             final_k: self.k,
             final_bytes_read: self.bytes_read,
             final_bytes_written: self.bytes_written,
+            final_materialized: self.materialized,
             total_time: self.clock,
             pipeline_windows: windows,
         }

@@ -121,6 +121,9 @@ impl Executor for HashAggregateExec<'_> {
         let mut keys: Vec<GroupKey> = groups.keys().copied().collect();
         keys.sort_unstable();
         self.out = keys.iter().map(|k| emit_group(k, self.group_cols.len(), &groups[k])).collect();
+        // The group table is materialized: its size is now exactly known,
+        // before the pipeline this aggregate drives has started.
+        ctx.report_materialized(self.node, self.out.len() as u64);
     }
 
     fn reopen(&mut self, _ctx: &mut ExecContext, _binding: i64) {

@@ -18,7 +18,7 @@ use crate::context::{ExecConfig, ExecContext};
 use crate::exec::build_executor;
 use crate::pipeline::{decompose, pipeline_of};
 use crate::plan::PhysicalPlan;
-use crate::trace::QueryRun;
+use crate::trace::{QueryRun, TraceTap};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Concurrency configuration.
@@ -119,6 +119,30 @@ pub fn run_concurrent(
     plans: &[PhysicalPlan],
     cfg: &ConcurrentConfig,
 ) -> Vec<QueryRun> {
+    run_concurrent_inner(catalog, plans, cfg, None)
+}
+
+/// [`run_concurrent`] with a live observation stream: every query sends
+/// its snapshot / thinning / termination events to (a clone of) `tap`,
+/// tagged with the query's index in `plans`. Because execution is
+/// strictly serialized by the turn scheduler, the interleaved event
+/// stream is deterministic, and tapping does not alter execution — the
+/// returned runs are identical to an untapped invocation.
+pub fn run_concurrent_tapped(
+    catalog: &Catalog<'_>,
+    plans: &[PhysicalPlan],
+    cfg: &ConcurrentConfig,
+    tap: TraceTap,
+) -> Vec<QueryRun> {
+    run_concurrent_inner(catalog, plans, cfg, Some(tap))
+}
+
+fn run_concurrent_inner(
+    catalog: &Catalog<'_>,
+    plans: &[PhysicalPlan],
+    cfg: &ConcurrentConfig,
+    tap: Option<TraceTap>,
+) -> Vec<QueryRun> {
     for (qi, plan) in plans.iter().enumerate() {
         if let Err(e) = plan.validate() {
             panic!("invalid plan {qi}: {e}");
@@ -132,6 +156,7 @@ pub fn run_concurrent(
             .enumerate()
             .map(|(qi, plan)| {
                 let sched = Arc::clone(&sched);
+                let tap = tap.clone();
                 let exec_cfg = ExecConfig {
                     seed: cfg.exec.seed ^ (qi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                     ..cfg.exec.clone()
@@ -141,6 +166,9 @@ pub fn run_concurrent(
                     let pipelines = decompose(plan);
                     let pmap = pipeline_of(plan, &pipelines);
                     let mut ctx = ExecContext::new(&exec_cfg, plan.len(), pmap, pipelines.len());
+                    if let Some(tap) = tap {
+                        ctx.attach_tap(tap, qi);
+                    }
                     ctx.attach_scheduler(Arc::clone(&sched), qi, quantum);
                     let start = sched.wait_turn(qi);
                     ctx.fast_forward(start);
@@ -153,8 +181,15 @@ pub fn run_concurrent(
                         ctx.write_bytes(plan.root, t.width_bytes());
                     }
                     drop(exec);
-                    sched.finish(qi, ctx.now());
-                    QueryRun { plan: plan.clone(), pipelines, trace: ctx.finish(), result_rows }
+                    // Finish the trace (which emits the terminal tap
+                    // events) *before* handing the turn away: once
+                    // `sched.finish` runs, the next query starts emitting,
+                    // and terminal events racing it would make the stream
+                    // order nondeterministic.
+                    let clock = ctx.now();
+                    let trace = ctx.finish();
+                    sched.finish(qi, clock);
+                    QueryRun { plan: plan.clone(), pipelines, trace, result_rows }
                 })
             })
             .collect();

@@ -20,7 +20,7 @@ mod scan;
 mod sort;
 
 pub use aggregate::{HashAggregateExec, StreamAggregateExec};
-pub use concurrent::{run_concurrent, ConcurrentConfig, TurnScheduler};
+pub use concurrent::{run_concurrent, run_concurrent_tapped, ConcurrentConfig, TurnScheduler};
 pub use filter::{ComputeScalarExec, FilterExec, ProjectExec, TopExec};
 pub use hash_join::HashJoinExec;
 pub use merge_join::MergeJoinExec;
@@ -115,12 +115,38 @@ pub fn build_executor<'a>(
 /// Panics if the plan fails [`PhysicalPlan::validate`] or references an
 /// index missing from the catalog's physical design.
 pub fn run_plan(catalog: &Catalog<'_>, plan: &PhysicalPlan, cfg: &ExecConfig) -> QueryRun {
+    run_plan_inner(catalog, plan, cfg, None)
+}
+
+/// [`run_plan`] with a live observation stream: every retained snapshot
+/// (plus thinning and termination events) is sent to `tap` as execution
+/// proceeds, tagged with `query`. Tapping does not alter execution — the
+/// returned [`QueryRun`] is identical to an untapped run.
+pub fn run_plan_tapped(
+    catalog: &Catalog<'_>,
+    plan: &PhysicalPlan,
+    cfg: &ExecConfig,
+    query: usize,
+    tap: crate::trace::TraceTap,
+) -> QueryRun {
+    run_plan_inner(catalog, plan, cfg, Some((tap, query)))
+}
+
+fn run_plan_inner(
+    catalog: &Catalog<'_>,
+    plan: &PhysicalPlan,
+    cfg: &ExecConfig,
+    tap: Option<(crate::trace::TraceTap, usize)>,
+) -> QueryRun {
     if let Err(e) = plan.validate() {
         panic!("invalid plan: {e}\n{}", plan.render());
     }
     let pipelines = decompose(plan);
     let pmap = pipeline_of(plan, &pipelines);
     let mut ctx = ExecContext::new(cfg, plan.len(), pmap, pipelines.len());
+    if let Some((tap, query)) = tap {
+        ctx.attach_tap(tap, query);
+    }
     let mut exec = build_executor(plan, plan.root, catalog);
     exec.open(&mut ctx);
     let mut result_rows = 0u64;

@@ -64,6 +64,9 @@ impl Executor for SortExec<'_> {
         }
         let keys = self.keys.clone();
         self.buf.sort_by(|a, b| cmp_keys(a, b, &keys));
+        // The sorted run is materialized: its size is now exactly known,
+        // before the pipeline this sort drives has started.
+        ctx.report_materialized(self.node, self.buf.len() as u64);
     }
 
     fn reopen(&mut self, _ctx: &mut ExecContext, _binding: i64) {

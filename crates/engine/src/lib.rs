@@ -34,13 +34,13 @@ pub use catalog::{Catalog, SortedIndex};
 pub use context::{ExecConfig, ExecContext};
 pub use cost::{CostModel, SplitMix64};
 pub use exec::{
-    build_executor, run_concurrent, run_plan, run_plan_seeded, ConcurrentConfig, Executor,
-    TurnScheduler,
+    build_executor, run_concurrent, run_concurrent_tapped, run_plan, run_plan_seeded,
+    run_plan_tapped, ConcurrentConfig, Executor, TurnScheduler,
 };
-pub use pipeline::{decompose, pipeline_of, Pipeline};
+pub use pipeline::{decompose, pipeline_of, pipeline_weight, Pipeline};
 pub use plan::{
     AggFunc, CmpOp, NodeId, OperatorKind, PhysicalPlan, PlanNode, Predicate, SeekKind,
     OP_TYPE_COUNT, OP_TYPE_NAMES,
 };
-pub use trace::{ObservationTrace, QueryRun, Snapshot};
+pub use trace::{ObservationTrace, QueryRun, Snapshot, TraceEvent, TraceTap};
 pub use tuple::{Tuple, MAX_COLS};

@@ -180,6 +180,19 @@ pub fn decompose(plan: &PhysicalPlan) -> Vec<Pipeline> {
         .collect()
 }
 
+/// Weight of `pipeline` for query-level progress (eq. (5)): Σ E_i within
+/// the pipeline over Σ E_i in the whole plan. Computable from the plan
+/// alone — the online monitor uses it at query registration, before any
+/// execution feedback exists.
+pub fn pipeline_weight(plan: &PhysicalPlan, pipeline: &Pipeline) -> f64 {
+    let total = plan.total_est_rows();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let p: f64 = pipeline.nodes.iter().map(|&n| plan.node(n).est_rows).sum();
+    p / total
+}
+
 /// Map each node to its pipeline id. Indexed by [`NodeId`].
 pub fn pipeline_of(plan: &PhysicalPlan, pipelines: &[Pipeline]) -> Vec<usize> {
     let mut out = vec![usize::MAX; plan.len()];

@@ -11,7 +11,7 @@ use crate::pipeline::Pipeline;
 use crate::plan::PhysicalPlan;
 
 /// Counter state at one observation point.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
     /// Virtual time of this observation.
     pub time: f64,
@@ -21,6 +21,11 @@ pub struct Snapshot {
     pub bytes_read: Box<[u64]>,
     /// Bytes logically written so far per node.
     pub bytes_written: Box<[u64]>,
+    /// Materialized output sizes per node (rows), reported by blocking
+    /// operators when their build phase completes — the paper's §3.4
+    /// "exact input sizes known when the pipeline starts". Zero until the
+    /// operator materializes.
+    pub materialized: Box<[u64]>,
 }
 
 /// The full observable history of one query execution.
@@ -31,6 +36,9 @@ pub struct ObservationTrace {
     pub final_k: Vec<u64>,
     pub final_bytes_read: Vec<u64>,
     pub final_bytes_written: Vec<u64>,
+    /// Final materialized output sizes (rows) of blocking operators; zero
+    /// for operators that never materialize.
+    pub final_materialized: Vec<u64>,
     /// Total virtual execution time.
     pub total_time: f64,
     /// Per-pipeline `(first_tick_time, last_tick_time)` activity windows,
@@ -94,6 +102,47 @@ impl ObservationTrace {
     }
 }
 
+/// One event of a live observation stream ([`TraceTap`]).
+///
+/// A tapped execution emits, in deterministic order, exactly the
+/// information a post-hoc consumer would find in the final
+/// [`ObservationTrace`] — but incrementally, as execution proceeds. The
+/// `windows` of each event are the pipeline activity windows *as known at
+/// that point*: `(f64::INFINITY, f64::NEG_INFINITY)` for pipelines that
+/// have not started, and a growing `last` for active ones.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A snapshot was recorded (also emitted for the terminal snapshot
+    /// taken when the query finishes). `seq` counts every snapshot this
+    /// query has emitted (thinned ones included), so a consumer can tell
+    /// whether it has seen the stream from the start — required to mirror
+    /// the bounded buffer through `Thinned` events.
+    Snapshot { query: usize, seq: u64, snapshot: Snapshot, windows: Box<[(f64, f64)]> },
+    /// The bounded snapshot buffer was thinned: of the snapshots retained
+    /// so far, only those at odd positions survive, and the sampling
+    /// interval doubles. Consumers mirroring the trace must apply the same
+    /// rule to stay aligned with the final [`ObservationTrace`].
+    Thinned { query: usize },
+    /// The query terminated; `windows` are the final activity windows.
+    Finished { query: usize, windows: Box<[(f64, f64)]>, total_time: f64 },
+}
+
+impl TraceEvent {
+    /// The query this event belongs to.
+    pub fn query(&self) -> usize {
+        match self {
+            TraceEvent::Snapshot { query, .. }
+            | TraceEvent::Thinned { query }
+            | TraceEvent::Finished { query, .. } => *query,
+        }
+    }
+}
+
+/// Sending half of a live observation stream. Cloneable; pass one to
+/// [`crate::exec::run_plan_tapped`] or [`crate::exec::run_concurrent_tapped`]
+/// and drain the paired `Receiver` from a monitor.
+pub type TraceTap = std::sync::mpsc::Sender<TraceEvent>;
+
 /// A completed query execution: plan, pipelines, trace.
 #[derive(Debug, Clone)]
 pub struct QueryRun {
@@ -113,12 +162,7 @@ impl QueryRun {
     /// Weight of pipeline `pid` for query-level progress (eq. (5)):
     /// ΣE_i within the pipeline over ΣE_i in the whole plan.
     pub fn pipeline_weight(&self, pid: usize) -> f64 {
-        let total = self.plan.total_est_rows();
-        if total <= 0.0 {
-            return 0.0;
-        }
-        let p: f64 = self.pipelines[pid].nodes.iter().map(|&n| self.plan.node(n).est_rows).sum();
-        p / total
+        crate::pipeline::pipeline_weight(&self.plan, &self.pipelines[pid])
     }
 }
 
@@ -134,11 +178,13 @@ mod tests {
                     k: vec![i as u64].into_boxed_slice(),
                     bytes_read: vec![0].into_boxed_slice(),
                     bytes_written: vec![0].into_boxed_slice(),
+                    materialized: vec![0].into_boxed_slice(),
                 })
                 .collect(),
             final_k: vec![10],
             final_bytes_read: vec![0],
             final_bytes_written: vec![0],
+            final_materialized: vec![0],
             total_time: 100.0,
             pipeline_windows: vec![(0.0, 40.0), (40.0, 100.0), (f64::INFINITY, f64::NEG_INFINITY)],
         }

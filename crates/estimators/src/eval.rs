@@ -28,14 +28,24 @@ pub fn l2_error(est: &[f64], truth: &[f64]) -> f64 {
     (est.iter().zip(truth).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / est.len() as f64).sqrt()
 }
 
+/// Minimum magnitude a point must have to enter the ratio: below this the
+/// ratio is dominated by measurement noise, not estimator quality.
+const RATIO_FLOOR: f64 = 1e-6;
+
 /// Maximum ratio error `max(est/true, true/est)` over the observations,
 /// ignoring points where either side is ~0 (the ratio error
 /// overemphasizes the start of a query — the reason the paper prefers L1).
+///
+/// Online use hits the degenerate points on *every* query: the first
+/// snapshot has true progress 0 (and most estimators report 0), which
+/// would otherwise divide by zero. Those points are skipped, as are
+/// non-finite inputs, so the result is always a finite value ≥ 1 — for an
+/// empty or fully-degenerate curve pair the neutral 1.0.
 pub fn ratio_error(est: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(est.len(), truth.len());
     let mut worst = 1.0f64;
     for (&e, &t) in est.iter().zip(truth) {
-        if e > 1e-6 && t > 1e-6 {
+        if e.is_finite() && t.is_finite() && e > RATIO_FLOOR && t > RATIO_FLOOR {
             worst = worst.max((e / t).max(t / e));
         }
     }
@@ -48,6 +58,8 @@ pub struct EstimatorError {
     pub kind: EstimatorKind,
     pub l1: f64,
     pub l2: f64,
+    /// Worst-case ratio error ([`ratio_error`]; ≥ 1, finite).
+    pub ratio: f64,
 }
 
 /// Evaluate `kinds` on pipeline `pid` of a run. `None` when the pipeline
@@ -64,7 +76,12 @@ pub fn evaluate_pipeline(
             .iter()
             .map(|&kind| {
                 let curve = obs.curve(kind);
-                EstimatorError { kind, l1: l1_error(&curve, &truth), l2: l2_error(&curve, &truth) }
+                EstimatorError {
+                    kind,
+                    l1: l1_error(&curve, &truth),
+                    l2: l2_error(&curve, &truth),
+                    ratio: ratio_error(&curve, &truth),
+                }
             })
             .collect(),
     )
@@ -157,6 +174,33 @@ mod tests {
         let est = vec![0.0, 0.5];
         let truth = vec![0.000001, 0.25];
         assert!((ratio_error(&est, &truth) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_first_snapshot_boundary() {
+        // The online path evaluates from the very first snapshot, where
+        // true progress is exactly 0 — the ratio must not divide by it.
+        let est = vec![0.1, 0.5];
+        let truth = vec![0.0, 0.25];
+        let r = ratio_error(&est, &truth);
+        assert!(r.is_finite());
+        assert!((r - 2.0).abs() < 1e-9, "t=0 point must be skipped, got {r}");
+        // Both sides zero at t=0 (the common case online).
+        assert_eq!(ratio_error(&[0.0], &[0.0]), 1.0);
+    }
+
+    #[test]
+    fn ratio_empty_and_degenerate_is_neutral() {
+        assert_eq!(ratio_error(&[], &[]), 1.0);
+        // All points below the floor: nothing to measure.
+        assert_eq!(ratio_error(&[1e-9, 0.0], &[0.0, 1e-12]), 1.0);
+    }
+
+    #[test]
+    fn ratio_skips_non_finite_points() {
+        let r = ratio_error(&[f64::NAN, f64::INFINITY, 0.5], &[0.5, 0.5, 0.25]);
+        assert!(r.is_finite());
+        assert!((r - 2.0).abs() < 1e-9, "non-finite points must be skipped, got {r}");
     }
 
     #[test]

@@ -1,0 +1,699 @@
+//! Incremental (online) sibling of [`PipelineObs`]: estimator curves over
+//! a *live* observation stream.
+//!
+//! [`IncrementalObs`] ingests snapshots one at a time — never a completed
+//! trace — and maintains every estimator curve plus the refinement-bound
+//! aggregates in O(1) amortized per snapshot (each append costs O(plan),
+//! which is constant in trace length; the batch path recomputes O(n) work
+//! per estimator per observation). The committed curves are **bit
+//! identical** to the batch [`PipelineObs::curve`] output for the same
+//! run: every aggregate is accumulated in exactly the same order, driver
+//! totals come from the same (online-knowable) sources, and the LUO speed
+//! window is located by a monotone pointer that provably reproduces the
+//! batch backward walk.
+//!
+//! # Streaming protocol
+//!
+//! The engine's [`prosel_engine::trace::TraceEvent`] stream drives three
+//! entry points:
+//!
+//! * [`IncrementalObs::offer`] for every snapshot, with the pipeline's
+//!   *currently known* activity window. Snapshots before the pipeline's
+//!   first tick are skipped; snapshots provably inside the window commit
+//!   immediately; snapshots past the last tick seen so far stay *pending*
+//!   until a later tick (or finalization) proves whether they fall inside
+//!   the final window — mirroring the batch
+//!   [`prosel_engine::trace::ObservationTrace::pipeline_observations`]
+//!   rule (all in-window snapshots plus the first one past the end).
+//! * [`IncrementalObs::thin`] when the engine thins its bounded snapshot
+//!   buffer, so the mirror keeps tracking the final trace.
+//! * [`IncrementalObs::finalize`] when the query terminates, which
+//!   resolves the trailing pendings and unlocks the oracle curves.
+//!
+//! Driver-node denominators follow the paper's §3.4 information regime:
+//! scan totals and optimizer estimates are known statically; sort /
+//! hash-aggregate output sizes are read from the snapshot's
+//! `materialized` counters, which blocking operators report when their
+//! build phase completes — strictly before the pipeline they drive takes
+//! its first observation.
+
+use crate::kinds::EstimatorKind;
+use crate::pipeline_obs::{
+    clamp01, driver_node_total, expected_output_bytes, luo_point, luo_window_start, pipeline_top,
+    ObsView,
+};
+use crate::refine::{alpha, bounds, clamp_estimate};
+use prosel_engine::plan::{NodeId, OperatorKind, PhysicalPlan};
+use prosel_engine::trace::Snapshot;
+use prosel_engine::Pipeline;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The estimator kinds whose curves are maintained online (everything
+/// except the two oracle models, which need post-hoc totals).
+pub const ONLINE_KINDS: [EstimatorKind; 9] = [
+    EstimatorKind::Dne,
+    EstimatorKind::Tgn,
+    EstimatorKind::Luo,
+    EstimatorKind::Pmax,
+    EstimatorKind::Safe,
+    EstimatorKind::BatchDne,
+    EstimatorKind::DneSeek,
+    EstimatorKind::TgnInt,
+    EstimatorKind::TgnRaw,
+];
+
+fn online_index(kind: EstimatorKind) -> Option<usize> {
+    ONLINE_KINDS.iter().position(|&k| k == kind)
+}
+
+/// Per-observation aggregates computed once when a snapshot is offered.
+#[derive(Debug, Clone, Copy)]
+struct ObsEntry {
+    serial: u64,
+    time: f64,
+    sum_k: f64,
+    sum_e_clamped: f64,
+    work_lb: f64,
+    work_ub: f64,
+    alpha: f64,
+    done_bytes: f64,
+    pending_spill: f64,
+    /// Σ K over drivers / drivers∪batch / drivers∪seek (chained order).
+    k_dne: f64,
+    k_batch: f64,
+    k_seek: f64,
+    /// Σ bytes_read over the driver nodes (LUO's consumed-input signal).
+    driver_read: f64,
+}
+
+/// Driver-set state resolved at the pipeline's first observation.
+#[derive(Debug, Clone)]
+struct DriverState {
+    drivers: Vec<(NodeId, f64)>,
+    /// The driver node ids alone (hot-path membership test).
+    driver_set: Vec<NodeId>,
+    batch_extra: Vec<(NodeId, f64)>,
+    seek_extra: Vec<(NodeId, f64)>,
+    /// Chained totals for the three DNE-family estimators.
+    total_dne: f64,
+    total_batch: f64,
+    total_seek: f64,
+    sum_d: f64,
+    driver_total_bytes: f64,
+    /// `(join node, build-side spill bytes)` — final once the build
+    /// pipeline completed, i.e. before this pipeline starts.
+    hash_joins: Vec<(NodeId, u64)>,
+}
+
+/// Incrementally built estimator state for one pipeline of a running
+/// query. See the module docs for the streaming protocol.
+pub struct IncrementalObs {
+    plan: Arc<PhysicalPlan>,
+    pipeline: Pipeline,
+    sum_e_raw: f64,
+    e_out_total: f64,
+    window_start: f64,
+    window_end: f64,
+    state: Option<DriverState>,
+    /// Committed observations (aligned with the batch observation set).
+    entries: Vec<ObsEntry>,
+    times: Vec<f64>,
+    alpha_curve: Vec<f64>,
+    /// One maintained curve per [`ONLINE_KINDS`] entry.
+    curves: Vec<Vec<f64>>,
+    /// LUO speed-window pointer (monotone) and last-estimate fallback.
+    luo_w: usize,
+    luo_prev: f64,
+    pending: VecDeque<ObsEntry>,
+    finalized: bool,
+}
+
+impl IncrementalObs {
+    /// Create the (empty) incremental state for `pipeline` of `plan`.
+    pub fn new(plan: Arc<PhysicalPlan>, pipeline: &Pipeline) -> Self {
+        let sum_e_raw: f64 = pipeline.nodes.iter().map(|&n| plan.node(n).est_rows).sum();
+        let e_out_total = expected_output_bytes(&plan, pipeline_top(&plan, pipeline));
+        IncrementalObs {
+            pipeline: pipeline.clone(),
+            sum_e_raw: sum_e_raw.max(1.0),
+            e_out_total,
+            window_start: f64::INFINITY,
+            window_end: f64::NEG_INFINITY,
+            state: None,
+            entries: Vec::new(),
+            times: Vec::new(),
+            alpha_curve: Vec::new(),
+            curves: vec![Vec::new(); ONLINE_KINDS.len()],
+            luo_w: 0,
+            luo_prev: 0.0,
+            pending: VecDeque::new(),
+            finalized: false,
+            plan,
+        }
+    }
+
+    /// Pipeline id.
+    pub fn pipeline_id(&self) -> usize {
+        self.pipeline.id
+    }
+
+    /// Number of *committed* observations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Has the pipeline produced its first observation?
+    pub fn started(&self) -> bool {
+        self.state.is_some()
+    }
+
+    pub fn finalized(&self) -> bool {
+        self.finalized
+    }
+
+    /// Activity window as known so far (final after [`Self::finalize`]).
+    pub fn window(&self) -> (f64, f64) {
+        (self.window_start, self.window_end)
+    }
+
+    /// Times of the committed observations.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Fraction of driver input consumed at each committed observation.
+    pub fn driver_fraction(&self) -> &[f64] {
+        &self.alpha_curve
+    }
+
+    /// Resolve the driver sets and their totals from the first in-window
+    /// snapshot. All sources are final at this point: scan totals and
+    /// optimizer estimates are static, sort / hash-aggregate sizes were
+    /// reported when their build phase (a *previous* pipeline) completed,
+    /// and build-side spill bytes stopped moving when the build pipeline
+    /// finished.
+    fn resolve(&mut self, snap: &Snapshot) {
+        let plan = &self.plan;
+        let drivers: Vec<(NodeId, f64)> = self
+            .pipeline
+            .driver_nodes
+            .iter()
+            .map(|&d| (d, driver_node_total(plan, d, &snap.materialized).max(1.0)))
+            .collect();
+        let driver_set: Vec<NodeId> = drivers.iter().map(|&(d, _)| d).collect();
+        let batch_extra: Vec<(NodeId, f64)> = self
+            .pipeline
+            .batch_sort_nodes
+            .iter()
+            .filter(|d| !driver_set.contains(d))
+            .map(|&d| (d, plan.node(d).est_rows.max(1.0)))
+            .collect();
+        let seek_extra: Vec<(NodeId, f64)> = self
+            .pipeline
+            .index_seek_nodes
+            .iter()
+            .filter(|d| !driver_set.contains(d))
+            .map(|&d| (d, plan.node(d).est_rows.max(1.0)))
+            .collect();
+        // Chained sums, exactly as the batch `driver_curve` computes them
+        // (f64 addition is order-sensitive; bit-identity requires it).
+        let chained =
+            |extra: &[(NodeId, f64)]| -> f64 { drivers.iter().chain(extra).map(|&(_, d)| d).sum() };
+        let total_dne = chained(&[]);
+        let total_batch = chained(&batch_extra);
+        let total_seek = chained(&seek_extra);
+        let sum_d: f64 = drivers.iter().map(|&(_, d)| d).sum();
+        let driver_total_bytes: f64 =
+            drivers.iter().map(|&(d, total)| total * plan.node(d).est_row_bytes).sum();
+        let hash_joins: Vec<(NodeId, u64)> = self
+            .pipeline
+            .nodes
+            .iter()
+            .copied()
+            .filter(|&n| matches!(plan.node(n).op, OperatorKind::HashJoin { .. }))
+            .map(|n| (n, snap.bytes_written[plan.node(n).children[1]]))
+            .collect();
+        self.state = Some(DriverState {
+            drivers,
+            driver_set,
+            batch_extra,
+            seek_extra,
+            total_dne,
+            total_batch,
+            total_seek,
+            sum_d,
+            driver_total_bytes,
+            hash_joins,
+        });
+    }
+
+    /// Compute the per-observation aggregates for one snapshot (same loop
+    /// structure and accumulation order as [`PipelineObs::new`]).
+    fn entry_for(&self, serial: u64, snap: &Snapshot) -> ObsEntry {
+        let plan = &self.plan;
+        let state = self.state.as_ref().expect("drivers resolved");
+        let (lb, ub) = bounds(plan, &snap.k);
+        let is_leaf_read = |id: NodeId| {
+            matches!(
+                plan.node(id).op,
+                OperatorKind::TableScan { .. }
+                    | OperatorKind::IndexScan { .. }
+                    | OperatorKind::IndexSeek { .. }
+            )
+        };
+        let mut k_total = 0.0;
+        let mut e_clamped = 0.0;
+        let mut wl = 0.0;
+        let mut wu = 0.0;
+        let mut bytes = 0.0;
+        for &n in &self.pipeline.nodes {
+            let k = snap.k[n] as f64;
+            k_total += k;
+            e_clamped += clamp_estimate(plan.node(n).est_rows, lb[n], ub[n]);
+            wu += ub[n];
+            wl += k;
+            if state.driver_set.contains(&n) || !is_leaf_read(n) {
+                bytes += snap.bytes_read[n] as f64;
+            }
+            bytes += snap.bytes_written[n] as f64;
+        }
+        for &(d, total) in &state.drivers {
+            wl += (total - snap.k[d] as f64).max(0.0);
+        }
+        let k_driver: f64 = state.drivers.iter().map(|&(d, _)| snap.k[d] as f64).sum();
+        let mut pending_spill = 0.0;
+        for &(j_node, build_spill) in &state.hash_joins {
+            let expected = build_spill as f64 + snap.bytes_written[j_node] as f64;
+            pending_spill += (expected - snap.bytes_read[j_node] as f64).max(0.0);
+        }
+        let k_of = |extra: &[(NodeId, f64)]| -> f64 {
+            state.drivers.iter().chain(extra).map(|&(n, _)| snap.k[n] as f64).sum()
+        };
+        ObsEntry {
+            serial,
+            time: snap.time,
+            sum_k: k_total,
+            sum_e_clamped: e_clamped.max(1.0),
+            work_lb: wl.max(1.0),
+            work_ub: wu.max(1.0),
+            alpha: alpha(k_driver, state.sum_d),
+            done_bytes: bytes,
+            pending_spill,
+            k_dne: k_of(&[]),
+            k_batch: k_of(&state.batch_extra),
+            k_seek: k_of(&state.seek_extra),
+            driver_read: state.drivers.iter().map(|&(d, _)| snap.bytes_read[d] as f64).sum(),
+        }
+    }
+
+    /// Offer one snapshot together with the pipeline's *currently known*
+    /// activity window (from the live `TraceEvent`). Returns the number of
+    /// observations committed by this call.
+    pub fn offer(&mut self, serial: u64, snap: &Snapshot, window: (f64, f64)) -> usize {
+        assert!(!self.finalized, "offer after finalize");
+        let (start, last) = window;
+        if !start.is_finite() || snap.time < start {
+            return 0; // pipeline not started, or pre-window snapshot
+        }
+        if self.state.is_none() {
+            self.window_start = start;
+            self.resolve(snap);
+        }
+        self.window_end = self.window_end.max(last);
+        let entry = self.entry_for(serial, snap);
+        self.pending.push_back(entry);
+        // Snapshots at or before the last tick seen so far are provably
+        // inside the final window (the final end can only grow).
+        let mut committed = 0;
+        while let Some(front) = self.pending.front() {
+            if front.time <= self.window_end {
+                let e = self.pending.pop_front().expect("front exists");
+                self.commit(e);
+                committed += 1;
+            } else {
+                break;
+            }
+        }
+        committed
+    }
+
+    /// Append one committed observation to every curve.
+    fn commit(&mut self, e: ObsEntry) {
+        self.entries.push(e);
+        self.times.push(e.time);
+        self.alpha_curve.push(e.alpha);
+        let luo = self.luo_next();
+        let state = self.state.as_ref().expect("drivers resolved");
+        let dne = |k: f64, total: f64| if total <= 0.0 { 0.0 } else { clamp01(k / total) };
+        let values = [
+            dne(e.k_dne, state.total_dne),
+            clamp01(e.sum_k / e.sum_e_clamped),
+            luo,
+            clamp01(e.sum_k / e.work_ub),
+            {
+                let l = clamp01(e.sum_k / e.work_ub);
+                let u = clamp01(e.sum_k / e.work_lb);
+                (l * u).sqrt()
+            },
+            dne(e.k_batch, state.total_batch),
+            dne(e.k_seek, state.total_seek),
+            {
+                let denom = e.sum_k + (1.0 - e.alpha) * self.sum_e_raw;
+                clamp01(e.sum_k / denom.max(1.0))
+            },
+            clamp01(e.sum_k / self.sum_e_raw),
+        ];
+        debug_assert_eq!(values.len(), ONLINE_KINDS.len());
+        for (curve, v) in self.curves.iter_mut().zip(values) {
+            curve.push(v);
+        }
+    }
+
+    /// LUO estimate for the observation being committed (the last entry of
+    /// `self.entries` at call time is its predecessor set; the entry itself
+    /// is already pushed). Uses a monotone pointer for the speed window:
+    /// the batch backward walk selects the largest `j ≤ i-1` with
+    /// `times[j] ≤ t - win`, and that threshold is non-decreasing in `i`
+    /// (d(t - 0.1·(t-start))/dt = 0.9 > 0), so the pointer only ever moves
+    /// forward — O(1) amortized instead of O(window) per observation.
+    fn luo_next(&mut self) -> f64 {
+        let i = self.entries.len() - 1;
+        let e = self.entries[i];
+        let state = self.state.as_ref().expect("drivers resolved");
+        let start = self.window_start;
+        let t = e.time;
+        let elapsed = (t - start).max(1e-9);
+        let remaining_out = ((1.0 - e.alpha) * self.e_out_total).clamp(0.0, self.e_out_total);
+        let remaining_bytes =
+            (state.driver_total_bytes - e.driver_read).max(0.0) + remaining_out + e.pending_spill;
+        let win = (elapsed * 0.1).max(1e-9);
+        while self.luo_w + 1 < i && t - self.times[self.luo_w + 1] >= win {
+            self.luo_w += 1;
+        }
+        let w = if i == 0 { 0 } else { self.luo_w };
+        let dt = t - self.times[w];
+        let db = e.done_bytes - self.entries[w].done_bytes;
+        let est = luo_point(i == 0, elapsed, dt, db, e.done_bytes, remaining_bytes, self.luo_prev);
+        self.luo_prev = est;
+        est
+    }
+
+    /// Recompute the LUO curve from scratch (after thinning changed the
+    /// committed index space) using the batch backward-walk algorithm.
+    fn rebuild_luo(&mut self) {
+        let state = match &self.state {
+            Some(s) => s,
+            None => return,
+        };
+        let start = self.window_start;
+        let n = self.entries.len();
+        let mut out = Vec::with_capacity(n);
+        let mut prev = 0.0f64;
+        let mut last_w = 0usize;
+        for i in 0..n {
+            let e = self.entries[i];
+            let t = e.time;
+            let elapsed = (t - start).max(1e-9);
+            let remaining_out = ((1.0 - e.alpha) * self.e_out_total).clamp(0.0, self.e_out_total);
+            let remaining_bytes = (state.driver_total_bytes - e.driver_read).max(0.0)
+                + remaining_out
+                + e.pending_spill;
+            let win = (elapsed * 0.1).max(1e-9);
+            let w = luo_window_start(&self.times, i, t, win);
+            last_w = w;
+            let dt = t - self.times[w];
+            let db = e.done_bytes - self.entries[w].done_bytes;
+            let est = luo_point(i == 0, elapsed, dt, db, e.done_bytes, remaining_bytes, prev);
+            prev = est;
+            out.push(est);
+        }
+        self.luo_w = last_w;
+        self.luo_prev = prev;
+        self.curves[online_index(EstimatorKind::Luo).expect("online")] = out;
+    }
+
+    /// Apply an engine thinning event: retain only the observations whose
+    /// serial survives in `live` (the engine's post-thinning buffer,
+    /// ascending). Amortized O(1) per offered snapshot: thinning halves
+    /// the buffer, so each observation is touched O(log) times total.
+    pub fn thin(&mut self, live: &[u64]) {
+        let keep: Vec<bool> = {
+            let mut keep = Vec::with_capacity(self.entries.len());
+            let mut li = 0usize;
+            for e in &self.entries {
+                while li < live.len() && live[li] < e.serial {
+                    li += 1;
+                }
+                keep.push(li < live.len() && live[li] == e.serial);
+            }
+            keep
+        };
+        if keep.iter().all(|&k| k) {
+            // Committed set untouched; still filter pendings below.
+        } else {
+            let filter_f64 = |v: &mut Vec<f64>, keep: &[bool]| {
+                let mut i = 0;
+                v.retain(|_| {
+                    let k = keep[i];
+                    i += 1;
+                    k
+                });
+            };
+            let mut i = 0;
+            self.entries.retain(|_| {
+                let k = keep[i];
+                i += 1;
+                k
+            });
+            filter_f64(&mut self.times, &keep);
+            filter_f64(&mut self.alpha_curve, &keep);
+            for curve in &mut self.curves {
+                filter_f64(curve, &keep);
+            }
+            // The LUO window lookback is defined over the observation index
+            // space, which just changed: rebuild it (the other curves are
+            // pointwise and survive filtering untouched).
+            self.rebuild_luo();
+        }
+        self.pending.retain(|e| live.binary_search(&e.serial).is_ok());
+    }
+
+    /// The query terminated: resolve the trailing pendings against the
+    /// final activity window — everything inside commits, plus the first
+    /// observation past the end (the batch `pipeline_observations` rule) —
+    /// and unlock the oracle curves.
+    pub fn finalize(&mut self, final_window: (f64, f64)) {
+        if self.finalized {
+            return;
+        }
+        self.finalized = true;
+        if self.state.is_none() {
+            return; // pipeline never observed
+        }
+        self.window_start = final_window.0;
+        self.window_end = final_window.1;
+        let mut past_end = false;
+        while let Some(e) = self.pending.pop_front() {
+            if e.time <= self.window_end {
+                self.commit(e);
+            } else if !past_end {
+                self.commit(e);
+                past_end = true;
+            }
+        }
+        self.pending.clear();
+    }
+
+    /// The committed curve of one estimator. Online kinds are available at
+    /// any point; the two oracle models (which need post-hoc totals) only
+    /// after [`Self::finalize`].
+    ///
+    /// # Panics
+    /// Panics when an oracle curve is requested before finalization.
+    pub fn curve(&self, kind: EstimatorKind) -> Vec<f64> {
+        if let Some(idx) = online_index(kind) {
+            return self.curves[idx].clone();
+        }
+        assert!(self.finalized, "{kind} needs post-hoc totals: only available after finalize()");
+        match kind {
+            EstimatorKind::GetNextOracle => {
+                // Counters of this pipeline's nodes are frozen by its last
+                // observation, so the final Σ K equals the true Σ N_i.
+                let total = self.entries.last().map_or(0.0, |e| e.sum_k);
+                self.entries.iter().map(|e| clamp01(e.sum_k / total.max(1.0))).collect()
+            }
+            EstimatorKind::BytesOracle => {
+                let total = self.entries.last().map_or(0.0, |e| e.done_bytes);
+                if total <= 0.0 {
+                    return vec![1.0; self.len()];
+                }
+                self.entries.iter().map(|e| clamp01(e.done_bytes / total)).collect()
+            }
+            _ => unreachable!("non-oracle kinds are online"),
+        }
+    }
+
+    /// Latest committed value of one online estimator — the O(1) serving
+    /// path. `None` until the first observation commits.
+    pub fn value(&self, kind: EstimatorKind) -> Option<f64> {
+        online_index(kind).and_then(|idx| self.curves[idx].last().copied())
+    }
+
+    /// Replay a completed run's trace through the incremental protocol
+    /// (serials without thinning — the trace is already thinned). Useful
+    /// for tests and for validating online/offline equivalence; `None`
+    /// when the pipeline produced no observations.
+    pub fn replay(run: &prosel_engine::QueryRun, pid: usize) -> Option<IncrementalObs> {
+        let mut inc = IncrementalObs::new(Arc::new(run.plan.clone()), &run.pipelines[pid]);
+        let (start, end) = run.trace.pipeline_windows[pid];
+        for (j, snap) in run.trace.snapshots.iter().enumerate() {
+            // The live window's `last` is the last tick at or before this
+            // snapshot; any value in [that, snap.time] commits the same
+            // observation set, so the conservative `min(end, time)` works.
+            inc.offer(j as u64, snap, (start, end.min(snap.time)));
+        }
+        inc.finalize((start, end));
+        if inc.is_empty() {
+            return None;
+        }
+        Some(inc)
+    }
+}
+
+impl ObsView for IncrementalObs {
+    fn obs_times(&self) -> &[f64] {
+        self.times()
+    }
+
+    fn window_start(&self) -> f64 {
+        self.window_start
+    }
+
+    fn driver_fraction(&self) -> &[f64] {
+        &self.alpha_curve
+    }
+
+    fn curve(&self, kind: EstimatorKind) -> std::borrow::Cow<'_, [f64]> {
+        match online_index(kind) {
+            // Maintained curves are served without copying — re-selection
+            // reads only a few marker points, so a clone per feature
+            // extraction would dominate its cost.
+            Some(idx) => std::borrow::Cow::Borrowed(&self.curves[idx]),
+            None => std::borrow::Cow::Owned(IncrementalObs::curve(self, kind)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prosel_engine::plan::{CmpOp, PlanNode, Predicate};
+    use prosel_engine::{decompose, OperatorKind};
+
+    fn scan_filter_plan() -> Arc<PhysicalPlan> {
+        Arc::new(PhysicalPlan {
+            nodes: vec![
+                PlanNode {
+                    op: OperatorKind::TableScan { table: "t".into(), cols: vec![0] },
+                    children: vec![],
+                    est_rows: 100.0,
+                    est_row_bytes: 8.0,
+                    out_cols: 1,
+                },
+                PlanNode {
+                    op: OperatorKind::Filter {
+                        pred: Predicate::ColCmp { col: 0, op: CmpOp::Gt, val: 0 },
+                    },
+                    children: vec![0],
+                    est_rows: 50.0,
+                    est_row_bytes: 8.0,
+                    out_cols: 1,
+                },
+            ],
+            root: 1,
+        })
+    }
+
+    fn snap(time: f64, k0: u64, k1: u64) -> Snapshot {
+        Snapshot {
+            time,
+            k: vec![k0, k1].into_boxed_slice(),
+            bytes_read: vec![k0 * 8, 0].into_boxed_slice(),
+            bytes_written: vec![0, 0].into_boxed_slice(),
+            materialized: vec![0, 0].into_boxed_slice(),
+        }
+    }
+
+    #[test]
+    fn skips_snapshots_before_the_window() {
+        let plan = scan_filter_plan();
+        let pipelines = decompose(&plan);
+        let mut obs = IncrementalObs::new(plan, &pipelines[0]);
+        // Pipeline not started yet: window is (inf, -inf).
+        assert_eq!(obs.offer(0, &snap(5.0, 0, 0), (f64::INFINITY, f64::NEG_INFINITY)), 0);
+        assert!(!obs.started());
+        // Started at t=10; a snapshot inside the known window commits.
+        assert_eq!(obs.offer(1, &snap(12.0, 20, 10), (10.0, 12.0)), 1);
+        assert!(obs.started());
+        assert_eq!(obs.len(), 1);
+        assert!((obs.value(EstimatorKind::Dne).unwrap() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pendings_commit_when_proven_in_window() {
+        let plan = scan_filter_plan();
+        let pipelines = decompose(&plan);
+        let mut obs = IncrementalObs::new(plan, &pipelines[0]);
+        obs.offer(0, &snap(12.0, 20, 10), (10.0, 12.0));
+        // Snapshot past the last known tick: cannot commit yet (it might
+        // land past the final window end).
+        assert_eq!(obs.offer(1, &snap(30.0, 20, 10), (10.0, 12.0)), 0);
+        assert_eq!(obs.len(), 1);
+        // A later tick at t=40 proves the pending was inside the window;
+        // both it and the new snapshot commit.
+        assert_eq!(obs.offer(2, &snap(40.0, 80, 40), (10.0, 40.0)), 2);
+        assert_eq!(obs.len(), 3);
+        // Finalize: the first trailing pending commits (the batch
+        // one-past-end rule), later ones are dropped.
+        obs.offer(3, &snap(45.0, 100, 50), (10.0, 41.0));
+        obs.offer(4, &snap(50.0, 100, 50), (10.0, 41.0));
+        obs.finalize((10.0, 41.0));
+        assert_eq!(obs.len(), 4, "exactly one past-end observation");
+        assert_eq!(obs.times().last().copied(), Some(45.0));
+        let dne = obs.curve(EstimatorKind::Dne);
+        assert!((dne.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "after finalize")]
+    fn oracle_curves_require_finalization() {
+        let plan = scan_filter_plan();
+        let pipelines = decompose(&plan);
+        let mut obs = IncrementalObs::new(plan, &pipelines[0]);
+        obs.offer(0, &snap(12.0, 20, 10), (10.0, 12.0));
+        let _ = obs.curve(EstimatorKind::GetNextOracle);
+    }
+
+    #[test]
+    fn online_values_track_curves() {
+        let plan = scan_filter_plan();
+        let pipelines = decompose(&plan);
+        let mut obs = IncrementalObs::new(plan, &pipelines[0]);
+        assert_eq!(obs.value(EstimatorKind::Tgn), None);
+        for (i, t) in [12.0, 20.0, 28.0].iter().enumerate() {
+            let k = 20 * (i as u64 + 1);
+            obs.offer(i as u64, &snap(*t, k, k / 2), (10.0, *t));
+        }
+        for kind in ONLINE_KINDS {
+            let c = obs.curve(kind);
+            assert_eq!(c.len(), 3);
+            assert_eq!(obs.value(kind), c.last().copied());
+            assert!(c.iter().all(|v| (0.0..=1.0).contains(v)), "{kind} out of range");
+        }
+    }
+}

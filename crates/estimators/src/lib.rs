@@ -20,10 +20,12 @@
 //!   (true totals) used to validate the underlying progress models.
 //!
 //! [`pipeline_obs::PipelineObs`] renders any of these as a progress curve
-//! over a pipeline's observations; [`eval`] scores curves against true
-//! (time-fraction) progress.
+//! over a pipeline's observations; [`incremental::IncrementalObs`] builds
+//! the same curves *online*, one snapshot at a time, in O(1) amortized per
+//! snapshot; [`eval`] scores curves against true (time-fraction) progress.
 
 pub mod eval;
+pub mod incremental;
 pub mod kinds;
 pub mod pipeline_obs;
 pub mod refine;
@@ -32,5 +34,6 @@ pub use eval::{
     evaluate_pipeline, l1_error, l2_error, query_l1, query_progress_curve, ratio_error,
     EstimatorError,
 };
+pub use incremental::{IncrementalObs, ONLINE_KINDS};
 pub use kinds::EstimatorKind;
-pub use pipeline_obs::PipelineObs;
+pub use pipeline_obs::{ObsView, PipelineObs};

@@ -15,8 +15,27 @@
 
 use crate::kinds::EstimatorKind;
 use crate::refine::{alpha, bounds, clamp_estimate};
-use prosel_engine::plan::{NodeId, OperatorKind};
+use prosel_engine::plan::{NodeId, OperatorKind, PhysicalPlan};
 use prosel_engine::trace::QueryRun;
+use prosel_engine::Pipeline;
+
+/// Read access to a pipeline observation sequence: what feature extraction
+/// and curve consumers need, implemented by both the batch [`PipelineObs`]
+/// and the online [`crate::incremental::IncrementalObs`] so the same code
+/// serves the post-hoc and live paths.
+pub trait ObsView {
+    /// Virtual times of the observations.
+    fn obs_times(&self) -> &[f64];
+    /// Start of the pipeline's activity window.
+    fn window_start(&self) -> f64;
+    /// Fraction of driver input consumed at each observation.
+    fn driver_fraction(&self) -> &[f64];
+    /// Progress curve of one estimator, aligned with the observations.
+    /// Borrowed where the implementation maintains the curve (the
+    /// incremental path serves feature extraction allocation-free),
+    /// owned where it is computed on demand (the batch path).
+    fn curve(&self, kind: EstimatorKind) -> std::borrow::Cow<'_, [f64]>;
+}
 
 /// Precomputed observation-aligned state for one pipeline.
 pub struct PipelineObs<'a> {
@@ -65,19 +84,11 @@ impl<'a> PipelineObs<'a> {
         let plan = &run.plan;
         let nodes = pipeline.nodes.clone();
 
-        let driver_total = |id: NodeId| -> f64 {
-            match plan.node(id).op {
-                // Materialized inputs: size exactly known at pipeline start.
-                OperatorKind::Sort { .. } | OperatorKind::HashAggregate { .. } => {
-                    run.trace.final_k[id] as f64
-                }
-                // Scans: base cardinality known; seeks & everything else:
-                // optimizer estimate.
-                _ => plan.node(id).est_rows,
-            }
-        };
-        let drivers: Vec<(NodeId, f64)> =
-            pipeline.driver_nodes.iter().map(|&d| (d, driver_total(d).max(1.0))).collect();
+        let drivers: Vec<(NodeId, f64)> = pipeline
+            .driver_nodes
+            .iter()
+            .map(|&d| (d, driver_node_total(plan, d, &run.trace.final_materialized).max(1.0)))
+            .collect();
         let driver_set: Vec<NodeId> = drivers.iter().map(|&(d, _)| d).collect();
         let batch_extra: Vec<(NodeId, f64)> = pipeline
             .batch_sort_nodes
@@ -92,16 +103,7 @@ impl<'a> PipelineObs<'a> {
             .map(|&d| (d, plan.node(d).est_rows.max(1.0)))
             .collect();
 
-        // Topmost node: the one whose parent is outside the pipeline.
-        let parents = plan.parents();
-        let top = nodes
-            .iter()
-            .copied()
-            .find(|&n| match parents[n] {
-                None => true,
-                Some(p) => !pipeline.contains(p),
-            })
-            .unwrap_or(nodes[nodes.len() - 1]);
+        let top = pipeline_top(plan, pipeline);
 
         let driver_total_bytes: f64 =
             drivers.iter().map(|&(d, total)| total * plan.node(d).est_row_bytes).sum();
@@ -301,16 +303,7 @@ impl<'a> PipelineObs<'a> {
         let n = self.len();
         let mut out = Vec::with_capacity(n);
         let start = self.window.0;
-        // Expected total output bytes. Only the plan root writes its
-        // results out (to the client / result spool); interior pipeline
-        // tops hand tuples to a consuming operator in memory, so their
-        // only writes are spills, which are observed rather than
-        // predicted.
-        let e_out_total = if self.top == self.run.plan.root {
-            self.run.plan.node(self.top).est_rows * self.run.plan.node(self.top).est_row_bytes
-        } else {
-            0.0
-        };
+        let e_out_total = expected_output_bytes(&self.run.plan, self.top);
         let mut prev = 0.0f64;
         for i in 0..n {
             let t = self.times[i];
@@ -331,27 +324,10 @@ impl<'a> PipelineObs<'a> {
             // back to the previous observation) — the paper's T-second
             // window rescaled to virtual time.
             let win = (elapsed * 0.1).max(1e-9);
-            let mut w = i;
-            while w > 0 && t - self.times[w - 1] < win {
-                w -= 1;
-            }
-            w = w.saturating_sub(1);
+            let w = luo_window_start(&self.times, i, t, win);
             let dt = t - self.times[w];
             let db = self.done_bytes[i] - self.done_bytes[w];
-            let est = if i == 0 || dt <= 0.0 || db <= 0.0 {
-                // No speed sample yet: fall back to the byte fraction.
-                let total = self.done_bytes[i] + remaining_bytes;
-                if total > 0.0 {
-                    self.done_bytes[i] / total
-                } else {
-                    prev
-                }
-            } else {
-                let speed = db / dt;
-                let remaining_time = remaining_bytes / speed.max(1e-9);
-                elapsed / (elapsed + remaining_time)
-            };
-            let est = clamp01(est);
+            let est = luo_point(i == 0, elapsed, dt, db, self.done_bytes[i], remaining_bytes, prev);
             prev = est;
             out.push(est);
         }
@@ -359,8 +335,115 @@ impl<'a> PipelineObs<'a> {
     }
 }
 
+/// Known total input of driver node `id` (paper §3.4). Materialized
+/// inputs — sort / hash-aggregate outputs — use the size the blocking
+/// operator reported when its build phase completed (deliberately *not*
+/// `final_k[id]`: under early termination the emitted count is smaller
+/// and unknowable mid-query, while the materialized size is what a live
+/// engine exposes). Scans use their known base cardinality; seeks and
+/// everything else the optimizer estimate. Shared by the batch and
+/// incremental paths — their bit identity depends on it.
+pub(crate) fn driver_node_total(plan: &PhysicalPlan, id: NodeId, materialized: &[u64]) -> f64 {
+    match plan.node(id).op {
+        OperatorKind::Sort { .. } | OperatorKind::HashAggregate { .. } => materialized[id] as f64,
+        _ => plan.node(id).est_rows,
+    }
+}
+
+/// Topmost node of a pipeline: the one whose parent is outside it (the
+/// pipeline's output). Shared by the batch and incremental paths.
+pub(crate) fn pipeline_top(plan: &PhysicalPlan, pipeline: &Pipeline) -> NodeId {
+    let parents = plan.parents();
+    let nodes = &pipeline.nodes;
+    nodes
+        .iter()
+        .copied()
+        .find(|&n| match parents[n] {
+            None => true,
+            Some(p) => !pipeline.contains(p),
+        })
+        .unwrap_or(nodes[nodes.len() - 1])
+}
+
+/// Expected total result-output bytes of the pipeline with output `top`.
+/// Only the plan root writes its results out (to the client / result
+/// spool); interior pipeline tops hand tuples to a consuming operator in
+/// memory, so their only writes are spills, which are observed rather
+/// than predicted. Shared by the batch and incremental paths.
+pub(crate) fn expected_output_bytes(plan: &PhysicalPlan, top: NodeId) -> f64 {
+    if top == plan.root {
+        plan.node(top).est_rows * plan.node(top).est_row_bytes
+    } else {
+        0.0
+    }
+}
+
+/// Start index of the LUO speed window for observation `i`: walk back
+/// from `i` while the previous observation is still inside `win`, then
+/// step one further (the reference algorithm). Shared by the batch curve
+/// and the incremental rebuild; `IncrementalObs::luo_next` reproduces the
+/// same result with a monotone forward pointer (equivalence argued and
+/// property-tested there).
+pub(crate) fn luo_window_start(times: &[f64], i: usize, t: f64, win: f64) -> usize {
+    let mut w = i;
+    while w > 0 && t - times[w - 1] < win {
+        w -= 1;
+    }
+    w.saturating_sub(1)
+}
+
+/// One LUO estimate from the speed-window deltas. Shared by the batch
+/// curve and both incremental paths ([`crate::incremental`]) — their bit
+/// identity depends on this formula never diverging. With no usable speed
+/// sample yet (`first` observation, or no time/bytes moved inside the
+/// window) it falls back to the byte fraction, or to `prev` when no bytes
+/// exist at all.
+pub(crate) fn luo_point(
+    first: bool,
+    elapsed: f64,
+    dt: f64,
+    db: f64,
+    done_bytes: f64,
+    remaining_bytes: f64,
+    prev: f64,
+) -> f64 {
+    let est = if first || dt <= 0.0 || db <= 0.0 {
+        let total = done_bytes + remaining_bytes;
+        if total > 0.0 {
+            done_bytes / total
+        } else {
+            prev
+        }
+    } else {
+        let speed = db / dt;
+        let remaining_time = remaining_bytes / speed.max(1e-9);
+        elapsed / (elapsed + remaining_time)
+    };
+    clamp01(est)
+}
+
+impl ObsView for PipelineObs<'_> {
+    fn obs_times(&self) -> &[f64] {
+        &self.times
+    }
+
+    fn window_start(&self) -> f64 {
+        self.window.0
+    }
+
+    fn driver_fraction(&self) -> &[f64] {
+        PipelineObs::driver_fraction(self)
+    }
+
+    fn curve(&self, kind: EstimatorKind) -> std::borrow::Cow<'_, [f64]> {
+        std::borrow::Cow::Owned(PipelineObs::curve(self, kind))
+    }
+}
+
+/// Clamp to a probability, mapping non-finite values to 1.0 (complete).
+/// Equivalence-critical: the incremental path shares this exact rule.
 #[inline]
-fn clamp01(v: f64) -> f64 {
+pub(crate) fn clamp01(v: f64) -> f64 {
     if v.is_finite() {
         v.clamp(0.0, 1.0)
     } else {

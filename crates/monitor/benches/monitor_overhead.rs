@@ -1,0 +1,126 @@
+//! Per-snapshot overhead of the online monitor.
+//!
+//! The claim under test: `IncrementalObs::append` (and the full
+//! `ProgressMonitor::ingest` path around it) costs O(1) amortized per
+//! snapshot — the time to ingest N snapshots grows linearly in N, i.e.
+//! the *per-element* cost stays flat as the trace gets longer. The batch
+//! path, by contrast, recomputes every curve from scratch, so polling it
+//! per tick would be quadratic. Each group below is parameterized by the
+//! trace length with element throughput reported, so a flat per-element
+//! time across the sizes is the pass criterion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prosel_engine::plan::{CmpOp, OperatorKind, PhysicalPlan, PlanNode, Predicate};
+use prosel_engine::trace::{Snapshot, TraceEvent};
+use prosel_engine::{decompose, Pipeline};
+use prosel_estimators::{EstimatorKind, IncrementalObs};
+use prosel_monitor::ProgressMonitor;
+use std::sync::Arc;
+
+fn scan_filter_plan(rows: f64) -> PhysicalPlan {
+    PhysicalPlan {
+        nodes: vec![
+            PlanNode {
+                op: OperatorKind::TableScan { table: "t".into(), cols: vec![0, 1] },
+                children: vec![],
+                est_rows: rows,
+                est_row_bytes: 16.0,
+                out_cols: 2,
+            },
+            PlanNode {
+                op: OperatorKind::Filter {
+                    pred: Predicate::ColCmp { col: 1, op: CmpOp::Lt, val: 5 },
+                },
+                children: vec![0],
+                est_rows: rows / 2.0,
+                est_row_bytes: 16.0,
+                out_cols: 2,
+            },
+        ],
+        root: 1,
+    }
+}
+
+/// A synthetic live trace of `n` evenly spaced snapshots over a scan +
+/// filter pipeline that consumes `rows` driver rows in total.
+fn synthetic_snapshots(n: usize, rows: u64) -> Vec<Snapshot> {
+    (0..n)
+        .map(|i| {
+            let k0 = rows * (i as u64 + 1) / n as u64;
+            let k1 = k0 / 2;
+            Snapshot {
+                time: (i + 1) as f64,
+                k: vec![k0, k1].into_boxed_slice(),
+                bytes_read: vec![k0 * 16, 0].into_boxed_slice(),
+                bytes_written: vec![0, k1 * 16].into_boxed_slice(),
+                materialized: vec![0, 0].into_boxed_slice(),
+            }
+        })
+        .collect()
+}
+
+fn bench_incremental_append(c: &mut Criterion) {
+    let plan = Arc::new(scan_filter_plan(1_000_000.0));
+    let pipelines: Vec<Pipeline> = decompose(&plan);
+    let mut group = c.benchmark_group("incremental_append");
+    group.sample_size(10);
+    for n in [512usize, 2048, 8192] {
+        let snaps = synthetic_snapshots(n, 1_000_000);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &snaps, |b, snaps| {
+            b.iter(|| {
+                let mut obs = IncrementalObs::new(Arc::clone(&plan), &pipelines[0]);
+                for (i, s) in snaps.iter().enumerate() {
+                    obs.offer(i as u64, s, (0.5, s.time));
+                }
+                obs.value(EstimatorKind::Dne)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_monitor_ingest(c: &mut Criterion) {
+    let plan = scan_filter_plan(1_000_000.0);
+    let mut group = c.benchmark_group("monitor_ingest");
+    group.sample_size(10);
+    for n in [512usize, 2048, 8192] {
+        let snaps = synthetic_snapshots(n, 1_000_000);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &snaps, |b, snaps| {
+            b.iter(|| {
+                let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+                monitor.register(0, &plan);
+                for (seq, s) in snaps.iter().enumerate() {
+                    monitor.ingest(TraceEvent::Snapshot {
+                        query: 0,
+                        seq: seq as u64,
+                        snapshot: s.clone(),
+                        windows: vec![(0.5, s.time)].into_boxed_slice(),
+                    });
+                }
+                monitor.query_progress(0)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let plan = scan_filter_plan(1_000_000.0);
+    let snaps = synthetic_snapshots(4096, 1_000_000);
+    let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+    monitor.register(0, &plan);
+    for (seq, s) in snaps.iter().enumerate() {
+        monitor.ingest(TraceEvent::Snapshot {
+            query: 0,
+            seq: seq as u64,
+            snapshot: s.clone(),
+            windows: vec![(0.5, s.time)].into_boxed_slice(),
+        });
+    }
+    c.bench_function("serve_query_progress", |b| b.iter(|| monitor.query_progress(0)));
+}
+
+criterion_group!(benches, bench_incremental_append, bench_monitor_ingest, bench_serving);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! # prosel-monitor
+//!
+//! The **online** progress monitor: the paper's §4.3 architecture as a
+//! long-lived service over *running* queries, closing the loop that the
+//! rest of the workspace treats post-hoc.
+//!
+//! König et al. frame progress estimation as an online quantity — counters
+//! stream in, estimates are revised as dynamic features become observable —
+//! and Shepperd & MacDonell's critique of estimation studies applies
+//! directly: an estimator is only validated under the information regime
+//! it will face in production, i.e. prefix-only observations. This crate
+//! provides exactly that regime:
+//!
+//! * [`ProgressMonitor`] registers queries *before* they run (static
+//!   features, eq. (5) pipeline weights and the initial estimator choice
+//!   all come from the plan alone), ingests
+//!   [`prosel_engine::trace::TraceEvent`]s one at a time, and serves
+//!   per-query / per-pipeline progress on demand in O(1);
+//! * per pipeline it maintains a
+//!   [`prosel_estimators::incremental::IncrementalObs`], whose committed
+//!   curves are bit-identical to the batch
+//!   [`prosel_estimators::PipelineObs`] over the same run;
+//! * with a trained selector attached, the choice made from static
+//!   features at registration (paper §4.3's "static selection") is
+//!   re-scored at a configurable observation cadence as dynamic features
+//!   accumulate (§4.4), and every estimator switch is logged.
+//!
+//! Feed it from [`prosel_engine::run_plan_tapped`] or
+//! [`prosel_engine::run_concurrent_tapped`]:
+//!
+//! ```no_run
+//! use prosel_engine::{run_plan_tapped, Catalog, ExecConfig};
+//! use prosel_monitor::ProgressMonitor;
+//! use prosel_estimators::EstimatorKind;
+//! # fn demo(catalog: &Catalog<'_>, plan: &prosel_engine::PhysicalPlan) {
+//! let (tap, rx) = std::sync::mpsc::channel();
+//! let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+//! monitor.register(0, plan);
+//! let run = run_plan_tapped(catalog, plan, &ExecConfig::default(), 0, tap);
+//! monitor.drain(&rx);
+//! assert_eq!(monitor.query_progress(0), Some(1.0));
+//! # let _ = run;
+//! # }
+//! ```
+
+pub mod monitor;
+
+pub use monitor::{MonitorConfig, PipelineStatus, ProgressMonitor, QueryStatus, SwitchEvent};

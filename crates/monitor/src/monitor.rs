@@ -1,0 +1,446 @@
+//! The long-lived [`ProgressMonitor`].
+//!
+//! Lifecycle per query: [`ProgressMonitor::register`] (plan only, before
+//! execution) → [`ProgressMonitor::ingest`] for every
+//! [`TraceEvent`] → progress served on demand → the `Finished` event pins
+//! the query to exactly 1.0 and finalizes every pipeline's observation
+//! state (unlocking oracle curves and exact batch equivalence).
+
+use prosel_core::features::{dynamic_features, static_features};
+use prosel_core::selection::EstimatorSelector;
+use prosel_engine::plan::PhysicalPlan;
+use prosel_engine::trace::{Snapshot, TraceEvent};
+use prosel_engine::{decompose, pipeline_weight, Pipeline};
+use prosel_estimators::{EstimatorKind, IncrementalObs};
+use std::collections::BTreeMap;
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+
+/// Monitor configuration.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// With a selector attached: re-score the estimator choice of a
+    /// pipeline every this many *committed* observations (paper §4.4's
+    /// dynamic revision, generalized from the single 20%-marker revisit to
+    /// a recurring cadence). 0 disables re-selection after registration.
+    pub reselect_every: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig { reselect_every: 4 }
+    }
+}
+
+/// One estimator switch, logged when online re-selection changes its mind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchEvent {
+    pub pipeline: usize,
+    /// Virtual time of the observation that triggered the switch.
+    pub time: f64,
+    pub from: EstimatorKind,
+    pub to: EstimatorKind,
+}
+
+/// Progress of one pipeline, as served live.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineStatus {
+    pub pipeline: usize,
+    /// Estimator currently in charge of this pipeline.
+    pub estimator: EstimatorKind,
+    /// Latest progress estimate in [0, 1]; 0 before the first observation.
+    pub progress: f64,
+    /// Number of committed observations so far.
+    pub observations: usize,
+}
+
+/// Progress of one registered query, as served live.
+#[derive(Debug, Clone)]
+pub struct QueryStatus {
+    pub query: usize,
+    /// Estimated query progress in [0, 1] (eq. (5) weighting); exactly 1.0
+    /// once the engine reported termination.
+    pub progress: f64,
+    /// Virtual time of the latest event seen for this query.
+    pub time: f64,
+    pub finished: bool,
+    pub pipelines: Vec<PipelineStatus>,
+}
+
+enum Policy {
+    Fixed(EstimatorKind),
+    Selector(Box<EstimatorSelector>),
+}
+
+struct PipeState {
+    obs: IncrementalObs,
+    choice: EstimatorKind,
+    initial: EstimatorKind,
+    /// Static feature prefix, cached at registration (selector mode only).
+    static_feats: Vec<f32>,
+    since_select: usize,
+}
+
+struct QueryState {
+    /// Plan size, for validating that incoming events match the
+    /// registered plan.
+    n_nodes: usize,
+    weights: Vec<f64>,
+    total_weight: f64,
+    pipes: Vec<PipeState>,
+    /// Serials of the engine's currently retained snapshots (mirrors the
+    /// bounded trace buffer across thinning events).
+    live: Vec<u64>,
+    serial_next: u64,
+    last_time: f64,
+    finished: bool,
+    switches: Vec<SwitchEvent>,
+}
+
+/// Long-lived online progress monitor. See the crate docs for the model.
+pub struct ProgressMonitor {
+    policy: Policy,
+    config: MonitorConfig,
+    queries: BTreeMap<usize, QueryState>,
+}
+
+impl ProgressMonitor {
+    /// Monitor every pipeline with one fixed estimator (no selection).
+    ///
+    /// # Panics
+    /// Panics for the oracle kinds (`GetNextOracle`, `BytesOracle`): they
+    /// need post-hoc totals and cannot serve live progress.
+    pub fn fixed(kind: EstimatorKind) -> ProgressMonitor {
+        assert!(
+            prosel_estimators::ONLINE_KINDS.contains(&kind),
+            "{kind} needs post-hoc totals and cannot serve progress online"
+        );
+        ProgressMonitor {
+            policy: Policy::Fixed(kind),
+            config: MonitorConfig::default(),
+            queries: BTreeMap::new(),
+        }
+    }
+
+    /// Monitor with a trained selector: static selection at registration,
+    /// dynamic re-selection at the configured observation cadence.
+    pub fn with_selector(selector: EstimatorSelector, config: MonitorConfig) -> ProgressMonitor {
+        ProgressMonitor {
+            policy: Policy::Selector(Box::new(selector)),
+            config,
+            queries: BTreeMap::new(),
+        }
+    }
+
+    /// Register a query **before it runs**. Everything derivable without
+    /// execution happens here: pipeline decomposition, eq. (5) weights,
+    /// static features and the initial estimator choice.
+    ///
+    /// Registration must precede the query's first snapshot: once the
+    /// engine has emitted (and possibly thinned) snapshots this monitor
+    /// never saw, its bounded-buffer mirror is unreconstructable, so a
+    /// query whose stream is joined mid-way is dropped again on its first
+    /// ingested snapshot (progress queries then return `None`) rather
+    /// than served from silently corrupted state.
+    ///
+    /// # Panics
+    /// Panics if `query` is already registered.
+    pub fn register(&mut self, query: usize, plan: &PhysicalPlan) {
+        assert!(!self.queries.contains_key(&query), "query {query} already registered");
+        let plan = Arc::new(plan.clone());
+        let pipelines: Vec<Pipeline> = decompose(&plan);
+        let weights: Vec<f64> = pipelines.iter().map(|p| pipeline_weight(&plan, p)).collect();
+        let total_weight: f64 = weights.iter().filter(|&&w| w > 0.0).sum();
+        let pipes = pipelines
+            .iter()
+            .map(|p| {
+                let (static_feats, choice) = match &self.policy {
+                    Policy::Fixed(kind) => (Vec::new(), *kind),
+                    Policy::Selector(sel) => {
+                        let feats = static_features::extract_parts(&plan, &pipelines, p.id);
+                        let choice = sel.select_static(&feats);
+                        (feats, choice)
+                    }
+                };
+                PipeState {
+                    obs: IncrementalObs::new(Arc::clone(&plan), p),
+                    choice,
+                    initial: choice,
+                    static_feats,
+                    since_select: 0,
+                }
+            })
+            .collect();
+        self.queries.insert(
+            query,
+            QueryState {
+                n_nodes: plan.len(),
+                weights,
+                total_weight,
+                pipes,
+                live: Vec::new(),
+                serial_next: 0,
+                last_time: 0.0,
+                finished: false,
+                switches: Vec::new(),
+            },
+        );
+    }
+
+    /// Ingest one trace event. Events for unregistered queries are
+    /// silently dropped (the tap may carry queries this monitor does not
+    /// track).
+    pub fn ingest(&mut self, ev: TraceEvent) {
+        match ev {
+            TraceEvent::Snapshot { query, seq, snapshot, windows } => {
+                self.on_snapshot(query, seq, &snapshot, &windows);
+            }
+            TraceEvent::Thinned { query } => {
+                if let Some(qs) = self.queries.get_mut(&query) {
+                    // Mirror the engine: odd positions survive, interval
+                    // doubles (the interval is the engine's business).
+                    let mut i = 0usize;
+                    qs.live.retain(|_| {
+                        let keep = i % 2 == 1;
+                        i += 1;
+                        keep
+                    });
+                    for pipe in &mut qs.pipes {
+                        pipe.obs.thin(&qs.live);
+                    }
+                }
+            }
+            TraceEvent::Finished { query, windows, total_time } => {
+                if let Some(qs) = self.queries.get_mut(&query) {
+                    qs.finished = true;
+                    qs.last_time = total_time;
+                    for pipe in &mut qs.pipes {
+                        let pid = pipe.obs.pipeline_id();
+                        pipe.obs.finalize(windows[pid]);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_snapshot(&mut self, query: usize, seq: u64, snapshot: &Snapshot, windows: &[(f64, f64)]) {
+        let Some(qs) = self.queries.get_mut(&query) else { return };
+        if seq != qs.serial_next
+            || snapshot.k.len() != qs.n_nodes
+            || windows.len() != qs.pipes.len()
+        {
+            // The stream was joined mid-way, events were lost, or the
+            // engine is executing a different plan under this query id:
+            // state can no longer be trusted, so refuse to serve
+            // corrupted estimates rather than panic or misalign.
+            self.queries.remove(&query);
+            return;
+        }
+        let serial = qs.serial_next;
+        qs.serial_next += 1;
+        qs.live.push(serial);
+        qs.last_time = snapshot.time;
+        let reselect_every = self.config.reselect_every;
+        for pipe in &mut qs.pipes {
+            let pid = pipe.obs.pipeline_id();
+            let committed = pipe.obs.offer(serial, snapshot, windows[pid]);
+            if committed == 0 {
+                continue;
+            }
+            if let Policy::Selector(sel) = &self.policy {
+                pipe.since_select += committed;
+                if reselect_every > 0 && pipe.since_select >= reselect_every && !pipe.obs.is_empty()
+                {
+                    pipe.since_select = 0;
+                    let mut feats = pipe.static_feats.clone();
+                    feats.extend(dynamic_features::extract(&pipe.obs));
+                    let next = sel.select(&feats);
+                    if next != pipe.choice {
+                        qs.switches.push(SwitchEvent {
+                            pipeline: pid,
+                            time: snapshot.time,
+                            from: pipe.choice,
+                            to: next,
+                        });
+                        pipe.choice = next;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drain every event currently queued on `rx` (non-blocking). Returns
+    /// the number of events ingested.
+    pub fn drain(&mut self, rx: &Receiver<TraceEvent>) -> usize {
+        let mut n = 0;
+        while let Ok(ev) = rx.try_recv() {
+            self.ingest(ev);
+            n += 1;
+        }
+        n
+    }
+
+    /// Estimated progress of `query` in [0, 1]: the eq. (5)-weighted sum
+    /// of the per-pipeline estimates under each pipeline's current
+    /// estimator, pinned to exactly 1.0 once the engine reported
+    /// termination. `None` for unregistered queries.
+    pub fn query_progress(&self, query: usize) -> Option<f64> {
+        let qs = self.queries.get(&query)?;
+        Some(Self::progress_of(qs))
+    }
+
+    fn progress_of(qs: &QueryState) -> f64 {
+        if qs.finished {
+            return 1.0;
+        }
+        if qs.total_weight <= 0.0 {
+            return 0.0;
+        }
+        let mut acc = 0.0f64;
+        for (pipe, &w) in qs.pipes.iter().zip(&qs.weights) {
+            if w <= 0.0 {
+                continue;
+            }
+            if let Some(v) = pipe.obs.value(pipe.choice) {
+                acc += w * v;
+            }
+        }
+        (acc / qs.total_weight).clamp(0.0, 1.0)
+    }
+
+    /// Latest progress estimate of one pipeline (1.0 once the query
+    /// finished, 0.0 before the pipeline's first observation).
+    pub fn pipeline_progress(&self, query: usize, pipeline: usize) -> Option<f64> {
+        let qs = self.queries.get(&query)?;
+        let pipe = qs.pipes.get(pipeline)?;
+        if qs.finished {
+            return Some(1.0);
+        }
+        Some(pipe.obs.value(pipe.choice).unwrap_or(0.0))
+    }
+
+    /// Full live status of one query.
+    pub fn status(&self, query: usize) -> Option<QueryStatus> {
+        let qs = self.queries.get(&query)?;
+        let pipelines = qs
+            .pipes
+            .iter()
+            .map(|pipe| PipelineStatus {
+                pipeline: pipe.obs.pipeline_id(),
+                estimator: pipe.choice,
+                progress: if qs.finished {
+                    1.0
+                } else {
+                    pipe.obs.value(pipe.choice).unwrap_or(0.0)
+                },
+                observations: pipe.obs.len(),
+            })
+            .collect();
+        Some(QueryStatus {
+            query,
+            progress: Self::progress_of(qs),
+            time: qs.last_time,
+            finished: qs.finished,
+            pipelines,
+        })
+    }
+
+    /// The estimator-switch history of a query (empty under a fixed
+    /// policy or when re-selection never changed its mind).
+    pub fn switch_history(&self, query: usize) -> Option<&[SwitchEvent]> {
+        self.queries.get(&query).map(|qs| qs.switches.as_slice())
+    }
+
+    /// The estimator chosen from static features at registration.
+    pub fn initial_choice(&self, query: usize, pipeline: usize) -> Option<EstimatorKind> {
+        self.queries.get(&query)?.pipes.get(pipeline).map(|p| p.initial)
+    }
+
+    /// The estimator currently in charge of a pipeline.
+    pub fn current_choice(&self, query: usize, pipeline: usize) -> Option<EstimatorKind> {
+        self.queries.get(&query)?.pipes.get(pipeline).map(|p| p.choice)
+    }
+
+    /// The incremental observation state of one pipeline — curves,
+    /// windows, driver fractions (read access for analysis and tests).
+    pub fn observation(&self, query: usize, pipeline: usize) -> Option<&IncrementalObs> {
+        self.queries.get(&query)?.pipes.get(pipeline).map(|p| &p.obs)
+    }
+
+    /// Has the engine reported this query's termination?
+    pub fn is_finished(&self, query: usize) -> Option<bool> {
+        self.queries.get(&query).map(|qs| qs.finished)
+    }
+
+    /// Queries currently registered, ascending.
+    pub fn registered_queries(&self) -> Vec<usize> {
+        self.queries.keys().copied().collect()
+    }
+
+    /// Drop a query's state (e.g. after its result was consumed).
+    pub fn unregister(&mut self, query: usize) {
+        self.queries.remove(&query);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prosel_engine::plan::{OperatorKind, PlanNode};
+
+    fn scan_plan() -> PhysicalPlan {
+        PhysicalPlan {
+            nodes: vec![PlanNode {
+                op: OperatorKind::TableScan { table: "t".into(), cols: vec![0] },
+                children: vec![],
+                est_rows: 100.0,
+                est_row_bytes: 8.0,
+                out_cols: 1,
+            }],
+            root: 0,
+        }
+    }
+
+    fn snapshot_event(query: usize, seq: u64, time: f64, k: u64) -> TraceEvent {
+        TraceEvent::Snapshot {
+            query,
+            seq,
+            snapshot: Snapshot {
+                time,
+                k: vec![k].into_boxed_slice(),
+                bytes_read: vec![k * 8].into_boxed_slice(),
+                bytes_written: vec![0].into_boxed_slice(),
+                materialized: vec![0].into_boxed_slice(),
+            },
+            windows: vec![(1.0, time)].into_boxed_slice(),
+        }
+    }
+
+    #[test]
+    fn late_registration_is_refused_not_corrupted() {
+        let plan = scan_plan();
+        let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+        // Registered only after the engine already emitted snapshot 0:
+        // the buffer mirror is unreconstructable, so the first ingested
+        // snapshot (seq 1 != expected 0) must drop the query.
+        monitor.register(7, &plan);
+        monitor.ingest(snapshot_event(7, 1, 20.0, 40));
+        assert_eq!(monitor.query_progress(7), None, "late-joined query must be dropped");
+        assert!(monitor.registered_queries().is_empty());
+    }
+
+    #[test]
+    fn timely_registration_serves_progress() {
+        let plan = scan_plan();
+        let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+        monitor.register(7, &plan);
+        monitor.ingest(snapshot_event(7, 0, 10.0, 25));
+        assert!((monitor.query_progress(7).unwrap() - 0.25).abs() < 1e-12);
+        monitor.ingest(TraceEvent::Finished {
+            query: 7,
+            windows: vec![(1.0, 40.0)].into_boxed_slice(),
+            total_time: 40.0,
+        });
+        assert_eq!(monitor.query_progress(7), Some(1.0));
+    }
+}

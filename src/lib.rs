@@ -20,6 +20,7 @@
 //! | [`estimators`] | `prosel-estimators` | DNE, TGN, LUO, PMAX, SAFE, BATCHDNE, DNESEEK, TGNINT + oracle models |
 //! | [`mart`] | `prosel-mart` | stochastic gradient-boosted regression trees |
 //! | [`core`] | `prosel-core` | feature extraction, estimator-selection models, end-to-end progress monitor |
+//! | [`monitor`] | `prosel-monitor` | **online** monitor: live traces in, incremental estimation + dynamic re-selection out |
 //!
 //! ## Quickstart
 //!
@@ -50,4 +51,5 @@ pub use prosel_datagen as datagen;
 pub use prosel_engine as engine;
 pub use prosel_estimators as estimators;
 pub use prosel_mart as mart;
+pub use prosel_monitor as monitor;
 pub use prosel_planner as planner;

@@ -3,11 +3,14 @@
 use proptest::prelude::*;
 use prosel::datagen::Zipf;
 use prosel::engine::plan::{CmpOp, OperatorKind, PhysicalPlan, PlanNode, Predicate};
-use prosel::engine::{SortedIndex, Tuple};
+use prosel::engine::{run_plan, run_plan_tapped, Catalog, ExecConfig, SortedIndex, Tuple};
 use prosel::estimators::refine::{bounds, clamp_estimate, interpolated_estimate};
-use prosel::estimators::{l1_error, l2_error};
+use prosel::estimators::{l1_error, l2_error, EstimatorKind, IncrementalObs, PipelineObs};
 use prosel::mart::{BoostParams, Dataset, Mart};
+use prosel::monitor::ProgressMonitor;
 use prosel::planner::stats::ColumnStats;
+use prosel::planner::workload::{materialize, WorkloadKind, WorkloadSpec};
+use prosel::planner::PlanBuilder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -186,6 +189,159 @@ proptest! {
             prop_assert!(p.is_finite());
             // LS boosting of targets in [0,1] stays within a soft margin.
             prop_assert!((-0.5..=1.5).contains(&p), "prediction {p}");
+        }
+    }
+}
+
+// Online-estimation properties: each case executes a real (small) workload
+// query, so the case count is kept low — breadth comes from the randomized
+// workload seeds, plans and snapshot budgets.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn clamped_estimates_stay_within_bounds_on_prefixes(
+        workload_seed in 0u64..1000,
+        query_pick in 0usize..4,
+        snap_interval in 20.0f64..120.0,
+    ) {
+        // Random workload, random observation cadence: at *every* snapshot
+        // prefix, every per-node estimate clamped by `refine::bounds` must
+        // land inside those bounds and never contradict the observed K.
+        let spec = WorkloadSpec::new(WorkloadKind::TpchLike, workload_seed)
+            .with_queries(4)
+            .with_scale(0.3);
+        let w = materialize(&spec);
+        let catalog = Catalog::new(&w.db, &w.design);
+        let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
+        let plan = builder.build(&w.queries[query_pick]).expect("plan");
+        let run = run_plan(
+            &catalog,
+            &plan,
+            &ExecConfig {
+                seed: workload_seed,
+                initial_snapshot_interval: snap_interval,
+                ..ExecConfig::default()
+            },
+        );
+        for snap in &run.trace.snapshots {
+            let (lb, ub) = bounds(&run.plan, &snap.k);
+            for n in 0..run.plan.len() {
+                prop_assert!(lb[n] <= ub[n] + 1e-9, "lb {} > ub {}", lb[n], ub[n]);
+                let c = clamp_estimate(run.plan.node(n).est_rows, lb[n], ub[n]);
+                prop_assert!(c >= lb[n] - 1e-9 && c <= ub[n] + 1e-9, "clamp escaped bounds");
+                prop_assert!(c >= snap.k[n] as f64 - 1e-9, "clamp below observed K");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_append_equals_batch_curves(
+        workload_seed in 0u64..1000,
+        tpcds in any::<bool>(),
+        max_snapshots in 24usize..200,
+    ) {
+        // Online/offline equivalence over random workload specs and
+        // snapshot budgets (small budgets force thinning): the
+        // append-built curves must equal the batch `PipelineObs` curves
+        // exactly — bit for bit — for every estimator kind.
+        let kind = if tpcds { WorkloadKind::TpcdsLike } else { WorkloadKind::TpchLike };
+        let spec = WorkloadSpec::new(kind, workload_seed).with_queries(2).with_scale(0.3);
+        let w = materialize(&spec);
+        let catalog = Catalog::new(&w.db, &w.design);
+        let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
+        for (qi, q) in w.queries.iter().enumerate() {
+            let plan = builder.build(q).expect("plan");
+            let cfg = ExecConfig {
+                seed: workload_seed ^ qi as u64,
+                max_snapshots,
+                ..ExecConfig::default()
+            };
+            let (tap, rx) = std::sync::mpsc::channel();
+            let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+            monitor.register(qi, &plan);
+            let run = run_plan_tapped(&catalog, &plan, &cfg, qi, tap);
+            monitor.drain(&rx);
+            let mut kinds = prosel::estimators::ONLINE_KINDS.to_vec();
+            kinds.push(EstimatorKind::GetNextOracle);
+            kinds.push(EstimatorKind::BytesOracle);
+            for pid in 0..run.pipelines.len() {
+                let inc = monitor.observation(qi, pid).expect("pipeline");
+                match PipelineObs::new(&run, pid) {
+                    None => prop_assert!(inc.is_empty(), "online-only observations on p{pid}"),
+                    Some(batch) => {
+                        prop_assert_eq!(inc.times(), &batch.times[..], "obs set p{}", pid);
+                        for k in kinds.iter().copied() {
+                            let online = inc.curve(k);
+                            let offline = batch.curve(k);
+                            prop_assert_eq!(online.len(), offline.len());
+                            for (a, b) in online.iter().zip(&offline) {
+                                prop_assert!(
+                                    a.to_bits() == b.to_bits(),
+                                    "{} differs on p{}: {:?} vs {:?}", k, pid, a, b
+                                );
+                            }
+                        }
+                        // And the replay path agrees with the live path.
+                        let rep = IncrementalObs::replay(&run, pid).expect("replay");
+                        prop_assert_eq!(rep.times(), inc.times());
+                        prop_assert_eq!(rep.curve(EstimatorKind::Luo), inc.curve(EstimatorKind::Luo));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn monitor_invariants_hold_live(
+        workload_seed in 0u64..1000,
+        query_pick in 0usize..3,
+        use_oracle_check in any::<bool>(),
+    ) {
+        // Monitor invariants on a random query: reported progress stays in
+        // [0,1], is monotone non-decreasing under the monotone DNE
+        // estimator, and pins to exactly 1.0 once the engine reports the
+        // final snapshot.
+        let spec = WorkloadSpec::new(WorkloadKind::TpchLike, workload_seed)
+            .with_queries(3)
+            .with_scale(0.3);
+        let w = materialize(&spec);
+        let catalog = Catalog::new(&w.db, &w.design);
+        let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
+        let plan = builder.build(&w.queries[query_pick]).expect("plan");
+        let (tap, rx) = std::sync::mpsc::channel();
+        let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+        monitor.register(0, &plan);
+        let run = run_plan_tapped(
+            &catalog,
+            &plan,
+            &ExecConfig { seed: workload_seed, ..ExecConfig::default() },
+            0,
+            tap,
+        );
+        let mut prev = 0.0f64;
+        while let Ok(ev) = rx.try_recv() {
+            monitor.ingest(ev);
+            let p = monitor.query_progress(0).expect("registered");
+            prop_assert!((0.0..=1.0).contains(&p), "progress {} out of range", p);
+            prop_assert!(p >= prev - 1e-12, "progress regressed {} -> {}", prev, p);
+            prev = p;
+        }
+        prop_assert_eq!(monitor.query_progress(0), Some(1.0));
+        // Monotone estimators stay monotone on the committed curves too.
+        let check: &[EstimatorKind] = if use_oracle_check {
+            &[EstimatorKind::Dne, EstimatorKind::GetNextOracle]
+        } else {
+            &[EstimatorKind::Dne]
+        };
+        for pid in 0..run.pipelines.len() {
+            let inc = monitor.observation(0, pid).expect("pipeline");
+            for &k in check {
+                let c = inc.curve(k);
+                for pair in c.windows(2) {
+                    prop_assert!(pair[0] <= pair[1] + 1e-12, "{} regressed on p{}", k, pid);
+                }
+            }
         }
     }
 }
