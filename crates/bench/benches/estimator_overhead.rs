@@ -16,8 +16,9 @@ fn bench_estimators(c: &mut Criterion) {
     let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
     let plan = builder.build(&w.queries[1]).expect("plan");
     let run = run_plan(&catalog, &plan, &ExecConfig::default());
+    let ctx = prosel_estimators::TraceCtx::new(&run);
     let pid = (0..run.pipelines.len())
-        .max_by_key(|&p| PipelineObs::new(&run, p).map_or(0, |o| o.len()))
+        .max_by_key(|&p| PipelineObs::with_ctx(&run, p, &ctx).map_or(0, |o| o.len()))
         .unwrap();
 
     let mut group = c.benchmark_group("estimators");
@@ -26,7 +27,7 @@ fn bench_estimators(c: &mut Criterion) {
         b.iter(|| black_box(PipelineObs::new(&run, pid).unwrap()))
     });
     // Rendering one estimator curve from the prepared state.
-    let obs = PipelineObs::new(&run, pid).unwrap();
+    let obs = PipelineObs::with_ctx(&run, pid, &ctx).unwrap();
     for kind in [EstimatorKind::Dne, EstimatorKind::Tgn, EstimatorKind::Luo] {
         group.bench_function(format!("curve_{}", kind.name()), |b| {
             b.iter(|| black_box(obs.curve(kind)))

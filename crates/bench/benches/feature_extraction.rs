@@ -17,10 +17,11 @@ fn bench_features(c: &mut Criterion) {
     let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
     let plan = builder.build(&w.queries[1]).expect("plan");
     let run = run_plan(&catalog, &plan, &ExecConfig::default());
+    let ctx = prosel_estimators::TraceCtx::new(&run);
     let pid = (0..run.pipelines.len())
-        .max_by_key(|&p| PipelineObs::new(&run, p).map_or(0, |o| o.len()))
+        .max_by_key(|&p| PipelineObs::with_ctx(&run, p, &ctx).map_or(0, |o| o.len()))
         .unwrap();
-    let obs = PipelineObs::new(&run, pid).unwrap();
+    let obs = PipelineObs::with_ctx(&run, pid, &ctx).unwrap();
 
     c.bench_function("feature_extract_full", |b| {
         b.iter(|| black_box(features::extract(&run, &obs)))

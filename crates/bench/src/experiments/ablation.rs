@@ -18,7 +18,7 @@ use prosel_core::selection::{EstimatorSelector, SelectorConfig};
 use prosel_core::training::{FeatureMode, TrainingSet};
 use prosel_datagen::TuningLevel;
 use prosel_engine::{run_plan, Catalog, ExecConfig};
-use prosel_estimators::{l1_error, EstimatorKind, PipelineObs};
+use prosel_estimators::{l1_error, EstimatorKind, PipelineObs, TraceCtx};
 use prosel_mart::{Dataset, Mart};
 use prosel_planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use prosel_planner::PlanBuilder;
@@ -153,8 +153,9 @@ fn fit_weights(spec: &WorkloadSpec) -> Vec<f64> {
     for (qi, q) in w.queries.iter().enumerate() {
         let plan = builder.build(q).expect("plan");
         let run = run_plan(&catalog, &plan, &ExecConfig { seed: qi as u64, ..Default::default() });
+        let ctx = TraceCtx::new(&run);
         for pid in 0..run.pipelines.len() {
-            let Some(obs) = PipelineObs::new(&run, pid) else { continue };
+            let Some(obs) = PipelineObs::with_ctx(&run, pid, &ctx) else { continue };
             if obs.len() < 5 {
                 continue;
             }
@@ -184,8 +185,9 @@ fn combo_error(spec: &WorkloadSpec, weights: &[f64]) -> (f64, usize) {
     for (qi, q) in w.queries.iter().enumerate() {
         let plan = builder.build(q).expect("plan");
         let run = run_plan(&catalog, &plan, &ExecConfig { seed: qi as u64, ..Default::default() });
+        let ctx = TraceCtx::new(&run);
         for pid in 0..run.pipelines.len() {
-            let Some(obs) = PipelineObs::new(&run, pid) else { continue };
+            let Some(obs) = PipelineObs::with_ctx(&run, pid, &ctx) else { continue };
             if obs.len() < 5 {
                 continue;
             }

@@ -160,12 +160,13 @@ pub fn run_fig7(_suite: &mut Suite, _scale: ExpScale) -> String {
     );
     let catalog = Catalog::new(&w.db, &w.design);
     let run = run_plan(&catalog, &plan, &ExecConfig::default());
+    let ctx = prosel_estimators::TraceCtx::new(&run);
     // Use the final (largest) probe pipeline.
     let pid = (0..run.pipelines.len())
-        .filter(|&p| PipelineObs::new(&run, p).map_or(0, |o| o.len()) >= 10)
+        .filter(|&p| PipelineObs::with_ctx(&run, p, &ctx).map_or(0, |o| o.len()) >= 10)
         .max_by_key(|&p| run.pipelines[p].nodes.len())
         .expect("probe pipeline");
-    let obs = PipelineObs::new(&run, pid).expect("observations");
+    let obs = PipelineObs::with_ctx(&run, pid, &ctx).expect("observations");
     let mut out = format!(
         "Figure 7 — complex hash-join pipeline ({} obs)\nplan:\n{}\n",
         obs.len(),

@@ -16,7 +16,7 @@
 use crate::report::Table;
 use crate::suite::{ExpScale, Suite};
 use prosel_engine::{run_concurrent, run_plan, Catalog, ConcurrentConfig, ExecConfig, QueryRun};
-use prosel_estimators::{evaluate_pipeline, EstimatorKind};
+use prosel_estimators::{evaluate_pipeline_shared, EstimatorKind, TraceCtx};
 use prosel_planner::query::{AggKind, AggSpec, FilterSpec, JoinSpec, QuerySpec, TableRef};
 use prosel_planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use prosel_planner::PlanBuilder;
@@ -28,8 +28,9 @@ fn mean_errors(runs: &[QueryRun]) -> (Vec<f64>, usize) {
     let mut sums = vec![0.0f64; KINDS.len()];
     let mut n = 0usize;
     for run in runs {
+        let ctx = TraceCtx::new(run);
         for pid in 0..run.pipelines.len() {
-            if let Some(errs) = evaluate_pipeline(run, pid, &KINDS) {
+            if let Some(errs) = evaluate_pipeline_shared(run, pid, &KINDS, &ctx) {
                 for (i, e) in errs.iter().enumerate() {
                     sums[i] += e.l1;
                 }

@@ -19,7 +19,7 @@
 use crate::report::Table;
 use crate::suite::{ExpScale, Suite};
 use prosel_engine::{run_plan, Catalog, ExecConfig};
-use prosel_estimators::{evaluate_pipeline, EstimatorKind};
+use prosel_estimators::{evaluate_pipeline_shared, EstimatorKind, TraceCtx};
 use prosel_planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use prosel_planner::PlanBuilder;
 
@@ -50,8 +50,9 @@ pub fn run(_suite: &mut Suite, scale: ExpScale) -> String {
             let plan = builder.build(q).expect("plan");
             let run =
                 run_plan(&catalog, &plan, &ExecConfig { seed: qi as u64, ..Default::default() });
+            let ctx = TraceCtx::new(&run);
             for pid in 0..run.pipelines.len() {
-                if let Some(errs) = evaluate_pipeline(&run, pid, &kinds) {
+                if let Some(errs) = evaluate_pipeline_shared(&run, pid, &kinds, &ctx) {
                     for (i, e) in errs.iter().enumerate() {
                         sums[i] += e.l1;
                     }

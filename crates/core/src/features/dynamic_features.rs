@@ -110,8 +110,9 @@ mod tests {
             let plan = builder.build(q).unwrap();
             let run =
                 run_plan(&catalog, &plan, &ExecConfig { seed: qi as u64, ..ExecConfig::default() });
+            let ctx = prosel_estimators::TraceCtx::new(&run);
             for pid in 0..run.pipelines.len() {
-                if let Some(obs) = PipelineObs::new(&run, pid) {
+                if let Some(obs) = PipelineObs::with_ctx(&run, pid, &ctx) {
                     let v = extract(&obs);
                     assert_eq!(v.len(), s.len() - s.static_len());
                     assert!(v.iter().all(|x| x.is_finite()));

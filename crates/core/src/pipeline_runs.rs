@@ -7,7 +7,7 @@
 use crate::features;
 use prosel_engine::plan::OperatorKind;
 use prosel_engine::{run_plan, Catalog, ExecConfig, QueryRun};
-use prosel_estimators::{l1_error, l2_error, EstimatorKind, PipelineObs};
+use prosel_estimators::{l1_error, l2_error, EstimatorKind, PipelineObs, TraceCtx};
 use prosel_planner::workload::{materialize, Workload, WorkloadSpec};
 use prosel_planner::PlanBuilder;
 
@@ -104,8 +104,10 @@ pub fn records_from_run(
     min_observations: usize,
     out: &mut Vec<PipelineRecord>,
 ) {
+    // One refinement-bound pass per snapshot, shared by every pipeline.
+    let ctx = TraceCtx::new(run);
     for pid in 0..run.pipelines.len() {
-        let Some(obs) = PipelineObs::new(run, pid) else { continue };
+        let Some(obs) = PipelineObs::with_ctx(run, pid, &ctx) else { continue };
         if obs.len() < min_observations {
             continue;
         }

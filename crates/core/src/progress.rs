@@ -11,7 +11,7 @@ use crate::features;
 use crate::selection::EstimatorSelector;
 use crate::training::FeatureMode;
 use prosel_engine::QueryRun;
-use prosel_estimators::{EstimatorKind, PipelineObs};
+use prosel_estimators::{EstimatorKind, PipelineObs, TraceCtx};
 
 /// One point of a monitored query's progress history.
 #[derive(Debug, Clone, Copy)]
@@ -52,6 +52,8 @@ impl<'a> ProgressMonitor<'a> {
         let mut acc = vec![0.0f64; n_snaps];
         let mut total_weight = 0.0f64;
         let mut choices = Vec::new();
+        // One refinement-bound pass per snapshot, shared by every pipeline.
+        let ctx = TraceCtx::new(run);
 
         for pid in 0..run.pipelines.len() {
             let weight = run.pipeline_weight(pid);
@@ -59,7 +61,7 @@ impl<'a> ProgressMonitor<'a> {
                 continue;
             }
             total_weight += weight;
-            let Some(obs) = PipelineObs::new(run, pid) else {
+            let Some(obs) = PipelineObs::with_ctx(run, pid, &ctx) else {
                 // Too short to observe: counts as done once its window passed.
                 let (_, end) = run.trace.pipeline_windows[pid];
                 for (j, s) in run.trace.snapshots.iter().enumerate() {

@@ -298,13 +298,7 @@ impl ExecContext {
         self.next_snap += self.snap_interval;
         if self.snapshots.len() >= self.max_snapshots {
             // Thin: keep every other snapshot, double the interval.
-            let mut keep = Vec::with_capacity(self.snapshots.len() / 2 + 1);
-            for (i, s) in self.snapshots.drain(..).enumerate() {
-                if i % 2 == 1 {
-                    keep.push(s);
-                }
-            }
-            self.snapshots = keep;
+            crate::trace::thin_half(&mut self.snapshots);
             self.snap_interval *= 2.0;
             self.next_snap =
                 self.snapshots.last().map_or(self.snap_interval, |s| s.time + self.snap_interval);

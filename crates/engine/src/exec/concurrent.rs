@@ -132,9 +132,9 @@ pub fn run_concurrent_tapped(
     catalog: &Catalog<'_>,
     plans: &[PhysicalPlan],
     cfg: &ConcurrentConfig,
-    tap: TraceTap,
+    tap: impl Into<TraceTap>,
 ) -> Vec<QueryRun> {
-    run_concurrent_inner(catalog, plans, cfg, Some(tap))
+    run_concurrent_inner(catalog, plans, cfg, Some(tap.into()))
 }
 
 fn run_concurrent_inner(

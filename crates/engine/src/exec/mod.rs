@@ -122,14 +122,18 @@ pub fn run_plan(catalog: &Catalog<'_>, plan: &PhysicalPlan, cfg: &ExecConfig) ->
 /// (plus thinning and termination events) is sent to `tap` as execution
 /// proceeds, tagged with `query`. Tapping does not alter execution — the
 /// returned [`QueryRun`] is identical to an untapped run.
+///
+/// `tap` accepts anything convertible into a [`crate::trace::TraceTap`]:
+/// a plain `std::sync::mpsc::Sender<TraceEvent>`, or a routed sink (e.g. a
+/// sharded monitor service's tap).
 pub fn run_plan_tapped(
     catalog: &Catalog<'_>,
     plan: &PhysicalPlan,
     cfg: &ExecConfig,
     query: usize,
-    tap: crate::trace::TraceTap,
+    tap: impl Into<crate::trace::TraceTap>,
 ) -> QueryRun {
-    run_plan_inner(catalog, plan, cfg, Some((tap, query)))
+    run_plan_inner(catalog, plan, cfg, Some((tap.into(), query)))
 }
 
 fn run_plan_inner(

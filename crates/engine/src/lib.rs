@@ -42,5 +42,5 @@ pub use plan::{
     AggFunc, CmpOp, NodeId, OperatorKind, PhysicalPlan, PlanNode, Predicate, SeekKind,
     OP_TYPE_COUNT, OP_TYPE_NAMES,
 };
-pub use trace::{ObservationTrace, QueryRun, Snapshot, TraceEvent, TraceTap};
+pub use trace::{thin_half, ObservationTrace, QueryRun, Snapshot, TapSink, TraceEvent, TraceTap};
 pub use tuple::{Tuple, MAX_COLS};

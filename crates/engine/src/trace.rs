@@ -138,10 +138,82 @@ impl TraceEvent {
     }
 }
 
+/// A consumer of live [`TraceEvent`]s that is not a plain channel — e.g. a
+/// sharded monitor service that routes each event to the worker owning its
+/// query. Implementations must be cheap and non-blocking on the send path:
+/// the engine calls [`TapSink::send`] inline while executing the query.
+pub trait TapSink: Send + Sync {
+    /// Deliver one event. `Err` signals the consumer is gone; the engine
+    /// then detaches the tap and stops paying for event construction.
+    fn send(&self, ev: TraceEvent) -> Result<(), TraceEvent>;
+}
+
 /// Sending half of a live observation stream. Cloneable; pass one to
 /// [`crate::exec::run_plan_tapped`] or [`crate::exec::run_concurrent_tapped`]
 /// and drain the paired `Receiver` from a monitor.
-pub type TraceTap = std::sync::mpsc::Sender<TraceEvent>;
+///
+/// Two flavors:
+/// * a plain mpsc channel — `std::sync::mpsc::channel()`'s sender converts
+///   via `From`, so `run_plan_tapped(..., tap)` keeps working unchanged;
+/// * a routed sink ([`TraceTap::from_sink`]) — one tapped run fans out to
+///   the consumer that owns each event (e.g. a monitor shard selected by
+///   query id) **without** cloning every event to every consumer.
+#[derive(Clone)]
+pub struct TraceTap {
+    inner: TapInner,
+}
+
+#[derive(Clone)]
+enum TapInner {
+    Channel(std::sync::mpsc::Sender<TraceEvent>),
+    Sink(std::sync::Arc<dyn TapSink>),
+}
+
+impl TraceTap {
+    /// Wrap a routing sink (see [`TapSink`]).
+    pub fn from_sink(sink: std::sync::Arc<dyn TapSink>) -> TraceTap {
+        TraceTap { inner: TapInner::Sink(sink) }
+    }
+
+    /// Deliver one event; `Err` returns the event when the consumer is
+    /// gone (receiver dropped / sink closed).
+    pub fn send(&self, ev: TraceEvent) -> Result<(), TraceEvent> {
+        match &self.inner {
+            TapInner::Channel(tx) => tx.send(ev).map_err(|e| e.0),
+            TapInner::Sink(sink) => sink.send(ev),
+        }
+    }
+}
+
+impl From<std::sync::mpsc::Sender<TraceEvent>> for TraceTap {
+    fn from(tx: std::sync::mpsc::Sender<TraceEvent>) -> TraceTap {
+        TraceTap { inner: TapInner::Channel(tx) }
+    }
+}
+
+impl std::fmt::Debug for TraceTap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            TapInner::Channel(_) => f.write_str("TraceTap::Channel"),
+            TapInner::Sink(_) => f.write_str("TraceTap::Sink"),
+        }
+    }
+}
+
+/// The bounded-buffer thinning rule, shared by the engine's snapshot
+/// buffer ([`crate::context::ExecContext`]) and every consumer mirroring
+/// it through [`TraceEvent::Thinned`] events: of the entries retained so
+/// far, only those at **odd positions** survive (the sampling interval
+/// doubling is the producer's business). Centralized here so the engine
+/// and its mirrors cannot drift.
+pub fn thin_half<T>(buf: &mut Vec<T>) {
+    let mut i = 0usize;
+    buf.retain(|_| {
+        let keep = i % 2 == 1;
+        i += 1;
+        keep
+    });
+}
 
 /// A completed query execution: plan, pipelines, trace.
 #[derive(Debug, Clone)]
@@ -221,5 +293,45 @@ mod tests {
         // Snapshots at t=0..40 plus one past the end (t=50).
         assert_eq!(obs, vec![0, 1, 2, 3, 4, 5]);
         assert!(t.pipeline_observations(2).is_empty());
+    }
+
+    #[test]
+    fn thin_half_keeps_odd_positions() {
+        let mut v: Vec<u64> = (0..9).collect();
+        thin_half(&mut v);
+        assert_eq!(v, vec![1, 3, 5, 7]);
+        thin_half(&mut v);
+        assert_eq!(v, vec![3, 7]);
+        let mut empty: Vec<u64> = Vec::new();
+        thin_half(&mut empty);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn channel_tap_roundtrips_and_detects_hangup() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let tap: TraceTap = tx.into();
+        assert!(tap.send(TraceEvent::Thinned { query: 3 }).is_ok());
+        assert_eq!(rx.recv().unwrap().query(), 3);
+        drop(rx);
+        let back = tap.send(TraceEvent::Thinned { query: 4 }).unwrap_err();
+        assert_eq!(back.query(), 4);
+    }
+
+    #[test]
+    fn sink_tap_routes_through_the_trait() {
+        struct Count(std::sync::Mutex<Vec<usize>>);
+        impl TapSink for Count {
+            fn send(&self, ev: TraceEvent) -> Result<(), TraceEvent> {
+                self.0.lock().unwrap().push(ev.query());
+                Ok(())
+            }
+        }
+        let sink = std::sync::Arc::new(Count(std::sync::Mutex::new(Vec::new())));
+        let tap = TraceTap::from_sink(sink.clone());
+        for q in [5usize, 9, 5] {
+            tap.clone().send(TraceEvent::Thinned { query: q }).unwrap();
+        }
+        assert_eq!(*sink.0.lock().unwrap(), vec![5, 9, 5]);
     }
 }

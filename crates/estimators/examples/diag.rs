@@ -1,5 +1,5 @@
 use prosel_engine::{run_plan, Catalog, ExecConfig};
-use prosel_estimators::{evaluate_pipeline, EstimatorKind};
+use prosel_estimators::{evaluate_pipeline_shared, EstimatorKind, TraceCtx};
 use prosel_planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use prosel_planner::PlanBuilder;
 
@@ -19,8 +19,9 @@ fn main() {
             &plan,
             &ExecConfig { seed: 0xABC ^ qi as u64, ..ExecConfig::default() },
         );
+        let ctx = TraceCtx::new(&run);
         for pid in 0..run.pipelines.len() {
-            if let Some(errs) = evaluate_pipeline(&run, pid, &kinds) {
+            if let Some(errs) = evaluate_pipeline_shared(&run, pid, &kinds, &ctx) {
                 let three: Vec<f64> = errs[..3].iter().map(|e| e.l1).collect();
                 let best =
                     (0..3).min_by(|&a, &b| three[a].partial_cmp(&three[b]).unwrap()).unwrap();

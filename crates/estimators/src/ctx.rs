@@ -1,0 +1,125 @@
+//! Shared per-snapshot evaluation context.
+//!
+//! The worst-case bound refinement of \[6\] ([`crate::refine::bounds`]) is
+//! a bottom-up pass over the *whole plan* — it depends only on the plan and
+//! the counter vector of one snapshot, never on which pipeline is being
+//! estimated. Before this module existed, both evaluation paths recomputed
+//! it once **per pipeline per snapshot**: the batch [`PipelineObs`] inside
+//! its per-observation loop, and the online
+//! [`crate::incremental::IncrementalObs`] inside every `offer`. For a
+//! query with P pipelines that is O(P · plan) work per snapshot for a
+//! quantity that is identical across the P computations.
+//!
+//! [`SnapshotCtx`] hoists the computation: it is built **once per query
+//! per snapshot** and handed to every pipeline consumer —
+//! [`IncrementalObs::offer_shared`] on the live path,
+//! [`PipelineObs::with_ctx`] (via [`TraceCtx`]) on the batch path. Because
+//! `bounds` is a pure function of `(plan, k)`, sharing the result is
+//! exactly equivalent to recomputing it: curves are bit-identical either
+//! way (the existing online/offline equivalence property tests pin this
+//! down).
+//!
+//! [`PipelineObs`]: crate::pipeline_obs::PipelineObs
+//! [`IncrementalObs::offer_shared`]: crate::incremental::IncrementalObs::offer_shared
+//! [`PipelineObs::with_ctx`]: crate::pipeline_obs::PipelineObs::with_ctx
+
+use crate::refine::bounds;
+use prosel_engine::plan::PhysicalPlan;
+use prosel_engine::trace::{QueryRun, Snapshot};
+
+/// Per-snapshot derived state shared by every pipeline of a query: the
+/// refinement bounds `(lb, ub)` on each node's total GetNext calls, given
+/// the counters observed at this snapshot.
+#[derive(Debug, Clone)]
+pub struct SnapshotCtx {
+    /// Per-node lower bounds on N_i.
+    pub lb: Vec<f64>,
+    /// Per-node upper bounds on N_i (`lb[i] <= ub[i]` for every node).
+    pub ub: Vec<f64>,
+}
+
+impl SnapshotCtx {
+    /// Compute the context for one snapshot — the single O(plan) bound
+    /// pass that all pipelines of the query then share.
+    pub fn new(plan: &PhysicalPlan, snap: &Snapshot) -> SnapshotCtx {
+        let (lb, ub) = bounds(plan, &snap.k);
+        SnapshotCtx { lb, ub }
+    }
+
+    /// Number of plan nodes covered.
+    pub fn len(&self) -> usize {
+        self.lb.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lb.is_empty()
+    }
+}
+
+/// [`SnapshotCtx`] for every snapshot of a completed run, built once and
+/// shared across all [`PipelineObs::with_ctx`] constructions for that run.
+///
+/// [`PipelineObs::with_ctx`]: crate::pipeline_obs::PipelineObs::with_ctx
+#[derive(Debug, Clone)]
+pub struct TraceCtx {
+    snapshots: Vec<SnapshotCtx>,
+}
+
+impl TraceCtx {
+    /// Precompute the shared context of every snapshot in `run`'s trace.
+    pub fn new(run: &QueryRun) -> TraceCtx {
+        TraceCtx {
+            snapshots: run.trace.snapshots.iter().map(|s| SnapshotCtx::new(&run.plan, s)).collect(),
+        }
+    }
+
+    /// The shared context of snapshot `j` (trace index).
+    pub fn snapshot(&self, j: usize) -> &SnapshotCtx {
+        &self.snapshots[j]
+    }
+
+    /// Number of snapshots covered.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prosel_engine::plan::{OperatorKind, PlanNode};
+
+    fn scan_plan() -> PhysicalPlan {
+        PhysicalPlan {
+            nodes: vec![PlanNode {
+                op: OperatorKind::TableScan { table: "t".into(), cols: vec![0] },
+                children: vec![],
+                est_rows: 100.0,
+                est_row_bytes: 8.0,
+                out_cols: 1,
+            }],
+            root: 0,
+        }
+    }
+
+    #[test]
+    fn ctx_matches_direct_bounds() {
+        let plan = scan_plan();
+        let snap = Snapshot {
+            time: 10.0,
+            k: vec![40].into_boxed_slice(),
+            bytes_read: vec![320].into_boxed_slice(),
+            bytes_written: vec![0].into_boxed_slice(),
+            materialized: vec![0].into_boxed_slice(),
+        };
+        let ctx = SnapshotCtx::new(&plan, &snap);
+        let (lb, ub) = bounds(&plan, &snap.k);
+        assert_eq!(ctx.lb, lb);
+        assert_eq!(ctx.ub, ub);
+        assert_eq!(ctx.len(), 1);
+    }
+}

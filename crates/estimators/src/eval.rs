@@ -6,6 +6,7 @@
 //! "Error Metric"); the ratio error is retained for the worst-case
 //! estimator discussion.
 
+use crate::ctx::TraceCtx;
 use crate::kinds::EstimatorKind;
 use crate::pipeline_obs::PipelineObs;
 use prosel_engine::trace::QueryRun;
@@ -64,12 +65,30 @@ pub struct EstimatorError {
 
 /// Evaluate `kinds` on pipeline `pid` of a run. `None` when the pipeline
 /// has no observations.
+///
+/// Evaluating **several pipelines of the same run**? Build one
+/// [`TraceCtx`] and call [`evaluate_pipeline_shared`] so the per-snapshot
+/// bound pass is shared instead of recomputed per pipeline.
 pub fn evaluate_pipeline(
     run: &QueryRun,
     pid: usize,
     kinds: &[EstimatorKind],
 ) -> Option<Vec<EstimatorError>> {
-    let obs = PipelineObs::new(run, pid)?;
+    evaluate_with(PipelineObs::new(run, pid)?, kinds)
+}
+
+/// [`evaluate_pipeline`] with the per-snapshot refinement bounds shared
+/// across the run's pipelines.
+pub fn evaluate_pipeline_shared(
+    run: &QueryRun,
+    pid: usize,
+    kinds: &[EstimatorKind],
+    ctx: &TraceCtx,
+) -> Option<Vec<EstimatorError>> {
+    evaluate_with(PipelineObs::with_ctx(run, pid, ctx)?, kinds)
+}
+
+fn evaluate_with(obs: PipelineObs<'_>, kinds: &[EstimatorKind]) -> Option<Vec<EstimatorError>> {
     let truth = obs.truth();
     Some(
         kinds
@@ -95,13 +114,15 @@ pub fn query_progress_curve(run: &QueryRun, choose: impl Fn(usize) -> EstimatorK
     let n_snaps = run.trace.snapshots.len();
     let mut acc = vec![0.0f64; n_snaps];
     let mut total_weight = 0.0;
+    // One bound pass per snapshot, shared by every pipeline below.
+    let ctx = TraceCtx::new(run);
     for pid in 0..run.pipelines.len() {
         let weight = run.pipeline_weight(pid);
         if weight <= 0.0 {
             continue;
         }
         total_weight += weight;
-        let Some(obs) = PipelineObs::new(run, pid) else {
+        let Some(obs) = PipelineObs::with_ctx(run, pid, &ctx) else {
             // Pipeline too fast to observe: contributes its full weight
             // from the moment it finished.
             let (_, end) = run.trace.pipeline_windows[pid];

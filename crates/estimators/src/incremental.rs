@@ -1,12 +1,15 @@
-//! Incremental (online) sibling of [`PipelineObs`]: estimator curves over
-//! a *live* observation stream.
+//! Incremental (online) sibling of
+//! [`PipelineObs`](crate::pipeline_obs::PipelineObs): estimator curves
+//! over a *live* observation stream.
 //!
 //! [`IncrementalObs`] ingests snapshots one at a time — never a completed
 //! trace — and maintains every estimator curve plus the refinement-bound
 //! aggregates in O(1) amortized per snapshot (each append costs O(plan),
 //! which is constant in trace length; the batch path recomputes O(n) work
 //! per estimator per observation). The committed curves are **bit
-//! identical** to the batch [`PipelineObs::curve`] output for the same
+//! identical** to the batch
+//! [`PipelineObs::curve`](crate::pipeline_obs::PipelineObs::curve) output
+//! for the same
 //! run: every aggregate is accumulated in exactly the same order, driver
 //! totals come from the same (online-knowable) sources, and the LUO speed
 //! window is located by a monotone pointer that provably reproduces the
@@ -37,12 +40,13 @@
 //! build phase completes — strictly before the pipeline they drive takes
 //! its first observation.
 
+use crate::ctx::SnapshotCtx;
 use crate::kinds::EstimatorKind;
 use crate::pipeline_obs::{
     clamp01, driver_node_total, expected_output_bytes, luo_point, luo_window_start, pipeline_top,
     ObsView,
 };
-use crate::refine::{alpha, bounds, clamp_estimate};
+use crate::refine::{alpha, clamp_estimate};
 use prosel_engine::plan::{NodeId, OperatorKind, PhysicalPlan};
 use prosel_engine::trace::Snapshot;
 use prosel_engine::Pipeline;
@@ -253,11 +257,12 @@ impl IncrementalObs {
     }
 
     /// Compute the per-observation aggregates for one snapshot (same loop
-    /// structure and accumulation order as [`PipelineObs::new`]).
-    fn entry_for(&self, serial: u64, snap: &Snapshot) -> ObsEntry {
+    /// structure and accumulation order as [`PipelineObs::new`]), reading
+    /// the refinement bounds from the shared per-snapshot context.
+    fn entry_for(&self, serial: u64, snap: &Snapshot, ctx: &SnapshotCtx) -> ObsEntry {
         let plan = &self.plan;
         let state = self.state.as_ref().expect("drivers resolved");
-        let (lb, ub) = bounds(plan, &snap.k);
+        let (lb, ub) = (&ctx.lb, &ctx.ub);
         let is_leaf_read = |id: NodeId| {
             matches!(
                 plan.node(id).op,
@@ -314,8 +319,34 @@ impl IncrementalObs {
     /// Offer one snapshot together with the pipeline's *currently known*
     /// activity window (from the live `TraceEvent`). Returns the number of
     /// observations committed by this call.
+    ///
+    /// Computes the per-snapshot refinement bounds itself. When several
+    /// pipelines of the same query consume the same snapshot, build one
+    /// [`SnapshotCtx`] and call [`Self::offer_shared`] instead, so the
+    /// O(plan) bound pass runs once per snapshot rather than once per
+    /// pipeline.
     pub fn offer(&mut self, serial: u64, snap: &Snapshot, window: (f64, f64)) -> usize {
         assert!(!self.finalized, "offer after finalize");
+        let (start, _) = window;
+        if !start.is_finite() || snap.time < start {
+            return 0; // pipeline not started, or pre-window snapshot
+        }
+        let ctx = SnapshotCtx::new(&self.plan, snap);
+        self.offer_shared(serial, snap, window, &ctx)
+    }
+
+    /// [`Self::offer`] with the refinement bounds precomputed once per
+    /// query per snapshot and shared across pipelines. Bit-identical to
+    /// the self-computing path ([`crate::refine::bounds`] is pure).
+    pub fn offer_shared(
+        &mut self,
+        serial: u64,
+        snap: &Snapshot,
+        window: (f64, f64),
+        ctx: &SnapshotCtx,
+    ) -> usize {
+        assert!(!self.finalized, "offer after finalize");
+        debug_assert_eq!(ctx.len(), self.plan.len(), "SnapshotCtx built for a different plan");
         let (start, last) = window;
         if !start.is_finite() || snap.time < start {
             return 0; // pipeline not started, or pre-window snapshot
@@ -325,7 +356,7 @@ impl IncrementalObs {
             self.resolve(snap);
         }
         self.window_end = self.window_end.max(last);
-        let entry = self.entry_for(serial, snap);
+        let entry = self.entry_for(serial, snap, ctx);
         self.pending.push_back(entry);
         // Snapshots at or before the last tick seen so far are provably
         // inside the final window (the final end can only grow).
@@ -548,14 +579,46 @@ impl IncrementalObs {
     /// (serials without thinning — the trace is already thinned). Useful
     /// for tests and for validating online/offline equivalence; `None`
     /// when the pipeline produced no observations.
+    ///
+    /// Replaying **several pipelines of the same run**? Build one
+    /// [`crate::ctx::TraceCtx`] and use [`Self::replay_shared`] so the
+    /// per-snapshot bound pass is not repeated per pipeline. (This
+    /// single-pipeline form computes bounds lazily, only for snapshots
+    /// inside the pipeline's window.)
     pub fn replay(run: &prosel_engine::QueryRun, pid: usize) -> Option<IncrementalObs> {
+        Self::replay_inner(run, pid, None)
+    }
+
+    /// [`Self::replay`] with the per-snapshot refinement bounds shared
+    /// across pipelines of the run.
+    pub fn replay_shared(
+        run: &prosel_engine::QueryRun,
+        pid: usize,
+        ctx: &crate::ctx::TraceCtx,
+    ) -> Option<IncrementalObs> {
+        Self::replay_inner(run, pid, Some(ctx))
+    }
+
+    fn replay_inner(
+        run: &prosel_engine::QueryRun,
+        pid: usize,
+        ctx: Option<&crate::ctx::TraceCtx>,
+    ) -> Option<IncrementalObs> {
         let mut inc = IncrementalObs::new(Arc::new(run.plan.clone()), &run.pipelines[pid]);
         let (start, end) = run.trace.pipeline_windows[pid];
         for (j, snap) in run.trace.snapshots.iter().enumerate() {
             // The live window's `last` is the last tick at or before this
             // snapshot; any value in [that, snap.time] commits the same
             // observation set, so the conservative `min(end, time)` works.
-            inc.offer(j as u64, snap, (start, end.min(snap.time)));
+            let window = (start, end.min(snap.time));
+            match ctx {
+                Some(ctx) => {
+                    inc.offer_shared(j as u64, snap, window, ctx.snapshot(j));
+                }
+                None => {
+                    inc.offer(j as u64, snap, window);
+                }
+            }
         }
         inc.finalize((start, end));
         if inc.is_empty() {

@@ -23,16 +23,25 @@
 //! over a pipeline's observations; [`incremental::IncrementalObs`] builds
 //! the same curves *online*, one snapshot at a time, in O(1) amortized per
 //! snapshot; [`eval`] scores curves against true (time-fraction) progress.
+//!
+//! The refinement-bound pass ([`refine::bounds`]) depends only on the plan
+//! and one snapshot's counters, so [`ctx::SnapshotCtx`] /
+//! [`ctx::TraceCtx`] precompute it **once per query per snapshot** and
+//! share it across every pipeline consumer — both paths accept the shared
+//! context ([`PipelineObs::with_ctx`],
+//! [`IncrementalObs::offer_shared`]) and produce bit-identical curves.
 
+pub mod ctx;
 pub mod eval;
 pub mod incremental;
 pub mod kinds;
 pub mod pipeline_obs;
 pub mod refine;
 
+pub use ctx::{SnapshotCtx, TraceCtx};
 pub use eval::{
-    evaluate_pipeline, l1_error, l2_error, query_l1, query_progress_curve, ratio_error,
-    EstimatorError,
+    evaluate_pipeline, evaluate_pipeline_shared, l1_error, l2_error, query_l1,
+    query_progress_curve, ratio_error, EstimatorError,
 };
 pub use incremental::{IncrementalObs, ONLINE_KINDS};
 pub use kinds::EstimatorKind;

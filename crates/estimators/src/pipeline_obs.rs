@@ -13,8 +13,9 @@
 //! hash-aggregate outputs), while index-seek drivers only have optimizer
 //! estimates.
 
+use crate::ctx::{SnapshotCtx, TraceCtx};
 use crate::kinds::EstimatorKind;
-use crate::refine::{alpha, bounds, clamp_estimate};
+use crate::refine::{alpha, clamp_estimate};
 use prosel_engine::plan::{NodeId, OperatorKind, PhysicalPlan};
 use prosel_engine::trace::QueryRun;
 use prosel_engine::Pipeline;
@@ -75,7 +76,31 @@ pub struct PipelineObs<'a> {
 impl<'a> PipelineObs<'a> {
     /// Build for pipeline `pid`; `None` when the pipeline produced no
     /// observations (it never ran, or ran entirely between snapshots).
+    ///
+    /// Computes the per-snapshot refinement bounds itself — fine for a
+    /// single pipeline, but when evaluating **several pipelines of the
+    /// same run** build one [`TraceCtx`] and use [`Self::with_ctx`] so the
+    /// O(plan) bound pass is shared instead of repeated per pipeline.
     pub fn new(run: &'a QueryRun, pid: usize) -> Option<Self> {
+        Self::build(run, pid, None)
+    }
+
+    /// [`Self::new`] with the per-snapshot bound computation shared across
+    /// pipelines: `ctx` is built once per run and every pipeline reads the
+    /// same precomputed `(lb, ub)` arrays. Curves are bit-identical to the
+    /// self-computing path ([`crate::refine::bounds`] is pure).
+    pub fn with_ctx(run: &'a QueryRun, pid: usize, ctx: &TraceCtx) -> Option<Self> {
+        assert_eq!(
+            ctx.len(),
+            run.trace.snapshots.len(),
+            "TraceCtx built for a different trace ({} snapshots vs {})",
+            ctx.len(),
+            run.trace.snapshots.len()
+        );
+        Self::build(run, pid, Some(ctx))
+    }
+
+    fn build(run: &'a QueryRun, pid: usize, ctx: Option<&TraceCtx>) -> Option<Self> {
         let pipeline = &run.pipelines[pid];
         let obs = run.trace.pipeline_observations(pid);
         if obs.is_empty() {
@@ -143,7 +168,15 @@ impl<'a> PipelineObs<'a> {
         for &j in &obs {
             let snap = &run.trace.snapshots[j];
             times.push(snap.time);
-            let (lb, ub) = bounds(plan, &snap.k);
+            let computed;
+            let sctx = match ctx {
+                Some(tc) => tc.snapshot(j),
+                None => {
+                    computed = SnapshotCtx::new(plan, snap);
+                    &computed
+                }
+            };
+            let (lb, ub) = (&sctx.lb, &sctx.ub);
 
             let mut k_total = 0.0;
             let mut e_clamped = 0.0;

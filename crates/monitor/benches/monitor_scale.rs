@@ -1,0 +1,242 @@
+//! Scaling of the monitor layer along its two new axes.
+//!
+//! **Pipelines** (`ingest_by_pipelines`): plans of a *fixed node count*
+//! whose pipeline count varies (sorts are pipeline breakers, filters are
+//! not). With the shared [`prosel_estimators::SnapshotCtx`] the
+//! refinement-bound pass runs once per query per snapshot, so the
+//! per-event ingest cost must stay (roughly) flat as the pipeline count
+//! grows — before the hoist it grew linearly with it (O(pipelines × plan)
+//! per snapshot).
+//!
+//! **Shards** (`service_ingest_by_shards`): a 1000-query workload is
+//! streamed through a [`MonitorService`] tap by four producer threads
+//! while N shard workers ingest. Events per second must scale with the
+//! shard count (the acceptance bar: > 2× at 4 shards vs. 1).
+//!
+//! Both groups report element throughput (events), so the per-element
+//! time printed per size is directly comparable within a group.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prosel_datagen::schema::{ColumnMeta, ColumnRole, TableMeta};
+use prosel_datagen::{Column, Database, PhysicalDesign, Table, TuningLevel};
+use prosel_engine::plan::{CmpOp, OperatorKind, PhysicalPlan, PlanNode, Predicate};
+use prosel_engine::trace::TraceEvent;
+use prosel_engine::{decompose, run_plan_tapped, Catalog, CostModel, ExecConfig};
+use prosel_estimators::{EstimatorKind, IncrementalObs};
+use prosel_monitor::{MonitorService, ProgressMonitor};
+use std::sync::Arc;
+
+const ROWS: usize = 2000;
+/// Non-scan operators per plan: constant across the pipeline-count sweep.
+const CHAIN_OPS: usize = 15;
+
+fn db() -> Database {
+    let mut db = Database::new("scale");
+    let meta = TableMeta::new(
+        "t",
+        64,
+        vec![
+            ColumnMeta::new("id", ColumnRole::PrimaryKey),
+            ColumnMeta::new("v", ColumnRole::Value { min: 0, max: 9 }),
+        ],
+    );
+    db.add(Table::new(
+        meta,
+        vec![
+            Column { name: "id".into(), data: (1..=ROWS as i64).collect() },
+            Column { name: "v".into(), data: (0..ROWS as i64).map(|i| i % 10).collect() },
+        ],
+    ));
+    db
+}
+
+/// A scan under a chain of `CHAIN_OPS` operators, `n_sorts` of which are
+/// sorts (pipeline breakers) spread evenly through the chain and the rest
+/// pass-all filters — node count is constant, pipeline count is
+/// `n_sorts + 1`.
+fn chain_plan(n_sorts: usize) -> PhysicalPlan {
+    assert!(n_sorts <= CHAIN_OPS);
+    let mut nodes = vec![PlanNode {
+        op: OperatorKind::TableScan { table: "t".into(), cols: vec![0, 1] },
+        children: vec![],
+        est_rows: ROWS as f64,
+        est_row_bytes: 16.0,
+        out_cols: 2,
+    }];
+    let mut placed_sorts = 0usize;
+    for i in 0..CHAIN_OPS {
+        let want_sorts = n_sorts * (i + 1) / CHAIN_OPS;
+        let op = if placed_sorts < want_sorts {
+            placed_sorts += 1;
+            OperatorKind::Sort { key_cols: vec![0] }
+        } else {
+            OperatorKind::Filter { pred: Predicate::ColCmp { col: 1, op: CmpOp::Lt, val: 100 } }
+        };
+        nodes.push(PlanNode {
+            op,
+            children: vec![i],
+            est_rows: ROWS as f64,
+            est_row_bytes: 16.0,
+            out_cols: 2,
+        });
+    }
+    let root = nodes.len() - 1;
+    PhysicalPlan { nodes, root }
+}
+
+/// Execute `plan` once, recording its live event stream.
+fn record_events(catalog: &Catalog<'_>, plan: &PhysicalPlan) -> Vec<TraceEvent> {
+    let (tap, rx) = std::sync::mpsc::channel();
+    let cfg = ExecConfig {
+        cost: CostModel::deterministic(),
+        initial_snapshot_interval: 300.0,
+        ..ExecConfig::default()
+    };
+    run_plan_tapped(catalog, plan, &cfg, 0, tap);
+    rx.try_iter().collect()
+}
+
+/// The recorded event, re-addressed to `query` (the stream itself is
+/// identical for every query running the same plan deterministically).
+fn retag(ev: &TraceEvent, query: usize) -> TraceEvent {
+    match ev {
+        TraceEvent::Snapshot { seq, snapshot, windows, .. } => TraceEvent::Snapshot {
+            query,
+            seq: *seq,
+            snapshot: snapshot.clone(),
+            windows: windows.clone(),
+        },
+        TraceEvent::Thinned { .. } => TraceEvent::Thinned { query },
+        TraceEvent::Finished { windows, total_time, .. } => {
+            TraceEvent::Finished { query, windows: windows.clone(), total_time: *total_time }
+        }
+    }
+}
+
+/// Per-event ingest cost vs. pipeline count at a fixed plan size: flat ⇒
+/// the per-snapshot bound pass is shared, not per-pipeline.
+fn bench_ingest_by_pipelines(c: &mut Criterion) {
+    let database = db();
+    let design = PhysicalDesign::derive(&database, TuningLevel::Untuned);
+    let catalog = Catalog::new(&database, &design);
+    let mut group = c.benchmark_group("ingest_by_pipelines");
+    group.sample_size(10);
+    for n_sorts in [0usize, 3, 7, 15] {
+        let plan = chain_plan(n_sorts);
+        let n_pipelines = decompose(&plan).len();
+        let events = record_events(&catalog, &plan);
+        group.throughput(Throughput::Elements(events.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n_pipelines}_pipelines")),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+                    monitor.register(0, &plan);
+                    for ev in events {
+                        monitor.ingest(ev.clone());
+                    }
+                    monitor.query_progress(0)
+                })
+            },
+        );
+        // A/B reference at each size: the pre-hoist path — every pipeline
+        // computes the refinement bounds itself (`offer` instead of
+        // `offer_shared`), O(pipelines × plan) per snapshot. The gap to
+        // the entry above is the shared-bounds win.
+        let plan_arc = Arc::new(plan.clone());
+        let pipelines = decompose(&plan_arc);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n_pipelines}_pipelines_unshared")),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    let mut obs: Vec<IncrementalObs> = pipelines
+                        .iter()
+                        .map(|p| IncrementalObs::new(Arc::clone(&plan_arc), p))
+                        .collect();
+                    for ev in events {
+                        if let TraceEvent::Snapshot { seq, snapshot, windows, .. } = ev {
+                            for o in &mut obs {
+                                let pid = o.pipeline_id();
+                                o.offer(*seq, snapshot, windows[pid]);
+                            }
+                        }
+                    }
+                    obs.last().and_then(|o| o.value(EstimatorKind::Dne))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Service ingest throughput vs. shard count on a 1000-query workload
+/// (four producer threads streaming through the routed tap).
+///
+/// Shard workers are real OS threads, so the speedup is bounded by the
+/// host's core count: on ≥ 4 cores expect > 2× at 4 shards vs. 1; on a
+/// single-core host (e.g. a pinned CI container) the expected result is
+/// *parity* — which still verifies that sharding adds no overhead. The
+/// group prints the detected parallelism so results read unambiguously.
+fn bench_service_ingest_by_shards(c: &mut Criterion) {
+    const N_QUERIES: usize = 1000;
+    const N_PRODUCERS: usize = 4;
+    println!(
+        "service_ingest_by_shards: host parallelism = {} (speedup is bounded by cores)",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let database = db();
+    let design = PhysicalDesign::derive(&database, TuningLevel::Untuned);
+    let catalog = Catalog::new(&database, &design);
+    let plan = chain_plan(7);
+    let events = record_events(&catalog, &plan);
+    let mut group = c.benchmark_group("service_ingest_by_shards");
+    group.sample_size(10);
+    for n_shards in [1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements((N_QUERIES * events.len()) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n_shards}_shards")),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    let service = MonitorService::fixed(EstimatorKind::Dne, n_shards);
+                    // Bulk admission: one round-trip per shard, not per
+                    // query (blocking per-query registration would be
+                    // latency-bound and mask the ingest scaling).
+                    let queries: Vec<usize> = (0..N_QUERIES).collect();
+                    for (q, r) in service.try_register_batch(&queries, &plan) {
+                        r.unwrap_or_else(|e| panic!("q{q}: {e}"));
+                    }
+                    std::thread::scope(|scope| {
+                        for p in 0..N_PRODUCERS {
+                            let service = &service;
+                            scope.spawn(move || {
+                                let tap = service.tap();
+                                // Interleave queries (outer loop = event
+                                // index) to mimic concurrent execution.
+                                for ev in events {
+                                    for q in (p..N_QUERIES).step_by(N_PRODUCERS) {
+                                        tap.send(retag(ev, q)).expect("shard alive");
+                                    }
+                                }
+                            });
+                        }
+                    });
+                    // Barrier: one FIFO round-trip per shard proves every
+                    // queued event was ingested.
+                    for q in 0..service.n_shards() {
+                        let _ = service.is_finished(q);
+                    }
+                    let done = service.query_progress(0);
+                    service.shutdown();
+                    done
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest_by_pipelines, bench_service_ingest_by_shards);
+criterion_main!(benches);

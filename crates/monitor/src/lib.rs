@@ -19,13 +19,26 @@
 //! * per pipeline it maintains a
 //!   [`prosel_estimators::incremental::IncrementalObs`], whose committed
 //!   curves are bit-identical to the batch
-//!   [`prosel_estimators::PipelineObs`] over the same run;
+//!   [`prosel_estimators::PipelineObs`] over the same run — and the
+//!   refinement-bound pass is computed **once per query per snapshot**
+//!   ([`prosel_estimators::SnapshotCtx`]) and shared across pipelines;
 //! * with a trained selector attached, the choice made from static
 //!   features at registration (paper §4.3's "static selection") is
 //!   re-scored at a configurable observation cadence as dynamic features
 //!   accumulate (§4.4), and every estimator switch is logged.
 //!
-//! Feed it from [`prosel_engine::run_plan_tapped`] or
+//! Two deployment shapes:
+//!
+//! * [`ProgressMonitor`] ([`shard`]) — the single-threaded core. Embed it
+//!   when one ingest thread suffices (one receiver draining a channel).
+//! * [`MonitorService`] ([`service`]) — N shards behind worker threads,
+//!   routing every operation to `query % n_shards` over per-shard
+//!   channels. Registration, ingest and reads are all concurrent-safe,
+//!   and ingest throughput scales with the shard count. Its
+//!   [`MonitorService::tap`] routes each engine event to exactly one
+//!   shard (no broadcast).
+//!
+//! Feed either from [`prosel_engine::run_plan_tapped`] or
 //! [`prosel_engine::run_concurrent_tapped`]:
 //!
 //! ```no_run
@@ -42,7 +55,26 @@
 //! # let _ = run;
 //! # }
 //! ```
+//!
+//! The sharded service is the same three lines, minus the channel:
+//!
+//! ```no_run
+//! use prosel_engine::{run_plan_tapped, Catalog, ExecConfig};
+//! use prosel_monitor::MonitorService;
+//! use prosel_estimators::EstimatorKind;
+//! # fn demo(catalog: &Catalog<'_>, plan: &prosel_engine::PhysicalPlan) {
+//! let service = MonitorService::fixed(EstimatorKind::Dne, 4);
+//! service.register(0, plan);
+//! let run = run_plan_tapped(catalog, plan, &ExecConfig::default(), 0, service.tap());
+//! assert_eq!(service.query_progress(0), Some(1.0));
+//! # let _ = run;
+//! # }
+//! ```
 
-pub mod monitor;
+pub mod service;
+pub mod shard;
 
-pub use monitor::{MonitorConfig, PipelineStatus, ProgressMonitor, QueryStatus, SwitchEvent};
+pub use service::MonitorService;
+pub use shard::{
+    MonitorConfig, PipelineStatus, ProgressMonitor, QueryStatus, RegisterError, SwitchEvent,
+};

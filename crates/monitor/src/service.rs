@@ -1,0 +1,493 @@
+//! The sharded monitor service: N single-threaded shards behind worker
+//! threads.
+//!
+//! [`MonitorService`] scales the [`ProgressMonitor`] core past one ingest
+//! thread: it owns `n_shards` shards, each a plain single-threaded
+//! [`ProgressMonitor`] running on its own worker, and routes every
+//! operation to the shard owning the query (`query % n_shards`) over a
+//! per-shard channel. Because a query's registration, events and reads
+//! all travel the same FIFO channel, per-query ordering is preserved
+//! without locks, and shards never contend with each other — ingest
+//! throughput scales with the shard count.
+//!
+//! The engine side stays single-tap: [`MonitorService::tap`] returns a
+//! routed [`TraceTap`] whose sink delivers each event **only** to the
+//! owning shard (no per-shard cloning, no broadcast). Reads
+//! ([`MonitorService::query_progress`], [`MonitorService::status`], …) are
+//! synchronous round-trips served from shard-owned state via a reply
+//! channel; they are safe to issue from any number of threads while
+//! ingest is running.
+
+use crate::shard::{ProgressMonitor, QueryStatus, RegisterError, SwitchEvent};
+use prosel_core::selection::EstimatorSelector;
+use prosel_engine::plan::PhysicalPlan;
+use prosel_engine::trace::{TapSink, TraceEvent, TraceTap};
+use prosel_estimators::EstimatorKind;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One request to a shard worker. Events and control messages share the
+/// channel, so a query's registration always precedes its events and a
+/// read observes every event sent before it (per-shard FIFO).
+enum ShardMsg {
+    Event(TraceEvent),
+    Register {
+        query: usize,
+        plan: Arc<PhysicalPlan>,
+        reply: Sender<Result<(), RegisterError>>,
+    },
+    RegisterBatch {
+        queries: Vec<usize>,
+        plan: Arc<PhysicalPlan>,
+        reply: Sender<Vec<(usize, Result<(), RegisterError>)>>,
+    },
+    Unregister {
+        query: usize,
+    },
+    Progress {
+        query: usize,
+        reply: Sender<Option<f64>>,
+    },
+    PipelineProgress {
+        query: usize,
+        pipeline: usize,
+        reply: Sender<Option<f64>>,
+    },
+    Status {
+        query: usize,
+        reply: Sender<Option<QueryStatus>>,
+    },
+    Finished {
+        query: usize,
+        reply: Sender<Option<bool>>,
+    },
+    Switches {
+        query: usize,
+        reply: Sender<Option<Vec<SwitchEvent>>>,
+    },
+    Registered {
+        reply: Sender<Vec<usize>>,
+    },
+    Shutdown,
+}
+
+fn run_shard(mut monitor: ProgressMonitor, rx: Receiver<ShardMsg>) {
+    // Reply sends ignore hangups: a caller that timed out or dropped its
+    // reply receiver must not take the shard down with it.
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Event(ev) => monitor.ingest(ev),
+            ShardMsg::Register { query, plan, reply } => {
+                let _ = reply.send(monitor.try_register_arc(query, plan));
+            }
+            ShardMsg::RegisterBatch { queries, plan, reply } => {
+                let results = queries
+                    .into_iter()
+                    .map(|q| (q, monitor.try_register_arc(q, Arc::clone(&plan))))
+                    .collect();
+                let _ = reply.send(results);
+            }
+            ShardMsg::Unregister { query } => monitor.unregister(query),
+            ShardMsg::Progress { query, reply } => {
+                let _ = reply.send(monitor.query_progress(query));
+            }
+            ShardMsg::PipelineProgress { query, pipeline, reply } => {
+                let _ = reply.send(monitor.pipeline_progress(query, pipeline));
+            }
+            ShardMsg::Status { query, reply } => {
+                let _ = reply.send(monitor.status(query));
+            }
+            ShardMsg::Finished { query, reply } => {
+                let _ = reply.send(monitor.is_finished(query));
+            }
+            ShardMsg::Switches { query, reply } => {
+                let _ = reply.send(monitor.switch_history(query).map(<[SwitchEvent]>::to_vec));
+            }
+            ShardMsg::Registered { reply } => {
+                let _ = reply.send(monitor.registered_queries());
+            }
+            ShardMsg::Shutdown => break,
+        }
+    }
+}
+
+/// Routes each [`TraceEvent`] to the shard owning its query — the sink
+/// behind [`MonitorService::tap`]. One send per event, no broadcast.
+struct ShardRouter {
+    shards: Vec<Sender<ShardMsg>>,
+}
+
+impl TapSink for ShardRouter {
+    fn send(&self, ev: TraceEvent) -> Result<(), TraceEvent> {
+        let shard = &self.shards[ev.query() % self.shards.len()];
+        shard.send(ShardMsg::Event(ev)).map_err(|e| match e.0 {
+            ShardMsg::Event(ev) => ev,
+            _ => unreachable!("only events are sent through the router"),
+        })
+    }
+}
+
+/// Sharded, concurrent-safe progress monitor service. See the module docs
+/// for the architecture and the crate docs for when to prefer the plain
+/// [`ProgressMonitor`].
+pub struct MonitorService {
+    shards: Vec<Sender<ShardMsg>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl MonitorService {
+    /// Service with one fixed estimator on every pipeline, `n_shards`
+    /// worker shards (clamped to ≥ 1).
+    ///
+    /// # Panics
+    /// Panics for the oracle kinds, like [`ProgressMonitor::fixed`]; use
+    /// [`Self::try_fixed`] to handle the error as a value.
+    pub fn fixed(kind: EstimatorKind, n_shards: usize) -> MonitorService {
+        Self::try_fixed(kind, n_shards).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`Self::fixed`].
+    pub fn try_fixed(
+        kind: EstimatorKind,
+        n_shards: usize,
+    ) -> Result<MonitorService, RegisterError> {
+        Ok(Self::spawn(ProgressMonitor::try_fixed(kind)?, n_shards))
+    }
+
+    /// Service with a trained selector (shared by every shard): static
+    /// selection at registration, dynamic re-selection at the configured
+    /// cadence — exactly the [`ProgressMonitor::with_selector`] behavior,
+    /// scaled across `n_shards` workers.
+    pub fn with_selector(
+        selector: EstimatorSelector,
+        config: crate::shard::MonitorConfig,
+        n_shards: usize,
+    ) -> MonitorService {
+        Self::spawn(ProgressMonitor::with_shared_selector(Arc::new(selector), config), n_shards)
+    }
+
+    fn spawn(prototype: ProgressMonitor, n_shards: usize) -> MonitorService {
+        let n = n_shards.max(1);
+        let mut shards = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel();
+            let monitor = prototype.fork();
+            shards.push(tx);
+            workers.push(std::thread::spawn(move || run_shard(monitor, rx)));
+        }
+        MonitorService { shards, workers }
+    }
+
+    /// Number of shards (and worker threads).
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, query: usize) -> &Sender<ShardMsg> {
+        &self.shards[query % self.shards.len()]
+    }
+
+    /// Round-trip one request to the owning shard. `None` when the shard
+    /// worker is gone (it panicked or the service is shutting down).
+    fn ask<T>(&self, query: usize, msg: impl FnOnce(Sender<T>) -> ShardMsg) -> Option<T> {
+        let (reply, rx) = channel();
+        self.shard(query).send(msg(reply)).ok()?;
+        rx.recv().ok()
+    }
+
+    /// Register a query with its owning shard **before it runs** (the
+    /// [`ProgressMonitor::register`] contract, routed). Blocks until the
+    /// shard confirms, so a subsequent tapped run cannot race its own
+    /// registration.
+    ///
+    /// # Panics
+    /// Panics if `query` is already registered; use [`Self::try_register`]
+    /// to handle the error as a value.
+    pub fn register(&self, query: usize, plan: &PhysicalPlan) {
+        self.try_register(query, plan).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Non-panicking [`Self::register`]: duplicate ids come back as
+    /// [`RegisterError::DuplicateQuery`], a dead worker as
+    /// [`RegisterError::ShardDown`].
+    pub fn try_register(&self, query: usize, plan: &PhysicalPlan) -> Result<(), RegisterError> {
+        let plan = Arc::new(plan.clone());
+        self.ask(query, |reply| ShardMsg::Register { query, plan, reply })
+            .ok_or(RegisterError::ShardDown)?
+    }
+
+    /// Register many queries against one plan with **one round-trip per
+    /// shard** instead of one per query — the admission path for bulk
+    /// workloads (a blocking per-query round-trip is latency-bound, not
+    /// throughput-bound). Returns one `(query, result)` pair per input
+    /// query; queries owned by a dead shard report
+    /// [`RegisterError::ShardDown`].
+    pub fn try_register_batch(
+        &self,
+        queries: &[usize],
+        plan: &PhysicalPlan,
+    ) -> Vec<(usize, Result<(), RegisterError>)> {
+        let plan = Arc::new(plan.clone());
+        let n = self.shards.len();
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &q in queries {
+            by_shard[q % n].push(q);
+        }
+        let mut pending = Vec::with_capacity(n);
+        for (shard, queries) in self.shards.iter().zip(by_shard) {
+            if queries.is_empty() {
+                continue;
+            }
+            let (reply, rx) = channel();
+            let sent = shard
+                .send(ShardMsg::RegisterBatch {
+                    queries: queries.clone(),
+                    plan: Arc::clone(&plan),
+                    reply,
+                })
+                .is_ok();
+            pending.push((queries, sent, rx));
+        }
+        let mut out = Vec::with_capacity(queries.len());
+        for (queries, sent, rx) in pending {
+            match if sent { rx.recv().ok() } else { None } {
+                Some(results) => out.extend(results),
+                None => out.extend(queries.into_iter().map(|q| (q, Err(RegisterError::ShardDown)))),
+            }
+        }
+        out
+    }
+
+    /// Drop a query's state on its owning shard.
+    pub fn unregister(&self, query: usize) {
+        let _ = self.shard(query).send(ShardMsg::Unregister { query });
+    }
+
+    /// A [`TraceTap`] that fans the engine's event stream out to the
+    /// owning shards — pass it to [`prosel_engine::run_plan_tapped`] /
+    /// [`prosel_engine::run_concurrent_tapped`]. Each event is routed to
+    /// exactly one shard; cloning the tap shares the same service.
+    pub fn tap(&self) -> TraceTap {
+        TraceTap::from_sink(Arc::new(ShardRouter { shards: self.shards.clone() }))
+    }
+
+    /// Ingest one event directly (the channel-free path; useful when the
+    /// caller already holds the events).
+    pub fn ingest(&self, ev: TraceEvent) {
+        let _ = self.shard(ev.query()).send(ShardMsg::Event(ev));
+    }
+
+    /// Estimated progress of `query` in [0, 1] — the
+    /// [`ProgressMonitor::query_progress`] contract, served from the
+    /// owning shard. `None` for unregistered queries (or a dead shard).
+    pub fn query_progress(&self, query: usize) -> Option<f64> {
+        self.ask(query, |reply| ShardMsg::Progress { query, reply })?
+    }
+
+    /// Latest progress estimate of one pipeline.
+    pub fn pipeline_progress(&self, query: usize, pipeline: usize) -> Option<f64> {
+        self.ask(query, |reply| ShardMsg::PipelineProgress { query, pipeline, reply })?
+    }
+
+    /// Full live status of one query.
+    pub fn status(&self, query: usize) -> Option<QueryStatus> {
+        self.ask(query, |reply| ShardMsg::Status { query, reply })?
+    }
+
+    /// Has the engine reported this query's termination?
+    pub fn is_finished(&self, query: usize) -> Option<bool> {
+        self.ask(query, |reply| ShardMsg::Finished { query, reply })?
+    }
+
+    /// The estimator-switch history of a query (owned copy).
+    pub fn switch_history(&self, query: usize) -> Option<Vec<SwitchEvent>> {
+        self.ask(query, |reply| ShardMsg::Switches { query, reply })?
+    }
+
+    /// Queries currently registered across all shards, ascending.
+    pub fn registered_queries(&self) -> Vec<usize> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            let (reply, rx) = channel();
+            if shard.send(ShardMsg::Registered { reply }).is_ok() {
+                if let Ok(mut qs) = rx.recv() {
+                    all.append(&mut qs);
+                }
+            }
+        }
+        all.sort_unstable();
+        all
+    }
+
+    /// Drain and stop every shard worker. Messages already queued
+    /// (including tapped events still in flight) are processed first;
+    /// taps handed out earlier go dead afterwards. Dropping the service
+    /// shuts it down the same way.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        for shard in &self.shards {
+            let _ = shard.send(ShardMsg::Shutdown);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for MonitorService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prosel_engine::plan::{OperatorKind, PlanNode};
+    use prosel_engine::trace::Snapshot;
+
+    fn scan_plan() -> PhysicalPlan {
+        PhysicalPlan {
+            nodes: vec![PlanNode {
+                op: OperatorKind::TableScan { table: "t".into(), cols: vec![0] },
+                children: vec![],
+                est_rows: 100.0,
+                est_row_bytes: 8.0,
+                out_cols: 1,
+            }],
+            root: 0,
+        }
+    }
+
+    fn snapshot_event(query: usize, seq: u64, time: f64, k: u64) -> TraceEvent {
+        TraceEvent::Snapshot {
+            query,
+            seq,
+            snapshot: Snapshot {
+                time,
+                k: vec![k].into_boxed_slice(),
+                bytes_read: vec![k * 8].into_boxed_slice(),
+                bytes_written: vec![0].into_boxed_slice(),
+                materialized: vec![0].into_boxed_slice(),
+            },
+            windows: vec![(1.0, time)].into_boxed_slice(),
+        }
+    }
+
+    #[test]
+    fn routes_registration_ingest_and_reads_by_query_id() {
+        let plan = scan_plan();
+        let service = MonitorService::fixed(EstimatorKind::Dne, 4);
+        assert_eq!(service.n_shards(), 4);
+        // Query ids chosen to land on distinct shards (mod 4).
+        for q in [0usize, 1, 2, 3, 7] {
+            service.register(q, &plan);
+        }
+        let tap = service.tap();
+        for q in [0usize, 1, 2, 3, 7] {
+            tap.send(snapshot_event(q, 0, 10.0, 25 * (q as u64 % 4 + 1))).unwrap();
+        }
+        assert!((service.query_progress(0).unwrap() - 0.25).abs() < 1e-12);
+        assert!((service.query_progress(3).unwrap() - 1.0).abs() < 1e-12);
+        // Shard of query 7 (7 % 4 == 3) holds both 3 and 7.
+        assert_eq!(service.registered_queries(), vec![0, 1, 2, 3, 7]);
+        let st = service.status(7).expect("registered");
+        assert!(!st.finished);
+        assert_eq!(st.pipelines.len(), 1);
+        service.ingest(TraceEvent::Finished {
+            query: 7,
+            windows: vec![(1.0, 40.0)].into_boxed_slice(),
+            total_time: 40.0,
+        });
+        assert_eq!(service.query_progress(7), Some(1.0));
+        assert_eq!(service.is_finished(7), Some(true));
+        service.unregister(7);
+        assert_eq!(service.query_progress(7), None);
+        service.shutdown();
+    }
+
+    #[test]
+    fn duplicate_registration_is_an_error_not_an_abort() {
+        let plan = scan_plan();
+        let service = MonitorService::fixed(EstimatorKind::Dne, 2);
+        assert_eq!(service.try_register(5, &plan), Ok(()));
+        assert_eq!(service.try_register(5, &plan), Err(RegisterError::DuplicateQuery(5)));
+        // The shard survives and still serves the original registration.
+        service.ingest(snapshot_event(5, 0, 10.0, 50));
+        assert!((service.query_progress(5).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_registration_covers_all_shards_and_reports_duplicates() {
+        let plan = scan_plan();
+        let service = MonitorService::fixed(EstimatorKind::Dne, 3);
+        service.register(4, &plan);
+        let queries: Vec<usize> = (0..10).collect();
+        let mut results = service.try_register_batch(&queries, &plan);
+        results.sort_by_key(|&(q, _)| q);
+        for (q, r) in &results {
+            match q {
+                4 => assert_eq!(*r, Err(RegisterError::DuplicateQuery(4))),
+                _ => assert_eq!(*r, Ok(()), "q{q}"),
+            }
+        }
+        assert_eq!(service.registered_queries(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn oracle_kinds_are_refused() {
+        assert_eq!(
+            MonitorService::try_fixed(EstimatorKind::BytesOracle, 2).err(),
+            Some(RegisterError::OracleKind(EstimatorKind::BytesOracle))
+        );
+    }
+
+    #[test]
+    fn reads_are_concurrent_with_ingest() {
+        // Hammer one service from parallel reader threads while a writer
+        // streams events: every read must return a sane value and the
+        // final state must be exact.
+        let plan = scan_plan();
+        let service = std::sync::Arc::new(MonitorService::fixed(EstimatorKind::Dne, 4));
+        let n_queries = 32usize;
+        for q in 0..n_queries {
+            service.register(q, &plan);
+        }
+        std::thread::scope(|scope| {
+            let writer = {
+                let service = Arc::clone(&service);
+                scope.spawn(move || {
+                    let tap = service.tap();
+                    for seq in 0..100u64 {
+                        for q in 0..n_queries {
+                            let k = seq + 1; // 1% of the 100-row scan per event
+                            tap.send(snapshot_event(q, seq, (seq + 1) as f64, k)).unwrap();
+                        }
+                    }
+                })
+            };
+            for reader in 0..3usize {
+                let service = Arc::clone(&service);
+                scope.spawn(move || {
+                    for i in 0..200usize {
+                        // Stride across all queries (and thus all shards).
+                        let q = (i * 7 + reader) % n_queries;
+                        if let Some(p) = service.query_progress(q) {
+                            assert!((0.0..=1.0).contains(&p));
+                        }
+                    }
+                });
+            }
+            writer.join().unwrap();
+        });
+        for q in 0..n_queries {
+            let p = service.query_progress(q).expect("registered");
+            assert!((p - 1.0).abs() < 1e-12, "q{q} final progress {p}");
+        }
+    }
+}

@@ -1,17 +1,27 @@
-//! The long-lived [`ProgressMonitor`].
+//! The single-threaded monitor core: one shard's worth of state.
+//!
+//! [`ProgressMonitor`] is both the standalone single-threaded monitor
+//! (embed it directly when one ingest thread suffices) and the per-shard
+//! core of the multi-threaded [`crate::service::MonitorService`], which
+//! owns N of them behind worker threads and routes queries by id.
 //!
 //! Lifecycle per query: [`ProgressMonitor::register`] (plan only, before
 //! execution) → [`ProgressMonitor::ingest`] for every
 //! [`TraceEvent`] → progress served on demand → the `Finished` event pins
 //! the query to exactly 1.0 and finalizes every pipeline's observation
 //! state (unlocking oracle curves and exact batch equivalence).
+//!
+//! Per snapshot, the refinement-bound pass is computed **once per query**
+//! as a [`SnapshotCtx`] and shared across all of the query's pipelines
+//! ([`IncrementalObs::offer_shared`]) — O(plan) per snapshot instead of
+//! O(pipelines × plan).
 
 use prosel_core::features::{dynamic_features, static_features};
 use prosel_core::selection::EstimatorSelector;
 use prosel_engine::plan::PhysicalPlan;
-use prosel_engine::trace::{Snapshot, TraceEvent};
+use prosel_engine::trace::{thin_half, Snapshot, TraceEvent};
 use prosel_engine::{decompose, pipeline_weight, Pipeline};
-use prosel_estimators::{EstimatorKind, IncrementalObs};
+use prosel_estimators::{EstimatorKind, IncrementalObs, SnapshotCtx};
 use std::collections::BTreeMap;
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
@@ -31,6 +41,39 @@ impl Default for MonitorConfig {
         MonitorConfig { reselect_every: 4 }
     }
 }
+
+/// Why a registration (or monitor construction) was refused.
+///
+/// A service fronting thousands of queries must not abort on a duplicate
+/// id or a misconfigured estimator — these are recoverable caller errors,
+/// surfaced as values via [`ProgressMonitor::try_register`] /
+/// [`ProgressMonitor::try_fixed`] (the panicking entry points route
+/// through the same checks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegisterError {
+    /// The query id is already registered on this monitor/shard.
+    DuplicateQuery(usize),
+    /// The estimator kind needs post-hoc totals and cannot serve live
+    /// progress (the oracle kinds).
+    OracleKind(EstimatorKind),
+    /// The shard worker that owns this query is no longer running
+    /// (service mode only).
+    ShardDown,
+}
+
+impl std::fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegisterError::DuplicateQuery(q) => write!(f, "query {q} already registered"),
+            RegisterError::OracleKind(k) => {
+                write!(f, "{k} needs post-hoc totals and cannot serve progress online")
+            }
+            RegisterError::ShardDown => write!(f, "owning shard worker is gone"),
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
 
 /// One estimator switch, logged when online re-selection changes its mind.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,9 +110,10 @@ pub struct QueryStatus {
     pub pipelines: Vec<PipelineStatus>,
 }
 
+#[derive(Clone)]
 enum Policy {
     Fixed(EstimatorKind),
-    Selector(Box<EstimatorSelector>),
+    Selector(Arc<EstimatorSelector>),
 }
 
 struct PipeState {
@@ -82,9 +126,9 @@ struct PipeState {
 }
 
 struct QueryState {
-    /// Plan size, for validating that incoming events match the
-    /// registered plan.
-    n_nodes: usize,
+    /// The registered plan (shared with every pipeline's observation
+    /// state); the per-snapshot [`SnapshotCtx`] is computed against it.
+    plan: Arc<PhysicalPlan>,
     weights: Vec<f64>,
     total_weight: f64,
     pipes: Vec<PipeState>,
@@ -97,7 +141,9 @@ struct QueryState {
     switches: Vec<SwitchEvent>,
 }
 
-/// Long-lived online progress monitor. See the crate docs for the model.
+/// Long-lived online progress monitor (single-threaded core / one shard of
+/// the [`crate::service::MonitorService`]). See the crate docs for the
+/// model.
 pub struct ProgressMonitor {
     policy: Policy,
     config: MonitorConfig,
@@ -109,27 +155,39 @@ impl ProgressMonitor {
     ///
     /// # Panics
     /// Panics for the oracle kinds (`GetNextOracle`, `BytesOracle`): they
-    /// need post-hoc totals and cannot serve live progress.
+    /// need post-hoc totals and cannot serve live progress. Use
+    /// [`Self::try_fixed`] to handle the error as a value.
     pub fn fixed(kind: EstimatorKind) -> ProgressMonitor {
-        assert!(
-            prosel_estimators::ONLINE_KINDS.contains(&kind),
-            "{kind} needs post-hoc totals and cannot serve progress online"
-        );
-        ProgressMonitor {
+        Self::try_fixed(kind).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`Self::fixed`]: refuses the oracle kinds with
+    /// [`RegisterError::OracleKind`].
+    pub fn try_fixed(kind: EstimatorKind) -> Result<ProgressMonitor, RegisterError> {
+        if !prosel_estimators::ONLINE_KINDS.contains(&kind) {
+            return Err(RegisterError::OracleKind(kind));
+        }
+        Ok(ProgressMonitor {
             policy: Policy::Fixed(kind),
             config: MonitorConfig::default(),
             queries: BTreeMap::new(),
-        }
+        })
     }
 
     /// Monitor with a trained selector: static selection at registration,
     /// dynamic re-selection at the configured observation cadence.
     pub fn with_selector(selector: EstimatorSelector, config: MonitorConfig) -> ProgressMonitor {
-        ProgressMonitor {
-            policy: Policy::Selector(Box::new(selector)),
-            config,
-            queries: BTreeMap::new(),
-        }
+        Self::with_shared_selector(Arc::new(selector), config)
+    }
+
+    /// [`Self::with_selector`] over a shared (reference-counted) selector
+    /// — the form the sharded service uses so N shards score with one
+    /// model instance instead of N copies.
+    pub fn with_shared_selector(
+        selector: Arc<EstimatorSelector>,
+        config: MonitorConfig,
+    ) -> ProgressMonitor {
+        ProgressMonitor { policy: Policy::Selector(selector), config, queries: BTreeMap::new() }
     }
 
     /// Register a query **before it runs**. Everything derivable without
@@ -144,10 +202,31 @@ impl ProgressMonitor {
     /// than served from silently corrupted state.
     ///
     /// # Panics
-    /// Panics if `query` is already registered.
+    /// Panics if `query` is already registered. Use [`Self::try_register`]
+    /// to handle the duplicate as a value.
     pub fn register(&mut self, query: usize, plan: &PhysicalPlan) {
-        assert!(!self.queries.contains_key(&query), "query {query} already registered");
-        let plan = Arc::new(plan.clone());
+        self.try_register(query, plan).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Non-panicking [`Self::register`]: refuses duplicate query ids with
+    /// [`RegisterError::DuplicateQuery`] instead of aborting.
+    pub fn try_register(&mut self, query: usize, plan: &PhysicalPlan) -> Result<(), RegisterError> {
+        if self.queries.contains_key(&query) {
+            return Err(RegisterError::DuplicateQuery(query));
+        }
+        self.try_register_arc(query, Arc::new(plan.clone()))
+    }
+
+    /// [`Self::try_register`] over an already-shared plan (avoids a deep
+    /// clone when the caller — e.g. the sharded service — holds an `Arc`).
+    pub fn try_register_arc(
+        &mut self,
+        query: usize,
+        plan: Arc<PhysicalPlan>,
+    ) -> Result<(), RegisterError> {
+        if self.queries.contains_key(&query) {
+            return Err(RegisterError::DuplicateQuery(query));
+        }
         let pipelines: Vec<Pipeline> = decompose(&plan);
         let weights: Vec<f64> = pipelines.iter().map(|p| pipeline_weight(&plan, p)).collect();
         let total_weight: f64 = weights.iter().filter(|&&w| w > 0.0).sum();
@@ -174,7 +253,7 @@ impl ProgressMonitor {
         self.queries.insert(
             query,
             QueryState {
-                n_nodes: plan.len(),
+                plan,
                 weights,
                 total_weight,
                 pipes,
@@ -185,6 +264,7 @@ impl ProgressMonitor {
                 switches: Vec::new(),
             },
         );
+        Ok(())
     }
 
     /// Ingest one trace event. Events for unregistered queries are
@@ -197,14 +277,14 @@ impl ProgressMonitor {
             }
             TraceEvent::Thinned { query } => {
                 if let Some(qs) = self.queries.get_mut(&query) {
+                    if qs.finished {
+                        // A new stream reusing the id (see on_snapshot).
+                        self.queries.remove(&query);
+                        return;
+                    }
                     // Mirror the engine: odd positions survive, interval
                     // doubles (the interval is the engine's business).
-                    let mut i = 0usize;
-                    qs.live.retain(|_| {
-                        let keep = i % 2 == 1;
-                        i += 1;
-                        keep
-                    });
+                    thin_half(&mut qs.live);
                     for pipe in &mut qs.pipes {
                         pipe.obs.thin(&qs.live);
                     }
@@ -225,10 +305,15 @@ impl ProgressMonitor {
 
     fn on_snapshot(&mut self, query: usize, seq: u64, snapshot: &Snapshot, windows: &[(f64, f64)]) {
         let Some(qs) = self.queries.get_mut(&query) else { return };
-        if seq != qs.serial_next
-            || snapshot.k.len() != qs.n_nodes
+        if qs.finished
+            || seq != qs.serial_next
+            || snapshot.k.len() != qs.plan.len()
             || windows.len() != qs.pipes.len()
         {
+            // `finished` first: a snapshot after termination means a new
+            // stream is reusing this query id against finalized state (a
+            // seq-0 stream would otherwise pass the header check when the
+            // finished run emitted no snapshots, and panic the pipes).
             // The stream was joined mid-way, events were lost, or the
             // engine is executing a different plan under this query id:
             // state can no longer be trusted, so refuse to serve
@@ -240,10 +325,13 @@ impl ProgressMonitor {
         qs.serial_next += 1;
         qs.live.push(serial);
         qs.last_time = snapshot.time;
+        // The one refinement-bound pass of this snapshot, shared by every
+        // pipeline below (the O(pipelines × plan) → O(plan) hoist).
+        let ctx = SnapshotCtx::new(&qs.plan, snapshot);
         let reselect_every = self.config.reselect_every;
         for pipe in &mut qs.pipes {
             let pid = pipe.obs.pipeline_id();
-            let committed = pipe.obs.offer(serial, snapshot, windows[pid]);
+            let committed = pipe.obs.offer_shared(serial, snapshot, windows[pid], &ctx);
             if committed == 0 {
                 continue;
             }
@@ -381,6 +469,16 @@ impl ProgressMonitor {
     pub fn unregister(&mut self, query: usize) {
         self.queries.remove(&query);
     }
+
+    /// The per-shard policy, cloned — how the service stamps out N shards
+    /// sharing one selector instance.
+    pub(crate) fn fork(&self) -> ProgressMonitor {
+        ProgressMonitor {
+            policy: self.policy.clone(),
+            config: self.config.clone(),
+            queries: BTreeMap::new(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -442,5 +540,66 @@ mod tests {
             total_time: 40.0,
         });
         assert_eq!(monitor.query_progress(7), Some(1.0));
+    }
+
+    #[test]
+    fn snapshot_after_finished_drops_the_query_instead_of_panicking() {
+        // A query can terminate before its first snapshot interval, so its
+        // Finished event arrives with serial_next still 0. If a new stream
+        // then reuses the id, its seq-0 snapshot would pass the header
+        // check against finalized pipes — it must drop the stale state,
+        // not panic (a panic would kill a whole service shard).
+        let plan = scan_plan();
+        let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+        monitor.register(9, &plan);
+        monitor.ingest(TraceEvent::Finished {
+            query: 9,
+            windows: vec![(1.0, 5.0)].into_boxed_slice(),
+            total_time: 5.0,
+        });
+        assert_eq!(monitor.query_progress(9), Some(1.0));
+        monitor.ingest(snapshot_event(9, 0, 10.0, 25));
+        assert_eq!(monitor.query_progress(9), None, "stale finished state must be dropped");
+        // Same for a thinning event reaching a finished query.
+        monitor.register(9, &plan);
+        monitor.ingest(TraceEvent::Finished {
+            query: 9,
+            windows: vec![(1.0, 5.0)].into_boxed_slice(),
+            total_time: 5.0,
+        });
+        monitor.ingest(TraceEvent::Thinned { query: 9 });
+        assert_eq!(monitor.query_progress(9), None);
+    }
+
+    #[test]
+    fn try_register_reports_duplicates_as_values() {
+        let plan = scan_plan();
+        let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+        assert_eq!(monitor.try_register(3, &plan), Ok(()));
+        assert_eq!(monitor.try_register(3, &plan), Err(RegisterError::DuplicateQuery(3)));
+        // The original registration survives the refused duplicate.
+        monitor.ingest(snapshot_event(3, 0, 10.0, 50));
+        assert!((monitor.query_progress(3).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(monitor.registered_queries(), vec![3]);
+    }
+
+    #[test]
+    fn try_fixed_refuses_oracle_kinds() {
+        for kind in [EstimatorKind::GetNextOracle, EstimatorKind::BytesOracle] {
+            assert_eq!(
+                ProgressMonitor::try_fixed(kind).err(),
+                Some(RegisterError::OracleKind(kind))
+            );
+        }
+        assert!(ProgressMonitor::try_fixed(EstimatorKind::Dne).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn register_still_panics_on_duplicates() {
+        let plan = scan_plan();
+        let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+        monitor.register(1, &plan);
+        monitor.register(1, &plan);
     }
 }

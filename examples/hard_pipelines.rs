@@ -112,11 +112,12 @@ fn main() {
     let plan2 = builder2.build(&q2).expect("plan");
     let catalog2 = Catalog::new(&w2.db, &w2.design);
     let run2 = run_plan(&catalog2, &plan2, &ExecConfig::default());
+    let ctx2 = prosel::estimators::TraceCtx::new(&run2);
     let pid2 = (0..run2.pipelines.len())
-        .filter(|&p| PipelineObs::new(&run2, p).is_some_and(|o| o.len() >= 10))
+        .filter(|&p| PipelineObs::with_ctx(&run2, p, &ctx2).is_some_and(|o| o.len() >= 10))
         .max_by_key(|&p| run2.pipelines[p].nodes.len())
         .expect("pipeline");
-    let obs2 = PipelineObs::new(&run2, pid2).expect("observations");
+    let obs2 = PipelineObs::with_ctx(&run2, pid2, &ctx2).expect("observations");
     print_case(
         "hash-join pipeline with cardinality misestimates (paper Fig. 7)",
         &obs2,

@@ -36,8 +36,9 @@ fn concurrent_traces_feed_the_full_stack() {
         );
         for (qi, run) in runs.iter().enumerate() {
             // Estimator curves stay probabilities on concurrent traces.
+            let ctx = prosel::estimators::TraceCtx::new(run);
             for pid in 0..run.pipelines.len() {
-                if let Some(obs) = PipelineObs::new(run, pid) {
+                if let Some(obs) = PipelineObs::with_ctx(run, pid, &ctx) {
                     for kind in EstimatorKind::CANDIDATES {
                         for v in obs.curve(kind) {
                             assert!((0.0..=1.0).contains(&v), "{kind}: {v}");

@@ -10,7 +10,7 @@ use prosel::engine::{
     QueryRun, TraceEvent,
 };
 use prosel::estimators::kinds::EstimatorKind;
-use prosel::estimators::{IncrementalObs, PipelineObs, ONLINE_KINDS};
+use prosel::estimators::{IncrementalObs, PipelineObs, TraceCtx, ONLINE_KINDS};
 use prosel::mart::BoostParams;
 use prosel::monitor::{MonitorConfig, ProgressMonitor};
 use prosel::planner::workload::{materialize, WorkloadKind, WorkloadSpec};
@@ -27,9 +27,10 @@ fn all_kinds() -> Vec<EstimatorKind> {
 /// Assert that the monitor's incremental observation state reproduces the
 /// batch `PipelineObs` curves bit for bit on every pipeline of `run`.
 fn assert_equivalent(monitor: &ProgressMonitor, query: usize, run: &QueryRun, label: &str) {
+    let ctx = TraceCtx::new(run);
     for pid in 0..run.pipelines.len() {
         let inc = monitor.observation(query, pid).expect("registered pipeline");
-        match PipelineObs::new(run, pid) {
+        match PipelineObs::with_ctx(run, pid, &ctx) {
             None => assert!(
                 inc.is_empty(),
                 "{label}: pipeline {pid} unobserved post-hoc but online has {} obs",
@@ -220,9 +221,10 @@ fn replay_equivalence_all_workload_kinds() {
         for (qi, q) in w.queries.iter().enumerate() {
             let plan = builder.build(q).expect("plan");
             let run = run_plan(&catalog, &plan, &ExecConfig::default());
+            let ctx = TraceCtx::new(&run);
             for pid in 0..run.pipelines.len() {
-                let batch = PipelineObs::new(&run, pid);
-                let inc = IncrementalObs::replay(&run, pid);
+                let batch = PipelineObs::with_ctx(&run, pid, &ctx);
+                let inc = IncrementalObs::replay_shared(&run, pid, &ctx);
                 match (batch, inc) {
                     (None, None) => {}
                     (Some(batch), Some(inc)) => {

@@ -265,9 +265,10 @@ proptest! {
             let mut kinds = prosel::estimators::ONLINE_KINDS.to_vec();
             kinds.push(EstimatorKind::GetNextOracle);
             kinds.push(EstimatorKind::BytesOracle);
+            let ctx = prosel::estimators::TraceCtx::new(&run);
             for pid in 0..run.pipelines.len() {
                 let inc = monitor.observation(qi, pid).expect("pipeline");
-                match PipelineObs::new(&run, pid) {
+                match PipelineObs::with_ctx(&run, pid, &ctx) {
                     None => prop_assert!(inc.is_empty(), "online-only observations on p{pid}"),
                     Some(batch) => {
                         prop_assert_eq!(inc.times(), &batch.times[..], "obs set p{}", pid);
@@ -283,7 +284,7 @@ proptest! {
                             }
                         }
                         // And the replay path agrees with the live path.
-                        let rep = IncrementalObs::replay(&run, pid).expect("replay");
+                        let rep = IncrementalObs::replay_shared(&run, pid, &ctx).expect("replay");
                         prop_assert_eq!(rep.times(), inc.times());
                         prop_assert_eq!(rep.curve(EstimatorKind::Luo), inc.curve(EstimatorKind::Luo));
                     }
