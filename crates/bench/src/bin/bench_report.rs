@@ -1,0 +1,40 @@
+//! Fold the criterion shim's JSONL bench samples into the
+//! `BENCH_<sha>.json` perf-trajectory artifact CI uploads.
+//!
+//! ```text
+//! PROSEL_BENCH_JSON=bench-samples.jsonl cargo bench ...   # produce samples
+//! bench_report [SAMPLES.jsonl] [SHA] [OUT_DIR]            # fold them
+//! ```
+//!
+//! Defaults: samples from `bench-samples.jsonl`, sha from `$GITHUB_SHA`
+//! (falling back to `local`), artifact written to the current directory.
+
+use prosel_bench::report::{aggregate_bench_entries, bench_trajectory_json, parse_bench_jsonl};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let samples_path = args.next().unwrap_or_else(|| "bench-samples.jsonl".to_string());
+    let sha = args
+        .next()
+        .or_else(|| std::env::var("GITHUB_SHA").ok())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "local".to_string());
+    let out_dir = args.next().unwrap_or_else(|| ".".to_string());
+
+    let text = std::fs::read_to_string(&samples_path).unwrap_or_else(|e| {
+        eprintln!("bench_report: cannot read {samples_path}: {e}");
+        eprintln!("run the benches with PROSEL_BENCH_JSON={samples_path} first");
+        std::process::exit(2);
+    });
+    let samples = parse_bench_jsonl(&text);
+    if samples.is_empty() {
+        eprintln!("bench_report: no parseable samples in {samples_path}");
+        std::process::exit(2);
+    }
+    let entries = aggregate_bench_entries(&samples);
+    let json = bench_trajectory_json(&sha, &entries);
+    let out_path = format!("{out_dir}/BENCH_{sha}.json");
+    std::fs::write(&out_path, &json)
+        .unwrap_or_else(|e| panic!("bench_report: cannot write {out_path}: {e}"));
+    println!("wrote {out_path}: {} benches from {} samples", entries.len(), samples.len());
+}

@@ -8,6 +8,7 @@
 pub mod ablation;
 pub mod adhoc;
 pub mod curves;
+pub mod eta;
 pub mod fig1;
 pub mod importance;
 pub mod multiquery;
@@ -41,6 +42,7 @@ pub const ALL: &[&str] = &[
     "ablate-combination",
     "ablate-refinement",
     "multiquery",
+    "eta-accuracy",
 ];
 
 /// Dispatch one experiment by name.
@@ -63,6 +65,7 @@ pub fn run_one(name: &str, suite: &mut Suite, scale: ExpScale) -> Option<String>
         "ablate-combination" => ablation::run_combination(suite, scale),
         "ablate-refinement" => refinement::run(suite, scale),
         "multiquery" => multiquery::run(suite, scale),
+        "eta-accuracy" | "eta_accuracy" => eta::run(suite, scale),
         _ => return None,
     };
     Some(out)

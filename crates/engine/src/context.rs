@@ -8,6 +8,7 @@
 //! sampling interval doubles, so long queries keep an evenly spaced
 //! history of at most `max_snapshots` observations.
 
+use crate::clock::{Clock, SystemClock};
 use crate::cost::{CostModel, SplitMix64};
 use crate::exec::TurnScheduler;
 use crate::trace::{ObservationTrace, Snapshot, TraceEvent, TraceTap};
@@ -27,6 +28,11 @@ pub struct ExecConfig {
     pub max_snapshots: usize,
     /// Initial snapshot interval in virtual time units.
     pub initial_snapshot_interval: f64,
+    /// Wall-clock source stamping tapped events ([`TraceEvent`]'s `wall`
+    /// fields). Defaults to [`SystemClock`]; inject a
+    /// [`crate::clock::ManualClock`] for deterministic stamp sequences.
+    /// Never read on untapped runs and never affects execution itself.
+    pub wall_clock: Arc<dyn Clock>,
 }
 
 impl Default for ExecConfig {
@@ -37,6 +43,7 @@ impl Default for ExecConfig {
             cost: CostModel::default(),
             max_snapshots: 512,
             initial_snapshot_interval: 50.0,
+            wall_clock: Arc::new(SystemClock::new()),
         }
     }
 }
@@ -66,6 +73,8 @@ pub struct ExecContext {
     tap: Option<(TraceTap, usize)>,
     /// Snapshots emitted so far (tap event sequence number).
     snap_seq: u64,
+    /// Wall-clock source for tap event stamps (read only when tapped).
+    wall_clock: Arc<dyn Clock>,
 }
 
 impl ExecContext {
@@ -99,6 +108,7 @@ impl ExecContext {
             ticks_left: u32::MAX,
             tap: None,
             snap_seq: 0,
+            wall_clock: Arc::clone(&cfg.wall_clock),
         }
     }
 
@@ -132,9 +142,10 @@ impl ExecContext {
         if let Some((_, query)) = self.tap {
             let seq = self.snap_seq;
             self.snap_seq += 1;
+            let wall = self.wall_clock.now();
             let snapshot = self.snapshots.last().expect("snapshot just pushed").clone();
             let windows = self.windows();
-            self.emit(TraceEvent::Snapshot { query, seq, snapshot, windows });
+            self.emit(TraceEvent::Snapshot { query, seq, wall, snapshot, windows });
         }
     }
 
@@ -315,8 +326,10 @@ impl ExecContext {
         let windows: Vec<(f64, f64)> =
             self.pipe_first.iter().zip(&self.pipe_last).map(|(&a, &b)| (a, b)).collect();
         if let Some((_, query)) = self.tap {
+            let wall = self.wall_clock.now();
             self.emit(TraceEvent::Finished {
                 query,
+                wall,
                 windows: windows.clone().into_boxed_slice(),
                 total_time: self.clock,
             });

@@ -22,6 +22,7 @@
 //! time, reproducing the paper's Section 6.7 observation.
 
 pub mod catalog;
+pub mod clock;
 pub mod context;
 pub mod cost;
 pub mod exec;
@@ -31,6 +32,7 @@ pub mod trace;
 pub mod tuple;
 
 pub use catalog::{Catalog, SortedIndex};
+pub use clock::{Clock, ManualClock, SystemClock};
 pub use context::{ExecConfig, ExecContext};
 pub use cost::{CostModel, SplitMix64};
 pub use exec::{

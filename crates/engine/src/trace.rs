@@ -110,6 +110,13 @@ impl ObservationTrace {
 /// `windows` of each event are the pipeline activity windows *as known at
 /// that point*: `(f64::INFINITY, f64::NEG_INFINITY)` for pipelines that
 /// have not started, and a growing `last` for active ones.
+///
+/// Snapshot and termination events additionally carry a `wall` stamp —
+/// wall-clock seconds from the run's [`crate::clock::Clock`]
+/// ([`crate::context::ExecConfig::wall_clock`]), taken at emission. Wall
+/// stamps are what remaining-time (ETA) consumers divide progress deltas
+/// by; they never affect execution and the virtual-time trace is identical
+/// whatever clock is injected.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
     /// A snapshot was recorded (also emitted for the terminal snapshot
@@ -117,14 +124,14 @@ pub enum TraceEvent {
     /// query has emitted (thinned ones included), so a consumer can tell
     /// whether it has seen the stream from the start — required to mirror
     /// the bounded buffer through `Thinned` events.
-    Snapshot { query: usize, seq: u64, snapshot: Snapshot, windows: Box<[(f64, f64)]> },
+    Snapshot { query: usize, seq: u64, wall: f64, snapshot: Snapshot, windows: Box<[(f64, f64)]> },
     /// The bounded snapshot buffer was thinned: of the snapshots retained
     /// so far, only those at odd positions survive, and the sampling
     /// interval doubles. Consumers mirroring the trace must apply the same
     /// rule to stay aligned with the final [`ObservationTrace`].
     Thinned { query: usize },
     /// The query terminated; `windows` are the final activity windows.
-    Finished { query: usize, windows: Box<[(f64, f64)]>, total_time: f64 },
+    Finished { query: usize, wall: f64, windows: Box<[(f64, f64)]>, total_time: f64 },
 }
 
 impl TraceEvent {
@@ -134,6 +141,16 @@ impl TraceEvent {
             TraceEvent::Snapshot { query, .. }
             | TraceEvent::Thinned { query }
             | TraceEvent::Finished { query, .. } => *query,
+        }
+    }
+
+    /// The wall-clock stamp of this event, if it carries one (`Thinned`
+    /// events mark a buffer transformation, not an observation, and are
+    /// unstamped).
+    pub fn wall(&self) -> Option<f64> {
+        match self {
+            TraceEvent::Snapshot { wall, .. } | TraceEvent::Finished { wall, .. } => Some(*wall),
+            TraceEvent::Thinned { .. } => None,
         }
     }
 }

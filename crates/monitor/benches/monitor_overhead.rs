@@ -95,6 +95,7 @@ fn bench_monitor_ingest(c: &mut Criterion) {
                     monitor.ingest(TraceEvent::Snapshot {
                         query: 0,
                         seq: seq as u64,
+                        wall: s.time,
                         snapshot: s.clone(),
                         windows: vec![(0.5, s.time)].into_boxed_slice(),
                     });
@@ -115,6 +116,7 @@ fn bench_serving(c: &mut Criterion) {
         monitor.ingest(TraceEvent::Snapshot {
             query: 0,
             seq: seq as u64,
+            wall: s.time,
             snapshot: s.clone(),
             windows: vec![(0.5, s.time)].into_boxed_slice(),
         });

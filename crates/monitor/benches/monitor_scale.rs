@@ -100,16 +100,20 @@ fn record_events(catalog: &Catalog<'_>, plan: &PhysicalPlan) -> Vec<TraceEvent> 
 /// identical for every query running the same plan deterministically).
 fn retag(ev: &TraceEvent, query: usize) -> TraceEvent {
     match ev {
-        TraceEvent::Snapshot { seq, snapshot, windows, .. } => TraceEvent::Snapshot {
+        TraceEvent::Snapshot { seq, wall, snapshot, windows, .. } => TraceEvent::Snapshot {
             query,
             seq: *seq,
+            wall: *wall,
             snapshot: snapshot.clone(),
             windows: windows.clone(),
         },
         TraceEvent::Thinned { .. } => TraceEvent::Thinned { query },
-        TraceEvent::Finished { windows, total_time, .. } => {
-            TraceEvent::Finished { query, windows: windows.clone(), total_time: *total_time }
-        }
+        TraceEvent::Finished { wall, windows, total_time, .. } => TraceEvent::Finished {
+            query,
+            wall: *wall,
+            windows: windows.clone(),
+            total_time: *total_time,
+        },
     }
 }
 

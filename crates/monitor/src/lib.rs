@@ -66,15 +66,26 @@
 //! let service = MonitorService::fixed(EstimatorKind::Dne, 4);
 //! service.register(0, plan);
 //! let run = run_plan_tapped(catalog, plan, &ExecConfig::default(), 0, service.tap());
-//! assert_eq!(service.query_progress(0), Some(1.0));
+//! assert_eq!(service.query_progress(0), Ok(1.0));
 //! # let _ = run;
 //! # }
 //! ```
+//!
+//! Both shapes additionally answer the DBA's actual question — *"how much
+//! longer?"* — via [`ProgressMonitor::remaining_time`] /
+//! [`MonitorService::remaining_time`]: tap events carry wall-clock stamps
+//! (from the injectable [`prosel_engine::clock::Clock`]), a per-query
+//! [`SpeedTracker`] measures progress-per-second over a trailing window,
+//! and the served [`Eta`] carries a point estimate plus an
+//! optimistic/conservative interval; [`ProgressMonitor::progress_at_deadline`]
+//! answers the dual bounded-staleness question. See [`eta`] for semantics.
 
+pub mod eta;
 pub mod service;
 pub mod shard;
 
-pub use service::MonitorService;
+pub use eta::{Eta, SpeedTracker};
+pub use service::{MonitorService, QueryError};
 pub use shard::{
     MonitorConfig, PipelineStatus, ProgressMonitor, QueryStatus, RegisterError, SwitchEvent,
 };

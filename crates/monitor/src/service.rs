@@ -18,6 +18,7 @@
 //! channel; they are safe to issue from any number of threads while
 //! ingest is running.
 
+use crate::eta::Eta;
 use crate::shard::{ProgressMonitor, QueryStatus, RegisterError, SwitchEvent};
 use prosel_core::selection::EstimatorSelector;
 use prosel_engine::plan::PhysicalPlan;
@@ -26,6 +27,35 @@ use prosel_estimators::EstimatorKind;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Why a [`MonitorService`] read could not be served.
+///
+/// The two failure modes are operationally different — an unknown query is
+/// the caller's bug (or a completed/unregistered query), a dead shard is a
+/// service-health incident — so the read APIs surface them as distinct
+/// typed values instead of flattening both into `None` (the read-side
+/// mirror of [`RegisterError`]'s non-panicking admission).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query (or the requested pipeline of it) is not registered on
+    /// its owning shard: never registered, already unregistered, or
+    /// dropped after a corrupt/late-joined stream.
+    QueryUnknown(usize),
+    /// The worker thread owning this query's shard is gone (it panicked or
+    /// the service is shutting down).
+    ShardDown,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::QueryUnknown(q) => write!(f, "query {q} is not registered"),
+            QueryError::ShardDown => write!(f, "owning shard worker is gone"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
 
 /// One request to a shard worker. Events and control messages share the
 /// channel, so a query's registration always precedes its events and a
@@ -66,6 +96,15 @@ enum ShardMsg {
         query: usize,
         reply: Sender<Option<Vec<SwitchEvent>>>,
     },
+    RemainingTime {
+        query: usize,
+        reply: Sender<Option<Eta>>,
+    },
+    ProgressAtDeadline {
+        query: usize,
+        deadline: f64,
+        reply: Sender<Option<f64>>,
+    },
     Registered {
         reply: Sender<Vec<usize>>,
     },
@@ -103,6 +142,12 @@ fn run_shard(mut monitor: ProgressMonitor, rx: Receiver<ShardMsg>) {
             }
             ShardMsg::Switches { query, reply } => {
                 let _ = reply.send(monitor.switch_history(query).map(<[SwitchEvent]>::to_vec));
+            }
+            ShardMsg::RemainingTime { query, reply } => {
+                let _ = reply.send(monitor.remaining_time(query));
+            }
+            ShardMsg::ProgressAtDeadline { query, deadline, reply } => {
+                let _ = reply.send(monitor.progress_at_deadline(query, deadline));
             }
             ShardMsg::Registered { reply } => {
                 let _ = reply.send(monitor.registered_queries());
@@ -197,6 +242,17 @@ impl MonitorService {
         rx.recv().ok()
     }
 
+    /// [`Self::ask`] for the read APIs: a dead worker becomes
+    /// [`QueryError::ShardDown`], a shard-side `None` (the query is not in
+    /// its owning shard's state) becomes [`QueryError::QueryUnknown`].
+    fn read<T>(
+        &self,
+        query: usize,
+        msg: impl FnOnce(Sender<Option<T>>) -> ShardMsg,
+    ) -> Result<T, QueryError> {
+        self.ask(query, msg).ok_or(QueryError::ShardDown)?.ok_or(QueryError::QueryUnknown(query))
+    }
+
     /// Register a query with its owning shard **before it runs** (the
     /// [`ProgressMonitor::register`] contract, routed). Blocks until the
     /// shard confirms, so a subsequent tapped run cannot race its own
@@ -281,40 +337,64 @@ impl MonitorService {
 
     /// Estimated progress of `query` in [0, 1] — the
     /// [`ProgressMonitor::query_progress`] contract, served from the
-    /// owning shard. `None` for unregistered queries (or a dead shard).
-    pub fn query_progress(&self, query: usize) -> Option<f64> {
-        self.ask(query, |reply| ShardMsg::Progress { query, reply })?
+    /// owning shard. Unregistered queries and dead shards come back as
+    /// distinct [`QueryError`] values.
+    pub fn query_progress(&self, query: usize) -> Result<f64, QueryError> {
+        self.read(query, |reply| ShardMsg::Progress { query, reply })
     }
 
     /// Latest progress estimate of one pipeline.
-    pub fn pipeline_progress(&self, query: usize, pipeline: usize) -> Option<f64> {
-        self.ask(query, |reply| ShardMsg::PipelineProgress { query, pipeline, reply })?
+    pub fn pipeline_progress(&self, query: usize, pipeline: usize) -> Result<f64, QueryError> {
+        self.read(query, |reply| ShardMsg::PipelineProgress { query, pipeline, reply })
     }
 
     /// Full live status of one query.
-    pub fn status(&self, query: usize) -> Option<QueryStatus> {
-        self.ask(query, |reply| ShardMsg::Status { query, reply })?
+    pub fn status(&self, query: usize) -> Result<QueryStatus, QueryError> {
+        self.read(query, |reply| ShardMsg::Status { query, reply })
     }
 
     /// Has the engine reported this query's termination?
-    pub fn is_finished(&self, query: usize) -> Option<bool> {
-        self.ask(query, |reply| ShardMsg::Finished { query, reply })?
+    pub fn is_finished(&self, query: usize) -> Result<bool, QueryError> {
+        self.read(query, |reply| ShardMsg::Finished { query, reply })
     }
 
     /// The estimator-switch history of a query (owned copy).
-    pub fn switch_history(&self, query: usize) -> Option<Vec<SwitchEvent>> {
-        self.ask(query, |reply| ShardMsg::Switches { query, reply })?
+    pub fn switch_history(&self, query: usize) -> Result<Vec<SwitchEvent>, QueryError> {
+        self.read(query, |reply| ShardMsg::Switches { query, reply })
     }
 
-    /// Queries currently registered across all shards, ascending.
+    /// Wall-clock remaining-time answer for `query` — the
+    /// [`ProgressMonitor::remaining_time`] contract (point + interval ETA
+    /// from the trailing speed window, [`Eta::is_known`]` == false` before
+    /// two speed samples, all-zero once finished), served from the owning
+    /// shard.
+    pub fn remaining_time(&self, query: usize) -> Result<Eta, QueryError> {
+        self.read(query, |reply| ShardMsg::RemainingTime { query, reply })
+    }
+
+    /// Bounded-staleness progress prediction at wall instant `deadline` —
+    /// the [`ProgressMonitor::progress_at_deadline`] contract, served from
+    /// the owning shard.
+    pub fn progress_at_deadline(&self, query: usize, deadline: f64) -> Result<f64, QueryError> {
+        self.read(query, |reply| ShardMsg::ProgressAtDeadline { query, deadline, reply })
+    }
+
+    /// Queries currently registered across all shards, ascending. All
+    /// shards are asked in parallel (send everything, then collect), so
+    /// the wait is the slowest shard's queue drain, not the sum of all.
     pub fn registered_queries(&self) -> Vec<usize> {
+        let pending: Vec<_> = self
+            .shards
+            .iter()
+            .filter_map(|shard| {
+                let (reply, rx) = channel();
+                shard.send(ShardMsg::Registered { reply }).ok().map(|()| rx)
+            })
+            .collect();
         let mut all = Vec::new();
-        for shard in &self.shards {
-            let (reply, rx) = channel();
-            if shard.send(ShardMsg::Registered { reply }).is_ok() {
-                if let Ok(mut qs) = rx.recv() {
-                    all.append(&mut qs);
-                }
+        for rx in pending {
+            if let Ok(mut qs) = rx.recv() {
+                all.append(&mut qs);
             }
         }
         all.sort_unstable();
@@ -368,6 +448,8 @@ mod tests {
         TraceEvent::Snapshot {
             query,
             seq,
+            // Tests stamp wall == virtual time (one tick per second).
+            wall: time,
             snapshot: Snapshot {
                 time,
                 k: vec![k].into_boxed_slice(),
@@ -401,13 +483,16 @@ mod tests {
         assert_eq!(st.pipelines.len(), 1);
         service.ingest(TraceEvent::Finished {
             query: 7,
+            wall: 40.0,
             windows: vec![(1.0, 40.0)].into_boxed_slice(),
             total_time: 40.0,
         });
-        assert_eq!(service.query_progress(7), Some(1.0));
-        assert_eq!(service.is_finished(7), Some(true));
+        assert_eq!(service.query_progress(7), Ok(1.0));
+        assert_eq!(service.is_finished(7), Ok(true));
+        assert_eq!(service.remaining_time(7), Ok(Eta::finished(40.0)));
         service.unregister(7);
-        assert_eq!(service.query_progress(7), None);
+        assert_eq!(service.query_progress(7), Err(QueryError::QueryUnknown(7)));
+        assert_eq!(service.remaining_time(7), Err(QueryError::QueryUnknown(7)));
         service.shutdown();
     }
 
@@ -437,6 +522,28 @@ mod tests {
             }
         }
         assert_eq!(service.registered_queries(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn eta_reads_are_routed_and_typed() {
+        let plan = scan_plan();
+        let service = MonitorService::fixed(EstimatorKind::Dne, 2);
+        service.register(6, &plan);
+        assert!(!service.remaining_time(6).expect("registered").is_known());
+        service.ingest(snapshot_event(6, 0, 10.0, 25));
+        service.ingest(snapshot_event(6, 1, 20.0, 50));
+        let eta = service.remaining_time(6).expect("registered");
+        assert!(eta.is_known());
+        // 0.25 progress per 10 s => 0.025/s; 0.5 left => 20 s, and one
+        // speed sample => interval degenerates onto the point.
+        assert!((eta.remaining - 20.0).abs() < 1e-9);
+        assert_eq!(eta.remaining_lo.to_bits(), eta.remaining.to_bits());
+        assert_eq!(eta.remaining_hi.to_bits(), eta.remaining.to_bits());
+        let p = service.progress_at_deadline(6, 30.0).expect("registered");
+        assert!((p - 0.75).abs() < 1e-9);
+        assert_eq!(service.progress_at_deadline(99, 1.0), Err(QueryError::QueryUnknown(99)));
+        assert_eq!(service.remaining_time(99), Err(QueryError::QueryUnknown(99)));
+        service.shutdown();
     }
 
     #[test]
@@ -477,7 +584,7 @@ mod tests {
                     for i in 0..200usize {
                         // Stride across all queries (and thus all shards).
                         let q = (i * 7 + reader) % n_queries;
-                        if let Some(p) = service.query_progress(q) {
+                        if let Ok(p) = service.query_progress(q) {
                             assert!((0.0..=1.0).contains(&p));
                         }
                     }

@@ -16,6 +16,7 @@
 //! ([`IncrementalObs::offer_shared`]) — O(plan) per snapshot instead of
 //! O(pipelines × plan).
 
+use crate::eta::{Eta, SpeedTracker};
 use prosel_core::features::{dynamic_features, static_features};
 use prosel_core::selection::EstimatorSelector;
 use prosel_engine::plan::PhysicalPlan;
@@ -34,11 +35,15 @@ pub struct MonitorConfig {
     /// dynamic revision, generalized from the single 20%-marker revisit to
     /// a recurring cadence). 0 disables re-selection after registration.
     pub reselect_every: usize,
+    /// Trailing-window size (samples) of the per-query
+    /// [`SpeedTracker`] behind [`ProgressMonitor::remaining_time`] /
+    /// [`ProgressMonitor::progress_at_deadline`]. Clamped to ≥ 2.
+    pub eta_window: usize,
 }
 
 impl Default for MonitorConfig {
     fn default() -> Self {
-        MonitorConfig { reselect_every: 4 }
+        MonitorConfig { reselect_every: 4, eta_window: 32 }
     }
 }
 
@@ -139,6 +144,10 @@ struct QueryState {
     last_time: f64,
     finished: bool,
     switches: Vec<SwitchEvent>,
+    /// Wall-clock speed over the trailing window (ETA serving).
+    eta: SpeedTracker,
+    /// Wall stamp of the latest stamped event seen for this query.
+    last_wall: f64,
 }
 
 /// Long-lived online progress monitor (single-threaded core / one shard of
@@ -262,6 +271,8 @@ impl ProgressMonitor {
                 last_time: 0.0,
                 finished: false,
                 switches: Vec::new(),
+                eta: SpeedTracker::new(self.config.eta_window),
+                last_wall: 0.0,
             },
         );
         Ok(())
@@ -272,8 +283,8 @@ impl ProgressMonitor {
     /// track).
     pub fn ingest(&mut self, ev: TraceEvent) {
         match ev {
-            TraceEvent::Snapshot { query, seq, snapshot, windows } => {
-                self.on_snapshot(query, seq, &snapshot, &windows);
+            TraceEvent::Snapshot { query, seq, wall, snapshot, windows } => {
+                self.on_snapshot(query, seq, wall, &snapshot, &windows);
             }
             TraceEvent::Thinned { query } => {
                 if let Some(qs) = self.queries.get_mut(&query) {
@@ -290,10 +301,21 @@ impl ProgressMonitor {
                     }
                 }
             }
-            TraceEvent::Finished { query, windows, total_time } => {
+            TraceEvent::Finished { query, wall, windows, total_time } => {
                 if let Some(qs) = self.queries.get_mut(&query) {
+                    if qs.finished || windows.len() != qs.pipes.len() {
+                        // Same contract as the snapshot path: a second
+                        // termination means a new stream is reusing this
+                        // id against finalized state, and a window-arity
+                        // mismatch means the engine ran a different plan
+                        // under it — drop the state rather than panic the
+                        // shard (or serve stale answers).
+                        self.queries.remove(&query);
+                        return;
+                    }
                     qs.finished = true;
                     qs.last_time = total_time;
+                    qs.last_wall = qs.last_wall.max(wall);
                     for pipe in &mut qs.pipes {
                         let pid = pipe.obs.pipeline_id();
                         pipe.obs.finalize(windows[pid]);
@@ -303,7 +325,14 @@ impl ProgressMonitor {
         }
     }
 
-    fn on_snapshot(&mut self, query: usize, seq: u64, snapshot: &Snapshot, windows: &[(f64, f64)]) {
+    fn on_snapshot(
+        &mut self,
+        query: usize,
+        seq: u64,
+        wall: f64,
+        snapshot: &Snapshot,
+        windows: &[(f64, f64)],
+    ) {
         let Some(qs) = self.queries.get_mut(&query) else { return };
         if qs.finished
             || seq != qs.serial_next
@@ -355,6 +384,12 @@ impl ProgressMonitor {
                 }
             }
         }
+        // One speed sample per snapshot: the wall stamp against the served
+        // query-level progress. Regressions and frozen clocks are rejected
+        // inside the tracker, so the sample can be offered unconditionally.
+        qs.last_wall = qs.last_wall.max(wall);
+        let progress = Self::progress_of(qs);
+        qs.eta.offer(wall, progress);
     }
 
     /// Drain every event currently queued on `rx` (non-blocking). Returns
@@ -394,6 +429,32 @@ impl ProgressMonitor {
             }
         }
         (acc / qs.total_weight).clamp(0.0, 1.0)
+    }
+
+    /// Wall-clock remaining-time answer for `query` — point + interval ETA
+    /// from the trailing speed window (see [`crate::eta`] for semantics).
+    /// `None` for unregistered queries; an [`Eta`] with
+    /// [`Eta::is_known`]` == false` while fewer than two speed samples
+    /// exist; the all-zero [`Eta`] once the engine reported termination.
+    pub fn remaining_time(&self, query: usize) -> Option<Eta> {
+        let qs = self.queries.get(&query)?;
+        if qs.finished {
+            return Some(Eta::finished(qs.last_wall));
+        }
+        Some(qs.eta.estimate())
+    }
+
+    /// Bounded-staleness progress: the progress fraction this query is
+    /// predicted to have reached at wall instant `deadline` (same clock
+    /// epoch as the trace events), extrapolating the latest sample forward
+    /// at the trailing-window speed, clamped to [0, 1]. `None` for
+    /// unregistered queries; exactly 1.0 once finished.
+    pub fn progress_at_deadline(&self, query: usize, deadline: f64) -> Option<f64> {
+        let qs = self.queries.get(&query)?;
+        if qs.finished {
+            return Some(1.0);
+        }
+        Some(qs.eta.progress_at(deadline))
     }
 
     /// Latest progress estimate of one pipeline (1.0 once the query
@@ -503,6 +564,8 @@ mod tests {
         TraceEvent::Snapshot {
             query,
             seq,
+            // Tests stamp wall == virtual time (one tick per second).
+            wall: time,
             snapshot: Snapshot {
                 time,
                 k: vec![k].into_boxed_slice(),
@@ -536,6 +599,7 @@ mod tests {
         assert!((monitor.query_progress(7).unwrap() - 0.25).abs() < 1e-12);
         monitor.ingest(TraceEvent::Finished {
             query: 7,
+            wall: 40.0,
             windows: vec![(1.0, 40.0)].into_boxed_slice(),
             total_time: 40.0,
         });
@@ -554,6 +618,7 @@ mod tests {
         monitor.register(9, &plan);
         monitor.ingest(TraceEvent::Finished {
             query: 9,
+            wall: 5.0,
             windows: vec![(1.0, 5.0)].into_boxed_slice(),
             total_time: 5.0,
         });
@@ -564,11 +629,74 @@ mod tests {
         monitor.register(9, &plan);
         monitor.ingest(TraceEvent::Finished {
             query: 9,
+            wall: 5.0,
             windows: vec![(1.0, 5.0)].into_boxed_slice(),
             total_time: 5.0,
         });
         monitor.ingest(TraceEvent::Thinned { query: 9 });
         assert_eq!(monitor.query_progress(9), None);
+    }
+
+    #[test]
+    fn corrupt_or_repeated_finished_drops_the_query_instead_of_panicking() {
+        let plan = scan_plan();
+        // A Finished event whose window arity does not match the
+        // registered plan means a different plan ran under this id — it
+        // must drop the state, not index out of bounds (which would kill
+        // a whole service shard).
+        let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+        monitor.register(4, &plan);
+        monitor.ingest(TraceEvent::Finished {
+            query: 4,
+            wall: 5.0,
+            windows: Box::new([]),
+            total_time: 5.0,
+        });
+        assert_eq!(monitor.query_progress(4), None, "mismatched plan must be dropped");
+        // A second Finished for an already-finished query is a new stream
+        // reusing the id against finalized state: drop, like the
+        // snapshot/thinning paths.
+        monitor.register(4, &plan);
+        let finished = TraceEvent::Finished {
+            query: 4,
+            wall: 5.0,
+            windows: vec![(1.0, 5.0)].into_boxed_slice(),
+            total_time: 5.0,
+        };
+        monitor.ingest(finished.clone());
+        assert_eq!(monitor.query_progress(4), Some(1.0));
+        monitor.ingest(finished);
+        assert_eq!(monitor.query_progress(4), None, "stale finished state must be dropped");
+    }
+
+    #[test]
+    fn remaining_time_converges_and_pins_to_zero() {
+        let plan = scan_plan();
+        let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+        assert_eq!(monitor.remaining_time(0), None, "unregistered");
+        monitor.register(0, &plan);
+        let eta = monitor.remaining_time(0).expect("registered");
+        assert!(!eta.is_known(), "no samples yet");
+        assert_eq!(monitor.progress_at_deadline(0, 50.0), Some(0.0));
+        // 10 rows of the 100-row scan per time unit, wall == virtual time.
+        monitor.ingest(snapshot_event(0, 0, 1.0, 10));
+        monitor.ingest(snapshot_event(0, 1, 2.0, 20));
+        let eta = monitor.remaining_time(0).expect("registered");
+        assert!(eta.is_known());
+        // Speed 0.1/s, 0.8 left => 8 s from as_of == 2.0.
+        assert!((eta.remaining - 8.0).abs() < 1e-9, "got {}", eta.remaining);
+        assert!(eta.remaining_lo <= eta.remaining && eta.remaining <= eta.remaining_hi);
+        assert!((monitor.progress_at_deadline(0, 7.0).unwrap() - 0.7).abs() < 1e-9);
+        assert_eq!(monitor.progress_at_deadline(0, 1000.0), Some(1.0));
+        monitor.ingest(TraceEvent::Finished {
+            query: 0,
+            wall: 10.0,
+            windows: vec![(1.0, 10.0)].into_boxed_slice(),
+            total_time: 10.0,
+        });
+        let eta = monitor.remaining_time(0).expect("registered");
+        assert_eq!((eta.remaining, eta.progress, eta.as_of), (0.0, 1.0, 10.0));
+        assert_eq!(monitor.progress_at_deadline(0, 0.0), Some(1.0));
     }
 
     #[test]

@@ -65,15 +65,25 @@ fn main() {
         // Main thread = one of arbitrarily many concurrent readers.
         loop {
             std::thread::sleep(Duration::from_millis(40));
-            let progress: Vec<f64> =
-                (0..n_queries).map(|qi| service.query_progress(qi).unwrap_or(0.0)).collect();
-            let line: Vec<String> = progress
-                .iter()
-                .enumerate()
-                .map(|(qi, p)| format!("q{qi} {} {:3.0}%", bar(*p), p * 100.0))
+            let line: Vec<String> = (0..n_queries)
+                .map(|qi| {
+                    let p = service.query_progress(qi).unwrap_or(0.0);
+                    // Remaining-time answers ride the same routed reads;
+                    // the interval is the min/max trailing speed.
+                    let eta = match service.remaining_time(qi) {
+                        Ok(e) if e.is_known() => format!(
+                            "{:4.0}ms [{:.0},{:.0}]",
+                            e.remaining * 1e3,
+                            e.remaining_lo * 1e3,
+                            e.remaining_hi * 1e3
+                        ),
+                        _ => "   ?ms".to_string(),
+                    };
+                    format!("q{qi} {} {:3.0}% eta{eta}", bar(p), p * 100.0)
+                })
                 .collect();
             println!("{}", line.join("  "));
-            if (0..n_queries).all(|qi| service.is_finished(qi) == Some(true)) {
+            if (0..n_queries).all(|qi| service.is_finished(qi) == Ok(true)) {
                 break;
             }
         }

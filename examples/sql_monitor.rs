@@ -89,7 +89,13 @@ fn main() {
                 let line: Vec<String> = (0..n_queries)
                     .map(|qi| {
                         let p = monitor.query_progress(qi).unwrap_or(0.0);
-                        format!("q{qi} {} {:3.0}%", bar(p), p * 100.0)
+                        // Wall-clock ETA from the trailing speed window
+                        // (SystemClock stamps, so real milliseconds here).
+                        let eta = match monitor.remaining_time(qi) {
+                            Some(e) if e.is_known() => format!("{:5.1}ms", e.remaining * 1e3),
+                            _ => "    ?ms".to_string(),
+                        };
+                        format!("q{qi} {} {:3.0}% eta{eta}", bar(p), p * 100.0)
                     })
                     .collect();
                 println!(
@@ -105,6 +111,8 @@ fn main() {
         for (qi, run) in runs.iter().enumerate() {
             let st = monitor.status(qi).expect("registered");
             assert!(st.finished && st.progress == 1.0);
+            let eta = monitor.remaining_time(qi).expect("registered");
+            assert!(eta.is_known() && eta.remaining == 0.0, "terminal ETA pins to zero");
             let switches = monitor.switch_history(qi).expect("registered");
             println!(
                 "  q{qi}: {} rows, {} pipelines, {} estimator switch(es){}",

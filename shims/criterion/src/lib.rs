@@ -9,8 +9,19 @@
 //! closure a bounded number of times and print mean wall-clock per
 //! iteration. There is no statistical analysis, warm-up tuning, or HTML
 //! report — swap in the real crate for that.
+//!
+//! Two environment hooks feed the repo's perf-trajectory CI:
+//!
+//! * `PROSEL_BENCH_JSON=<path>` — append one JSON line per timed bench
+//!   (`{"name":…,"mean_ns":…,"iters":…}`) to `<path>`; the
+//!   `bench_report` bin of `prosel-bench` folds these into the
+//!   `BENCH_<sha>.json` trajectory artifact.
+//! * `PROSEL_BENCH_QUICK=<n>` — clamp every bench to at most `n` timed
+//!   iterations (the CI "quick profile"; per-bench `sample_size` calls
+//!   cannot raise it back).
 
 use std::fmt;
+use std::io::Write as _;
 use std::time::Instant;
 
 pub use std::hint::black_box;
@@ -50,9 +61,48 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// The CI quick-profile clamp: `min(requested, $PROSEL_BENCH_QUICK)`.
+fn effective_samples(requested: usize) -> usize {
+    match std::env::var("PROSEL_BENCH_QUICK").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(q) => requested.min(q.max(1)),
+        None => requested,
+    }
+}
+
+/// One machine-readable sample as a JSON line (JSONL record).
+fn sample_line(name: &str, mean_ns: f64, iters: usize) -> String {
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect();
+    format!("{{\"name\":\"{escaped}\",\"mean_ns\":{mean_ns},\"iters\":{iters}}}\n")
+}
+
+/// Append one machine-readable sample line to `$PROSEL_BENCH_JSON`, if
+/// set. Failures to write are reported but never fail the bench.
+fn report_sample(name: &str, mean_ns: f64, iters: usize) {
+    let Ok(path) = std::env::var("PROSEL_BENCH_JSON") else { return };
+    let line = sample_line(name, mean_ns, iters);
+    let write = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = write {
+        eprintln!("criterion shim: cannot append to {path}: {e}");
+    }
+}
+
 /// Timing loop handle passed to bench closures.
 pub struct Bencher {
     samples: usize,
+    /// Fully qualified bench name (`group/function/param`), carried so the
+    /// timing loop can attribute its JSON sample line.
+    name: String,
 }
 
 impl Bencher {
@@ -63,8 +113,10 @@ impl Bencher {
         for _ in 0..self.samples {
             black_box(f());
         }
-        let per_iter = start.elapsed() / self.samples as u32;
+        let elapsed = start.elapsed();
+        let per_iter = elapsed / self.samples as u32;
         println!("    {:>12?} /iter ({} iters)", per_iter, self.samples);
+        report_sample(&self.name, elapsed.as_nanos() as f64 / self.samples as f64, self.samples);
     }
 }
 
@@ -89,8 +141,9 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        println!("bench: {}", id.into().id);
-        let mut b = Bencher { samples: self.sample_size };
+        let name = id.into().id;
+        println!("bench: {name}");
+        let mut b = Bencher { samples: effective_samples(self.sample_size), name };
         f(&mut b);
         self
     }
@@ -122,9 +175,10 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        println!("bench: {}/{}", self.name, id.into().id);
+        let name = format!("{}/{}", self.name, id.into().id);
+        println!("bench: {name}");
         let samples = self.sample_size.unwrap_or(self.parent.sample_size);
-        let mut b = Bencher { samples };
+        let mut b = Bencher { samples: effective_samples(samples), name };
         f(&mut b);
         self
     }
@@ -138,9 +192,10 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        println!("bench: {}/{}", self.name, id.into().id);
+        let name = format!("{}/{}", self.name, id.into().id);
+        println!("bench: {name}");
         let samples = self.sample_size.unwrap_or(self.parent.sample_size);
-        let mut b = Bencher { samples };
+        let mut b = Bencher { samples: effective_samples(samples), name };
         f(&mut b, input);
         self
     }
@@ -172,6 +227,14 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sample_lines_are_valid_jsonl() {
+        let line = sample_line("group/fn/3", 1234.5, 10);
+        assert_eq!(line, "{\"name\":\"group/fn/3\",\"mean_ns\":1234.5,\"iters\":10}\n");
+        let line = sample_line("we\"ird\\name\n", 1.0, 1);
+        assert!(line.contains("we\\\"ird\\\\name "), "escaped: {line}");
+    }
 
     #[test]
     fn group_and_function_run() {

@@ -20,7 +20,7 @@
 //! | [`estimators`] | `prosel-estimators` | DNE, TGN, LUO, PMAX, SAFE, BATCHDNE, DNESEEK, TGNINT + oracle models |
 //! | [`mart`] | `prosel-mart` | stochastic gradient-boosted regression trees |
 //! | [`core`] | `prosel-core` | feature extraction, estimator-selection models, end-to-end progress monitor |
-//! | [`monitor`] | `prosel-monitor` | **online** monitor: live traces in, incremental estimation + dynamic re-selection out |
+//! | [`monitor`] | `prosel-monitor` | **online** monitor: live traces in, incremental estimation + dynamic re-selection out, wall-clock ETA (`remaining_time` / `progress_at_deadline`) |
 //!
 //! ## Quickstart
 //!

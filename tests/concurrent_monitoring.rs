@@ -7,8 +7,8 @@ use prosel::core::pipeline_runs::{collect_from_workload, records_from_run, Colle
 use prosel::core::selection::{EstimatorSelector, SelectorConfig};
 use prosel::core::training::TrainingSet;
 use prosel::engine::{
-    run_concurrent, run_concurrent_tapped, Catalog, ConcurrentConfig, ExecConfig, QueryRun,
-    TraceEvent,
+    run_concurrent, run_concurrent_tapped, Catalog, ConcurrentConfig, ExecConfig, ManualClock,
+    QueryRun, TraceEvent,
 };
 use prosel::estimators::{EstimatorKind, PipelineObs};
 use prosel::mart::BoostParams;
@@ -101,12 +101,25 @@ fn monitored_concurrent_execution_is_deterministic_and_nonintrusive() {
     let catalog = Catalog::new(&w.db, &w.design);
     let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
     let plans: Vec<_> = w.queries.iter().take(5).map(|q| builder.build(q).expect("plan")).collect();
-    let cfg = ConcurrentConfig::default();
+    // A fresh manual wall clock per run makes the event streams (wall
+    // stamps included) byte-comparable across runs; execution itself
+    // never reads it.
+    let make_cfg = || ConcurrentConfig {
+        exec: ExecConfig {
+            wall_clock: std::sync::Arc::new(ManualClock::stepping(0.0, 1e-3)),
+            ..ExecConfig::default()
+        },
+        ..ConcurrentConfig::default()
+    };
+    let cfg = make_cfg();
 
     let run_monitored = || -> (Vec<QueryRun>, Vec<TraceEvent>, Vec<Vec<SwitchEvent>>, Vec<f64>) {
+        let cfg = make_cfg();
         let selector = EstimatorSelector::from_text(&selector_text).expect("selector");
-        let mut monitor =
-            ProgressMonitor::with_selector(selector, MonitorConfig { reselect_every: 3 });
+        let mut monitor = ProgressMonitor::with_selector(
+            selector,
+            MonitorConfig { reselect_every: 3, ..MonitorConfig::default() },
+        );
         for (qi, plan) in plans.iter().enumerate() {
             monitor.register(qi, plan);
         }

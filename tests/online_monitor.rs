@@ -175,7 +175,10 @@ fn selector_driven_monitor_end_to_end() {
     let plans: Vec<_> = w.queries.iter().take(6).map(|q| builder.build(q).expect("plan")).collect();
 
     let (tap, rx) = std::sync::mpsc::channel();
-    let mut monitor = ProgressMonitor::with_selector(selector, MonitorConfig { reselect_every: 3 });
+    let mut monitor = ProgressMonitor::with_selector(
+        selector,
+        MonitorConfig { reselect_every: 3, ..MonitorConfig::default() },
+    );
     for (qi, plan) in plans.iter().enumerate() {
         monitor.register(qi, plan);
     }

@@ -9,7 +9,7 @@ use prosel::core::training::TrainingSet;
 use prosel::engine::{run_concurrent_tapped, Catalog, ConcurrentConfig, ExecConfig};
 use prosel::estimators::kinds::EstimatorKind;
 use prosel::mart::BoostParams;
-use prosel::monitor::{MonitorConfig, MonitorService, ProgressMonitor, RegisterError};
+use prosel::monitor::{MonitorConfig, MonitorService, ProgressMonitor, QueryError, RegisterError};
 use prosel::planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use prosel::planner::PlanBuilder;
 
@@ -58,7 +58,7 @@ fn service_matches_single_monitor_on_concurrent_workload() {
         }
         for pid in 0..run.pipelines.len() {
             assert_eq!(
-                service.pipeline_progress(qi, pid).map(f64::to_bits),
+                service.pipeline_progress(qi, pid).ok().map(f64::to_bits),
                 reference.pipeline_progress(qi, pid).map(f64::to_bits),
                 "q{qi} p{pid} pipeline progress"
             );
@@ -86,7 +86,7 @@ fn selector_service_matches_single_monitor_including_switches() {
         exec: ExecConfig { seed: 0xD1CE, ..ExecConfig::default() },
         ..Default::default()
     };
-    let monitor_cfg = MonitorConfig { reselect_every: 3 };
+    let monitor_cfg = MonitorConfig { reselect_every: 3, ..MonitorConfig::default() };
 
     let service = MonitorService::with_selector(
         EstimatorSelector::train(&train, &cfg),
@@ -147,7 +147,7 @@ fn service_registration_errors_and_late_join_are_graceful() {
         service.tap(),
     );
     assert!(runs.trace.snapshots.len() > 1);
-    assert_eq!(service.query_progress(late), None);
+    assert_eq!(service.query_progress(late), Err(QueryError::QueryUnknown(late)));
     service.register(late, &plan);
     let _ = prosel::engine::run_plan_tapped(
         &catalog,
@@ -158,6 +158,6 @@ fn service_registration_errors_and_late_join_are_graceful() {
     );
     // The second stream also starts at seq 0 relative to the engine run,
     // which the shard accepts as a fresh stream for the new registration.
-    assert_eq!(service.query_progress(late), Some(1.0));
+    assert_eq!(service.query_progress(late), Ok(1.0));
     service.shutdown();
 }
