@@ -12,6 +12,7 @@ pub mod eta;
 pub mod fig1;
 pub mod importance;
 pub mod multiquery;
+pub mod online_learning;
 pub mod refinement;
 pub mod sensitivity;
 pub mod table1;
@@ -43,6 +44,7 @@ pub const ALL: &[&str] = &[
     "ablate-refinement",
     "multiquery",
     "eta-accuracy",
+    "online-learning",
 ];
 
 /// Dispatch one experiment by name.
@@ -66,6 +68,7 @@ pub fn run_one(name: &str, suite: &mut Suite, scale: ExpScale) -> Option<String>
         "ablate-refinement" => refinement::run(suite, scale),
         "multiquery" => multiquery::run(suite, scale),
         "eta-accuracy" | "eta_accuracy" => eta::run(suite, scale),
+        "online-learning" | "online_learning" => online_learning::run(suite, scale),
         _ => return None,
     };
     Some(out)

@@ -112,6 +112,27 @@ pub fn parse_bench_jsonl(text: &str) -> Vec<BenchEntry> {
         .collect()
 }
 
+/// Append one experiment *metric* sample to the `PROSEL_BENCH_JSON`
+/// stream (same JSONL shape as the criterion shim's timing samples, with
+/// the metric value carried in the `mean_ns` field and `iters` 1), so
+/// experiment-level quality metrics — e.g. the online-learning
+/// experiment's held-out selection L1 — ride the same `BENCH_<sha>.json`
+/// trajectory as the timing benches. No-op when the variable is unset;
+/// write failures are reported but never fail the experiment.
+pub fn append_metric_sample(name: &str, value: f64) {
+    use std::io::Write as _;
+    let Ok(path) = std::env::var("PROSEL_BENCH_JSON") else { return };
+    let line = format!("{{\"name\":\"{}\",\"mean_ns\":{value},\"iters\":1}}\n", json_escape(name));
+    let write = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = write {
+        eprintln!("append_metric_sample: cannot append to {path}: {e}");
+    }
+}
+
 /// Fold repeated samples of the same bench into one entry
 /// (iteration-weighted mean), sorted by name — the canonical entry list
 /// for [`bench_trajectory_json`].

@@ -27,7 +27,14 @@ pub fn extract(run: &QueryRun, pid: usize) -> Vec<f32> {
 /// exists (paper §4.3: static features are computable from the plan and
 /// optimizer estimates).
 pub fn extract_parts(plan: &PhysicalPlan, pipelines: &[Pipeline], pid: usize) -> Vec<f32> {
-    let pipeline = &pipelines[pid];
+    extract_pipeline(plan, &pipelines[pid])
+}
+
+/// [`extract_parts`] for a single pipeline the caller already holds — the
+/// form the online *harvest* path uses (the monitor retains each pipeline
+/// inside its observation state, not the full decomposition). All three
+/// entry points compute the identical vector.
+pub fn extract_pipeline(plan: &PhysicalPlan, pipeline: &Pipeline) -> Vec<f32> {
     let nodes = &pipeline.nodes;
     let in_pipe = |n: usize| pipeline.contains(n);
 

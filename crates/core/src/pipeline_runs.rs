@@ -5,18 +5,26 @@
 //! observed L1/L2 error of every candidate estimator.
 
 use crate::features;
-use prosel_engine::plan::OperatorKind;
-use prosel_engine::{run_plan, Catalog, ExecConfig, QueryRun};
-use prosel_estimators::{l1_error, l2_error, EstimatorKind, PipelineObs, TraceCtx};
+use prosel_engine::plan::{OperatorKind, PhysicalPlan};
+use prosel_engine::{run_plan, Catalog, ExecConfig, Pipeline, QueryRun};
+use prosel_estimators::{
+    l1_error, l2_error, EstimatorKind, IncrementalObs, ObsView, PipelineObs, TraceCtx,
+};
 use prosel_planner::workload::{materialize, Workload, WorkloadSpec};
 use prosel_planner::PlanBuilder;
 
 /// Structural fingerprint of one pipeline of a run.
 pub fn pipeline_fingerprint(run: &QueryRun, pid: usize) -> String {
+    fingerprint_parts(&run.plan, &run.pipelines[pid])
+}
+
+/// [`pipeline_fingerprint`] from the plan and pipeline alone — the form
+/// the online harvest path uses (no completed [`QueryRun`] in hand).
+pub fn fingerprint_parts(plan: &PhysicalPlan, pipeline: &Pipeline) -> String {
     let mut ops = String::new();
     let mut tables: Vec<&str> = Vec::new();
-    for &n in &run.pipelines[pid].nodes {
-        let op = &run.plan.node(n).op;
+    for &n in &pipeline.nodes {
+        let op = &plan.node(n).op;
         if !ops.is_empty() {
             ops.push('-');
         }
@@ -96,6 +104,35 @@ impl Default for CollectConfig {
     }
 }
 
+/// Candidate + oracle error labels of one observation sequence against its
+/// truth curve. Generic over [`ObsView`] so the batch path
+/// ([`PipelineObs`]) and the online harvest path ([`IncrementalObs`])
+/// run the identical accumulation — their label bit-identity reduces to
+/// curve bit-identity, which the incremental protocol guarantees.
+#[allow(clippy::type_complexity)]
+fn errors_against_truth(
+    obs: &impl ObsView,
+    truth: &[f64],
+) -> (Vec<f32>, Vec<f32>, [f32; 2], [f32; 2]) {
+    let mut errors_l1 = Vec::with_capacity(EstimatorKind::CANDIDATES.len());
+    let mut errors_l2 = Vec::with_capacity(EstimatorKind::CANDIDATES.len());
+    for kind in EstimatorKind::CANDIDATES {
+        let curve = obs.curve(kind);
+        errors_l1.push(l1_error(&curve, truth) as f32);
+        errors_l2.push(l2_error(&curve, truth) as f32);
+    }
+    let mut oracle_l1 = [0.0f32; 2];
+    let mut oracle_l2 = [0.0f32; 2];
+    for (i, kind) in
+        [EstimatorKind::GetNextOracle, EstimatorKind::BytesOracle].into_iter().enumerate()
+    {
+        let curve = obs.curve(kind);
+        oracle_l1[i] = l1_error(&curve, truth) as f32;
+        oracle_l2[i] = l2_error(&curve, truth) as f32;
+    }
+    (errors_l1, errors_l2, oracle_l1, oracle_l2)
+}
+
 /// Execute one query run and append its pipeline records.
 pub fn records_from_run(
     run: &QueryRun,
@@ -112,22 +149,7 @@ pub fn records_from_run(
             continue;
         }
         let truth = obs.truth();
-        let mut errors_l1 = Vec::with_capacity(EstimatorKind::CANDIDATES.len());
-        let mut errors_l2 = Vec::with_capacity(EstimatorKind::CANDIDATES.len());
-        for kind in EstimatorKind::CANDIDATES {
-            let curve = obs.curve(kind);
-            errors_l1.push(l1_error(&curve, &truth) as f32);
-            errors_l2.push(l2_error(&curve, &truth) as f32);
-        }
-        let mut oracle_l1 = [0.0f32; 2];
-        let mut oracle_l2 = [0.0f32; 2];
-        for (i, kind) in
-            [EstimatorKind::GetNextOracle, EstimatorKind::BytesOracle].into_iter().enumerate()
-        {
-            let curve = obs.curve(kind);
-            oracle_l1[i] = l1_error(&curve, &truth) as f32;
-            oracle_l2[i] = l2_error(&curve, &truth) as f32;
-        }
+        let (errors_l1, errors_l2, oracle_l1, oracle_l2) = errors_against_truth(&obs, &truth);
         out.push(PipelineRecord {
             workload: workload.to_string(),
             query_idx,
@@ -143,6 +165,58 @@ pub fn records_from_run(
             oracle_l2,
         });
     }
+}
+
+/// One labelled record harvested from a *finalized* online observation
+/// state — the monitor's feedback path (ROADMAP: "mining the logged
+/// switch points into training records"). Produces exactly what
+/// [`records_from_run`] would extract for the same pipeline of the same
+/// execution — features and labels **bit-identical** to the batch path
+/// (`tests/harvest_equivalence.rs` pins this contract) — because every
+/// ingredient is shared: static features come from the same
+/// plan-and-pipeline extraction, dynamic features from the same
+/// [`ObsView`] definitions, truth and totals from the finalized
+/// incremental state (bit-identical to the batch trace by the incremental
+/// protocol), and error accumulation from the same private helper.
+///
+/// `weight` is the pipeline's eq. (5) weight (the monitor holds it from
+/// registration). Returns `None` when the pipeline committed fewer than
+/// `min_observations` observations — the batch skip rule.
+///
+/// # Panics
+/// Panics if `obs` is not finalized (labels need the final window).
+pub fn record_from_online(
+    plan: &PhysicalPlan,
+    obs: &IncrementalObs,
+    workload: &str,
+    query_idx: usize,
+    weight: f64,
+    min_observations: usize,
+) -> Option<PipelineRecord> {
+    assert!(obs.finalized(), "harvest needs a finalized observation state");
+    if obs.is_empty() || obs.len() < min_observations {
+        return None;
+    }
+    let pipeline = obs.pipeline();
+    let mut feats = features::static_features::extract_pipeline(plan, pipeline);
+    feats.extend(features::dynamic_features::extract(obs));
+    debug_assert_eq!(feats.len(), features::FeatureSchema::get().len());
+    let truth = obs.truth();
+    let (errors_l1, errors_l2, oracle_l1, oracle_l2) = errors_against_truth(obs, &truth);
+    Some(PipelineRecord {
+        workload: workload.to_string(),
+        query_idx,
+        pipeline_id: obs.pipeline_id(),
+        features: feats,
+        errors_l1,
+        errors_l2,
+        total_getnext: obs.total_getnext(),
+        weight,
+        n_obs: obs.len(),
+        fingerprint: fingerprint_parts(plan, pipeline),
+        oracle_l1,
+        oracle_l2,
+    })
 }
 
 /// Execute every query of a materialized workload and collect records.

@@ -74,6 +74,36 @@ impl EstimatorSelector {
         EstimatorSelector { config: config.clone(), models }
     }
 
+    /// Warm-start retraining — the online-feedback path. Continues
+    /// boosting each candidate's error model on `train` (up to `extra`
+    /// additional trees fit to the existing ensemble's residuals via
+    /// [`Mart::warm_start`]) instead of refitting from scratch, so a
+    /// feedback round costs `extra` trees per model rather than a full
+    /// `M`-iteration rebuild, and the knowledge already distilled into the
+    /// base ensemble is kept. `seed` varies the subsample stream per
+    /// feedback round; per-model seeds are derived from it the same way
+    /// [`EstimatorSelector::train`] derives them from the config seed.
+    pub fn retrain_from(
+        base: &EstimatorSelector,
+        train: &TrainingSet,
+        extra: usize,
+        seed: u64,
+    ) -> EstimatorSelector {
+        assert!(!train.is_empty(), "cannot retrain a selector on zero pipelines");
+        let config = base.config.clone();
+        let models = base
+            .models
+            .iter()
+            .map(|(kind, model)| {
+                let data = train.dataset_for(*kind, config.mode);
+                let mut params = config.boost.clone();
+                params.seed = seed ^ (kind.candidate_index().unwrap_or(0) as u64 + 1);
+                (*kind, Mart::warm_start(model, &data, &params, extra))
+            })
+            .collect();
+        EstimatorSelector { config, models }
+    }
+
     pub fn config(&self) -> &SelectorConfig {
         &self.config
     }
@@ -161,8 +191,17 @@ impl EstimatorSelector {
         };
         let candidates: Vec<EstimatorKind> =
             names.split(',').map(kind_by_name).collect::<Result<_, _>>()?;
+        for (i, k) in candidates.iter().enumerate() {
+            if candidates[..i].contains(k) {
+                return Err(format!("duplicate candidate {k}"));
+            }
+        }
 
-        let mut models = Vec::new();
+        // Strict section parsing: the trainer persists and reloads
+        // selectors, so a torn, concatenated or duplicated blob must fail
+        // loudly instead of silently yielding a model that scores with
+        // whichever section happened to parse first.
+        let mut models: Vec<(EstimatorKind, prosel_mart::Mart)> = Vec::new();
         while let Some(line) = lines.next() {
             let Some(name) = line.strip_prefix("model ") else {
                 if line.trim().is_empty() {
@@ -171,13 +210,24 @@ impl EstimatorSelector {
                 return Err(format!("unexpected line: {line}"));
             };
             let kind = kind_by_name(name.trim())?;
+            if !candidates.contains(&kind) {
+                return Err(format!("model {kind} is not in the candidates list"));
+            }
+            if models.iter().any(|(k, _)| *k == kind) {
+                return Err(format!("duplicate model section for {kind}"));
+            }
             let mut blob = String::new();
+            let mut terminated = false;
             for l in lines.by_ref() {
                 if l.trim() == "endmodel" {
+                    terminated = true;
                     break;
                 }
                 blob.push_str(l);
                 blob.push('\n');
+            }
+            if !terminated {
+                return Err(format!("model {kind} is missing its endmodel terminator"));
             }
             models.push((kind, prosel_mart::model_io::from_str(&blob)?));
         }
@@ -330,6 +380,66 @@ mod tests {
             assert_eq!(sel.select(&r.features), back.select(&r.features));
         }
         assert!(EstimatorSelector::from_text("junk").is_err());
+    }
+
+    #[test]
+    fn from_text_rejects_malformed_blobs() {
+        let records = synthetic_records(80);
+        let ts = TrainingSet::from_records(&records);
+        let cfg = SelectorConfig {
+            candidates: vec![EstimatorKind::Dne, EstimatorKind::Tgn],
+            mode: FeatureMode::StaticDynamic,
+            boost: BoostParams::fast(),
+        };
+        let sel = EstimatorSelector::train(&ts, &cfg);
+        let text = sel.to_text();
+
+        // Trailing garbage after the last model must not parse.
+        assert!(EstimatorSelector::from_text(&format!("{text}stray line\n")).is_err());
+        // Two selectors concatenated must not parse as the first one.
+        assert!(EstimatorSelector::from_text(&format!("{text}{text}")).is_err());
+        // A duplicated model section must be rejected, not shadowed.
+        let first_model = {
+            let start = text.find("model ").unwrap();
+            let end = text[start..].find("endmodel\n").unwrap() + start + "endmodel\n".len();
+            text[start..end].to_string()
+        };
+        assert!(EstimatorSelector::from_text(&format!("{text}{first_model}")).is_err());
+        // A model for an estimator outside the candidates list is refused.
+        let alien = first_model.replacen("model DNE", "model LUO", 1);
+        let swapped = text.replacen(&first_model, &alien, 1);
+        assert!(EstimatorSelector::from_text(&swapped).is_err());
+        // Truncation (missing endmodel) is refused.
+        let truncated = text.rfind("endmodel").map(|i| &text[..i]).unwrap();
+        assert!(EstimatorSelector::from_text(truncated).is_err());
+        // Duplicate candidates are refused.
+        let dup = text.replacen("candidates DNE,TGN", "candidates DNE,DNE", 1);
+        assert!(EstimatorSelector::from_text(&dup).is_err());
+    }
+
+    #[test]
+    fn warm_retrain_improves_on_fresh_evidence_deterministically() {
+        // Base selector trained on a slice where feature 0 separates
+        // DNE/TGN; feedback re-teaches the same rule with more data.
+        let records = synthetic_records(400);
+        let base_set = TrainingSet::from_records(&records[..40]);
+        let cfg = SelectorConfig {
+            candidates: vec![EstimatorKind::Dne, EstimatorKind::Tgn],
+            mode: FeatureMode::StaticDynamic,
+            boost: BoostParams { iterations: 10, ..BoostParams::fast() },
+        };
+        let base = EstimatorSelector::train(&base_set, &cfg);
+        let feedback = TrainingSet::from_records(&records[40..320]);
+        let held = TrainingSet::from_records(&records[320..]);
+        let a = EstimatorSelector::retrain_from(&base, &feedback, 40, 0xFEED);
+        let b = EstimatorSelector::retrain_from(&base, &feedback, 40, 0xFEED);
+        for r in held.records.iter().take(20) {
+            assert_eq!(a.select(&r.features), b.select(&r.features), "determinism");
+        }
+        assert!(
+            a.evaluate(&held).chosen_l1 <= base.evaluate(&held).chosen_l1,
+            "warm retrain must not be worse on held-out data here"
+        );
     }
 
     #[test]

@@ -77,6 +77,9 @@ struct ObsEntry {
     serial: u64,
     time: f64,
     sum_k: f64,
+    /// Σ K over the pipeline's nodes in integer precision (the harvest
+    /// path's `total_getnext`; `sum_k` is its f64 shadow).
+    k_u64: u64,
     sum_e_clamped: f64,
     work_lb: f64,
     work_ub: f64,
@@ -162,6 +165,13 @@ impl IncrementalObs {
         self.pipeline.id
     }
 
+    /// The pipeline this state observes (the clone captured at
+    /// construction — what the harvest path feeds to static-feature and
+    /// fingerprint extraction).
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
     /// Number of *committed* observations.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -193,6 +203,45 @@ impl IncrementalObs {
     /// Fraction of driver input consumed at each committed observation.
     pub fn driver_fraction(&self) -> &[f64] {
         &self.alpha_curve
+    }
+
+    /// Total true GetNext calls of this pipeline's nodes — the batch
+    /// [`PipelineObs::total_getnext`](crate::pipeline_obs::PipelineObs::total_getnext)
+    /// quantity, recovered online: the last committed observation lies at
+    /// or past the pipeline's activity-window end, where the pipeline's
+    /// counters are frozen at their final values (the same argument that
+    /// makes the committed GetNextOracle curve exact). Summed in integer
+    /// precision, so it equals the batch Σ `final_k` bit for bit.
+    ///
+    /// # Panics
+    /// Panics before [`Self::finalize`]: mid-run the totals are the
+    /// unknowable quantity progress estimation exists to avoid.
+    pub fn total_getnext(&self) -> u64 {
+        assert!(self.finalized, "total_getnext needs post-hoc totals: only after finalize()");
+        self.entries.last().map_or(0, |e| e.k_u64)
+    }
+
+    /// True pipeline progress at each committed observation — the
+    /// elapsed-time fraction of the final activity window, exactly the
+    /// label the batch path reads from
+    /// `ObservationTrace::true_pipeline_progress` (same formula, same
+    /// clamping, hence bit-identical over the same run).
+    ///
+    /// # Panics
+    /// Panics before [`Self::finalize`]: truth needs the final window.
+    pub fn truth(&self) -> Vec<f64> {
+        assert!(self.finalized, "truth needs the final activity window: only after finalize()");
+        let (start, end) = (self.window_start, self.window_end);
+        self.times
+            .iter()
+            .map(|&t| {
+                if !start.is_finite() || end <= start {
+                    1.0
+                } else {
+                    ((t - start) / (end - start)).clamp(0.0, 1.0)
+                }
+            })
+            .collect()
     }
 
     /// Resolve the driver sets and their totals from the first in-window
@@ -272,6 +321,7 @@ impl IncrementalObs {
             )
         };
         let mut k_total = 0.0;
+        let mut k_u64 = 0u64;
         let mut e_clamped = 0.0;
         let mut wl = 0.0;
         let mut wu = 0.0;
@@ -279,6 +329,7 @@ impl IncrementalObs {
         for &n in &self.pipeline.nodes {
             let k = snap.k[n] as f64;
             k_total += k;
+            k_u64 += snap.k[n];
             e_clamped += clamp_estimate(plan.node(n).est_rows, lb[n], ub[n]);
             wu += ub[n];
             wl += k;
@@ -303,6 +354,7 @@ impl IncrementalObs {
             serial,
             time: snap.time,
             sum_k: k_total,
+            k_u64,
             sum_e_clamped: e_clamped.max(1.0),
             work_lb: wl.max(1.0),
             work_ub: wu.max(1.0),
@@ -740,6 +792,33 @@ mod tests {
         let mut obs = IncrementalObs::new(plan, &pipelines[0]);
         obs.offer(0, &snap(12.0, 20, 10), (10.0, 12.0));
         let _ = obs.curve(EstimatorKind::GetNextOracle);
+    }
+
+    #[test]
+    fn truth_and_total_getnext_unlock_at_finalize() {
+        let plan = scan_filter_plan();
+        let pipelines = decompose(&plan);
+        let mut obs = IncrementalObs::new(plan, &pipelines[0]);
+        obs.offer(0, &snap(12.0, 20, 10), (10.0, 12.0));
+        obs.offer(1, &snap(40.0, 80, 40), (10.0, 40.0));
+        obs.finalize((10.0, 40.0));
+        // Elapsed-time fractions of the final [10, 40] window.
+        let truth = obs.truth();
+        assert_eq!(truth.len(), 2);
+        assert!((truth[0] - 2.0 / 30.0).abs() < 1e-12);
+        assert!((truth[1] - 1.0).abs() < 1e-12);
+        // Counters frozen at the window end: Σ K of the last observation.
+        assert_eq!(obs.total_getnext(), 120);
+    }
+
+    #[test]
+    #[should_panic(expected = "after finalize")]
+    fn truth_requires_finalization() {
+        let plan = scan_filter_plan();
+        let pipelines = decompose(&plan);
+        let mut obs = IncrementalObs::new(plan, &pipelines[0]);
+        obs.offer(0, &snap(12.0, 20, 10), (10.0, 12.0));
+        let _ = obs.truth();
     }
 
     #[test]

@@ -1,0 +1,334 @@
+//! The bounded, deterministic training buffer between harvest and
+//! retraining.
+//!
+//! A production monitor harvests far more records than any trainer wants
+//! to refit on, and the traffic is skewed: one hot workload can produce
+//! thousands of records for every one that a rare plan shape yields.
+//! Plain FIFO or plain reservoir sampling would both let the hot group
+//! wash the rare ones out — and the selector would forget exactly the
+//! pipelines it most needs revision on (the "Impacts of Bad ESP" failure
+//! mode: estimators drift where feedback is thin).
+//!
+//! [`TrainingBuffer`] therefore combines
+//!
+//! * a **seeded reservoir** over the whole stream — every offered record
+//!   has a chance to displace a retained one, so the buffer tracks the
+//!   traffic distribution without growing; with
+//! * **per-group floors** ([`BufferConfig::group_quota`], keyed by
+//!   workload label or pipeline fingerprint): a reservoir eviction is
+//!   refused when it would shrink a group that holds at most its quota,
+//!   so heavy traffic can never evict the last examples of a rare group.
+//!
+//! Everything is a pure function of the insertion sequence and the seed:
+//! the reservoir draws come from one seeded generator consumed in
+//! insertion order, and tie-breaks iterate groups in `BTreeMap` order —
+//! replaying the same harvest stream reproduces the buffer bit for bit.
+
+use prosel_core::pipeline_runs::PipelineRecord;
+use prosel_core::training::TrainingSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Which record field partitions the buffer into quota groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupBy {
+    /// The harvest label ([`PipelineRecord::workload`]) — tenant /
+    /// workload-class quotas.
+    Workload,
+    /// The structural pipeline fingerprint — rare *plan shapes* keep
+    /// their floor even inside one hot workload.
+    Fingerprint,
+}
+
+/// Buffer configuration.
+#[derive(Debug, Clone)]
+pub struct BufferConfig {
+    /// Hard bound on retained records.
+    pub capacity: usize,
+    /// Guaranteed floor per group: evictions never shrink a group holding
+    /// at most this many records (groups that never grow past the quota
+    /// are effectively pinned). The floors are only simultaneously
+    /// satisfiable while `quota × live groups ≤ capacity`; past that
+    /// point admission of a new under-quota record falls back to
+    /// shrinking the largest group (the floors are mutually
+    /// contradictory then) — size the capacity for the group cardinality
+    /// you expect.
+    pub group_quota: usize,
+    /// Grouping key for the quota.
+    pub group_by: GroupBy,
+    /// Seed of the reservoir's random stream.
+    pub seed: u64,
+}
+
+impl Default for BufferConfig {
+    fn default() -> Self {
+        BufferConfig { capacity: 4096, group_quota: 64, group_by: GroupBy::Workload, seed: 0x1EA2 }
+    }
+}
+
+/// Bounded deterministic training buffer. See the module docs for the
+/// eviction policy.
+#[derive(Debug)]
+pub struct TrainingBuffer {
+    config: BufferConfig,
+    items: Vec<PipelineRecord>,
+    /// Live record count per group (groups never seen are absent; groups
+    /// evicted to zero keep their entry so the bookkeeping stays simple).
+    counts: BTreeMap<String, usize>,
+    /// Records offered so far (the reservoir's denominator).
+    seen: u64,
+    rng: StdRng,
+}
+
+impl TrainingBuffer {
+    pub fn new(config: BufferConfig) -> TrainingBuffer {
+        assert!(config.capacity > 0, "a zero-capacity buffer cannot learn");
+        let rng = StdRng::seed_from_u64(config.seed);
+        TrainingBuffer { config, items: Vec::new(), counts: BTreeMap::new(), seen: 0, rng }
+    }
+
+    /// Offer one record; returns whether it was retained. Deterministic
+    /// given the seed and the insertion sequence.
+    pub fn insert(&mut self, rec: PipelineRecord) -> bool {
+        self.seen += 1;
+        let group = self.key_of(&rec);
+        if self.items.len() < self.config.capacity {
+            *self.counts.entry(group).or_insert(0) += 1;
+            self.items.push(rec);
+            return true;
+        }
+        let incoming = self.counts.get(&group).copied().unwrap_or(0);
+        if incoming < self.config.group_quota {
+            // The incoming record's group is under its floor: admit it
+            // unconditionally by evicting a random member of the largest
+            // group **above its own floor** (ties broken towards the
+            // lexicographically smallest name for determinism) — so one
+            // protected group can never be shrunk to admit another. Only
+            // in the pathological config where quota × live-groups
+            // exceeds the capacity (every group at/below its floor) does
+            // the eviction fall back to the largest group overall; the
+            // floors are mutually unsatisfiable then, and admitting the
+            // newest rare record is the lesser harm. If the fallback
+            // victim is the incoming group itself the swap keeps counts
+            // unchanged.
+            let largest_above_quota = |quota: usize| {
+                self.counts
+                    .iter()
+                    .filter(|&(_, &c)| c > quota)
+                    .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+                    .map(|(g, _)| g.clone())
+            };
+            let victim_group = largest_above_quota(self.config.group_quota)
+                .or_else(|| largest_above_quota(0))
+                .expect("full buffer has at least one group");
+            let members = self.counts[&victim_group];
+            let pick = (self.rng.next_u64() % members as u64) as usize;
+            let idx = self
+                .items
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| self.group_matches(r, &victim_group))
+                .nth(pick)
+                .map(|(i, _)| i)
+                .expect("group count matches membership");
+            *self.counts.get_mut(&victim_group).expect("victim group exists") -= 1;
+            *self.counts.entry(group).or_insert(0) += 1;
+            self.items[idx] = rec;
+            return true;
+        }
+        // Classic reservoir step over the whole stream.
+        let j = (self.rng.next_u64() % self.seen) as usize;
+        if j >= self.config.capacity {
+            return false;
+        }
+        let victim_group = self.key_of(&self.items[j]);
+        if victim_group != group && self.counts[&victim_group] <= self.config.group_quota {
+            // Replacing would shrink a group at (or below) its floor:
+            // the rare group wins, the incoming record is dropped.
+            return false;
+        }
+        *self.counts.get_mut(&victim_group).expect("victim group exists") -= 1;
+        *self.counts.entry(group).or_insert(0) += 1;
+        self.items[j] = rec;
+        true
+    }
+
+    fn key_of(&self, rec: &PipelineRecord) -> String {
+        match self.config.group_by {
+            GroupBy::Workload => rec.workload.clone(),
+            GroupBy::Fingerprint => rec.fingerprint.clone(),
+        }
+    }
+
+    /// Allocation-free membership test (the eviction scan runs it over up
+    /// to `capacity` records per insert).
+    fn group_matches(&self, rec: &PipelineRecord, group: &str) -> bool {
+        match self.config.group_by {
+            GroupBy::Workload => rec.workload == group,
+            GroupBy::Fingerprint => rec.fingerprint == group,
+        }
+    }
+
+    /// Retained records (insertion/replacement order; not meaningful as a
+    /// time series).
+    pub fn records(&self) -> &[PipelineRecord] {
+        &self.items
+    }
+
+    /// The retained records as a [`TrainingSet`].
+    pub fn training_set(&self) -> TrainingSet {
+        TrainingSet { records: self.items.clone() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Records offered over the buffer's lifetime (retained or not).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Live record count of one group (0 for groups never seen).
+    pub fn group_count(&self, group: &str) -> usize {
+        self.counts.get(group).copied().unwrap_or(0)
+    }
+
+    /// Groups currently holding at least one record, ascending.
+    pub fn groups(&self) -> Vec<&str> {
+        self.counts.iter().filter(|&(_, &c)| c > 0).map(|(g, _)| g.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prosel_core::features::FeatureSchema;
+
+    fn rec(workload: &str, fingerprint: &str, i: usize) -> PipelineRecord {
+        let dims = FeatureSchema::get().len();
+        PipelineRecord {
+            workload: workload.into(),
+            query_idx: i,
+            pipeline_id: 0,
+            features: vec![i as f32; dims],
+            errors_l1: vec![0.1; 8],
+            errors_l2: vec![0.1; 8],
+            total_getnext: 10,
+            weight: 1.0,
+            n_obs: 10,
+            fingerprint: fingerprint.into(),
+            oracle_l1: [0.0; 2],
+            oracle_l2: [0.0; 2],
+        }
+    }
+
+    fn cfg(capacity: usize, quota: usize) -> BufferConfig {
+        BufferConfig { capacity, group_quota: quota, group_by: GroupBy::Workload, seed: 7 }
+    }
+
+    #[test]
+    fn capacity_is_a_hard_bound() {
+        let mut buf = TrainingBuffer::new(cfg(32, 4));
+        for i in 0..500 {
+            buf.insert(rec("hot", "scan|t", i));
+            assert!(buf.len() <= 32);
+        }
+        assert_eq!(buf.len(), 32);
+        assert_eq!(buf.seen(), 500);
+    }
+
+    #[test]
+    fn heavy_traffic_cannot_evict_a_rare_group() {
+        let mut buf = TrainingBuffer::new(cfg(64, 8));
+        // Seed the rare group with 5 records (below the quota of 8).
+        for i in 0..5 {
+            buf.insert(rec("rare", "seek|s", i));
+        }
+        // Flood with three orders of magnitude more hot traffic.
+        for i in 0..5000 {
+            buf.insert(rec("hot", "scan|t", i));
+        }
+        assert_eq!(buf.group_count("rare"), 5, "rare group must keep its floor");
+        assert_eq!(buf.len(), 64);
+        assert_eq!(buf.group_count("hot"), 59);
+    }
+
+    #[test]
+    fn a_late_rare_group_still_gets_admitted() {
+        let mut buf = TrainingBuffer::new(cfg(32, 4));
+        for i in 0..1000 {
+            buf.insert(rec("hot", "scan|t", i));
+        }
+        // Buffer is full of hot records; a new group must still enter.
+        for i in 0..3 {
+            assert!(buf.insert(rec("late", "sort|u", i)), "under-quota insert is unconditional");
+        }
+        assert_eq!(buf.group_count("late"), 3);
+        assert_eq!(buf.len(), 32);
+    }
+
+    #[test]
+    fn under_quota_admission_spares_other_protected_groups() {
+        // Buffer full with one huge group and one small protected group;
+        // admitting records of a third group must always evict from the
+        // huge (above-quota) group, never from the protected one.
+        let mut buf = TrainingBuffer::new(cfg(48, 8));
+        for i in 0..6 {
+            buf.insert(rec("small", "seek|s", i));
+        }
+        for i in 0..500 {
+            buf.insert(rec("huge", "scan|t", i));
+        }
+        assert_eq!(buf.group_count("small"), 6);
+        for i in 0..8 {
+            assert!(buf.insert(rec("third", "sort|u", i)));
+            assert_eq!(buf.group_count("small"), 6, "protected group must not fund admission");
+        }
+        assert_eq!(buf.group_count("third"), 8);
+        assert_eq!(buf.len(), 48);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let stream: Vec<PipelineRecord> =
+            (0..800).map(|i| rec(if i % 17 == 0 { "rare" } else { "hot" }, "scan|t", i)).collect();
+        let run = |seed: u64| {
+            let mut buf = TrainingBuffer::new(BufferConfig { seed, ..cfg(48, 6) });
+            for r in &stream {
+                buf.insert(r.clone());
+            }
+            buf.records().iter().map(|r| (r.workload.clone(), r.query_idx)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3), "same seed, same stream => same buffer");
+        assert_ne!(run(3), run(4), "the reservoir really is random across seeds");
+    }
+
+    #[test]
+    fn fingerprint_grouping_protects_rare_plan_shapes() {
+        let mut buf = TrainingBuffer::new(BufferConfig {
+            capacity: 40,
+            group_quota: 4,
+            group_by: GroupBy::Fingerprint,
+            seed: 1,
+        });
+        for i in 0..3 {
+            buf.insert(rec("w", "merge-sort|a,b", i));
+        }
+        for i in 0..2000 {
+            buf.insert(rec("w", "scan|t", i));
+        }
+        assert_eq!(buf.group_count("merge-sort|a,b"), 3);
+    }
+
+    #[test]
+    fn zero_capacity_is_refused() {
+        let result = std::panic::catch_unwind(|| TrainingBuffer::new(cfg(0, 1)));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! # prosel-learn
+//!
+//! The **online-learning loop**: turn the monitor's finished queries back
+//! into training signal, retrain the estimator selector in the
+//! background, and hot-swap versioned models into the live service.
+//!
+//! The paper trains its selector offline, but §4.4 frames the runtime
+//! revision points — the logged estimator switches — as exactly the
+//! signal a deployed system should learn from; and the estimation
+//! literature (Shepperd & MacDonell 2012; "Impacts of Bad ESP" in
+//! PAPERS.md) shows that prediction systems drift badly when early models
+//! are never revised against observed error. This crate closes that loop
+//! over the `prosel-monitor` service:
+//!
+//! ```text
+//!  engine tap ─▶ ProgressMonitor / MonitorService
+//!                   │  Finished ⇒ harvest: IncrementalObs ─▶ PipelineRecord
+//!                   ▼
+//!            HarvestedQuery (records + switch history + epoch)
+//!                   │
+//!                   ▼
+//!          TrainingBuffer  — bounded, seeded reservoir with per-group
+//!                   │        quotas (heavy traffic cannot evict rare
+//!                   │        workloads / plan shapes)
+//!                   ▼
+//!           OnlineLearner  — deterministic retraining core: warm-start
+//!                   │        boosting + guarded promotion against a
+//!                   │        held-out validation slice
+//!                   ▼
+//!        publish ─▶ SelectorHub (epoch n+1) ─▶ swap_selector(…) into the
+//!                   monitor/service: **new registrations** pick up the
+//!                   new model, in-flight queries keep the selector
+//!                   captured at their registration
+//! ```
+//!
+//! Determinism: every stage is a pure function of the harvested-record
+//! sequence and the configured seeds — the buffer's reservoir draws, the
+//! holdout split, warm-start subsampling and the promotion decision all
+//! replay bit-identically. The harvested records themselves are
+//! bit-identical to what batch [`prosel_core::pipeline_runs`] extraction
+//! would produce over the same traces (pinned by
+//! `tests/harvest_equivalence.rs` at the workspace root). [`Trainer`]
+//! wraps the deterministic [`OnlineLearner`] core in a background thread
+//! for deployments where retraining must not block ingest.
+
+pub mod buffer;
+pub mod hub;
+pub mod learner;
+pub mod trainer;
+
+pub use buffer::{BufferConfig, GroupBy, TrainingBuffer};
+pub use hub::SelectorHub;
+pub use learner::{LearnConfig, LearnStats, OnlineLearner, RetrainOutcome};
+pub use trainer::Trainer;

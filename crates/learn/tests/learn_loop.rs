@@ -1,0 +1,177 @@
+//! End-to-end tests of the harvest → buffer → retrain → swap loop over
+//! real (simulated) executions.
+
+use prosel_core::pipeline_runs::collect_workload_records;
+use prosel_core::selection::{EstimatorSelector, SelectorConfig};
+use prosel_core::training::TrainingSet;
+use prosel_engine::{run_plan_tapped, Catalog, ExecConfig};
+use prosel_learn::{BufferConfig, LearnConfig, OnlineLearner, SelectorHub, Trainer};
+use prosel_mart::BoostParams;
+use prosel_monitor::{HarvestConfig, HarvestedQuery, MonitorConfig, ProgressMonitor};
+use prosel_planner::workload::{materialize, WorkloadKind, WorkloadSpec};
+use prosel_planner::PlanBuilder;
+use std::sync::Arc;
+
+fn fast_selector_config() -> SelectorConfig {
+    SelectorConfig {
+        boost: BoostParams { iterations: 12, ..BoostParams::fast() },
+        ..SelectorConfig::default()
+    }
+}
+
+/// Train a small bootstrap selector on batch-collected records.
+fn bootstrap_selector() -> EstimatorSelector {
+    let spec = WorkloadSpec::new(WorkloadKind::TpchLike, 0xB001).with_queries(8).with_scale(0.4);
+    let records = collect_workload_records(&spec).expect("bootstrap workload");
+    EstimatorSelector::train(&TrainingSet::from_records(&records), &fast_selector_config())
+}
+
+/// Run every query of `spec` tapped through a harvesting monitor built on
+/// `selector`, returning the harvests in deterministic (query) order.
+fn harvest_workload(spec: &WorkloadSpec, selector: Arc<EstimatorSelector>) -> Vec<HarvestedQuery> {
+    let w = materialize(spec);
+    let catalog = Catalog::new(&w.db, &w.design);
+    let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
+    let (sink, rx) = std::sync::mpsc::channel();
+    let mut monitor = ProgressMonitor::with_shared_selector(selector, MonitorConfig::default())
+        .with_harvester(Arc::new(sink), HarvestConfig { label: spec.label(), min_observations: 5 });
+    for (qi, q) in w.queries.iter().enumerate() {
+        let plan = builder.build(q).expect("plan");
+        let (tap, events) = std::sync::mpsc::channel();
+        monitor.register(qi, &plan);
+        let cfg = ExecConfig { seed: 0x11AB ^ qi as u64, ..ExecConfig::default() };
+        let _run = run_plan_tapped(&catalog, &plan, &cfg, qi, tap);
+        monitor.drain(&events);
+    }
+    drop(monitor);
+    rx.try_iter().collect()
+}
+
+fn learn_config() -> LearnConfig {
+    LearnConfig {
+        buffer: BufferConfig { capacity: 512, group_quota: 16, ..BufferConfig::default() },
+        retrain_every: 0, // retrain on demand in these tests
+        holdout_every: 4,
+        min_records: 8,
+        warm_trees: 16,
+        ..LearnConfig::default()
+    }
+}
+
+#[test]
+fn the_loop_is_deterministic_end_to_end() {
+    let run_once = || {
+        let base = Arc::new(bootstrap_selector());
+        let mut learner = OnlineLearner::new(Arc::clone(&base), learn_config());
+        let spec =
+            WorkloadSpec::new(WorkloadKind::TpcdsLike, 0xFEE0).with_queries(10).with_scale(0.4);
+        for h in harvest_workload(&spec, base) {
+            learner.absorb(&h);
+        }
+        let outcome = learner.retrain();
+        (learner.current().to_text(), outcome.promoted, learner.buffer().len())
+    };
+    let (a_text, a_promoted, a_len) = run_once();
+    let (b_text, b_promoted, b_len) = run_once();
+    assert_eq!(a_text, b_text, "same harvest stream + seeds => bit-identical selector");
+    assert_eq!(a_promoted, b_promoted);
+    assert_eq!(a_len, b_len);
+}
+
+#[test]
+fn guarded_promotion_never_degrades_the_validation_score() {
+    let base = Arc::new(bootstrap_selector());
+    let mut learner = OnlineLearner::new(Arc::clone(&base), learn_config());
+    let spec = WorkloadSpec::new(WorkloadKind::TpcdsLike, 0xFEE1).with_queries(12).with_scale(0.4);
+    for h in harvest_workload(&spec, Arc::clone(&base)) {
+        learner.absorb(&h);
+    }
+    assert!(learner.buffer().len() >= 8, "buffered {}", learner.buffer().len());
+    assert!(learner.validation_len() > 0, "holdout must have material");
+    let outcome = learner.retrain();
+    assert_eq!(outcome.trained_on, learner.buffer().len());
+    assert!(outcome.validation > 0);
+    if outcome.promoted {
+        assert!(
+            outcome.candidate_l1 <= outcome.incumbent_l1,
+            "promotion requires candidate ({}) <= incumbent ({})",
+            outcome.candidate_l1,
+            outcome.incumbent_l1
+        );
+        assert!(!Arc::ptr_eq(&learner.current(), &base));
+    } else {
+        assert!(Arc::ptr_eq(&learner.current(), &base), "rejected => incumbent survives");
+    }
+    let stats = learner.stats();
+    assert_eq!(stats.retrains, 1);
+    assert_eq!(stats.promotions + stats.rejections, 1);
+}
+
+#[test]
+fn tree_cap_forces_cold_refits_instead_of_unbounded_growth() {
+    let widest = |sel: &EstimatorSelector| {
+        sel.config()
+            .candidates
+            .iter()
+            .filter_map(|&k| sel.model(k))
+            .map(prosel_mart::Mart::n_trees)
+            .max()
+            .unwrap_or(0)
+    };
+    let base = Arc::new(bootstrap_selector()); // 12 boosting iterations
+    let base_width = widest(&base);
+    let spec = WorkloadSpec::new(WorkloadKind::TpcdsLike, 0xFEE3).with_queries(10).with_scale(0.4);
+    let harvests = harvest_workload(&spec, Arc::clone(&base));
+    // holdout_every 0 => unguarded promotion, so growth is observable.
+    let run = |max_trees: usize| {
+        let mut learner = OnlineLearner::new(
+            Arc::clone(&base),
+            LearnConfig { holdout_every: 0, max_trees, ..learn_config() },
+        );
+        for h in &harvests {
+            learner.absorb(h);
+        }
+        for _ in 0..3 {
+            assert!(learner.retrain().promoted, "unguarded rounds always promote");
+        }
+        widest(&learner.current())
+    };
+    let uncapped = run(0);
+    assert!(uncapped > base_width, "warm rounds must have appended trees ({uncapped})");
+    let capped = run(base_width + 1); // warm start would immediately overflow
+    assert!(capped <= uncapped, "capped loop must not outgrow the uncapped one");
+    // Cold refits rebuild at the config's from-scratch size (12 boosting
+    // iterations here) instead of stacking warm rounds forever.
+    assert!(capped <= 12, "cold refits keep the ensemble bounded (got {capped})");
+}
+
+#[test]
+fn background_trainer_publishes_promotions_and_flushes_the_tail() {
+    let base = Arc::new(bootstrap_selector());
+    let hub = Arc::new(SelectorHub::new(Arc::clone(&base)));
+    let config = LearnConfig { retrain_every: 6, ..learn_config() };
+    let learner = OnlineLearner::new(Arc::clone(&base), config);
+    let (tx, rx) = std::sync::mpsc::channel();
+    let trainer = {
+        let hub = Arc::clone(&hub);
+        Trainer::spawn(learner, rx, move |sel| {
+            hub.publish(Arc::clone(sel));
+        })
+    };
+    let spec = WorkloadSpec::new(WorkloadKind::TpchLike, 0xFEE2).with_queries(10).with_scale(0.4);
+    let harvests = harvest_workload(&spec, Arc::clone(&base));
+    assert!(harvests.len() == 10);
+    for h in harvests {
+        tx.send(h).expect("trainer alive");
+    }
+    drop(tx); // disconnect => trainer flushes the tail and exits
+    let learner = trainer.join();
+    let stats = learner.stats();
+    assert_eq!(stats.harvested_queries, 10);
+    // 10 queries at a cadence of 6: one cadence retrain + one tail flush.
+    assert_eq!(stats.retrains + stats.skipped, 2);
+    assert_eq!(hub.epoch(), stats.promotions as u64, "every promotion was published");
+    if stats.promotions > 0 {
+        assert!(Arc::ptr_eq(&hub.selector(), &learner.current()));
+    }
+}

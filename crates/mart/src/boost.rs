@@ -79,56 +79,46 @@ impl Mart {
         let n = data.len();
         assert!(n > 0, "cannot train on an empty dataset");
         assert_eq!(binned.n_rows(), n);
-        let mut rng = StdRng::seed_from_u64(params.seed);
         let base = data.targets().iter().map(|&t| t as f64).sum::<f64>() as f32 / n as f32;
-
+        let mut model = Mart {
+            base,
+            shrinkage: params.shrinkage as f32,
+            trees: Vec::with_capacity(params.iterations),
+            feature_gain: vec![0.0f64; data.n_features()],
+        };
         let mut preds = vec![base; n];
-        let mut residuals = vec![0.0f32; n];
-        let mut trees = Vec::with_capacity(params.iterations);
-        let mut feature_gain = vec![0.0f64; data.n_features()];
-        let sample_n = ((n as f64 * params.subsample).round() as usize).clamp(1, n);
-        let nf = data.n_features();
-        let col_n = ((nf as f64 * params.colsample).round() as usize).clamp(1, nf);
+        boost_rounds(&mut model, data, binned, params, &mut preds, params.iterations);
+        model
+    }
 
-        let mut all_rows: Vec<u32> = (0..n as u32).collect();
-        let mut all_cols: Vec<u32> = (0..nf as u32).collect();
-        for _ in 0..params.iterations {
-            for i in 0..n {
-                residuals[i] = data.target(i) - preds[i];
-            }
-            // Partial Fisher–Yates for the subsample.
-            let rows: &[u32] = if sample_n < n {
-                for i in 0..sample_n {
-                    let j = rng.random_range(i..n);
-                    all_rows.swap(i, j);
-                }
-                &all_rows[..sample_n]
-            } else {
-                &all_rows
-            };
-            let cols: &[u32] = if col_n < nf {
-                for i in 0..col_n {
-                    let j = rng.random_range(i..nf);
-                    all_cols.swap(i, j);
-                }
-                &all_cols[..col_n]
-            } else {
-                &all_cols
-            };
-            let (tree, tree_preds) =
-                RegressionTree::fit_on_features(binned, &residuals, rows, cols, &params.tree);
-            if tree.nodes.len() <= 1 {
-                // Residuals are flat: converged.
-                break;
-            }
-            tree.accumulate_gains(&mut feature_gain);
-            let s = params.shrinkage as f32;
-            for i in 0..n {
-                preds[i] += s * tree_preds[i];
-            }
-            trees.push(tree);
+    /// Continue boosting an existing model: fit up to `extra` additional
+    /// trees to the residuals of `base`'s current predictions on `data`,
+    /// instead of refitting the whole ensemble from scratch — the
+    /// online-feedback warm start (paper §4.4 frames runtime revision
+    /// signals as training input; this is the cheap way to absorb them).
+    ///
+    /// The returned model keeps every tree of `base` plus the new ones.
+    /// New trees reuse `base.shrinkage` (a MART applies one shrinkage to
+    /// its whole ensemble), so `params.shrinkage` is ignored here;
+    /// subsampling, tree growth and the seed come from `params`.
+    /// `extra == 0` returns a clone of `base`. Deterministic given
+    /// `params.seed`.
+    pub fn warm_start(base: &Mart, data: &Dataset, params: &BoostParams, extra: usize) -> Mart {
+        let n = data.len();
+        assert!(n > 0, "cannot continue training on an empty dataset");
+        assert_eq!(
+            data.n_features(),
+            base.feature_gain.len(),
+            "warm start needs the feature space the base model was trained on"
+        );
+        let mut model = base.clone();
+        if extra == 0 {
+            return model;
         }
-        Mart { base, shrinkage: params.shrinkage as f32, trees, feature_gain }
+        let binned = BinnedDataset::build(data);
+        let mut preds: Vec<f32> = (0..n).map(|i| base.predict(data.row(i))).collect();
+        boost_rounds(&mut model, data, &binned, params, &mut preds, extra);
+        model
     }
 
     /// Predict one example from raw feature values.
@@ -156,6 +146,67 @@ impl Mart {
     /// Number of trees actually fit.
     pub fn n_trees(&self) -> usize {
         self.trees.len()
+    }
+}
+
+/// The boosting loop shared by fresh training and [`Mart::warm_start`]:
+/// fit up to `iterations` trees to the residuals of `preds` (which must
+/// hold `model`'s current prediction for every row of `data`), appending
+/// to `model.trees` and accumulating `model.feature_gain`. Prediction
+/// updates use `model.shrinkage` — for fresh training that equals
+/// `params.shrinkage`; for a warm start it is the base ensemble's.
+fn boost_rounds(
+    model: &mut Mart,
+    data: &Dataset,
+    binned: &BinnedDataset,
+    params: &BoostParams,
+    preds: &mut [f32],
+    iterations: usize,
+) {
+    let n = data.len();
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut residuals = vec![0.0f32; n];
+    let sample_n = ((n as f64 * params.subsample).round() as usize).clamp(1, n);
+    let nf = data.n_features();
+    let col_n = ((nf as f64 * params.colsample).round() as usize).clamp(1, nf);
+
+    let mut all_rows: Vec<u32> = (0..n as u32).collect();
+    let mut all_cols: Vec<u32> = (0..nf as u32).collect();
+    for _ in 0..iterations {
+        for i in 0..n {
+            residuals[i] = data.target(i) - preds[i];
+        }
+        // Partial Fisher–Yates for the subsample.
+        let rows: &[u32] = if sample_n < n {
+            for i in 0..sample_n {
+                let j = rng.random_range(i..n);
+                all_rows.swap(i, j);
+            }
+            &all_rows[..sample_n]
+        } else {
+            &all_rows
+        };
+        let cols: &[u32] = if col_n < nf {
+            for i in 0..col_n {
+                let j = rng.random_range(i..nf);
+                all_cols.swap(i, j);
+            }
+            &all_cols[..col_n]
+        } else {
+            &all_cols
+        };
+        let (tree, tree_preds) =
+            RegressionTree::fit_on_features(binned, &residuals, rows, cols, &params.tree);
+        if tree.nodes.len() <= 1 {
+            // Residuals are flat: converged.
+            break;
+        }
+        tree.accumulate_gains(&mut model.feature_gain);
+        let s = model.shrinkage;
+        for i in 0..n {
+            preds[i] += s * tree_preds[i];
+        }
+        model.trees.push(tree);
     }
 }
 
@@ -234,6 +285,67 @@ mod tests {
         // late trees chase residual noise on the others.
         assert!(model.feature_gain[0] > model.feature_gain[1] * 3.0);
         assert!(model.feature_gain[0] > model.feature_gain[2] * 3.0);
+    }
+
+    #[test]
+    fn warm_start_reduces_error_and_keeps_the_base_ensemble() {
+        let train = synthetic(800, 7);
+        let base = Mart::train(&train, &BoostParams { iterations: 20, ..BoostParams::default() });
+        let more = Mart::warm_start(
+            &base,
+            &train,
+            &BoostParams { iterations: 0, seed: 11, ..BoostParams::default() },
+            60,
+        );
+        assert!(more.n_trees() > base.n_trees());
+        assert_eq!(more.trees.len().min(base.trees.len()), base.trees.len());
+        assert!(more.mse(&train) < base.mse(&train), "continued boosting must fit better");
+        // The prefix of the ensemble is untouched: warm start only appends.
+        for (a, b) in base.trees.iter().zip(&more.trees) {
+            assert_eq!(a.nodes.len(), b.nodes.len());
+        }
+        assert_eq!(more.shrinkage, base.shrinkage);
+    }
+
+    #[test]
+    fn warm_start_is_deterministic_and_zero_extra_is_identity() {
+        let train = synthetic(400, 8);
+        let base = Mart::train(&train, &BoostParams { iterations: 15, ..BoostParams::default() });
+        let params = BoostParams { seed: 42, ..BoostParams::default() };
+        let a = Mart::warm_start(&base, &train, &params, 25);
+        let b = Mart::warm_start(&base, &train, &params, 25);
+        for i in (0..400).step_by(29) {
+            assert_eq!(a.predict(train.row(i)).to_bits(), b.predict(train.row(i)).to_bits());
+        }
+        let same = Mart::warm_start(&base, &train, &params, 0);
+        for i in (0..400).step_by(29) {
+            assert_eq!(same.predict(train.row(i)).to_bits(), base.predict(train.row(i)).to_bits());
+        }
+    }
+
+    #[test]
+    fn warm_start_absorbs_a_distribution_shift() {
+        // Base learns y = 3x0 − 2x1 + x2²; the feedback data flips the
+        // sign of the x0 term. Continued boosting on the new data must
+        // track the new regime better than the frozen base.
+        let base_data = synthetic(1000, 9);
+        let base =
+            Mart::train(&base_data, &BoostParams { iterations: 60, ..BoostParams::default() });
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut shifted = Dataset::new(3);
+        for _ in 0..1000 {
+            let x0: f32 = rng.random_range(-1.0..1.0);
+            let x1: f32 = rng.random_range(-1.0..1.0);
+            let x2: f32 = rng.random_range(-1.0..1.0);
+            shifted.push(&[x0, x1, x2], -3.0 * x0 - 2.0 * x1 + x2 * x2);
+        }
+        let adapted = Mart::warm_start(&base, &shifted, &BoostParams::default(), 120);
+        assert!(
+            adapted.mse(&shifted) < base.mse(&shifted) * 0.5,
+            "adapted {} vs base {}",
+            adapted.mse(&shifted),
+            base.mse(&shifted)
+        );
     }
 
     #[test]

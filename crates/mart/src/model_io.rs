@@ -49,7 +49,12 @@ pub fn from_str(s: &str) -> Result<Mart, String> {
     }
     let meta = lines.next().ok_or("missing meta line")?;
     let parts: Vec<&str> = meta.split_whitespace().collect();
-    if parts.len() != 8 || parts[0] != "base" || parts[2] != "shrinkage" {
+    if parts.len() != 8
+        || parts[0] != "base"
+        || parts[2] != "shrinkage"
+        || parts[4] != "trees"
+        || parts[6] != "features"
+    {
         return Err(format!("bad meta line: {meta}"));
     }
     let base: f32 = parts[1].parse().map_err(|e| format!("base: {e}"))?;
@@ -66,23 +71,52 @@ pub fn from_str(s: &str) -> Result<Mart, String> {
         }
         let n_nodes: usize = tparts[1].parse().map_err(|e| format!("tree size: {e}"))?;
         let mut nodes = Vec::with_capacity(n_nodes);
-        for _ in 0..n_nodes {
+        for i in 0..n_nodes {
             let nl = lines.next().ok_or("missing node line")?;
             let np: Vec<&str> = nl.split_whitespace().collect();
             if np.len() != 7 || np[0] != "node" {
                 return Err(format!("bad node line: {nl}"));
             }
             let f: i64 = np[1].parse().map_err(|e| format!("feature: {e}"))?;
-            nodes.push(TreeNode {
+            if f >= 0 && f as usize >= n_features {
+                return Err(format!("node feature {f} out of range (features {n_features})"));
+            }
+            let node = TreeNode {
                 feature: if f < 0 { u32::MAX } else { f as u32 },
                 threshold: np[2].parse().map_err(|e| format!("threshold: {e}"))?,
                 bin_threshold: np[3].parse().map_err(|e| format!("bin: {e}"))?,
                 left: np[4].parse().map_err(|e| format!("left: {e}"))?,
                 right: np[5].parse().map_err(|e| format!("right: {e}"))?,
                 value: np[6].parse().map_err(|e| format!("value: {e}"))?,
-            });
+            };
+            // Trees are serialized in construction order, so children
+            // always come *after* their parent. Requiring strictly
+            // forward references both bounds the indices and makes cycles
+            // (a corrupted node pointing at itself or an ancestor, which
+            // would hang `predict`'s descent loop forever) unrepresentable.
+            if !node.is_leaf()
+                && (node.left as usize >= n_nodes
+                    || node.right as usize >= n_nodes
+                    || node.left as usize <= i
+                    || node.right as usize <= i)
+            {
+                return Err(format!(
+                    "node {i} children ({}, {}) must point forward within the {n_nodes}-node tree",
+                    node.left, node.right
+                ));
+            }
+            nodes.push(node);
         }
         trees.push(RegressionTree { nodes, split_gains: Vec::new() });
+    }
+    // Strictness matters once models are persisted and reloaded by the
+    // online trainer: silently ignoring content past the declared tree
+    // count would let a torn or concatenated file parse as a *different*
+    // model. Anything but trailing whitespace is an error.
+    for line in lines {
+        if !line.trim().is_empty() {
+            return Err(format!("trailing garbage after the declared trees: {line}"));
+        }
     }
     Ok(Mart { base, shrinkage, trees, feature_gain: vec![0.0; n_features] })
 }
@@ -113,5 +147,43 @@ mod tests {
         assert!(from_str("").is_err());
         assert!(from_str("not a model").is_err());
         assert!(from_str("mart v1\nbase x shrinkage y trees 0 features 0").is_err());
+        // Meta keywords must be the expected ones, in order.
+        assert!(from_str("mart v1\nbase 0 shrink 0.1 trees 0 features 0").is_err());
+        assert!(from_str("mart v1\nbase 0 shrinkage 0.1 leaves 0 features 0").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_concatenated_models() {
+        let mut d = Dataset::new(2);
+        for i in 0..200 {
+            let x = i as f32 / 10.0;
+            d.push(&[x, -x], x.cos());
+        }
+        let model = Mart::train(&d, &BoostParams::fast());
+        let text = to_string(&model);
+        // Trailing whitespace is tolerated; anything else is not.
+        assert!(from_str(&format!("{text}\n\n")).is_ok());
+        assert!(from_str(&format!("{text}junk\n")).is_err());
+        assert!(from_str(&format!("{text}{text}")).is_err(), "two concatenated models");
+        // A node line referencing an out-of-range child or feature fails.
+        assert!(from_str(
+            "mart v1\nbase 0 shrinkage 0.1 trees 1 features 2\ntree 1\nnode 0 0.5 1 7 8 0.0\n"
+        )
+        .is_err());
+        assert!(from_str(
+            "mart v1\nbase 0 shrinkage 0.1 trees 1 features 2\ntree 1\nnode 9 0.5 1 0 0 0.0\n"
+        )
+        .is_err());
+        // Backward/self child references would make predict()'s descent
+        // loop cycle forever — they must fail at parse time.
+        assert!(from_str(
+            "mart v1\nbase 0 shrinkage 0.1 trees 1 features 2\ntree 1\nnode 0 0.5 1 0 0 0.0\n"
+        )
+        .is_err());
+        assert!(from_str(
+            "mart v1\nbase 0 shrinkage 0.1 trees 3 features 2\ntree 3\nnode 0 0.5 1 1 2 0.0\n\
+             node 0 0.5 1 0 2 0.0\nnode -1 0 0 0 0 1.0\n"
+        )
+        .is_err());
     }
 }

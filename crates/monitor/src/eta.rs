@@ -103,6 +103,40 @@ impl Eta {
     }
 }
 
+/// An [`Eta`] together with its staleness — the answer to "how old is
+/// this answer?".
+///
+/// The [`Eta`] is a pure function of the ingested event stream (measured
+/// from [`Eta::as_of`], bit-deterministic under a manual clock); the
+/// `age` is the one quantity that reads the *serving* clock
+/// ([`crate::shard::MonitorConfig::clock`]), so a dashboard can render a
+/// live countdown without polluting the deterministic core. Served by
+/// [`crate::ProgressMonitor::remaining_time_with_age`] /
+/// [`crate::MonitorService::remaining_time_with_age`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaleEta {
+    pub eta: Eta,
+    /// `clock.now() − eta.as_of`, clamped to ≥ 0. Before the first
+    /// stamped event `as_of` is 0.0, so the age is measured from the
+    /// clock's epoch — "no answer yet, and this is how long we have been
+    /// waiting for one".
+    pub age: f64,
+}
+
+impl StaleEta {
+    /// Pair an [`Eta`] with the serving clock's current reading.
+    pub(crate) fn at(eta: Eta, now: f64) -> StaleEta {
+        StaleEta { eta, age: (now - eta.as_of).max(0.0) }
+    }
+
+    /// The staleness-adjusted countdown: the point estimate minus the time
+    /// already burned since `as_of`, floored at 0 (never negative, and
+    /// infinite exactly when the [`Eta`] itself is unknown).
+    pub fn remaining_now(&self) -> f64 {
+        (self.eta.remaining - self.age).max(0.0)
+    }
+}
+
 /// Trailing-window tracker of wall-clock progress speed for one query.
 /// See the module docs for the model.
 #[derive(Debug, Clone)]

@@ -78,14 +78,29 @@
 //! [`SpeedTracker`] measures progress-per-second over a trailing window,
 //! and the served [`Eta`] carries a point estimate plus an
 //! optimistic/conservative interval; [`ProgressMonitor::progress_at_deadline`]
-//! answers the dual bounded-staleness question. See [`eta`] for semantics.
+//! answers the dual bounded-staleness question, and
+//! [`ProgressMonitor::remaining_time_with_age`] pairs the answer with its
+//! staleness against the serving clock ([`MonitorConfig::clock`]). See
+//! [`eta`] for semantics.
+//!
+//! Finally, both shapes plug into the **online-learning loop** (the
+//! `prosel-learn` crate): a [`HarvestSink`] attached via
+//! [`ProgressMonitor::with_harvester`] receives every finished query as a
+//! [`HarvestedQuery`] — labelled training records mined from the
+//! finalized incremental state (bit-identical to batch extraction over
+//! the same trace) plus the §4.4 switch history — and retrained selectors
+//! hot-swap back in via [`ProgressMonitor::swap_selector`] /
+//! [`MonitorService::swap_selector`]: new registrations score with the
+//! new model (epoch bumped), in-flight queries keep the selector captured
+//! at their registration.
 
 pub mod eta;
 pub mod service;
 pub mod shard;
 
-pub use eta::{Eta, SpeedTracker};
+pub use eta::{Eta, SpeedTracker, StaleEta};
 pub use service::{MonitorService, QueryError};
 pub use shard::{
-    MonitorConfig, PipelineStatus, ProgressMonitor, QueryStatus, RegisterError, SwitchEvent,
+    HarvestConfig, HarvestSink, HarvestedQuery, MonitorConfig, PipelineStatus, ProgressMonitor,
+    QueryStatus, RegisterError, SwitchEvent,
 };

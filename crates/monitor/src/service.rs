@@ -18,7 +18,7 @@
 //! channel; they are safe to issue from any number of threads while
 //! ingest is running.
 
-use crate::eta::Eta;
+use crate::eta::{Eta, StaleEta};
 use crate::shard::{ProgressMonitor, QueryStatus, RegisterError, SwitchEvent};
 use prosel_core::selection::EstimatorSelector;
 use prosel_engine::plan::PhysicalPlan;
@@ -100,6 +100,18 @@ enum ShardMsg {
         query: usize,
         reply: Sender<Option<Eta>>,
     },
+    RemainingTimeWithAge {
+        query: usize,
+        reply: Sender<Option<StaleEta>>,
+    },
+    QueryEpoch {
+        query: usize,
+        reply: Sender<Option<u64>>,
+    },
+    SwapSelector {
+        selector: Arc<EstimatorSelector>,
+        reply: Sender<u64>,
+    },
     ProgressAtDeadline {
         query: usize,
         deadline: f64,
@@ -146,6 +158,15 @@ fn run_shard(mut monitor: ProgressMonitor, rx: Receiver<ShardMsg>) {
             ShardMsg::RemainingTime { query, reply } => {
                 let _ = reply.send(monitor.remaining_time(query));
             }
+            ShardMsg::RemainingTimeWithAge { query, reply } => {
+                let _ = reply.send(monitor.remaining_time_with_age(query));
+            }
+            ShardMsg::QueryEpoch { query, reply } => {
+                let _ = reply.send(monitor.query_selector_epoch(query));
+            }
+            ShardMsg::SwapSelector { selector, reply } => {
+                let _ = reply.send(monitor.swap_selector(selector));
+            }
             ShardMsg::ProgressAtDeadline { query, deadline, reply } => {
                 let _ = reply.send(monitor.progress_at_deadline(query, deadline));
             }
@@ -179,6 +200,10 @@ impl TapSink for ShardRouter {
 pub struct MonitorService {
     shards: Vec<Sender<ShardMsg>>,
     workers: Vec<JoinHandle<()>>,
+    /// Serializes [`Self::swap_selector`] broadcasts: two concurrent
+    /// swaps must enqueue in the same order on every shard, or the shards
+    /// would end up serving different models under the same epoch.
+    swap_lock: std::sync::Mutex<()>,
 }
 
 impl MonitorService {
@@ -212,6 +237,16 @@ impl MonitorService {
         Self::spawn(ProgressMonitor::with_shared_selector(Arc::new(selector), config), n_shards)
     }
 
+    /// Scale an arbitrarily configured [`ProgressMonitor`] across
+    /// `n_shards` workers: every shard is a fork of `prototype` (same
+    /// policy, config, selector epoch and — notably — harvest sink, so a
+    /// service built from a harvesting prototype feeds one learning loop
+    /// from all shards). The prototype's own registered queries are *not*
+    /// carried over; forks start empty.
+    pub fn from_prototype(prototype: ProgressMonitor, n_shards: usize) -> MonitorService {
+        Self::spawn(prototype, n_shards)
+    }
+
     fn spawn(prototype: ProgressMonitor, n_shards: usize) -> MonitorService {
         let n = n_shards.max(1);
         let mut shards = Vec::with_capacity(n);
@@ -222,7 +257,7 @@ impl MonitorService {
             shards.push(tx);
             workers.push(std::thread::spawn(move || run_shard(monitor, rx)));
         }
-        MonitorService { shards, workers }
+        MonitorService { shards, workers, swap_lock: std::sync::Mutex::new(()) }
     }
 
     /// Number of shards (and worker threads).
@@ -370,6 +405,55 @@ impl MonitorService {
     /// shard.
     pub fn remaining_time(&self, query: usize) -> Result<Eta, QueryError> {
         self.read(query, |reply| ShardMsg::RemainingTime { query, reply })
+    }
+
+    /// [`Self::remaining_time`] plus staleness — the
+    /// [`ProgressMonitor::remaining_time_with_age`] contract, served from
+    /// the owning shard (the age is stamped by the shard's configured
+    /// clock at reply time, so it includes any queueing delay the request
+    /// itself suffered — which is exactly what a staleness readout is
+    /// for).
+    pub fn remaining_time_with_age(&self, query: usize) -> Result<StaleEta, QueryError> {
+        self.read(query, |reply| ShardMsg::RemainingTimeWithAge { query, reply })
+    }
+
+    /// The selector epoch `query` was registered under.
+    pub fn query_selector_epoch(&self, query: usize) -> Result<u64, QueryError> {
+        self.read(query, |reply| ShardMsg::QueryEpoch { query, reply })
+    }
+
+    /// Hot-swap `selector` into **every shard** and return the new
+    /// selector epoch (identical across shards: swaps only enter through
+    /// this broadcast, broadcasts are serialized against each other, and
+    /// each waits for all shards to confirm — so an epoch names one
+    /// specific model on every shard even under concurrent swappers). New
+    /// registrations anywhere in the service pick up the new model;
+    /// queries already registered keep the selector captured at their
+    /// registration — an in-flight query's answers are bit-unchanged by a
+    /// swap. `Err(ShardDown)` if any worker is gone (the service is
+    /// degraded; retry after replacing it).
+    pub fn swap_selector(&self, selector: Arc<EstimatorSelector>) -> Result<u64, QueryError> {
+        // Hold the broadcast lock across the whole fan-out: concurrent
+        // swaps otherwise interleave their per-shard sends and leave
+        // shards serving different models under the same epoch.
+        let _guard = self.swap_lock.lock().expect("swap lock poisoned");
+        let pending: Vec<_> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let (reply, rx) = channel();
+                shard
+                    .send(ShardMsg::SwapSelector { selector: Arc::clone(&selector), reply })
+                    .ok()
+                    .map(|()| rx)
+            })
+            .collect();
+        let mut epoch = None;
+        for rx in pending {
+            let e = rx.and_then(|rx| rx.recv().ok()).ok_or(QueryError::ShardDown)?;
+            epoch = Some(epoch.map_or(e, |prev: u64| prev.max(e)));
+        }
+        epoch.ok_or(QueryError::ShardDown)
     }
 
     /// Bounded-staleness progress prediction at wall instant `deadline` —
@@ -544,6 +628,90 @@ mod tests {
         assert_eq!(service.progress_at_deadline(99, 1.0), Err(QueryError::QueryUnknown(99)));
         assert_eq!(service.remaining_time(99), Err(QueryError::QueryUnknown(99)));
         service.shutdown();
+    }
+
+    #[test]
+    fn swap_selector_broadcasts_and_epochs_stay_aligned() {
+        let favoring = crate::shard::test_support::selector_favoring;
+        let plan = scan_plan();
+        let service = MonitorService::with_selector(
+            favoring(EstimatorKind::Dne),
+            crate::shard::MonitorConfig::default(),
+            3,
+        );
+        // One query per shard registered under epoch 0.
+        for q in 0..3usize {
+            service.register(q, &plan);
+        }
+        let epoch = service.swap_selector(Arc::new(favoring(EstimatorKind::Tgn))).expect("up");
+        assert_eq!(epoch, 1);
+        // Registrations after the swap land on epoch 1 on every shard;
+        // pre-swap queries keep epoch 0.
+        for q in 3..6usize {
+            service.register(q, &plan);
+        }
+        for q in 0..3usize {
+            assert_eq!(service.query_selector_epoch(q), Ok(0), "q{q}");
+            assert_eq!(service.query_selector_epoch(q + 3), Ok(1), "q{}", q + 3);
+            let st = service.status(q + 3).expect("registered");
+            assert_eq!(st.pipelines[0].estimator, EstimatorKind::Tgn);
+        }
+        assert_eq!(service.query_selector_epoch(99), Err(QueryError::QueryUnknown(99)));
+        // A second swap bumps every shard again.
+        assert_eq!(service.swap_selector(Arc::new(favoring(EstimatorKind::Dne))), Ok(2));
+        service.shutdown();
+    }
+
+    #[test]
+    fn staleness_reads_are_routed() {
+        use prosel_engine::clock::{Clock, ManualClock};
+        let plan = scan_plan();
+        let clock = Arc::new(ManualClock::new(0.0));
+        let config = crate::shard::MonitorConfig {
+            clock: Arc::clone(&clock) as Arc<dyn Clock>,
+            ..Default::default()
+        };
+        let prototype = ProgressMonitor::fixed(EstimatorKind::Dne).with_config(config);
+        let service = MonitorService::from_prototype(prototype, 2);
+        service.register(4, &plan);
+        service.ingest(snapshot_event(4, 0, 10.0, 25));
+        service.ingest(snapshot_event(4, 1, 20.0, 50));
+        clock.set(26.0);
+        let stale = service.remaining_time_with_age(4).expect("registered");
+        // 0.025 progress/s, 0.5 left => 20 s from as_of 20.0; age 6.
+        assert!((stale.eta.remaining - 20.0).abs() < 1e-9);
+        assert!((stale.age - 6.0).abs() < 1e-9);
+        assert!((stale.remaining_now() - 14.0).abs() < 1e-9);
+        assert_eq!(service.remaining_time_with_age(99), Err(QueryError::QueryUnknown(99)));
+        service.shutdown();
+    }
+
+    #[test]
+    fn harvests_flow_from_all_shards_to_one_sink() {
+        use crate::shard::{HarvestConfig, HarvestedQuery};
+        let plan = scan_plan();
+        let (sink, harvested) = std::sync::mpsc::channel::<HarvestedQuery>();
+        let prototype = ProgressMonitor::fixed(EstimatorKind::Dne).with_harvester(
+            Arc::new(sink),
+            HarvestConfig { label: "svc".into(), min_observations: 2 },
+        );
+        let service = MonitorService::from_prototype(prototype, 3);
+        for q in 0..6usize {
+            service.register(q, &plan);
+            for seq in 0..3u64 {
+                service.ingest(snapshot_event(q, seq, (seq + 1) as f64 * 10.0, 25 * (seq + 1)));
+            }
+            service.ingest(TraceEvent::Finished {
+                query: q,
+                wall: 40.0,
+                windows: vec![(1.0, 40.0)].into_boxed_slice(),
+                total_time: 40.0,
+            });
+        }
+        service.shutdown(); // drains queues, so every harvest is delivered
+        let mut got: Vec<usize> = harvested.try_iter().map(|h| h.query).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..6).collect::<Vec<_>>());
     }
 
     #[test]

@@ -16,9 +16,11 @@
 //! ([`IncrementalObs::offer_shared`]) — O(plan) per snapshot instead of
 //! O(pipelines × plan).
 
-use crate::eta::{Eta, SpeedTracker};
+use crate::eta::{Eta, SpeedTracker, StaleEta};
 use prosel_core::features::{dynamic_features, static_features};
+use prosel_core::pipeline_runs::{record_from_online, PipelineRecord};
 use prosel_core::selection::EstimatorSelector;
+use prosel_engine::clock::{Clock, SystemClock};
 use prosel_engine::plan::PhysicalPlan;
 use prosel_engine::trace::{thin_half, Snapshot, TraceEvent};
 use prosel_engine::{decompose, pipeline_weight, Pipeline};
@@ -39,11 +41,19 @@ pub struct MonitorConfig {
     /// [`SpeedTracker`] behind [`ProgressMonitor::remaining_time`] /
     /// [`ProgressMonitor::progress_at_deadline`]. Clamped to ≥ 2.
     pub eta_window: usize,
+    /// Clock consulted by [`ProgressMonitor::remaining_time_with_age`] to
+    /// convert the event-stream-pure [`Eta::as_of`] into a staleness age.
+    /// Must share the epoch of the clock stamping the ingested trace
+    /// events ([`prosel_engine::context::ExecConfig::wall_clock`]) for the
+    /// age to be meaningful — inject the same `Arc` in both places. A
+    /// [`prosel_engine::clock::ManualClock`] makes the readouts fully
+    /// deterministic; the default is a fresh [`SystemClock`].
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for MonitorConfig {
     fn default() -> Self {
-        MonitorConfig { reselect_every: 4, eta_window: 32 }
+        MonitorConfig { reselect_every: 4, eta_window: 32, clock: Arc::new(SystemClock::new()) }
     }
 }
 
@@ -79,6 +89,59 @@ impl std::fmt::Display for RegisterError {
 }
 
 impl std::error::Error for RegisterError {}
+
+/// Harvesting configuration: how finished queries are mined into
+/// training records (the online-learning feedback path).
+#[derive(Debug, Clone)]
+pub struct HarvestConfig {
+    /// Label stamped into the harvested records' `workload` field
+    /// (batch collection uses the workload spec's label; a service uses
+    /// whatever partitions its traffic — tenant, priority class, …).
+    pub label: String,
+    /// Pipelines with fewer committed observations are skipped — the
+    /// same rule as batch collection's
+    /// [`prosel_core::pipeline_runs::CollectConfig::min_observations`].
+    pub min_observations: usize,
+}
+
+impl Default for HarvestConfig {
+    fn default() -> Self {
+        HarvestConfig { label: "online".into(), min_observations: 5 }
+    }
+}
+
+/// Everything one finished query yields for the learning loop: its
+/// labelled records (bit-identical to batch extraction over the same
+/// trace), the estimator-switch history (§4.4's revision points) and the
+/// selector epoch the query was registered under.
+#[derive(Debug, Clone)]
+pub struct HarvestedQuery {
+    pub query: usize,
+    /// Selector epoch captured at this query's registration.
+    pub selector_epoch: u64,
+    /// Total virtual execution time reported by the engine.
+    pub total_time: f64,
+    /// One record per pipeline that met the observation floor.
+    pub records: Vec<PipelineRecord>,
+    /// Estimator switches logged while the query ran.
+    pub switches: Vec<SwitchEvent>,
+}
+
+/// Consumer of harvested queries. Implementations must be cheap and
+/// non-blocking: the monitor calls [`HarvestSink::deliver`] inline while
+/// processing the `Finished` event (a channel sender is the typical
+/// impl — the heavy lifting happens on the trainer's thread).
+pub trait HarvestSink: Send + Sync {
+    fn deliver(&self, harvest: HarvestedQuery);
+}
+
+/// A plain mpsc sender is a harvest sink; a hung-up receiver silently
+/// drops the harvest (monitoring must outlive any one learner).
+impl HarvestSink for std::sync::mpsc::Sender<HarvestedQuery> {
+    fn deliver(&self, harvest: HarvestedQuery) {
+        let _ = self.send(harvest);
+    }
+}
 
 /// One estimator switch, logged when online re-selection changes its mind.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -136,6 +199,14 @@ struct QueryState {
     plan: Arc<PhysicalPlan>,
     weights: Vec<f64>,
     total_weight: f64,
+    /// The selector captured at registration — in-flight queries keep
+    /// scoring with their registration-time model even when
+    /// [`ProgressMonitor::swap_selector`] installs a newer one (`None`
+    /// under a fixed policy).
+    selector: Option<Arc<EstimatorSelector>>,
+    /// Selector epoch at registration (see
+    /// [`ProgressMonitor::selector_epoch`]).
+    epoch: u64,
     pipes: Vec<PipeState>,
     /// Serials of the engine's currently retained snapshots (mirrors the
     /// bounded trace buffer across thinning events).
@@ -157,6 +228,10 @@ pub struct ProgressMonitor {
     policy: Policy,
     config: MonitorConfig,
     queries: BTreeMap<usize, QueryState>,
+    /// Bumped by every [`Self::swap_selector`]; queries remember the epoch
+    /// they registered under.
+    epoch: u64,
+    harvester: Option<(Arc<dyn HarvestSink>, HarvestConfig)>,
 }
 
 impl ProgressMonitor {
@@ -180,6 +255,8 @@ impl ProgressMonitor {
             policy: Policy::Fixed(kind),
             config: MonitorConfig::default(),
             queries: BTreeMap::new(),
+            epoch: 0,
+            harvester: None,
         })
     }
 
@@ -196,7 +273,68 @@ impl ProgressMonitor {
         selector: Arc<EstimatorSelector>,
         config: MonitorConfig,
     ) -> ProgressMonitor {
-        ProgressMonitor { policy: Policy::Selector(selector), config, queries: BTreeMap::new() }
+        ProgressMonitor {
+            policy: Policy::Selector(selector),
+            config,
+            queries: BTreeMap::new(),
+            epoch: 0,
+            harvester: None,
+        }
+    }
+
+    /// Replace the monitor's configuration, builder-style — the way to
+    /// give a fixed-policy monitor (whose constructors start from
+    /// defaults) a deterministic clock or a different ETA window. Applies
+    /// to future registrations; already-registered queries keep the ETA
+    /// window they were created with.
+    pub fn with_config(mut self, config: MonitorConfig) -> ProgressMonitor {
+        self.config = config;
+        self
+    }
+
+    /// Attach a harvest sink: from now on, every `Finished` event
+    /// additionally mines the query's finalized observation state into
+    /// labelled [`PipelineRecord`]s (bit-identical to batch extraction
+    /// over the same trace) and delivers them, together with the switch
+    /// history, as one [`HarvestedQuery`]. Builder-style.
+    pub fn with_harvester(
+        mut self,
+        sink: Arc<dyn HarvestSink>,
+        config: HarvestConfig,
+    ) -> ProgressMonitor {
+        self.set_harvester(sink, config);
+        self
+    }
+
+    /// Attach (or replace) the harvest sink. See [`Self::with_harvester`].
+    pub fn set_harvester(&mut self, sink: Arc<dyn HarvestSink>, config: HarvestConfig) {
+        self.harvester = Some((sink, config));
+    }
+
+    /// Install `selector` for **future registrations** and bump the
+    /// selector epoch (returned). In-flight queries keep the selector
+    /// captured at their registration — a swap mid-query never changes
+    /// answers already being served (bit-equality pinned by
+    /// `tests/online_learning.rs`) — while every later
+    /// [`Self::register`] scores with the new model. Swapping onto a
+    /// fixed-policy monitor upgrades it to selector mode (existing
+    /// fixed-policy queries keep their fixed estimator).
+    pub fn swap_selector(&mut self, selector: Arc<EstimatorSelector>) -> u64 {
+        self.policy = Policy::Selector(selector);
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// The current selector epoch: 0 until the first
+    /// [`Self::swap_selector`], incremented by each swap.
+    pub fn selector_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The selector epoch `query` was registered under (`None` for
+    /// unregistered queries).
+    pub fn query_selector_epoch(&self, query: usize) -> Option<u64> {
+        self.queries.get(&query).map(|qs| qs.epoch)
     }
 
     /// Register a query **before it runs**. Everything derivable without
@@ -259,12 +397,20 @@ impl ProgressMonitor {
                 }
             })
             .collect();
+        // Capture the selector behind this registration: re-selection for
+        // this query stays on it even across later swaps.
+        let selector = match &self.policy {
+            Policy::Fixed(_) => None,
+            Policy::Selector(sel) => Some(Arc::clone(sel)),
+        };
         self.queries.insert(
             query,
             QueryState {
                 plan,
                 weights,
                 total_weight,
+                selector,
+                epoch: self.epoch,
                 pipes,
                 live: Vec::new(),
                 serial_next: 0,
@@ -320,6 +466,32 @@ impl ProgressMonitor {
                         let pid = pipe.obs.pipeline_id();
                         pipe.obs.finalize(windows[pid]);
                     }
+                    // Harvest hook: the pipes are finalized, so their
+                    // committed curves, truth and totals now match what
+                    // batch extraction would compute over this trace.
+                    if let Some((sink, hcfg)) = &self.harvester {
+                        let records = qs
+                            .pipes
+                            .iter()
+                            .filter_map(|pipe| {
+                                record_from_online(
+                                    &qs.plan,
+                                    &pipe.obs,
+                                    &hcfg.label,
+                                    query,
+                                    qs.weights[pipe.obs.pipeline_id()],
+                                    hcfg.min_observations,
+                                )
+                            })
+                            .collect();
+                        sink.deliver(HarvestedQuery {
+                            query,
+                            selector_epoch: qs.epoch,
+                            total_time,
+                            records,
+                            switches: qs.switches.clone(),
+                        });
+                    }
                 }
             }
         }
@@ -364,7 +536,10 @@ impl ProgressMonitor {
             if committed == 0 {
                 continue;
             }
-            if let Policy::Selector(sel) = &self.policy {
+            // Re-selection scores with the selector captured at this
+            // query's registration, not the monitor's current policy: a
+            // hot swap must never change an in-flight query's behavior.
+            if let Some(sel) = &qs.selector {
                 pipe.since_select += committed;
                 if reselect_every > 0 && pipe.since_select >= reselect_every && !pipe.obs.is_empty()
                 {
@@ -442,6 +617,17 @@ impl ProgressMonitor {
             return Some(Eta::finished(qs.last_wall));
         }
         Some(qs.eta.estimate())
+    }
+
+    /// [`Self::remaining_time`] plus its staleness: how many wall seconds
+    /// the configured [`MonitorConfig::clock`] has advanced past the
+    /// answer's [`Eta::as_of`]. The [`Eta`] itself stays a pure function
+    /// of the ingested event stream (bit-deterministic under a manual
+    /// clock); only the `age` reads the serving clock. A countdown UI
+    /// displays `eta.remaining - age` (see [`StaleEta::remaining_now`]).
+    pub fn remaining_time_with_age(&self, query: usize) -> Option<StaleEta> {
+        let eta = self.remaining_time(query)?;
+        Some(StaleEta::at(eta, self.config.clock.now()))
     }
 
     /// Bounded-staleness progress: the progress fraction this query is
@@ -538,13 +724,63 @@ impl ProgressMonitor {
             policy: self.policy.clone(),
             config: self.config.clone(),
             queries: BTreeMap::new(),
+            epoch: self.epoch,
+            harvester: self.harvester.clone(),
         }
+    }
+}
+
+/// Fixtures shared by the shard and service test modules.
+#[cfg(test)]
+pub(crate) mod test_support {
+    use prosel_core::features::FeatureSchema;
+    use prosel_core::pipeline_runs::PipelineRecord;
+    use prosel_core::selection::{EstimatorSelector, SelectorConfig};
+    use prosel_core::training::TrainingSet;
+    use prosel_estimators::EstimatorKind;
+    use prosel_mart::BoostParams;
+
+    /// A selector whose constant error models make it always pick `kind`
+    /// (features are irrelevant — every record reports `kind` as the
+    /// cheapest estimator).
+    pub(crate) fn selector_favoring(kind: EstimatorKind) -> EstimatorSelector {
+        let dims = FeatureSchema::get().len();
+        let idx = kind.candidate_index().expect("candidate");
+        let records: Vec<PipelineRecord> = (0..24)
+            .map(|i| {
+                let mut errors = vec![0.9f32; 8];
+                errors[idx] = 0.05;
+                PipelineRecord {
+                    workload: "syn".into(),
+                    query_idx: i,
+                    pipeline_id: 0,
+                    features: vec![0.0; dims],
+                    errors_l1: errors.clone(),
+                    errors_l2: errors,
+                    total_getnext: 10,
+                    weight: 1.0,
+                    n_obs: 10,
+                    fingerprint: "syn".into(),
+                    oracle_l1: [0.0; 2],
+                    oracle_l2: [0.0; 2],
+                }
+            })
+            .collect();
+        let cfg = SelectorConfig {
+            candidates: vec![EstimatorKind::Dne, EstimatorKind::Tgn],
+            boost: BoostParams { iterations: 4, ..BoostParams::fast() },
+            ..SelectorConfig::default()
+        };
+        EstimatorSelector::train(&TrainingSet::from_records(&records), &cfg)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::test_support::selector_favoring;
     use super::*;
+    use prosel_core::features::FeatureSchema;
+    use prosel_engine::clock::ManualClock;
     use prosel_engine::plan::{OperatorKind, PlanNode};
 
     fn scan_plan() -> PhysicalPlan {
@@ -720,6 +956,103 @@ mod tests {
             );
         }
         assert!(ProgressMonitor::try_fixed(EstimatorKind::Dne).is_ok());
+    }
+
+    #[test]
+    fn staleness_age_is_served_under_a_manual_clock() {
+        let plan = scan_plan();
+        let clock = Arc::new(ManualClock::new(0.0));
+        let config =
+            MonitorConfig { clock: Arc::clone(&clock) as Arc<dyn Clock>, ..Default::default() };
+        let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne).with_config(config);
+        monitor.register(2, &plan);
+        monitor.ingest(snapshot_event(2, 0, 1.0, 10));
+        monitor.ingest(snapshot_event(2, 1, 2.0, 20));
+        // The latest accepted sample is as_of == 2.0; the serving clock
+        // has moved on to 5.5 => age 3.5, countdown 8 − 3.5.
+        clock.set(5.5);
+        let stale = monitor.remaining_time_with_age(2).expect("registered");
+        assert_eq!(stale.eta, monitor.remaining_time(2).unwrap(), "eta itself is unchanged");
+        assert!((stale.age - 3.5).abs() < 1e-12, "age {}", stale.age);
+        assert!((stale.remaining_now() - (8.0 - 3.5)).abs() < 1e-9);
+        // A clock that has burned past the estimate floors at zero.
+        clock.set(100.0);
+        assert_eq!(monitor.remaining_time_with_age(2).unwrap().remaining_now(), 0.0);
+        assert_eq!(monitor.remaining_time_with_age(99), None, "unregistered");
+    }
+
+    #[test]
+    fn swap_selector_affects_future_registrations_only() {
+        let plan = scan_plan();
+        let favor_dne = Arc::new(selector_favoring(EstimatorKind::Dne));
+        let favor_tgn = Arc::new(selector_favoring(EstimatorKind::Tgn));
+        let mut monitor =
+            ProgressMonitor::with_shared_selector(Arc::clone(&favor_dne), MonitorConfig::default());
+        assert_eq!(monitor.selector_epoch(), 0);
+        monitor.register(0, &plan);
+        assert_eq!(monitor.initial_choice(0, 0), Some(EstimatorKind::Dne));
+        // Feed the in-flight query half its stream, then swap.
+        monitor.ingest(snapshot_event(0, 0, 1.0, 10));
+        assert_eq!(monitor.swap_selector(Arc::clone(&favor_tgn)), 1);
+        monitor.register(1, &plan);
+        // New registration scores with the new model; the in-flight query
+        // keeps its registration-time choice and epoch.
+        assert_eq!(monitor.initial_choice(1, 0), Some(EstimatorKind::Tgn));
+        assert_eq!(monitor.query_selector_epoch(0), Some(0));
+        assert_eq!(monitor.query_selector_epoch(1), Some(1));
+        // Re-selection on query 0 keeps using the DNE-favoring selector
+        // even after many post-swap observations.
+        for seq in 1..9 {
+            monitor.ingest(snapshot_event(0, seq, 1.0 + seq as f64, 10 * (seq + 1)));
+        }
+        assert_eq!(monitor.current_choice(0, 0), Some(EstimatorKind::Dne));
+        assert_eq!(monitor.switch_history(0), Some(&[][..]), "no switch forced by the swap");
+    }
+
+    #[test]
+    fn finished_queries_are_harvested_with_batch_equivalent_shape() {
+        let plan = scan_plan();
+        let (sink, harvested) = std::sync::mpsc::channel();
+        let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne).with_harvester(
+            Arc::new(sink),
+            HarvestConfig { label: "live".into(), min_observations: 3 },
+        );
+        monitor.register(7, &plan);
+        for seq in 0..5u64 {
+            monitor.ingest(snapshot_event(7, seq, (seq + 1) as f64 * 8.0, 20 * (seq + 1)));
+        }
+        monitor.ingest(TraceEvent::Finished {
+            query: 7,
+            wall: 40.0,
+            windows: vec![(1.0, 40.0)].into_boxed_slice(),
+            total_time: 40.0,
+        });
+        let h = harvested.try_recv().expect("one harvest per finished query");
+        assert_eq!((h.query, h.selector_epoch), (7, 0));
+        assert_eq!(h.total_time, 40.0);
+        assert!(h.switches.is_empty());
+        assert_eq!(h.records.len(), 1);
+        let r = &h.records[0];
+        assert_eq!((r.workload.as_str(), r.query_idx, r.pipeline_id), ("live", 7, 0));
+        assert_eq!(r.n_obs, 5);
+        assert_eq!(r.total_getnext, 100);
+        assert_eq!(r.features.len(), FeatureSchema::get().len());
+        assert!(r.errors_l1.iter().all(|e| e.is_finite() && *e >= 0.0));
+        assert!(harvested.try_recv().is_err(), "exactly one harvest");
+
+        // A query below the observation floor harvests an empty record
+        // set (the envelope still announces the finish).
+        monitor.register(8, &plan);
+        monitor.ingest(snapshot_event(8, 0, 10.0, 50));
+        monitor.ingest(TraceEvent::Finished {
+            query: 8,
+            wall: 20.0,
+            windows: vec![(1.0, 20.0)].into_boxed_slice(),
+            total_time: 20.0,
+        });
+        let h = harvested.try_recv().expect("envelope for the short query");
+        assert_eq!(h.query, 8);
+        assert!(h.records.is_empty(), "1 observation < min_observations 3");
     }
 
     #[test]

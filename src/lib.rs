@@ -21,6 +21,7 @@
 //! | [`mart`] | `prosel-mart` | stochastic gradient-boosted regression trees |
 //! | [`core`] | `prosel-core` | feature extraction, estimator-selection models, end-to-end progress monitor |
 //! | [`monitor`] | `prosel-monitor` | **online** monitor: live traces in, incremental estimation + dynamic re-selection out, wall-clock ETA (`remaining_time` / `progress_at_deadline`) |
+//! | [`learn`] | `prosel-learn` | **online learning**: harvested-run training buffer, background retraining, versioned selector hot-swap |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@ pub use prosel_core as core;
 pub use prosel_datagen as datagen;
 pub use prosel_engine as engine;
 pub use prosel_estimators as estimators;
+pub use prosel_learn as learn;
 pub use prosel_mart as mart;
 pub use prosel_monitor as monitor;
 pub use prosel_planner as planner;

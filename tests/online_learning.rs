@@ -1,0 +1,184 @@
+//! The online-learning loop end to end, at the workspace level:
+//!
+//! * a hot swap mid-workload never changes anything for queries that were
+//!   already registered (bit-equality against a swap-free monitor), while
+//!   new registrations pick up the swapped model and epoch;
+//! * a selector retrained from harvested feedback serves held-out
+//!   selection L1 no worse than the statically-trained baseline —
+//!   deterministically, under fixed seeds.
+
+use prosel::core::pipeline_runs::collect_workload_records;
+use prosel::core::selection::{EstimatorSelector, SelectorConfig};
+use prosel::core::training::TrainingSet;
+use prosel::engine::{
+    run_concurrent_tapped, run_plan_tapped, Catalog, ConcurrentConfig, ExecConfig, TraceEvent,
+};
+use prosel::learn::{BufferConfig, LearnConfig, OnlineLearner};
+use prosel::mart::BoostParams;
+use prosel::monitor::{HarvestConfig, MonitorConfig, ProgressMonitor};
+use prosel::planner::workload::{materialize, WorkloadKind, WorkloadSpec};
+use prosel::planner::PlanBuilder;
+use std::sync::Arc;
+
+fn selector_on(spec: &WorkloadSpec, boost_iters: usize) -> EstimatorSelector {
+    let records = collect_workload_records(spec).expect("workload");
+    EstimatorSelector::train(
+        &TrainingSet::from_records(&records),
+        &SelectorConfig {
+            boost: BoostParams { iterations: boost_iters, ..BoostParams::fast() },
+            ..SelectorConfig::default()
+        },
+    )
+}
+
+#[test]
+fn hot_swap_mid_workload_is_invisible_to_registered_queries() {
+    let s1 = Arc::new(selector_on(
+        &WorkloadSpec::new(WorkloadKind::TpchLike, 0x51).with_queries(8).with_scale(0.4),
+        10,
+    ));
+    let s2 = Arc::new(selector_on(
+        &WorkloadSpec::new(WorkloadKind::TpcdsLike, 0x52).with_queries(8).with_scale(0.4),
+        10,
+    ));
+
+    let spec = WorkloadSpec::new(WorkloadKind::TpchLike, 0x53).with_queries(6);
+    let w = materialize(&spec);
+    let catalog = Catalog::new(&w.db, &w.design);
+    let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
+    let plans: Vec<_> = w.queries.iter().map(|q| builder.build(q).expect("plan")).collect();
+
+    // One interleaved event stream, collected up front so both monitors
+    // see byte-identical input.
+    let (tap, rx) = std::sync::mpsc::channel();
+    let cfg = ConcurrentConfig {
+        exec: ExecConfig { seed: 0x53, ..ExecConfig::default() },
+        ..Default::default()
+    };
+    run_concurrent_tapped(&catalog, &plans, &cfg, tap);
+    let events: Vec<TraceEvent> = rx.try_iter().collect();
+    assert!(events.len() > 20);
+
+    let mut plain =
+        ProgressMonitor::with_shared_selector(Arc::clone(&s1), MonitorConfig::default());
+    let mut swapped =
+        ProgressMonitor::with_shared_selector(Arc::clone(&s1), MonitorConfig::default());
+    for (qi, plan) in plans.iter().enumerate() {
+        plain.register(qi, plan);
+        swapped.register(qi, plan);
+    }
+
+    let mid = events.len() / 2;
+    for (i, ev) in events.iter().enumerate() {
+        if i == mid {
+            // Swap mid-stream on one monitor only.
+            assert_eq!(swapped.swap_selector(Arc::clone(&s2)), 1);
+        }
+        plain.ingest(ev.clone());
+        swapped.ingest(ev.clone());
+        // Served answers must stay bit-identical for every in-flight
+        // query, before and after the swap.
+        for qi in 0..plans.len() {
+            let a = plain.query_progress(qi).expect("registered");
+            let b = swapped.query_progress(qi).expect("registered");
+            assert_eq!(a.to_bits(), b.to_bits(), "q{qi} diverged after event {i}");
+        }
+    }
+    for qi in 0..plans.len() {
+        assert_eq!(
+            plain.switch_history(qi),
+            swapped.switch_history(qi),
+            "q{qi}: switch history must be unaffected by the swap"
+        );
+        for pid in 0.. {
+            match (plain.current_choice(qi, pid), swapped.current_choice(qi, pid)) {
+                (None, None) => break,
+                (a, b) => assert_eq!(a, b, "q{qi} p{pid} current choice"),
+            }
+        }
+        assert_eq!(swapped.query_selector_epoch(qi), Some(0), "registered pre-swap");
+    }
+
+    // New registrations land on the swapped model and epoch: they must
+    // match a reference monitor built on s2 directly.
+    let mut reference =
+        ProgressMonitor::with_shared_selector(Arc::clone(&s2), MonitorConfig::default());
+    let q_new = 100usize;
+    swapped.register(q_new, &plans[0]);
+    reference.register(q_new, &plans[0]);
+    assert_eq!(swapped.query_selector_epoch(q_new), Some(1));
+    for pid in 0.. {
+        match (swapped.initial_choice(q_new, pid), reference.initial_choice(q_new, pid)) {
+            (None, None) => break,
+            (a, b) => assert_eq!(a, b, "post-swap registration must score with s2 (p{pid})"),
+        }
+    }
+}
+
+#[test]
+fn feedback_retrained_selector_is_no_worse_than_the_static_baseline() {
+    // Mirrors the `online-learning` bench experiment (same seeds and
+    // sizing as its smoke scale): bootstrap on TPC-H-like, feed back
+    // TPC-DS-like rounds, score on a disjoint held-out TPC-DS-like set.
+    let bootstrap = WorkloadSpec::new(WorkloadKind::TpchLike, 0x0B00).with_queries(8);
+    let heldout = WorkloadSpec::new(WorkloadKind::TpcdsLike, 0x0D05).with_queries(32);
+    let baseline = Arc::new(selector_on(&bootstrap, 8));
+    let held = TrainingSet::from_records(&collect_workload_records(&heldout).expect("held-out"));
+    let baseline_l1 = baseline.evaluate(&held).chosen_l1;
+
+    let mut learner = OnlineLearner::new(
+        Arc::clone(&baseline),
+        LearnConfig {
+            buffer: BufferConfig { capacity: 2048, group_quota: 32, ..BufferConfig::default() },
+            retrain_every: 0,
+            holdout_every: 3,
+            min_records: 16,
+            warm_trees: 32,
+            ..LearnConfig::default()
+        },
+    );
+    let (sink, harvest_rx) = std::sync::mpsc::channel();
+    let mut monitor =
+        ProgressMonitor::with_shared_selector(Arc::clone(&baseline), MonitorConfig::default())
+            .with_harvester(
+                Arc::new(sink),
+                HarvestConfig { label: "prod".into(), min_observations: 5 },
+            );
+
+    for round in 0..3usize {
+        let spec =
+            WorkloadSpec::new(WorkloadKind::TpcdsLike, 0x0D10 + round as u64).with_queries(24);
+        let w = materialize(&spec);
+        let catalog = Catalog::new(&w.db, &w.design);
+        let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
+        for (qi, q) in w.queries.iter().enumerate() {
+            let query_id = round * 100_000 + qi;
+            let plan = builder.build(q).expect("plan");
+            let (tap, events) = std::sync::mpsc::channel();
+            monitor.register(query_id, &plan);
+            let cfg = ExecConfig { seed: 0x0D0 ^ query_id as u64, ..ExecConfig::default() };
+            run_plan_tapped(&catalog, &plan, &cfg, query_id, tap);
+            monitor.drain(&events);
+            monitor.unregister(query_id);
+        }
+        for h in harvest_rx.try_iter() {
+            learner.absorb(&h);
+        }
+        let outcome = learner.retrain();
+        if outcome.promoted {
+            monitor.swap_selector(learner.current());
+        }
+    }
+
+    let stats = learner.stats();
+    assert!(stats.harvested_records > 50, "harvested {}", stats.harvested_records);
+    assert!(stats.retrains == 3);
+    assert!(stats.promotions >= 1, "the loop must actually learn something here");
+    assert_eq!(monitor.selector_epoch(), stats.promotions as u64);
+
+    let final_l1 = learner.current().evaluate(&held).chosen_l1;
+    assert!(
+        final_l1 <= baseline_l1 + 1e-12,
+        "feedback-retrained selector must serve held-out L1 <= baseline: {final_l1} vs {baseline_l1}"
+    );
+}
