@@ -18,6 +18,7 @@ pub mod sensitivity;
 pub mod table1;
 pub mod table7;
 pub mod table8;
+pub mod traffic;
 pub mod validate;
 
 use crate::suite::{ExpScale, Suite};
@@ -45,6 +46,7 @@ pub const ALL: &[&str] = &[
     "multiquery",
     "eta-accuracy",
     "online-learning",
+    "traffic-soak",
 ];
 
 /// Dispatch one experiment by name.
@@ -69,6 +71,7 @@ pub fn run_one(name: &str, suite: &mut Suite, scale: ExpScale) -> Option<String>
         "multiquery" => multiquery::run(suite, scale),
         "eta-accuracy" | "eta_accuracy" => eta::run(suite, scale),
         "online-learning" | "online_learning" => online_learning::run(suite, scale),
+        "traffic-soak" | "traffic_soak" | "traffic" => traffic::run(suite, scale),
         _ => return None,
     };
     Some(out)

@@ -14,6 +14,8 @@
 pub mod experiments;
 pub mod report;
 pub mod suite;
+pub mod traffic;
 
 pub use report::Table;
 pub use suite::{paper_workloads, ExpScale, Suite};
+pub use traffic::TrafficSpec;

@@ -102,5 +102,5 @@ pub use eta::{Eta, SpeedTracker, StaleEta};
 pub use service::{MonitorService, QueryError};
 pub use shard::{
     HarvestConfig, HarvestSink, HarvestedQuery, MonitorConfig, PipelineStatus, ProgressMonitor,
-    QueryStatus, RegisterError, SwitchEvent,
+    QueryStatus, RegisterError, ShardStats, SwitchEvent,
 };

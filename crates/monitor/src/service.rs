@@ -19,7 +19,7 @@
 //! ingest is running.
 
 use crate::eta::{Eta, StaleEta};
-use crate::shard::{ProgressMonitor, QueryStatus, RegisterError, SwitchEvent};
+use crate::shard::{ProgressMonitor, QueryStatus, RegisterError, ShardStats, SwitchEvent};
 use prosel_core::selection::EstimatorSelector;
 use prosel_engine::plan::PhysicalPlan;
 use prosel_engine::trace::{TapSink, TraceEvent, TraceTap};
@@ -120,6 +120,9 @@ enum ShardMsg {
     Registered {
         reply: Sender<Vec<usize>>,
     },
+    Stats {
+        reply: Sender<ShardStats>,
+    },
     Shutdown,
 }
 
@@ -172,6 +175,9 @@ fn run_shard(mut monitor: ProgressMonitor, rx: Receiver<ShardMsg>) {
             }
             ShardMsg::Registered { reply } => {
                 let _ = reply.send(monitor.registered_queries());
+            }
+            ShardMsg::Stats { reply } => {
+                let _ = reply.send(monitor.shard_stats());
             }
             ShardMsg::Shutdown => break,
         }
@@ -485,6 +491,33 @@ impl MonitorService {
         all
     }
 
+    /// Per-shard operation counters, in shard order — the traffic
+    /// harness's invariant and interference hook. Each readout is a
+    /// round-trip behind that shard's queue (all requests are sent first,
+    /// then collected), so a readout taken after the last event was sent
+    /// reflects every one of this caller's events ([`ShardStats`]'s
+    /// conservation law holds service-wide). `Err(ShardDown)` if any
+    /// worker is gone — partial counters would silently break that law.
+    pub fn shard_stats(&self) -> Result<Vec<ShardStats>, QueryError> {
+        let pending: Vec<_> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let (reply, rx) = channel();
+                shard.send(ShardMsg::Stats { reply }).ok().map(|()| rx)
+            })
+            .collect();
+        pending
+            .into_iter()
+            .map(|rx| rx.and_then(|rx| rx.recv().ok()).ok_or(QueryError::ShardDown))
+            .collect()
+    }
+
+    /// [`Self::shard_stats`] folded into one service-wide readout.
+    pub fn stats(&self) -> Result<ShardStats, QueryError> {
+        Ok(self.shard_stats()?.iter().fold(ShardStats::default(), |acc, s| acc.merged(s)))
+    }
+
     /// Drain and stop every shard worker. Messages already queued
     /// (including tapped events still in flight) are processed first;
     /// taps handed out earlier go dead afterwards. Dropping the service
@@ -712,6 +745,69 @@ mod tests {
         let mut got: Vec<usize> = harvested.try_iter().map(|h| h.query).collect();
         got.sort_unstable();
         assert_eq!(got, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn saturated_shards_refuse_admission_with_typed_errors_not_panics() {
+        use crate::shard::MonitorConfig;
+        let plan = scan_plan();
+        // 2 shards × cap 2 = 4 admission slots service-wide.
+        let config = MonitorConfig { max_queries: 2, ..Default::default() };
+        let prototype = ProgressMonitor::fixed(EstimatorKind::Dne).with_config(config);
+        let service = MonitorService::from_prototype(prototype, 2);
+        // Flood well past the cap through both admission paths: every
+        // over-cap registration must come back as a typed Saturated value
+        // and no shard worker may die.
+        let queries: Vec<usize> = (0..16).collect();
+        let results = service.try_register_batch(&queries, &plan);
+        let admitted: Vec<usize> =
+            results.iter().filter(|(_, r)| r.is_ok()).map(|&(q, _)| q).collect();
+        let saturated = results
+            .iter()
+            .filter(|(_, r)| matches!(r, Err(RegisterError::Saturated { limit: 2 })))
+            .count();
+        assert_eq!(admitted.len(), 4);
+        assert_eq!(saturated, 12);
+        assert_eq!(service.try_register(17, &plan), Err(RegisterError::Saturated { limit: 2 }));
+        // The shards survived the flood and still serve admitted queries.
+        for &q in &admitted {
+            service.ingest(snapshot_event(q, 0, 10.0, 50));
+            assert!((service.query_progress(q).unwrap() - 0.5).abs() < 1e-12, "q{q}");
+        }
+        // Draining a query frees its slot on the owning shard only.
+        let freed = admitted[0];
+        service.unregister(freed);
+        assert_eq!(service.try_register(freed + 2 * service.n_shards(), &plan), Ok(()));
+        let stats = service.stats().expect("all shards up");
+        assert_eq!(stats.registered, 4);
+        assert_eq!(stats.admitted, 5);
+        assert_eq!(stats.refused, 13);
+        service.shutdown();
+    }
+
+    #[test]
+    fn stats_fold_per_shard_counters_after_the_queues_drain() {
+        let plan = scan_plan();
+        let service = MonitorService::fixed(EstimatorKind::Dne, 3);
+        for q in 0..6usize {
+            service.register(q, &plan);
+        }
+        let tap = service.tap();
+        for q in 0..6usize {
+            tap.send(snapshot_event(q, 0, 10.0, 25)).unwrap();
+        }
+        // An event for a query nobody registered: dropped and counted.
+        tap.send(snapshot_event(42, 0, 10.0, 25)).unwrap();
+        let per_shard = service.shard_stats().expect("all shards up");
+        assert_eq!(per_shard.len(), 3);
+        let total = service.stats().expect("all shards up");
+        // The stats round-trip queues behind the tapped events, so the
+        // conservation law is exact at readout time.
+        assert_eq!(total.events_ingested + total.events_unroutable, 7);
+        assert_eq!(total.events_unroutable, 1);
+        assert_eq!((total.registered, total.admitted), (6, 6));
+        assert_eq!(total.queries_dropped, 0);
+        service.shutdown();
     }
 
     #[test]

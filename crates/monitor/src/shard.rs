@@ -49,11 +49,23 @@ pub struct MonitorConfig {
     /// [`prosel_engine::clock::ManualClock`] makes the readouts fully
     /// deterministic; the default is a fresh [`SystemClock`].
     pub clock: Arc<dyn Clock>,
+    /// Admission cap: the maximum number of concurrently registered
+    /// queries this monitor (each shard, in service mode) will accept; 0
+    /// (the default) leaves admission unbounded. Registration beyond the
+    /// cap is refused with [`RegisterError::Saturated`] — a typed value,
+    /// never a panic — so an open-loop traffic spike degrades into
+    /// rejected admissions instead of unbounded shard state.
+    pub max_queries: usize,
 }
 
 impl Default for MonitorConfig {
     fn default() -> Self {
-        MonitorConfig { reselect_every: 4, eta_window: 32, clock: Arc::new(SystemClock::new()) }
+        MonitorConfig {
+            reselect_every: 4,
+            eta_window: 32,
+            clock: Arc::new(SystemClock::new()),
+            max_queries: 0,
+        }
     }
 }
 
@@ -71,6 +83,15 @@ pub enum RegisterError {
     /// The estimator kind needs post-hoc totals and cannot serve live
     /// progress (the oracle kinds).
     OracleKind(EstimatorKind),
+    /// The monitor (or the owning shard) is at its configured admission
+    /// cap ([`MonitorConfig::max_queries`] concurrently registered
+    /// queries): the registration was refused to keep shard state bounded
+    /// under open-loop admission pressure. Retry after earlier queries
+    /// finish or are unregistered.
+    Saturated {
+        /// The cap that was hit.
+        limit: usize,
+    },
     /// The shard worker that owns this query is no longer running
     /// (service mode only).
     ShardDown,
@@ -82,6 +103,9 @@ impl std::fmt::Display for RegisterError {
             RegisterError::DuplicateQuery(q) => write!(f, "query {q} already registered"),
             RegisterError::OracleKind(k) => {
                 write!(f, "{k} needs post-hoc totals and cannot serve progress online")
+            }
+            RegisterError::Saturated { limit } => {
+                write!(f, "monitor saturated: admission cap of {limit} registered queries reached")
             }
             RegisterError::ShardDown => write!(f, "owning shard worker is gone"),
         }
@@ -140,6 +164,58 @@ pub trait HarvestSink: Send + Sync {
 impl HarvestSink for std::sync::mpsc::Sender<HarvestedQuery> {
     fn deliver(&self, harvest: HarvestedQuery) {
         let _ = self.send(harvest);
+    }
+}
+
+/// Monotone operation counters of one monitor (one shard, in service
+/// mode) — the observability hook behind the traffic harness's
+/// no-drop invariants and harvest/retrain interference measurements
+/// (read via [`ProgressMonitor::shard_stats`] /
+/// [`crate::service::MonitorService::shard_stats`]).
+///
+/// Conservation law: every call to [`ProgressMonitor::ingest`] increments
+/// exactly one of `events_ingested` (the query was registered when the
+/// event arrived — including events that triggered a defensive state
+/// drop) or `events_unroutable` (it was not), so a driver that sent `N`
+/// events to a drained shard set must observe
+/// `Σ events_ingested + Σ events_unroutable == N`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Queries registered right now.
+    pub registered: usize,
+    /// Registrations accepted since construction.
+    pub admitted: u64,
+    /// Registrations refused (duplicate id or [`RegisterError::Saturated`]).
+    pub refused: u64,
+    /// Events ingested into a registered query's state.
+    pub events_ingested: u64,
+    /// Events that arrived for queries this monitor does not track
+    /// (silently dropped, per the [`ProgressMonitor::ingest`] contract).
+    pub events_unroutable: u64,
+    /// Queries whose state was dropped defensively (corrupt, late-joined
+    /// or id-reusing streams) instead of being served.
+    pub queries_dropped: u64,
+    /// `Finished` events accepted: queries that reached the terminal
+    /// pinned-to-1.0 state.
+    pub queries_finished: u64,
+    /// Harvest envelopes delivered to the attached sink.
+    pub harvests: u64,
+}
+
+impl ShardStats {
+    /// Element-wise sum (`registered` included) — fold the per-shard
+    /// readouts of a service into one service-wide view.
+    pub fn merged(&self, other: &ShardStats) -> ShardStats {
+        ShardStats {
+            registered: self.registered + other.registered,
+            admitted: self.admitted + other.admitted,
+            refused: self.refused + other.refused,
+            events_ingested: self.events_ingested + other.events_ingested,
+            events_unroutable: self.events_unroutable + other.events_unroutable,
+            queries_dropped: self.queries_dropped + other.queries_dropped,
+            queries_finished: self.queries_finished + other.queries_finished,
+            harvests: self.harvests + other.harvests,
+        }
     }
 }
 
@@ -232,6 +308,8 @@ pub struct ProgressMonitor {
     /// they registered under.
     epoch: u64,
     harvester: Option<(Arc<dyn HarvestSink>, HarvestConfig)>,
+    /// Monotone operation counters (`registered` is derived on read).
+    stats: ShardStats,
 }
 
 impl ProgressMonitor {
@@ -257,6 +335,7 @@ impl ProgressMonitor {
             queries: BTreeMap::new(),
             epoch: 0,
             harvester: None,
+            stats: ShardStats::default(),
         })
     }
 
@@ -279,6 +358,7 @@ impl ProgressMonitor {
             queries: BTreeMap::new(),
             epoch: 0,
             harvester: None,
+            stats: ShardStats::default(),
         }
     }
 
@@ -359,6 +439,7 @@ impl ProgressMonitor {
     /// [`RegisterError::DuplicateQuery`] instead of aborting.
     pub fn try_register(&mut self, query: usize, plan: &PhysicalPlan) -> Result<(), RegisterError> {
         if self.queries.contains_key(&query) {
+            self.stats.refused += 1;
             return Err(RegisterError::DuplicateQuery(query));
         }
         self.try_register_arc(query, Arc::new(plan.clone()))
@@ -372,7 +453,13 @@ impl ProgressMonitor {
         plan: Arc<PhysicalPlan>,
     ) -> Result<(), RegisterError> {
         if self.queries.contains_key(&query) {
+            self.stats.refused += 1;
             return Err(RegisterError::DuplicateQuery(query));
+        }
+        let cap = self.config.max_queries;
+        if cap > 0 && self.queries.len() >= cap {
+            self.stats.refused += 1;
+            return Err(RegisterError::Saturated { limit: cap });
         }
         let pipelines: Vec<Pipeline> = decompose(&plan);
         let weights: Vec<f64> = pipelines.iter().map(|p| pipeline_weight(&plan, p)).collect();
@@ -421,6 +508,7 @@ impl ProgressMonitor {
                 last_wall: 0.0,
             },
         );
+        self.stats.admitted += 1;
         Ok(())
     }
 
@@ -434,9 +522,11 @@ impl ProgressMonitor {
             }
             TraceEvent::Thinned { query } => {
                 if let Some(qs) = self.queries.get_mut(&query) {
+                    self.stats.events_ingested += 1;
                     if qs.finished {
                         // A new stream reusing the id (see on_snapshot).
                         self.queries.remove(&query);
+                        self.stats.queries_dropped += 1;
                         return;
                     }
                     // Mirror the engine: odd positions survive, interval
@@ -445,10 +535,13 @@ impl ProgressMonitor {
                     for pipe in &mut qs.pipes {
                         pipe.obs.thin(&qs.live);
                     }
+                } else {
+                    self.stats.events_unroutable += 1;
                 }
             }
             TraceEvent::Finished { query, wall, windows, total_time } => {
                 if let Some(qs) = self.queries.get_mut(&query) {
+                    self.stats.events_ingested += 1;
                     if qs.finished || windows.len() != qs.pipes.len() {
                         // Same contract as the snapshot path: a second
                         // termination means a new stream is reusing this
@@ -457,11 +550,13 @@ impl ProgressMonitor {
                         // under it — drop the state rather than panic the
                         // shard (or serve stale answers).
                         self.queries.remove(&query);
+                        self.stats.queries_dropped += 1;
                         return;
                     }
                     qs.finished = true;
                     qs.last_time = total_time;
                     qs.last_wall = qs.last_wall.max(wall);
+                    self.stats.queries_finished += 1;
                     for pipe in &mut qs.pipes {
                         let pid = pipe.obs.pipeline_id();
                         pipe.obs.finalize(windows[pid]);
@@ -491,7 +586,10 @@ impl ProgressMonitor {
                             records,
                             switches: qs.switches.clone(),
                         });
+                        self.stats.harvests += 1;
                     }
+                } else {
+                    self.stats.events_unroutable += 1;
                 }
             }
         }
@@ -505,7 +603,11 @@ impl ProgressMonitor {
         snapshot: &Snapshot,
         windows: &[(f64, f64)],
     ) {
-        let Some(qs) = self.queries.get_mut(&query) else { return };
+        let Some(qs) = self.queries.get_mut(&query) else {
+            self.stats.events_unroutable += 1;
+            return;
+        };
+        self.stats.events_ingested += 1;
         if qs.finished
             || seq != qs.serial_next
             || snapshot.k.len() != qs.plan.len()
@@ -520,6 +622,7 @@ impl ProgressMonitor {
             // state can no longer be trusted, so refuse to serve
             // corrupted estimates rather than panic or misalign.
             self.queries.remove(&query);
+            self.stats.queries_dropped += 1;
             return;
         }
         let serial = qs.serial_next;
@@ -712,6 +815,14 @@ impl ProgressMonitor {
         self.queries.keys().copied().collect()
     }
 
+    /// This monitor's monotone operation counters (plus the current
+    /// registration count). Deterministic: a pure function of the
+    /// register/ingest/unregister call sequence, so a deterministic driver
+    /// observes byte-identical readouts across runs.
+    pub fn shard_stats(&self) -> ShardStats {
+        ShardStats { registered: self.queries.len(), ..self.stats }
+    }
+
     /// Drop a query's state (e.g. after its result was consumed).
     pub fn unregister(&mut self, query: usize) {
         self.queries.remove(&query);
@@ -726,6 +837,8 @@ impl ProgressMonitor {
             queries: BTreeMap::new(),
             epoch: self.epoch,
             harvester: self.harvester.clone(),
+            // Counters are per-instance: forks start their own tallies.
+            stats: ShardStats::default(),
         }
     }
 }
@@ -1053,6 +1166,63 @@ mod tests {
         let h = harvested.try_recv().expect("envelope for the short query");
         assert_eq!(h.query, 8);
         assert!(h.records.is_empty(), "1 observation < min_observations 3");
+    }
+
+    #[test]
+    fn admission_cap_refuses_with_typed_saturation_and_recovers() {
+        let plan = scan_plan();
+        let config = MonitorConfig { max_queries: 2, ..Default::default() };
+        let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne).with_config(config);
+        assert_eq!(monitor.try_register(0, &plan), Ok(()));
+        assert_eq!(monitor.try_register(1, &plan), Ok(()));
+        // At the cap: a typed refusal, never a panic, and the duplicate
+        // check still wins for ids that are already in (no double count).
+        assert_eq!(monitor.try_register(2, &plan), Err(RegisterError::Saturated { limit: 2 }));
+        assert_eq!(monitor.try_register(0, &plan), Err(RegisterError::DuplicateQuery(0)));
+        // Admitted queries are still served while saturated.
+        monitor.ingest(snapshot_event(0, 0, 10.0, 50));
+        assert!((monitor.query_progress(0).unwrap() - 0.5).abs() < 1e-12);
+        // Draining a query frees a slot; admission resumes.
+        monitor.unregister(1);
+        assert_eq!(monitor.try_register(2, &plan), Ok(()));
+        let stats = monitor.shard_stats();
+        assert_eq!((stats.admitted, stats.refused, stats.registered), (3, 2, 2));
+    }
+
+    #[test]
+    fn shard_stats_obey_the_event_conservation_law() {
+        let plan = scan_plan();
+        let (sink, harvested) = std::sync::mpsc::channel();
+        let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne).with_harvester(
+            Arc::new(sink),
+            HarvestConfig { label: "cnt".into(), min_observations: 1 },
+        );
+        monitor.register(0, &plan);
+        monitor.ingest(snapshot_event(0, 0, 10.0, 25));
+        monitor.ingest(snapshot_event(99, 0, 10.0, 25)); // untracked query
+        monitor.ingest(TraceEvent::Finished {
+            query: 0,
+            wall: 40.0,
+            windows: vec![(1.0, 40.0)].into_boxed_slice(),
+            total_time: 40.0,
+        });
+        // A post-termination snapshot drops the stale state defensively;
+        // the event still counts as ingested (it reached known state).
+        monitor.ingest(snapshot_event(0, 1, 50.0, 99));
+        let stats = monitor.shard_stats();
+        assert_eq!(stats.events_ingested + stats.events_unroutable, 4, "every event counted once");
+        assert_eq!(stats.events_unroutable, 1);
+        assert_eq!(stats.queries_finished, 1);
+        assert_eq!(stats.queries_dropped, 1);
+        assert_eq!(stats.harvests, 1);
+        assert_eq!(stats.registered, 0);
+        assert_eq!(harvested.try_iter().count(), 1);
+        // Forks start fresh tallies (service shards own their counters).
+        assert_eq!(monitor.fork().shard_stats(), ShardStats::default());
+        // merged() folds per-shard readouts element-wise.
+        let sum = stats.merged(&stats);
+        assert_eq!(sum.events_ingested, 2 * stats.events_ingested);
+        assert_eq!(sum.queries_finished, 2);
     }
 
     #[test]

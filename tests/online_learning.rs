@@ -5,7 +5,11 @@
 //!   new registrations pick up the swapped model and epoch;
 //! * a selector retrained from harvested feedback serves held-out
 //!   selection L1 no worse than the statically-trained baseline —
-//!   deterministically, under fixed seeds.
+//!   deterministically, under fixed seeds;
+//! * ETA reads (`remaining_time` / `progress_at_deadline`) served by a
+//!   sharded service stay well-formed while selectors hot-swap under
+//!   concurrent ingest, and the post-load state is bit-identical to a
+//!   swap-free reference monitor fed the same per-query streams.
 
 use prosel::core::pipeline_runs::collect_workload_records;
 use prosel::core::selection::{EstimatorSelector, SelectorConfig};
@@ -181,4 +185,128 @@ fn feedback_retrained_selector_is_no_worse_than_the_static_baseline() {
         final_l1 <= baseline_l1 + 1e-12,
         "feedback-retrained selector must serve held-out L1 <= baseline: {final_l1} vs {baseline_l1}"
     );
+}
+
+#[test]
+fn eta_reads_stay_served_and_sane_during_hot_swaps_under_load() {
+    use prosel::engine::plan::{OperatorKind, PhysicalPlan, PlanNode};
+    use prosel::engine::trace::Snapshot;
+    use prosel::monitor::MonitorService;
+
+    fn scan_plan() -> PhysicalPlan {
+        PhysicalPlan {
+            nodes: vec![PlanNode {
+                op: OperatorKind::TableScan { table: "t".into(), cols: vec![0] },
+                children: vec![],
+                est_rows: 100.0,
+                est_row_bytes: 8.0,
+                out_cols: 1,
+            }],
+            root: 0,
+        }
+    }
+
+    fn snapshot_event(query: usize, seq: u64, time: f64, k: u64) -> TraceEvent {
+        TraceEvent::Snapshot {
+            query,
+            seq,
+            wall: time, // wall stamped on the virtual timeline
+            snapshot: Snapshot {
+                time,
+                k: vec![k].into_boxed_slice(),
+                bytes_read: vec![k * 8].into_boxed_slice(),
+                bytes_written: vec![0].into_boxed_slice(),
+                materialized: vec![0].into_boxed_slice(),
+            },
+            windows: vec![(1.0, time)].into_boxed_slice(),
+        }
+    }
+
+    let s1_arc = Arc::new(selector_on(
+        &WorkloadSpec::new(WorkloadKind::TpchLike, 0x61).with_queries(8).with_scale(0.4),
+        8,
+    ));
+    let s2 = Arc::new(selector_on(
+        &WorkloadSpec::new(WorkloadKind::TpcdsLike, 0x62).with_queries(8).with_scale(0.4),
+        8,
+    ));
+
+    let plan = scan_plan();
+    let n_queries = 32usize;
+    let n_snaps = 60u64;
+    let service = MonitorService::from_prototype(
+        ProgressMonitor::with_shared_selector(Arc::clone(&s1_arc), MonitorConfig::default()),
+        4,
+    );
+    for q in 0..n_queries {
+        service.register(q, &plan);
+    }
+
+    // Writer streams every query's snapshots through the routed tap while
+    // readers hammer the ETA surface and the main thread hot-swaps the
+    // selector. Every read of a registered query must come back Ok and
+    // well-formed — a swap must never make a serve fail or go insane.
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            let tap = service.tap();
+            for seq in 0..n_snaps {
+                for q in 0..n_queries {
+                    tap.send(snapshot_event(q, seq, (seq + 1) as f64, seq + 1)).unwrap();
+                }
+            }
+        });
+        for reader in 0..3usize {
+            let service = &service;
+            scope.spawn(move || {
+                for i in 0..300usize {
+                    let q = (i * 7 + reader) % n_queries;
+                    let eta = service.remaining_time(q).expect("registered query must serve");
+                    assert!(!eta.remaining.is_nan() && eta.remaining >= 0.0);
+                    assert!(
+                        eta.remaining_lo <= eta.remaining && eta.remaining <= eta.remaining_hi,
+                        "interval must bracket the point estimate"
+                    );
+                    let p = service
+                        .progress_at_deadline(q, 30.0 + i as f64)
+                        .expect("registered query must serve");
+                    assert!((0.0..=1.0).contains(&p), "q{q} deadline progress {p}");
+                }
+            });
+        }
+        let mut last_epoch = 0u64;
+        for swap in 0..6usize {
+            let payload = if swap % 2 == 0 { Arc::clone(&s2) } else { Arc::clone(&s1_arc) };
+            let epoch = service.swap_selector(payload).expect("all shards up");
+            assert!(epoch > last_epoch, "swap epochs must be strictly monotone");
+            last_epoch = epoch;
+        }
+        writer.join().unwrap();
+    });
+
+    // Every query registered before the swaps: post-load answers must be
+    // bit-identical to a swap-free reference monitor fed the same
+    // per-query stream.
+    let mut reference =
+        ProgressMonitor::with_shared_selector(Arc::clone(&s1_arc), MonitorConfig::default());
+    for q in 0..n_queries {
+        reference.register(q, &plan);
+        for seq in 0..n_snaps {
+            reference.ingest(snapshot_event(q, seq, (seq + 1) as f64, seq + 1));
+        }
+    }
+    for q in 0..n_queries {
+        let served = service.remaining_time(q).expect("registered");
+        let expect = reference.remaining_time(q).expect("registered");
+        assert_eq!(
+            served.remaining.to_bits(),
+            expect.remaining.to_bits(),
+            "q{q}: swaps under load must be bit-invisible to in-flight ETAs"
+        );
+        assert_eq!(served.as_of.to_bits(), expect.as_of.to_bits(), "q{q} as_of");
+        assert_eq!(served.speed.to_bits(), expect.speed.to_bits(), "q{q} speed");
+        let sp = service.query_progress(q).expect("registered");
+        let rp = reference.query_progress(q).expect("registered");
+        assert_eq!(sp.to_bits(), rp.to_bits(), "q{q} progress");
+    }
+    service.shutdown();
 }
