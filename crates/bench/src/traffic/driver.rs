@@ -14,11 +14,15 @@
 //!    with every other in-flight query's events in global time order.
 //!    Millions of queries then cost event *sends*, not query executions.
 //!
-//! The replay thread is single and every shard channel is FIFO, so each
-//! progress read observes exactly the events sent before it — read
-//! *values* are deterministic functions of the spec and fold into
-//! [`TrafficOutcome::reads_digest`]. Wall-clock latencies measured around
-//! those reads are the run's non-deterministic, *reported* half
+//! The replay thread is single and service reads are wait-free snapshots;
+//! the driver quiesces the service (drains every event already sent)
+//! immediately before each read it digests, so each read observes exactly
+//! the events sent before it — read *values* are deterministic functions
+//! of the spec and fold into [`TrafficOutcome::reads_digest`]. The
+//! quiesce happens *outside* the read timer: the measured latency is the
+//! wait-free read alone, which is exactly the quantity the service
+//! architecture pins flat under load. Wall-clock latencies measured
+//! around those reads are the run's non-deterministic, *reported* half
 //! ([`super::metrics`]).
 
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -259,7 +263,7 @@ impl TrafficOutcome {
             "schedule={:016x} reads={:016x}\n\
              arrivals={} registered={} finished={} events={} reads={} swaps={} \
              queue_peak={} max_in_flight={}\n\
-             shards: admitted={} refused={} ingested={} unroutable={} dropped={} \
+             shards: admitted={} refused={} ingested={} unroutable={} rejected={} dropped={} \
              finished={} harvests={} still_registered={}\n",
             self.schedule_digest,
             self.reads_digest,
@@ -275,6 +279,7 @@ impl TrafficOutcome {
             s.refused,
             s.events_ingested,
             s.events_unroutable,
+            s.events_rejected,
             s.queries_dropped,
             s.queries_finished,
             s.harvests,
@@ -501,6 +506,10 @@ pub fn drive_with(
                     && !in_flight_ids.is_empty()
                 {
                     let target = in_flight_ids[rng.random_range(0..in_flight_ids.len())];
+                    // Drain everything sent so far (outside the timer) so
+                    // the read value is a pure function of the schedule;
+                    // the timed read itself is the wait-free snapshot load.
+                    service.quiesce();
                     let t = Instant::now();
                     let (kind_tag, bits) = match read_counter % 3 {
                         0 => ("progress", service.query_progress(target).map(f64::to_bits)),
@@ -528,6 +537,9 @@ pub fn drive_with(
                 }
 
                 if is_last {
+                    // The Finished event was just sent through the tap;
+                    // drain it before asserting on its effect.
+                    service.quiesce();
                     match service.is_finished(query) {
                         Ok(true) => {}
                         Ok(false) => violations
@@ -581,8 +593,9 @@ pub fn drive_with(
         ));
     }
 
-    // The stats round-trips queue behind every event sent above, so the
+    // Drain every event sent above before the final readout, so the
     // conservation law must be exact here.
+    service.quiesce();
     let stats = match service.stats() {
         Ok(s) => s,
         Err(e) => {
@@ -598,6 +611,9 @@ pub fn drive_with(
     }
     if stats.events_unroutable != 0 {
         violations.push(format!("{} events were unroutable", stats.events_unroutable));
+    }
+    if stats.events_rejected != 0 {
+        violations.push(format!("{} events rejected by dead shards", stats.events_rejected));
     }
     if stats.queries_dropped != 0 {
         violations.push(format!("{} queries defensively dropped", stats.queries_dropped));

@@ -163,6 +163,27 @@ pub trait TapSink: Send + Sync {
     /// Deliver one event. `Err` signals the consumer is gone; the engine
     /// then detaches the tap and stops paying for event construction.
     fn send(&self, ev: TraceEvent) -> Result<(), TraceEvent>;
+
+    /// Deliver many events at once. The default forwards one by one;
+    /// sinks with per-delivery overhead (queue locks, wakeups) override it
+    /// to amortize — e.g. a sharded monitor takes one lock per *shard* per
+    /// batch instead of one per event. `Err` returns every event that
+    /// could not be delivered (order preserved among the returned ones);
+    /// unlike [`TapSink::send`], a partial failure is not "consumer gone"
+    /// — the caller decides whether to retry, drop, or detach.
+    fn send_batch(&self, events: Vec<TraceEvent>) -> Result<(), Vec<TraceEvent>> {
+        let mut returned = Vec::new();
+        for ev in events {
+            if let Err(ev) = self.send(ev) {
+                returned.push(ev);
+            }
+        }
+        if returned.is_empty() {
+            Ok(())
+        } else {
+            Err(returned)
+        }
+    }
 }
 
 /// Sending half of a live observation stream. Cloneable; pass one to
@@ -198,6 +219,28 @@ impl TraceTap {
         match &self.inner {
             TapInner::Channel(tx) => tx.send(ev).map_err(|e| e.0),
             TapInner::Sink(sink) => sink.send(ev),
+        }
+    }
+
+    /// Deliver many events at once (see [`TapSink::send_batch`]); `Err`
+    /// returns the undeliverable events. Channels deliver one by one
+    /// (mpsc has no batched send); routed sinks may amortize.
+    pub fn send_batch(&self, events: Vec<TraceEvent>) -> Result<(), Vec<TraceEvent>> {
+        match &self.inner {
+            TapInner::Channel(tx) => {
+                let mut returned = Vec::new();
+                for ev in events {
+                    if let Err(e) = tx.send(ev) {
+                        returned.push(e.0);
+                    }
+                }
+                if returned.is_empty() {
+                    Ok(())
+                } else {
+                    Err(returned)
+                }
+            }
+            TapInner::Sink(sink) => sink.send_batch(events),
         }
     }
 }

@@ -101,6 +101,31 @@ impl Eta {
             remaining_hi: 0.0,
         }
     }
+
+    /// Fold staleness into the countdowns: subtract the wall seconds `now`
+    /// has advanced past [`Eta::as_of`] from the point and both interval
+    /// estimates, flooring each at 0 — [`StaleEta::remaining_now`]
+    /// semantics applied to the whole answer. This is what makes a stalled
+    /// query's served ETA shrink (and pin to 0) instead of freezing at the
+    /// last accepted sample: [`SpeedTracker::offer`] correctly rejects
+    /// non-advancing samples, so without aging the raw `remaining` would
+    /// stay frozen at `as_of` forever.
+    ///
+    /// `as_of`, `progress`, `samples` and `speed` are untouched — the
+    /// result still records which sample it was computed from. Unknown
+    /// answers stay unknown (`∞ − age = ∞`), finished answers stay
+    /// all-zero, and `remaining_lo ≤ remaining ≤ remaining_hi` is
+    /// preserved (subtracting a constant and flooring is monotone).
+    #[must_use]
+    pub fn aged(&self, now: f64) -> Eta {
+        let age = (now - self.as_of).max(0.0);
+        Eta {
+            remaining: (self.remaining - age).max(0.0),
+            remaining_lo: (self.remaining_lo - age).max(0.0),
+            remaining_hi: (self.remaining_hi - age).max(0.0),
+            ..*self
+        }
+    }
 }
 
 /// An [`Eta`] together with its staleness — the answer to "how old is
@@ -368,5 +393,34 @@ mod tests {
         assert_eq!((e.remaining, e.remaining_lo, e.remaining_hi), (0.0, 0.0, 0.0));
         assert_eq!(e.progress, 1.0);
         assert_eq!(e.as_of, 42.0);
+    }
+
+    #[test]
+    fn aging_shrinks_countdowns_floors_at_zero_and_keeps_the_bracket() {
+        let mut t = SpeedTracker::new(8);
+        t.offer(0.0, 0.0);
+        t.offer(1.0, 0.1);
+        t.offer(2.0, 0.4);
+        t.offer(4.0, 0.5);
+        let raw = t.estimate();
+        // No time has passed (or the clock is behind as_of): identity.
+        assert_eq!(raw.aged(raw.as_of), raw);
+        assert_eq!(raw.aged(raw.as_of - 10.0), raw);
+        let aged = raw.aged(raw.as_of + 1.5);
+        assert!((aged.remaining - (raw.remaining - 1.5)).abs() < 1e-12);
+        assert!((aged.remaining_lo - (raw.remaining_lo - 1.5).max(0.0)).abs() < 1e-12);
+        assert!(aged.remaining_lo <= aged.remaining && aged.remaining <= aged.remaining_hi);
+        // Sample provenance is untouched by aging.
+        assert_eq!((aged.as_of, aged.progress, aged.samples), (raw.as_of, raw.progress, 4));
+        // A stall longer than the whole estimate pins every countdown to 0.
+        let pinned = raw.aged(raw.as_of + 1e6);
+        assert_eq!((pinned.remaining, pinned.remaining_lo, pinned.remaining_hi), (0.0, 0.0, 0.0));
+        assert!(pinned.is_known());
+        // Unknown stays unknown at any age.
+        let mut one = SpeedTracker::new(8);
+        one.offer(1.0, 0.1);
+        assert!(!one.estimate().aged(100.0).is_known());
+        // Finished stays all-zero.
+        assert_eq!(Eta::finished(42.0).aged(50.0), Eta::finished(42.0));
     }
 }

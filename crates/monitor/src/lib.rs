@@ -31,10 +31,14 @@
 //!
 //! * [`ProgressMonitor`] ([`shard`]) — the single-threaded core. Embed it
 //!   when one ingest thread suffices (one receiver draining a channel).
-//! * [`MonitorService`] ([`service`]) — N shards behind worker threads,
-//!   routing every operation to `query % n_shards` over per-shard
-//!   channels. Registration, ingest and reads are all concurrent-safe,
-//!   and ingest throughput scales with the shard count. Its
+//! * [`MonitorService`] ([`service`]) — N shards as cooperatively
+//!   scheduled tasks on a small work-stealing worker pool ([`runtime`];
+//!   sized and pinned via [`RuntimeConfig`]). Ingest routes each event to
+//!   the shard owning `query % n_shards` and drains in batches; every
+//!   read API (`query_progress`, `remaining_time`, `status`, `stats`, …)
+//!   is a **wait-free** load from a seqlocked per-query snapshot the
+//!   owning shard publishes after each event — reads never enqueue behind
+//!   ingest, so read tail latency is flat under saturated ingest. Its
 //!   [`MonitorService::tap`] routes each engine event to exactly one
 //!   shard (no broadcast).
 //!
@@ -95,11 +99,13 @@
 //! at their registration.
 
 pub mod eta;
+pub mod runtime;
 pub mod service;
 pub mod shard;
 
 pub use eta::{Eta, SpeedTracker, StaleEta};
-pub use service::{MonitorService, QueryError};
+pub use runtime::RuntimeConfig;
+pub use service::{MonitorService, QueryError, SwapError};
 pub use shard::{
     HarvestConfig, HarvestSink, HarvestedQuery, MonitorConfig, PipelineStatus, ProgressMonitor,
     QueryStatus, RegisterError, ShardStats, SwitchEvent,

@@ -1,32 +1,55 @@
-//! The sharded monitor service: N single-threaded shards behind worker
-//! threads.
+//! The sharded monitor service: N shards as cooperative tasks on a
+//! work-stealing runtime, with a wait-free read path.
 //!
 //! [`MonitorService`] scales the [`ProgressMonitor`] core past one ingest
-//! thread: it owns `n_shards` shards, each a plain single-threaded
-//! [`ProgressMonitor`] running on its own worker, and routes every
-//! operation to the shard owning the query (`query % n_shards`) over a
-//! per-shard channel. Because a query's registration, events and reads
-//! all travel the same FIFO channel, per-query ordering is preserved
-//! without locks, and shards never contend with each other — ingest
-//! throughput scales with the shard count.
+//! thread. Each shard owns the queries with `query % n_shards == shard`:
+//! a plain single-threaded [`ProgressMonitor`] guarded by a mutex, an
+//! event queue the tap pushes into, and a **published read snapshot** per
+//! registered query. Shards are not threads — they are tasks on a small
+//! hand-rolled work-stealing pool ([`crate::runtime`], sized and pinned
+//! via [`crate::RuntimeConfig`] inside
+//! [`MonitorConfig`](crate::MonitorConfig)); a shard task drains its event
+//! queue in batches (amortizing wakeups under saturated ingest) and
+//! republishes the affected query's snapshot after every event.
 //!
-//! The engine side stays single-tap: [`MonitorService::tap`] returns a
-//! routed [`TraceTap`] whose sink delivers each event **only** to the
-//! owning shard (no per-shard cloning, no broadcast). Reads
-//! ([`MonitorService::query_progress`], [`MonitorService::status`], …) are
-//! synchronous round-trips served from shard-owned state via a reply
-//! channel; they are safe to issue from any number of threads while
-//! ingest is running.
+//! **Reads never touch the ingest path.** `query_progress`,
+//! `remaining_time`, `progress_at_deadline`, `status`, `stats` and friends
+//! are wait-free loads from seqlocked snapshot cells — no channel send, no
+//! queueing behind events, no lock shared with ingest. Under a saturated
+//! tap the read tail stays flat (the `monitor_scale` bench pins this as
+//! `read_p99_under_saturated_ingest`). Writes (registration, unregister,
+//! selector swaps) lock the owning shard's core directly; registration
+//! quiesces the shard's queue first so the registered-before-first-event
+//! contract of [`ProgressMonitor::register`] survives re-ordering-free.
+//!
+//! Default `remaining_time` folds staleness in ([`Eta::aged`]): a stalled
+//! query's countdown keeps shrinking (and pins to 0) instead of freezing
+//! at the last accepted speed sample. The event-stream-pure raw answer —
+//! what the bit-identity equivalence suites pin — stays available as
+//! [`MonitorService::remaining_time_at_last_event`].
+//!
+//! Dead shards degrade, never lie: a panicking shard task is caught, the
+//! shard is marked dead, its queued events are counted as
+//! `events_rejected` (the conservation law `ingested + unroutable +
+//! rejected == sent` survives the crash), reads for its queries return
+//! [`QueryError::ShardDown`], selector swaps report the affected shard ids
+//! via [`SwapError`], and the frozen stats snapshot keeps serving.
 
 use crate::eta::{Eta, StaleEta};
-use crate::shard::{ProgressMonitor, QueryStatus, RegisterError, ShardStats, SwitchEvent};
+use crate::runtime::{Runtime, Shared as RuntimeShared};
+use crate::shard::{
+    PipelineStatus, ProgressMonitor, QueryStatus, QueryView, RegisterError, ShardStats, SwitchEvent,
+};
 use prosel_core::selection::EstimatorSelector;
+use prosel_engine::clock::Clock;
 use prosel_engine::plan::PhysicalPlan;
 use prosel_engine::trace::{TapSink, TraceEvent, TraceTap};
-use prosel_estimators::EstimatorKind;
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use prosel_estimators::{EstimatorKind, ONLINE_KINDS};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, RwLock};
+use std::time::Duration;
 
 /// Why a [`MonitorService`] read could not be served.
 ///
@@ -41,8 +64,8 @@ pub enum QueryError {
     /// its owning shard: never registered, already unregistered, or
     /// dropped after a corrupt/late-joined stream.
     QueryUnknown(usize),
-    /// The worker thread owning this query's shard is gone (it panicked or
-    /// the service is shutting down).
+    /// The shard owning this query is dead (its task panicked) or the
+    /// service is shutting down.
     ShardDown,
 }
 
@@ -50,171 +73,638 @@ impl std::fmt::Display for QueryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             QueryError::QueryUnknown(q) => write!(f, "query {q} is not registered"),
-            QueryError::ShardDown => write!(f, "owning shard worker is gone"),
+            QueryError::ShardDown => write!(f, "owning shard is dead"),
         }
     }
 }
 
 impl std::error::Error for QueryError {}
 
-/// One request to a shard worker. Events and control messages share the
-/// channel, so a query's registration always precedes its events and a
-/// read observes every event sent before it (per-shard FIFO).
-enum ShardMsg {
-    Event(TraceEvent),
-    Register {
-        query: usize,
-        plan: Arc<PhysicalPlan>,
-        reply: Sender<Result<(), RegisterError>>,
-    },
-    RegisterBatch {
-        queries: Vec<usize>,
-        plan: Arc<PhysicalPlan>,
-        reply: Sender<Vec<(usize, Result<(), RegisterError>)>>,
-    },
-    Unregister {
-        query: usize,
-    },
-    Progress {
-        query: usize,
-        reply: Sender<Option<f64>>,
-    },
-    PipelineProgress {
-        query: usize,
-        pipeline: usize,
-        reply: Sender<Option<f64>>,
-    },
-    Status {
-        query: usize,
-        reply: Sender<Option<QueryStatus>>,
-    },
-    Finished {
-        query: usize,
-        reply: Sender<Option<bool>>,
-    },
-    Switches {
-        query: usize,
-        reply: Sender<Option<Vec<SwitchEvent>>>,
-    },
-    RemainingTime {
-        query: usize,
-        reply: Sender<Option<Eta>>,
-    },
-    RemainingTimeWithAge {
-        query: usize,
-        reply: Sender<Option<StaleEta>>,
-    },
-    QueryEpoch {
-        query: usize,
-        reply: Sender<Option<u64>>,
-    },
-    SwapSelector {
-        selector: Arc<EstimatorSelector>,
-        reply: Sender<u64>,
-    },
-    ProgressAtDeadline {
-        query: usize,
-        deadline: f64,
-        reply: Sender<Option<f64>>,
-    },
-    Registered {
-        reply: Sender<Vec<usize>>,
-    },
-    Stats {
-        reply: Sender<ShardStats>,
-    },
-    Shutdown,
+/// A selector swap reached only part of the service: one or more shards
+/// were dead, so the surviving shards now serve the new model while the
+/// dead ones are frozen on the old one.
+///
+/// The swap **is applied** to every surviving shard (new registrations
+/// there score with the new model under the bumped epoch); the error makes
+/// the partial broadcast visible instead of silently reporting success —
+/// the channel design's silent-partial-swap hole. A caller that cannot
+/// tolerate mixed models should treat this as a service-health incident
+/// (the dead shards need replacing anyway; they also fail every read).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapError {
+    /// Shard ids the broadcast could not reach (dead tasks), ascending.
+    pub shards: Vec<usize>,
+    /// The epoch the surviving shards now serve, if any survived.
+    pub epoch: Option<u64>,
 }
 
-fn run_shard(mut monitor: ProgressMonitor, rx: Receiver<ShardMsg>) {
-    // Reply sends ignore hangups: a caller that timed out or dropped its
-    // reply receiver must not take the shard down with it.
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            ShardMsg::Event(ev) => monitor.ingest(ev),
-            ShardMsg::Register { query, plan, reply } => {
-                let _ = reply.send(monitor.try_register_arc(query, plan));
+impl std::fmt::Display for SwapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "selector swap missed {} dead shard(s) {:?}", self.shards.len(), self.shards)?;
+        match self.epoch {
+            Some(e) => write!(f, "; surviving shards serve epoch {e}"),
+            None => write!(f, "; no shard survived"),
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}
+
+// ---------------------------------------------------------------------------
+// Seqlock: versioned wait-free snapshot cells.
+// ---------------------------------------------------------------------------
+
+/// A sequence lock over all-atomic payload fields. Writers (always under
+/// the owning shard's core mutex, so mutually exclusive) bump the version
+/// to odd, store the payload, and bump to even; readers retry while the
+/// version is odd or changed across their payload loads. Readers never
+/// block and never write shared state — the read path stays wait-free for
+/// any number of concurrent readers, and an ingest burst can at worst make
+/// a reader retry a few loads.
+struct SeqLock {
+    version: AtomicU64,
+}
+
+impl SeqLock {
+    fn new() -> SeqLock {
+        SeqLock { version: AtomicU64::new(0) }
+    }
+
+    fn write<R>(&self, f: impl FnOnce() -> R) -> R {
+        let v = self.version.load(Ordering::Relaxed);
+        self.version.store(v.wrapping_add(1), Ordering::Relaxed);
+        // Order the odd-version store before the payload stores.
+        fence(Ordering::Release);
+        let out = f();
+        self.version.store(v.wrapping_add(2), Ordering::Release);
+        out
+    }
+
+    fn read<R>(&self, f: impl Fn() -> R) -> R {
+        loop {
+            let v1 = self.version.load(Ordering::Acquire);
+            if v1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
             }
-            ShardMsg::RegisterBatch { queries, plan, reply } => {
-                let results = queries
-                    .into_iter()
-                    .map(|q| (q, monitor.try_register_arc(q, Arc::clone(&plan))))
-                    .collect();
-                let _ = reply.send(results);
+            let out = f();
+            // Order the payload loads before the version re-check.
+            fence(Ordering::Acquire);
+            if self.version.load(Ordering::Relaxed) == v1 {
+                return out;
             }
-            ShardMsg::Unregister { query } => monitor.unregister(query),
-            ShardMsg::Progress { query, reply } => {
-                let _ = reply.send(monitor.query_progress(query));
+        }
+    }
+}
+
+fn store_f64(cell: &AtomicU64, value: f64) {
+    cell.store(value.to_bits(), Ordering::Relaxed);
+}
+
+fn load_f64(cell: &AtomicU64) -> f64 {
+    f64::from_bits(cell.load(Ordering::Relaxed))
+}
+
+/// `EstimatorKind` has no stable numeric contract, so the snapshot cells
+/// store an index into [`ONLINE_KINDS`] (only online kinds can ever be a
+/// pipeline's choice — the oracle kinds are refused at construction and
+/// selectors only score online candidates).
+fn kind_to_code(kind: EstimatorKind) -> usize {
+    ONLINE_KINDS.iter().position(|&k| k == kind).expect("pipeline choices are online kinds")
+}
+
+fn kind_from_code(code: usize) -> EstimatorKind {
+    ONLINE_KINDS[code.min(ONLINE_KINDS.len() - 1)]
+}
+
+// ---------------------------------------------------------------------------
+// Published snapshots.
+// ---------------------------------------------------------------------------
+
+/// Snapshot of one pipeline, inside a [`QuerySlot`]'s seqlock.
+struct PipeCell {
+    /// Pipeline id (immutable; plans don't change under a registration).
+    pipeline: usize,
+    /// Index into [`ONLINE_KINDS`] of the estimator currently in charge.
+    estimator: AtomicUsize,
+    progress: AtomicU64,
+    observations: AtomicUsize,
+}
+
+/// The published read snapshot of one registered query. Written by the
+/// owning shard (under its core mutex) after every ingested event; read
+/// wait-free by any thread.
+struct QuerySlot {
+    /// Selector epoch at registration (immutable for the slot's lifetime).
+    epoch: u64,
+    seq: SeqLock,
+    progress: AtomicU64,
+    time: AtomicU64,
+    finished: AtomicBool,
+    // Raw at-last-event Eta, field by field (f64s as bit patterns).
+    eta_as_of: AtomicU64,
+    eta_progress: AtomicU64,
+    eta_samples: AtomicUsize,
+    eta_speed: AtomicU64,
+    eta_remaining: AtomicU64,
+    eta_lo: AtomicU64,
+    eta_hi: AtomicU64,
+    pipes: Box<[PipeCell]>,
+    /// Switch history (append-only). A mutex, not the seqlock: it is
+    /// unbounded, read rarely, and still never touches the ingest path —
+    /// the publisher appends only new tail entries while holding the core
+    /// mutex, so a reader blocks at most for a short memcpy.
+    switches: Mutex<Vec<SwitchEvent>>,
+}
+
+impl QuerySlot {
+    fn new(view: &QueryView<'_>) -> QuerySlot {
+        let slot = QuerySlot {
+            epoch: view.epoch,
+            seq: SeqLock::new(),
+            progress: AtomicU64::new(0),
+            time: AtomicU64::new(0),
+            finished: AtomicBool::new(false),
+            eta_as_of: AtomicU64::new(0),
+            eta_progress: AtomicU64::new(0),
+            eta_samples: AtomicUsize::new(0),
+            eta_speed: AtomicU64::new(0),
+            eta_remaining: AtomicU64::new(0),
+            eta_lo: AtomicU64::new(0),
+            eta_hi: AtomicU64::new(0),
+            pipes: view
+                .pipes
+                .iter()
+                .map(|p| PipeCell {
+                    pipeline: p.obs.pipeline_id(),
+                    estimator: AtomicUsize::new(kind_to_code(p.choice)),
+                    progress: AtomicU64::new(0),
+                    observations: AtomicUsize::new(0),
+                })
+                .collect(),
+            switches: Mutex::new(Vec::new()),
+        };
+        slot.publish(view);
+        slot
+    }
+
+    /// Re-publish from the shard core's current state. Caller holds the
+    /// owning shard's core mutex (writer exclusivity).
+    fn publish(&self, view: &QueryView<'_>) {
+        self.seq.write(|| {
+            store_f64(&self.progress, view.progress);
+            store_f64(&self.time, view.time);
+            self.finished.store(view.finished, Ordering::Relaxed);
+            store_f64(&self.eta_as_of, view.eta.as_of);
+            store_f64(&self.eta_progress, view.eta.progress);
+            self.eta_samples.store(view.eta.samples, Ordering::Relaxed);
+            store_f64(&self.eta_speed, view.eta.speed);
+            store_f64(&self.eta_remaining, view.eta.remaining);
+            store_f64(&self.eta_lo, view.eta.remaining_lo);
+            store_f64(&self.eta_hi, view.eta.remaining_hi);
+            for (cell, pipe) in self.pipes.iter().zip(view.pipes) {
+                cell.estimator.store(kind_to_code(pipe.choice), Ordering::Relaxed);
+                let progress =
+                    if view.finished { 1.0 } else { pipe.obs.value(pipe.choice).unwrap_or(0.0) };
+                store_f64(&cell.progress, progress);
+                cell.observations.store(pipe.obs.len(), Ordering::Relaxed);
             }
-            ShardMsg::PipelineProgress { query, pipeline, reply } => {
-                let _ = reply.send(monitor.pipeline_progress(query, pipeline));
+        });
+        let mut switches = self.switches.lock().unwrap_or_else(|e| e.into_inner());
+        let seen = switches.len();
+        if seen < view.switches.len() {
+            switches.extend_from_slice(&view.switches[seen..]);
+        }
+    }
+
+    fn read_eta(&self) -> Eta {
+        self.seq.read(|| Eta {
+            as_of: load_f64(&self.eta_as_of),
+            progress: load_f64(&self.eta_progress),
+            samples: self.eta_samples.load(Ordering::Relaxed),
+            speed: load_f64(&self.eta_speed),
+            remaining: load_f64(&self.eta_remaining),
+            remaining_lo: load_f64(&self.eta_lo),
+            remaining_hi: load_f64(&self.eta_hi),
+        })
+    }
+
+    fn read_status(&self, query: usize) -> QueryStatus {
+        self.seq.read(|| QueryStatus {
+            query,
+            progress: load_f64(&self.progress),
+            time: load_f64(&self.time),
+            finished: self.finished.load(Ordering::Relaxed),
+            pipelines: self
+                .pipes
+                .iter()
+                .map(|cell| PipelineStatus {
+                    pipeline: cell.pipeline,
+                    estimator: kind_from_code(cell.estimator.load(Ordering::Relaxed)),
+                    progress: load_f64(&cell.progress),
+                    observations: cell.observations.load(Ordering::Relaxed),
+                })
+                .collect(),
+        })
+    }
+}
+
+/// Seqlocked publish cell for one shard's [`ShardStats`] (the monotone
+/// counters; `events_rejected` lives in its own always-current atomic).
+struct StatsCell {
+    seq: SeqLock,
+    registered: AtomicUsize,
+    admitted: AtomicU64,
+    refused: AtomicU64,
+    events_ingested: AtomicU64,
+    events_unroutable: AtomicU64,
+    queries_dropped: AtomicU64,
+    queries_finished: AtomicU64,
+    harvests: AtomicU64,
+}
+
+impl StatsCell {
+    fn new() -> StatsCell {
+        StatsCell {
+            seq: SeqLock::new(),
+            registered: AtomicUsize::new(0),
+            admitted: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+            events_ingested: AtomicU64::new(0),
+            events_unroutable: AtomicU64::new(0),
+            queries_dropped: AtomicU64::new(0),
+            queries_finished: AtomicU64::new(0),
+            harvests: AtomicU64::new(0),
+        }
+    }
+
+    /// Caller holds the owning shard's core mutex.
+    fn publish(&self, stats: &ShardStats) {
+        self.seq.write(|| {
+            self.registered.store(stats.registered, Ordering::Relaxed);
+            self.admitted.store(stats.admitted, Ordering::Relaxed);
+            self.refused.store(stats.refused, Ordering::Relaxed);
+            self.events_ingested.store(stats.events_ingested, Ordering::Relaxed);
+            self.events_unroutable.store(stats.events_unroutable, Ordering::Relaxed);
+            self.queries_dropped.store(stats.queries_dropped, Ordering::Relaxed);
+            self.queries_finished.store(stats.queries_finished, Ordering::Relaxed);
+            self.harvests.store(stats.harvests, Ordering::Relaxed);
+        });
+    }
+
+    fn read(&self, events_rejected: u64) -> ShardStats {
+        self.seq.read(|| ShardStats {
+            registered: self.registered.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+            events_ingested: self.events_ingested.load(Ordering::Relaxed),
+            events_unroutable: self.events_unroutable.load(Ordering::Relaxed),
+            queries_dropped: self.queries_dropped.load(Ordering::Relaxed),
+            queries_finished: self.queries_finished.load(Ordering::Relaxed),
+            harvests: self.harvests.load(Ordering::Relaxed),
+            events_rejected,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shards.
+// ---------------------------------------------------------------------------
+
+/// One shard: the single-threaded monitor core, its event queue, and the
+/// published snapshots reads are served from.
+struct ShardSlot {
+    /// Events the tap routed here, awaiting the shard task.
+    queue: Mutex<VecDeque<TraceEvent>>,
+    /// Events ever accepted into `queue` (monotone).
+    enqueued: AtomicU64,
+    /// Events removed from `queue` and fully accounted — ingested by the
+    /// core, or counted as rejected on a dead shard. `processed ==
+    /// enqueued` means the queue is drained (the quiesce condition).
+    processed: AtomicU64,
+    /// Events a dead shard could not ingest ([`ShardStats::events_rejected`]).
+    rejected: AtomicU64,
+    alive: AtomicBool,
+    /// Test hook: make the next drain pass panic mid-ingest (exercising
+    /// the real crash path, poisoned core mutex included).
+    poison_pill: AtomicBool,
+    /// The shard's monitor core. Writers only: the shard task (ingest),
+    /// registration, unregister, swaps. Never touched by reads.
+    core: Mutex<ProgressMonitor>,
+    /// Published per-query read snapshots.
+    registry: RwLock<HashMap<usize, Arc<QuerySlot>>>,
+    /// Published shard counters.
+    stats: StatsCell,
+    /// Quiesce waiters park here; the shard task notifies after each batch.
+    drain_sync: Mutex<()>,
+    drained: Condvar,
+}
+
+impl ShardSlot {
+    fn new(core: ProgressMonitor) -> ShardSlot {
+        ShardSlot {
+            queue: Mutex::new(VecDeque::new()),
+            enqueued: AtomicU64::new(0),
+            processed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            alive: AtomicBool::new(true),
+            poison_pill: AtomicBool::new(false),
+            core: Mutex::new(core),
+            registry: RwLock::new(HashMap::new()),
+            stats: StatsCell::new(),
+            drain_sync: Mutex::new(()),
+            drained: Condvar::new(),
+        }
+    }
+
+    fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<TraceEvent>> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn notify_drained(&self) {
+        drop(self.drain_sync.lock().unwrap_or_else(|e| e.into_inner()));
+        self.drained.notify_all();
+    }
+
+    /// Block until `processed >= target`. Terminates on dead shards too:
+    /// every enqueued event is eventually accounted (ingested or
+    /// rejected), and the 1ms re-check bounds any missed notify.
+    fn wait_processed(&self, target: u64) {
+        if self.processed.load(Ordering::Acquire) >= target {
+            return;
+        }
+        let mut guard = self.drain_sync.lock().unwrap_or_else(|e| e.into_inner());
+        while self.processed.load(Ordering::Acquire) < target {
+            let (g, _) = self
+                .drained
+                .wait_timeout(guard, Duration::from_millis(1))
+                .unwrap_or_else(|e| e.into_inner());
+            guard = g;
+        }
+    }
+
+    fn read_stats(&self) -> ShardStats {
+        self.stats.read(self.rejected.load(Ordering::Acquire))
+    }
+}
+
+/// State shared by the service handle, the worker pool and the taps.
+struct ServiceInner {
+    shards: Vec<ShardSlot>,
+    /// The serving clock (shared with the prototype's config) — stamps the
+    /// staleness fold of [`MonitorService::remaining_time`].
+    clock: Arc<dyn Clock>,
+    /// [`crate::RuntimeConfig::ingest_batch`], clamped to ≥ 1.
+    ingest_batch: usize,
+    /// Set by shutdown before the final quiesce: taps refuse new events
+    /// (returned to the sender, uncounted) while queued ones still drain.
+    stopping: AtomicBool,
+    /// Serializes [`MonitorService::swap_selector`] broadcasts: two
+    /// concurrent swaps must apply in the same order on every shard, or
+    /// shards would serve different models under the same epoch.
+    swap_lock: Mutex<()>,
+    /// Handle into the worker pool (set once at construction; the runtime
+    /// body needs `ServiceInner` and the tap needs the runtime, so the
+    /// cycle is tied here).
+    runtime: OnceLock<Arc<RuntimeShared>>,
+}
+
+impl ServiceInner {
+    fn shard_of(&self, query: usize) -> usize {
+        query % self.shards.len()
+    }
+
+    /// Push one event onto its owning shard's queue and wake the shard
+    /// task. `Err(ev)` returns the event to the caller: the service is
+    /// stopping (uncounted, matching the old post-shutdown tap contract)
+    /// or the shard is dead (counted in `events_rejected` — the router
+    /// must not break the conservation law, satellite of ISSUE 7).
+    fn enqueue(&self, ev: TraceEvent) -> Result<u64, TraceEvent> {
+        let si = self.shard_of(ev.query());
+        let slot = &self.shards[si];
+        if !slot.is_alive() {
+            slot.rejected.fetch_add(1, Ordering::AcqRel);
+            return Err(ev);
+        }
+        let target = {
+            let mut queue = slot.lock_queue();
+            // The stopping check lives *inside* the queue lock: shutdown
+            // sets the flag and then cycles every queue lock before its
+            // final quiesce, so any push that slips past here is either
+            // visible to that quiesce (and drained) or refused.
+            if self.stopping.load(Ordering::Acquire) {
+                return Err(ev);
             }
-            ShardMsg::Status { query, reply } => {
-                let _ = reply.send(monitor.status(query));
+            queue.push_back(ev);
+            slot.enqueued.fetch_add(1, Ordering::AcqRel) + 1
+        };
+        if let Some(rt) = self.runtime.get() {
+            rt.schedule(si);
+        }
+        // The shard may have died between the liveness check and the push;
+        // its final drain may already have run, so sweep the queue here
+        // (idempotent — drains count whatever they pop, exactly once).
+        if !slot.is_alive() {
+            self.drain_dead(si);
+        }
+        Ok(target)
+    }
+
+    /// Batched [`Self::enqueue`]: group by shard, one queue lock and one
+    /// wakeup per shard. Returns the events that could not be accepted.
+    fn enqueue_batch(&self, events: Vec<TraceEvent>) -> Vec<TraceEvent> {
+        let n = self.shards.len();
+        let mut by_shard: Vec<Vec<TraceEvent>> = Vec::new();
+        by_shard.resize_with(n, Vec::new);
+        let mut returned = Vec::new();
+        for ev in events {
+            by_shard[self.shard_of(ev.query())].push(ev);
+        }
+        for (si, batch) in by_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
             }
-            ShardMsg::Finished { query, reply } => {
-                let _ = reply.send(monitor.is_finished(query));
+            let slot = &self.shards[si];
+            if !slot.is_alive() {
+                slot.rejected.fetch_add(batch.len() as u64, Ordering::AcqRel);
+                returned.extend(batch);
+                continue;
             }
-            ShardMsg::Switches { query, reply } => {
-                let _ = reply.send(monitor.switch_history(query).map(<[SwitchEvent]>::to_vec));
+            let count = batch.len() as u64;
+            {
+                let mut queue = slot.lock_queue();
+                // Same stopping-inside-the-lock protocol as `enqueue`.
+                if self.stopping.load(Ordering::Acquire) {
+                    returned.extend(batch);
+                    continue;
+                }
+                queue.extend(batch);
+                slot.enqueued.fetch_add(count, Ordering::AcqRel);
             }
-            ShardMsg::RemainingTime { query, reply } => {
-                let _ = reply.send(monitor.remaining_time(query));
+            if let Some(rt) = self.runtime.get() {
+                rt.schedule(si);
             }
-            ShardMsg::RemainingTimeWithAge { query, reply } => {
-                let _ = reply.send(monitor.remaining_time_with_age(query));
+            if !slot.is_alive() {
+                self.drain_dead(si);
             }
-            ShardMsg::QueryEpoch { query, reply } => {
-                let _ = reply.send(monitor.query_selector_epoch(query));
+        }
+        returned
+    }
+
+    /// The shard task body: drain (up to) one batch of events into the
+    /// core and republish the touched snapshots. Returns whether more
+    /// events are already waiting. Runs on the worker pool; panics are
+    /// caught here so the crash is accounted (shard marked dead, events
+    /// counted rejected) before the runtime's own catch sees anything.
+    fn drain_batch(&self, si: usize) -> bool {
+        let slot = &self.shards[si];
+        if !slot.is_alive() {
+            self.drain_dead(si);
+            return false;
+        }
+        let batch: Vec<TraceEvent> = {
+            let mut queue = slot.lock_queue();
+            let n = self.ingest_batch.min(queue.len());
+            queue.drain(..n).collect()
+        };
+        if batch.is_empty() && !slot.poison_pill.load(Ordering::Acquire) {
+            return false;
+        }
+        let total = batch.len() as u64;
+        let done = AtomicU64::new(0);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // A poisoned core mutex means an earlier panic escaped without
+            // marking the shard dead; treat it as a fresh crash.
+            let mut core = slot.core.lock().expect("shard core poisoned");
+            if slot.poison_pill.load(Ordering::Acquire) {
+                panic!("injected shard panic (test hook)");
             }
-            ShardMsg::SwapSelector { selector, reply } => {
-                let _ = reply.send(monitor.swap_selector(selector));
+            for ev in batch {
+                let query = ev.query();
+                core.ingest(ev);
+                match core.query_view(query) {
+                    Some(view) => {
+                        let registry = slot.registry.read().unwrap_or_else(|e| e.into_inner());
+                        if let Some(qslot) = registry.get(&query) {
+                            qslot.publish(&view);
+                        }
+                    }
+                    None => {
+                        // Unroutable, or the event triggered a defensive
+                        // state drop — retire the published snapshot (if
+                        // one exists; probe with the read lock first so a
+                        // saturated unroutable stream never takes the
+                        // write lock the read path contends on).
+                        let published = slot
+                            .registry
+                            .read()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .contains_key(&query);
+                        if published {
+                            slot.registry.write().unwrap_or_else(|e| e.into_inner()).remove(&query);
+                        }
+                    }
+                }
+                slot.stats.publish(&core.shard_stats());
+                // Per-event accounting (not per batch): if a later event
+                // in this batch panics the core, events already ingested
+                // stay counted as ingested — the crash bookkeeping below
+                // only rejects the genuinely unprocessed tail.
+                done.fetch_add(1, Ordering::Relaxed);
+                slot.processed.fetch_add(1, Ordering::AcqRel);
             }
-            ShardMsg::ProgressAtDeadline { query, deadline, reply } => {
-                let _ = reply.send(monitor.progress_at_deadline(query, deadline));
-            }
-            ShardMsg::Registered { reply } => {
-                let _ = reply.send(monitor.registered_queries());
-            }
-            ShardMsg::Stats { reply } => {
-                let _ = reply.send(monitor.shard_stats());
-            }
-            ShardMsg::Shutdown => break,
+        }));
+        if outcome.is_err() {
+            self.kill_shard(si, total - done.load(Ordering::Relaxed));
+        }
+        slot.notify_drained();
+        slot.is_alive() && !slot.lock_queue().is_empty()
+    }
+
+    /// Mark a shard dead and account the events it can no longer ingest:
+    /// `unprocessed` from the batch that crashed, plus everything still
+    /// queued. Every one lands in `events_rejected` *and* `processed` so
+    /// quiesce waiters and the conservation law both stay exact.
+    fn kill_shard(&self, si: usize, unprocessed: u64) {
+        let slot = &self.shards[si];
+        slot.alive.store(false, Ordering::Release);
+        if unprocessed > 0 {
+            slot.rejected.fetch_add(unprocessed, Ordering::AcqRel);
+            slot.processed.fetch_add(unprocessed, Ordering::AcqRel);
+        }
+        self.drain_dead(si);
+    }
+
+    /// Sweep a dead shard's queue, counting the swept events as rejected.
+    fn drain_dead(&self, si: usize) {
+        let slot = &self.shards[si];
+        let n = {
+            let mut queue = slot.lock_queue();
+            let n = queue.len() as u64;
+            queue.clear();
+            n
+        };
+        if n > 0 {
+            slot.rejected.fetch_add(n, Ordering::AcqRel);
+            slot.processed.fetch_add(n, Ordering::AcqRel);
+        }
+        slot.notify_drained();
+    }
+
+    /// Wait until every event enqueued on `si` so far is accounted.
+    fn quiesce_shard(&self, si: usize) {
+        let slot = &self.shards[si];
+        let target = slot.enqueued.load(Ordering::Acquire);
+        slot.wait_processed(target);
+    }
+
+    fn quiesce(&self) {
+        for si in 0..self.shards.len() {
+            self.quiesce_shard(si);
         }
     }
 }
 
 /// Routes each [`TraceEvent`] to the shard owning its query — the sink
-/// behind [`MonitorService::tap`]. One send per event, no broadcast.
+/// behind [`MonitorService::tap`]. One queue push per event (one per shard
+/// per batch via [`TapSink::send_batch`]), no broadcast. A dead shard's
+/// events come back as `Err` **and** are counted in
+/// [`ShardStats::events_rejected`] — the router refuses cleanly instead of
+/// panicking on the dead worker's channel like the old design did.
 struct ShardRouter {
-    shards: Vec<Sender<ShardMsg>>,
+    inner: Arc<ServiceInner>,
 }
 
 impl TapSink for ShardRouter {
     fn send(&self, ev: TraceEvent) -> Result<(), TraceEvent> {
-        let shard = &self.shards[ev.query() % self.shards.len()];
-        shard.send(ShardMsg::Event(ev)).map_err(|e| match e.0 {
-            ShardMsg::Event(ev) => ev,
-            _ => unreachable!("only events are sent through the router"),
-        })
+        self.inner.enqueue(ev).map(|_| ())
+    }
+
+    fn send_batch(&self, events: Vec<TraceEvent>) -> Result<(), Vec<TraceEvent>> {
+        let returned = self.inner.enqueue_batch(events);
+        if returned.is_empty() {
+            Ok(())
+        } else {
+            Err(returned)
+        }
     }
 }
 
-/// Sharded, concurrent-safe progress monitor service. See the module docs
-/// for the architecture and the crate docs for when to prefer the plain
-/// [`ProgressMonitor`].
+/// Sharded, concurrent-safe progress monitor service with a wait-free read
+/// path. See the module docs for the architecture and the crate docs for
+/// when to prefer the plain [`ProgressMonitor`].
 pub struct MonitorService {
-    shards: Vec<Sender<ShardMsg>>,
-    workers: Vec<JoinHandle<()>>,
-    /// Serializes [`Self::swap_selector`] broadcasts: two concurrent
-    /// swaps must enqueue in the same order on every shard, or the shards
-    /// would end up serving different models under the same epoch.
-    swap_lock: std::sync::Mutex<()>,
+    inner: Arc<ServiceInner>,
+    runtime: Runtime,
 }
 
 impl MonitorService {
     /// Service with one fixed estimator on every pipeline, `n_shards`
-    /// worker shards (clamped to ≥ 1).
+    /// shard tasks (clamped to ≥ 1).
     ///
     /// # Panics
     /// Panics for the oracle kinds, like [`ProgressMonitor::fixed`]; use
@@ -234,7 +724,7 @@ impl MonitorService {
     /// Service with a trained selector (shared by every shard): static
     /// selection at registration, dynamic re-selection at the configured
     /// cadence — exactly the [`ProgressMonitor::with_selector`] behavior,
-    /// scaled across `n_shards` workers.
+    /// scaled across `n_shards` shard tasks.
     pub fn with_selector(
         selector: EstimatorSelector,
         config: crate::shard::MonitorConfig,
@@ -244,60 +734,65 @@ impl MonitorService {
     }
 
     /// Scale an arbitrarily configured [`ProgressMonitor`] across
-    /// `n_shards` workers: every shard is a fork of `prototype` (same
+    /// `n_shards` shard tasks: every shard is a fork of `prototype` (same
     /// policy, config, selector epoch and — notably — harvest sink, so a
     /// service built from a harvesting prototype feeds one learning loop
     /// from all shards). The prototype's own registered queries are *not*
-    /// carried over; forks start empty.
+    /// carried over; forks start empty. The prototype's
+    /// [`crate::RuntimeConfig`] (inside its [`crate::MonitorConfig`])
+    /// sizes and pins the worker pool.
     pub fn from_prototype(prototype: ProgressMonitor, n_shards: usize) -> MonitorService {
         Self::spawn(prototype, n_shards)
     }
 
     fn spawn(prototype: ProgressMonitor, n_shards: usize) -> MonitorService {
         let n = n_shards.max(1);
-        let mut shards = Vec::with_capacity(n);
-        let mut workers = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = channel();
-            let monitor = prototype.fork();
-            shards.push(tx);
-            workers.push(std::thread::spawn(move || run_shard(monitor, rx)));
-        }
-        MonitorService { shards, workers, swap_lock: std::sync::Mutex::new(()) }
+        let runtime_config = prototype.config().runtime.clone();
+        let clock = Arc::clone(&prototype.config().clock);
+        let shards = (0..n).map(|_| ShardSlot::new(prototype.fork())).collect();
+        let inner = Arc::new(ServiceInner {
+            shards,
+            clock,
+            ingest_batch: runtime_config.ingest_batch.max(1),
+            stopping: AtomicBool::new(false),
+            swap_lock: Mutex::new(()),
+            runtime: OnceLock::new(),
+        });
+        let body: Arc<dyn Fn(usize) -> bool + Send + Sync> = {
+            let inner = Arc::clone(&inner);
+            Arc::new(move |task| inner.drain_batch(task))
+        };
+        let runtime = Runtime::spawn(n, &runtime_config, body);
+        let _ = inner.runtime.set(runtime.shared());
+        MonitorService { inner, runtime }
     }
 
-    /// Number of shards (and worker threads).
+    /// Number of shards (tasks, not threads — see [`Self::n_workers`]).
     pub fn n_shards(&self) -> usize {
-        self.shards.len()
+        self.inner.shards.len()
     }
 
-    fn shard(&self, query: usize) -> &Sender<ShardMsg> {
-        &self.shards[query % self.shards.len()]
+    /// Number of pool workers executing the shard tasks.
+    pub fn n_workers(&self) -> usize {
+        self.runtime.worker_count()
     }
 
-    /// Round-trip one request to the owning shard. `None` when the shard
-    /// worker is gone (it panicked or the service is shutting down).
-    fn ask<T>(&self, query: usize, msg: impl FnOnce(Sender<T>) -> ShardMsg) -> Option<T> {
-        let (reply, rx) = channel();
-        self.shard(query).send(msg(reply)).ok()?;
-        rx.recv().ok()
-    }
-
-    /// [`Self::ask`] for the read APIs: a dead worker becomes
-    /// [`QueryError::ShardDown`], a shard-side `None` (the query is not in
-    /// its owning shard's state) becomes [`QueryError::QueryUnknown`].
-    fn read<T>(
-        &self,
-        query: usize,
-        msg: impl FnOnce(Sender<Option<T>>) -> ShardMsg,
-    ) -> Result<T, QueryError> {
-        self.ask(query, msg).ok_or(QueryError::ShardDown)?.ok_or(QueryError::QueryUnknown(query))
+    /// Block until every event enqueued so far (tap or
+    /// [`Self::ingest`]) has been drained into shard state — the explicit
+    /// read-your-writes barrier. Reads are wait-free snapshots and do
+    /// **not** queue behind ingest, so a caller that just finished a
+    /// tapped run quiesces once before asserting on final state.
+    /// Terminates even with dead shards (their events are accounted as
+    /// rejected).
+    pub fn quiesce(&self) {
+        self.inner.quiesce();
     }
 
     /// Register a query with its owning shard **before it runs** (the
-    /// [`ProgressMonitor::register`] contract, routed). Blocks until the
-    /// shard confirms, so a subsequent tapped run cannot race its own
-    /// registration.
+    /// [`ProgressMonitor::register`] contract, routed). Quiesces the
+    /// owning shard's queue first, so earlier tapped events for this id
+    /// (unroutable by contract) cannot land after the registration and
+    /// corrupt it.
     ///
     /// # Panics
     /// Panics if `query` is already registered; use [`Self::try_register`]
@@ -307,210 +802,291 @@ impl MonitorService {
     }
 
     /// Non-panicking [`Self::register`]: duplicate ids come back as
-    /// [`RegisterError::DuplicateQuery`], a dead worker as
+    /// [`RegisterError::DuplicateQuery`], a dead shard as
     /// [`RegisterError::ShardDown`].
     pub fn try_register(&self, query: usize, plan: &PhysicalPlan) -> Result<(), RegisterError> {
-        let plan = Arc::new(plan.clone());
-        self.ask(query, |reply| ShardMsg::Register { query, plan, reply })
-            .ok_or(RegisterError::ShardDown)?
+        self.register_arc(query, Arc::new(plan.clone()))
     }
 
-    /// Register many queries against one plan with **one round-trip per
-    /// shard** instead of one per query — the admission path for bulk
-    /// workloads (a blocking per-query round-trip is latency-bound, not
-    /// throughput-bound). Returns one `(query, result)` pair per input
-    /// query; queries owned by a dead shard report
-    /// [`RegisterError::ShardDown`].
+    fn register_arc(&self, query: usize, plan: Arc<PhysicalPlan>) -> Result<(), RegisterError> {
+        let si = self.inner.shard_of(query);
+        let slot = &self.inner.shards[si];
+        if !slot.is_alive() {
+            return Err(RegisterError::ShardDown);
+        }
+        self.inner.quiesce_shard(si);
+        let mut core = slot.core.lock().map_err(|_| RegisterError::ShardDown)?;
+        let result = core.try_register_arc(query, plan);
+        if result.is_ok() {
+            let view = core.query_view(query).expect("query registered above");
+            slot.registry
+                .write()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(query, Arc::new(QuerySlot::new(&view)));
+        }
+        slot.stats.publish(&core.shard_stats());
+        result
+    }
+
+    /// Register many queries against one plan with **one quiesce + core
+    /// lock per shard** instead of one per query — the admission path for
+    /// bulk workloads. Returns one `(query, result)` pair per input query;
+    /// queries owned by a dead shard report [`RegisterError::ShardDown`].
     pub fn try_register_batch(
         &self,
         queries: &[usize],
         plan: &PhysicalPlan,
     ) -> Vec<(usize, Result<(), RegisterError>)> {
         let plan = Arc::new(plan.clone());
-        let n = self.shards.len();
+        let n = self.inner.shards.len();
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); n];
         for &q in queries {
             by_shard[q % n].push(q);
         }
-        let mut pending = Vec::with_capacity(n);
-        for (shard, queries) in self.shards.iter().zip(by_shard) {
+        let mut out = Vec::with_capacity(queries.len());
+        for (si, queries) in by_shard.into_iter().enumerate() {
             if queries.is_empty() {
                 continue;
             }
-            let (reply, rx) = channel();
-            let sent = shard
-                .send(ShardMsg::RegisterBatch {
-                    queries: queries.clone(),
-                    plan: Arc::clone(&plan),
-                    reply,
-                })
-                .is_ok();
-            pending.push((queries, sent, rx));
-        }
-        let mut out = Vec::with_capacity(queries.len());
-        for (queries, sent, rx) in pending {
-            match if sent { rx.recv().ok() } else { None } {
-                Some(results) => out.extend(results),
-                None => out.extend(queries.into_iter().map(|q| (q, Err(RegisterError::ShardDown)))),
+            let slot = &self.inner.shards[si];
+            if !slot.is_alive() {
+                out.extend(queries.into_iter().map(|q| (q, Err(RegisterError::ShardDown))));
+                continue;
             }
+            self.inner.quiesce_shard(si);
+            let Ok(mut core) = slot.core.lock() else {
+                out.extend(queries.into_iter().map(|q| (q, Err(RegisterError::ShardDown))));
+                continue;
+            };
+            for q in queries {
+                let result = core.try_register_arc(q, Arc::clone(&plan));
+                if result.is_ok() {
+                    let view = core.query_view(q).expect("query registered above");
+                    slot.registry
+                        .write()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert(q, Arc::new(QuerySlot::new(&view)));
+                }
+                out.push((q, result));
+            }
+            slot.stats.publish(&core.shard_stats());
         }
         out
     }
 
-    /// Drop a query's state on its owning shard.
+    /// Drop a query's state on its owning shard (no-op when the shard is
+    /// dead — its state is frozen and unreachable anyway).
     pub fn unregister(&self, query: usize) {
-        let _ = self.shard(query).send(ShardMsg::Unregister { query });
+        let si = self.inner.shard_of(query);
+        let slot = &self.inner.shards[si];
+        if !slot.is_alive() {
+            return;
+        }
+        // Quiesce first: events for this id already in the queue belong to
+        // the registration being dropped and must drain into it, not into
+        // the unroutable bucket of a later re-registration.
+        self.inner.quiesce_shard(si);
+        let Ok(mut core) = slot.core.lock() else { return };
+        core.unregister(query);
+        slot.registry.write().unwrap_or_else(|e| e.into_inner()).remove(&query);
+        slot.stats.publish(&core.shard_stats());
     }
 
     /// A [`TraceTap`] that fans the engine's event stream out to the
     /// owning shards — pass it to [`prosel_engine::run_plan_tapped`] /
     /// [`prosel_engine::run_concurrent_tapped`]. Each event is routed to
-    /// exactly one shard; cloning the tap shares the same service.
+    /// exactly one shard; cloning the tap shares the same service. The
+    /// sink supports [`TapSink::send_batch`] (one queue lock + one wakeup
+    /// per shard per batch) for writers that buffer.
     pub fn tap(&self) -> TraceTap {
-        TraceTap::from_sink(Arc::new(ShardRouter { shards: self.shards.clone() }))
+        TraceTap::from_sink(Arc::new(ShardRouter { inner: Arc::clone(&self.inner) }))
     }
 
-    /// Ingest one event directly (the channel-free path; useful when the
-    /// caller already holds the events).
+    /// Ingest one event and wait until the owning shard has drained it —
+    /// read-your-writes for single-threaded callers (a subsequent read
+    /// observes this event). Events for dead shards are counted as
+    /// rejected and dropped, matching the old fire-and-forget contract of
+    /// ignoring send failures. For fire-and-forget streaming use
+    /// [`Self::tap`].
     pub fn ingest(&self, ev: TraceEvent) {
-        let _ = self.shard(ev.query()).send(ShardMsg::Event(ev));
+        let si = self.inner.shard_of(ev.query());
+        if let Ok(target) = self.inner.enqueue(ev) {
+            self.inner.shards[si].wait_processed(target);
+        }
+    }
+
+    /// Look up the published snapshot of `query`. Wait-free apart from the
+    /// registry read lock (held for a hash probe; writers touch it only at
+    /// register/unregister/drop, never per event).
+    fn slot(&self, query: usize) -> Result<Arc<QuerySlot>, QueryError> {
+        let shard = &self.inner.shards[self.inner.shard_of(query)];
+        if !shard.is_alive() {
+            return Err(QueryError::ShardDown);
+        }
+        let registry = shard.registry.read().unwrap_or_else(|e| e.into_inner());
+        registry.get(&query).cloned().ok_or(QueryError::QueryUnknown(query))
     }
 
     /// Estimated progress of `query` in [0, 1] — the
     /// [`ProgressMonitor::query_progress`] contract, served from the
-    /// owning shard. Unregistered queries and dead shards come back as
-    /// distinct [`QueryError`] values.
+    /// published snapshot (wait-free; never queues behind ingest).
+    /// Unregistered queries and dead shards come back as distinct
+    /// [`QueryError`] values.
     pub fn query_progress(&self, query: usize) -> Result<f64, QueryError> {
-        self.read(query, |reply| ShardMsg::Progress { query, reply })
+        let slot = self.slot(query)?;
+        Ok(slot.seq.read(|| load_f64(&slot.progress)))
     }
 
     /// Latest progress estimate of one pipeline.
     pub fn pipeline_progress(&self, query: usize, pipeline: usize) -> Result<f64, QueryError> {
-        self.read(query, |reply| ShardMsg::PipelineProgress { query, pipeline, reply })
+        let slot = self.slot(query)?;
+        let cell = slot.pipes.get(pipeline).ok_or(QueryError::QueryUnknown(query))?;
+        Ok(slot.seq.read(|| load_f64(&cell.progress)))
     }
 
     /// Full live status of one query.
     pub fn status(&self, query: usize) -> Result<QueryStatus, QueryError> {
-        self.read(query, |reply| ShardMsg::Status { query, reply })
+        Ok(self.slot(query)?.read_status(query))
     }
 
     /// Has the engine reported this query's termination?
     pub fn is_finished(&self, query: usize) -> Result<bool, QueryError> {
-        self.read(query, |reply| ShardMsg::Finished { query, reply })
+        let slot = self.slot(query)?;
+        Ok(slot.seq.read(|| slot.finished.load(Ordering::Relaxed)))
     }
 
     /// The estimator-switch history of a query (owned copy).
     pub fn switch_history(&self, query: usize) -> Result<Vec<SwitchEvent>, QueryError> {
-        self.read(query, |reply| ShardMsg::Switches { query, reply })
+        let slot = self.slot(query)?;
+        let switches = slot.switches.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(switches.clone())
     }
 
     /// Wall-clock remaining-time answer for `query` — the
-    /// [`ProgressMonitor::remaining_time`] contract (point + interval ETA
-    /// from the trailing speed window, [`Eta::is_known`]` == false` before
-    /// two speed samples, all-zero once finished), served from the owning
-    /// shard.
+    /// [`ProgressMonitor::remaining_time`] contract: the at-last-event ETA
+    /// **with staleness folded in** ([`Eta::aged`] against the service's
+    /// configured clock), so a stalled query's countdown keeps shrinking
+    /// and pins to 0 instead of freezing at the last accepted speed
+    /// sample. Served wait-free from the published snapshot. The raw
+    /// event-stream-pure variant is
+    /// [`Self::remaining_time_at_last_event`].
     pub fn remaining_time(&self, query: usize) -> Result<Eta, QueryError> {
-        self.read(query, |reply| ShardMsg::RemainingTime { query, reply })
+        Ok(self.remaining_time_at_last_event(query)?.aged(self.inner.clock.now()))
     }
 
-    /// [`Self::remaining_time`] plus staleness — the
-    /// [`ProgressMonitor::remaining_time_with_age`] contract, served from
-    /// the owning shard (the age is stamped by the shard's configured
-    /// clock at reply time, so it includes any queueing delay the request
-    /// itself suffered — which is exactly what a staleness readout is
-    /// for).
+    /// [`Self::remaining_time`] without the staleness fold: point +
+    /// interval ETA exactly as of the latest accepted event, a pure
+    /// function of the ingested stream (bit-deterministic under a manual
+    /// clock — the equivalence suites pin service-vs-monitor bit-identity
+    /// on this variant).
+    pub fn remaining_time_at_last_event(&self, query: usize) -> Result<Eta, QueryError> {
+        Ok(self.slot(query)?.read_eta())
+    }
+
+    /// [`Self::remaining_time_at_last_event`] plus its staleness: the raw
+    /// [`Eta`] paired with how far the serving clock has advanced past
+    /// [`Eta::as_of`] — the [`ProgressMonitor::remaining_time_with_age`]
+    /// contract, wait-free.
     pub fn remaining_time_with_age(&self, query: usize) -> Result<StaleEta, QueryError> {
-        self.read(query, |reply| ShardMsg::RemainingTimeWithAge { query, reply })
+        let eta = self.remaining_time_at_last_event(query)?;
+        Ok(StaleEta::at(eta, self.inner.clock.now()))
     }
 
     /// The selector epoch `query` was registered under.
     pub fn query_selector_epoch(&self, query: usize) -> Result<u64, QueryError> {
-        self.read(query, |reply| ShardMsg::QueryEpoch { query, reply })
-    }
-
-    /// Hot-swap `selector` into **every shard** and return the new
-    /// selector epoch (identical across shards: swaps only enter through
-    /// this broadcast, broadcasts are serialized against each other, and
-    /// each waits for all shards to confirm — so an epoch names one
-    /// specific model on every shard even under concurrent swappers). New
-    /// registrations anywhere in the service pick up the new model;
-    /// queries already registered keep the selector captured at their
-    /// registration — an in-flight query's answers are bit-unchanged by a
-    /// swap. `Err(ShardDown)` if any worker is gone (the service is
-    /// degraded; retry after replacing it).
-    pub fn swap_selector(&self, selector: Arc<EstimatorSelector>) -> Result<u64, QueryError> {
-        // Hold the broadcast lock across the whole fan-out: concurrent
-        // swaps otherwise interleave their per-shard sends and leave
-        // shards serving different models under the same epoch.
-        let _guard = self.swap_lock.lock().expect("swap lock poisoned");
-        let pending: Vec<_> = self
-            .shards
-            .iter()
-            .map(|shard| {
-                let (reply, rx) = channel();
-                shard
-                    .send(ShardMsg::SwapSelector { selector: Arc::clone(&selector), reply })
-                    .ok()
-                    .map(|()| rx)
-            })
-            .collect();
-        let mut epoch = None;
-        for rx in pending {
-            let e = rx.and_then(|rx| rx.recv().ok()).ok_or(QueryError::ShardDown)?;
-            epoch = Some(epoch.map_or(e, |prev: u64| prev.max(e)));
-        }
-        epoch.ok_or(QueryError::ShardDown)
+        Ok(self.slot(query)?.epoch)
     }
 
     /// Bounded-staleness progress prediction at wall instant `deadline` —
-    /// the [`ProgressMonitor::progress_at_deadline`] contract, served from
-    /// the owning shard.
+    /// the [`ProgressMonitor::progress_at_deadline`] contract, recomputed
+    /// bit-identically from the published ETA snapshot (the snapshot
+    /// carries the tracker's latest sample and end-to-end speed, which is
+    /// everything [`crate::SpeedTracker::progress_at`] consults).
     pub fn progress_at_deadline(&self, query: usize, deadline: f64) -> Result<f64, QueryError> {
-        self.read(query, |reply| ShardMsg::ProgressAtDeadline { query, deadline, reply })
+        let slot = self.slot(query)?;
+        Ok(slot.seq.read(|| {
+            if slot.finished.load(Ordering::Relaxed) {
+                return 1.0;
+            }
+            let samples = slot.eta_samples.load(Ordering::Relaxed);
+            if samples == 0 {
+                return 0.0;
+            }
+            let as_of = load_f64(&slot.eta_as_of);
+            let progress = load_f64(&slot.eta_progress);
+            if !deadline.is_finite() || deadline <= as_of {
+                return progress;
+            }
+            if samples < 2 {
+                return progress;
+            }
+            let speed = load_f64(&slot.eta_speed);
+            (progress + speed * (deadline - as_of)).clamp(0.0, 1.0)
+        }))
     }
 
-    /// Queries currently registered across all shards, ascending. All
-    /// shards are asked in parallel (send everything, then collect), so
-    /// the wait is the slowest shard's queue drain, not the sum of all.
-    pub fn registered_queries(&self) -> Vec<usize> {
-        let pending: Vec<_> = self
-            .shards
-            .iter()
-            .filter_map(|shard| {
-                let (reply, rx) = channel();
-                shard.send(ShardMsg::Registered { reply }).ok().map(|()| rx)
-            })
-            .collect();
-        let mut all = Vec::new();
-        for rx in pending {
-            if let Ok(mut qs) = rx.recv() {
-                all.append(&mut qs);
+    /// Hot-swap `selector` into **every live shard** and return the new
+    /// selector epoch (identical across shards: swaps are serialized
+    /// against each other and applied under each shard's core lock). New
+    /// registrations anywhere in the service pick up the new model;
+    /// queries already registered keep the selector captured at their
+    /// registration — an in-flight query's answers are bit-unchanged by a
+    /// swap.
+    ///
+    /// With dead shards the swap still applies to every survivor, but
+    /// comes back as [`SwapError`] naming the shards it missed — a partial
+    /// broadcast must be visible (the survivors serve the new model, the
+    /// dead shards are frozen on the old one), never a silent `Ok`.
+    pub fn swap_selector(&self, selector: Arc<EstimatorSelector>) -> Result<u64, SwapError> {
+        let _guard = self.inner.swap_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let mut dead = Vec::new();
+        let mut epoch: Option<u64> = None;
+        for (si, slot) in self.inner.shards.iter().enumerate() {
+            if !slot.is_alive() {
+                dead.push(si);
+                continue;
             }
+            match slot.core.lock() {
+                Ok(mut core) => {
+                    let e = core.swap_selector(Arc::clone(&selector));
+                    epoch = Some(epoch.map_or(e, |prev| prev.max(e)));
+                }
+                Err(_) => dead.push(si),
+            }
+        }
+        if dead.is_empty() {
+            Ok(epoch.expect("a service always has ≥ 1 shard"))
+        } else {
+            Err(SwapError { shards: dead, epoch })
+        }
+    }
+
+    /// Queries currently registered across all shards, ascending.
+    /// Quiesces first so defensive drops from already-enqueued events are
+    /// reflected (the admin-API mirror of the old FIFO round-trip).
+    pub fn registered_queries(&self) -> Vec<usize> {
+        self.inner.quiesce();
+        let mut all = Vec::new();
+        for slot in &self.inner.shards {
+            let registry = slot.registry.read().unwrap_or_else(|e| e.into_inner());
+            all.extend(registry.keys().copied());
         }
         all.sort_unstable();
         all
     }
 
     /// Per-shard operation counters, in shard order — the traffic
-    /// harness's invariant and interference hook. Each readout is a
-    /// round-trip behind that shard's queue (all requests are sent first,
-    /// then collected), so a readout taken after the last event was sent
-    /// reflects every one of this caller's events ([`ShardStats`]'s
-    /// conservation law holds service-wide). `Err(ShardDown)` if any
-    /// worker is gone — partial counters would silently break that law.
+    /// harness's invariant and interference hook. Wait-free: served from
+    /// each shard's published stats snapshot (republished after every
+    /// event), so it never queues behind ingest; call [`Self::quiesce`]
+    /// first when the readout must reflect every event already sent. Dead
+    /// shards serve their counters frozen at the crash plus a live
+    /// `events_rejected`, so the conservation law `ingested + unroutable +
+    /// rejected == sent` stays exact service-wide — which is why this
+    /// cannot fail: the `Result` is kept for API stability and is always
+    /// `Ok`.
     pub fn shard_stats(&self) -> Result<Vec<ShardStats>, QueryError> {
-        let pending: Vec<_> = self
-            .shards
-            .iter()
-            .map(|shard| {
-                let (reply, rx) = channel();
-                shard.send(ShardMsg::Stats { reply }).ok().map(|()| rx)
-            })
-            .collect();
-        pending
-            .into_iter()
-            .map(|rx| rx.and_then(|rx| rx.recv().ok()).ok_or(QueryError::ShardDown))
-            .collect()
+        Ok(self.inner.shards.iter().map(ShardSlot::read_stats).collect())
     }
 
     /// [`Self::shard_stats`] folded into one service-wide readout.
@@ -518,21 +1094,49 @@ impl MonitorService {
         Ok(self.shard_stats()?.iter().fold(ShardStats::default(), |acc, s| acc.merged(s)))
     }
 
-    /// Drain and stop every shard worker. Messages already queued
-    /// (including tapped events still in flight) are processed first;
-    /// taps handed out earlier go dead afterwards. Dropping the service
-    /// shuts it down the same way.
+    /// Deliberately crash one shard task — test hook for the crash-path
+    /// suites (dead-shard reads, partial swaps, conservation under
+    /// failure). Sets a poison pill, schedules the shard, and waits until
+    /// the task has panicked through the real ingest path (poisoning the
+    /// core mutex exactly like an organic crash). No-op on an
+    /// already-dead shard.
+    #[doc(hidden)]
+    pub fn inject_shard_panic(&self, shard: usize) {
+        let slot = &self.inner.shards[shard % self.inner.shards.len()];
+        if !slot.is_alive() {
+            return;
+        }
+        slot.poison_pill.store(true, Ordering::Release);
+        if let Some(rt) = self.inner.runtime.get() {
+            rt.schedule(shard % self.inner.shards.len());
+        }
+        while slot.is_alive() {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Drain and stop the service. Events already enqueued (including
+    /// tapped events still in flight) are processed first; taps handed out
+    /// earlier refuse new events afterwards. Dropping the service shuts it
+    /// down the same way.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
-        for shard in &self.shards {
-            let _ = shard.send(ShardMsg::Shutdown);
+        // Refuse new tap events, then drain what's already queued, then
+        // stop the pool (its own shutdown also runs queued tasks dry).
+        self.inner.stopping.store(true, Ordering::Release);
+        // Cycle every queue lock: a racing enqueue either completed its
+        // push before this barrier (so the quiesce below sees and drains
+        // it while the workers are still up) or takes the lock after it
+        // and observes `stopping` — no event can slip in unprocessed
+        // between the quiesce and the pool teardown.
+        for slot in &self.inner.shards {
+            drop(slot.lock_queue());
         }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
+        self.inner.quiesce();
+        self.runtime.stop();
     }
 }
 
@@ -583,6 +1187,7 @@ mod tests {
         let plan = scan_plan();
         let service = MonitorService::fixed(EstimatorKind::Dne, 4);
         assert_eq!(service.n_shards(), 4);
+        assert!(service.n_workers() >= 1);
         // Query ids chosen to land on distinct shards (mod 4).
         for q in [0usize, 1, 2, 3, 7] {
             service.register(q, &plan);
@@ -591,6 +1196,9 @@ mod tests {
         for q in [0usize, 1, 2, 3, 7] {
             tap.send(snapshot_event(q, 0, 10.0, 25 * (q as u64 % 4 + 1))).unwrap();
         }
+        // Reads are wait-free snapshots: quiesce is the read-your-writes
+        // barrier after tap sends (ingest() below needs none).
+        service.quiesce();
         assert!((service.query_progress(0).unwrap() - 0.25).abs() < 1e-12);
         assert!((service.query_progress(3).unwrap() - 1.0).abs() < 1e-12);
         // Shard of query 7 (7 % 4 == 3) holds both 3 and 7.
@@ -606,6 +1214,8 @@ mod tests {
         });
         assert_eq!(service.query_progress(7), Ok(1.0));
         assert_eq!(service.is_finished(7), Ok(true));
+        // Staleness folding keeps a finished query's ETA all-zero, so the
+        // exact comparison survives the default read path.
         assert_eq!(service.remaining_time(7), Ok(Eta::finished(40.0)));
         service.unregister(7);
         assert_eq!(service.query_progress(7), Err(QueryError::QueryUnknown(7)));
@@ -649,13 +1259,19 @@ mod tests {
         assert!(!service.remaining_time(6).expect("registered").is_known());
         service.ingest(snapshot_event(6, 0, 10.0, 25));
         service.ingest(snapshot_event(6, 1, 20.0, 50));
-        let eta = service.remaining_time(6).expect("registered");
+        // The raw at-last-event variant is the bit-exact one.
+        let eta = service.remaining_time_at_last_event(6).expect("registered");
         assert!(eta.is_known());
         // 0.25 progress per 10 s => 0.025/s; 0.5 left => 20 s, and one
         // speed sample => interval degenerates onto the point.
         assert!((eta.remaining - 20.0).abs() < 1e-9);
         assert_eq!(eta.remaining_lo.to_bits(), eta.remaining.to_bits());
         assert_eq!(eta.remaining_hi.to_bits(), eta.remaining.to_bits());
+        // The default path folds staleness: never larger than raw, same
+        // provenance.
+        let folded = service.remaining_time(6).expect("registered");
+        assert!(folded.remaining <= eta.remaining);
+        assert_eq!(folded.as_of, eta.as_of);
         let p = service.progress_at_deadline(6, 30.0).expect("registered");
         assert!((p - 0.75).abs() < 1e-9);
         assert_eq!(service.progress_at_deadline(99, 1.0), Err(QueryError::QueryUnknown(99)));
@@ -715,6 +1331,17 @@ mod tests {
         assert!((stale.eta.remaining - 20.0).abs() < 1e-9);
         assert!((stale.age - 6.0).abs() < 1e-9);
         assert!((stale.remaining_now() - 14.0).abs() < 1e-9);
+        // The default remaining_time folds the same staleness in — the
+        // stalled-query countdown keeps shrinking instead of freezing.
+        let folded = service.remaining_time(4).expect("registered");
+        assert!((folded.remaining - 14.0).abs() < 1e-9);
+        assert!((folded.remaining_lo - (stale.eta.remaining_lo - 6.0).max(0.0)).abs() < 1e-9);
+        clock.set(1000.0);
+        assert_eq!(service.remaining_time(4).unwrap().remaining, 0.0, "pins to zero");
+        assert!(
+            service.remaining_time_at_last_event(4).unwrap().remaining > 0.0,
+            "raw variant stays frozen at the last event by design"
+        );
         assert_eq!(service.remaining_time_with_age(99), Err(QueryError::QueryUnknown(99)));
         service.shutdown();
     }
@@ -757,7 +1384,7 @@ mod tests {
         let service = MonitorService::from_prototype(prototype, 2);
         // Flood well past the cap through both admission paths: every
         // over-cap registration must come back as a typed Saturated value
-        // and no shard worker may die.
+        // and no shard task may die.
         let queries: Vec<usize> = (0..16).collect();
         let results = service.try_register_batch(&queries, &plan);
         let admitted: Vec<usize> =
@@ -778,7 +1405,7 @@ mod tests {
         let freed = admitted[0];
         service.unregister(freed);
         assert_eq!(service.try_register(freed + 2 * service.n_shards(), &plan), Ok(()));
-        let stats = service.stats().expect("all shards up");
+        let stats = service.stats().expect("stats are always served");
         assert_eq!(stats.registered, 4);
         assert_eq!(stats.admitted, 5);
         assert_eq!(stats.refused, 13);
@@ -798,13 +1425,15 @@ mod tests {
         }
         // An event for a query nobody registered: dropped and counted.
         tap.send(snapshot_event(42, 0, 10.0, 25)).unwrap();
-        let per_shard = service.shard_stats().expect("all shards up");
+        // Stats are wait-free snapshots; quiesce is the explicit barrier
+        // that makes the conservation law exact at readout time.
+        service.quiesce();
+        let per_shard = service.shard_stats().expect("stats are always served");
         assert_eq!(per_shard.len(), 3);
-        let total = service.stats().expect("all shards up");
-        // The stats round-trip queues behind the tapped events, so the
-        // conservation law is exact at readout time.
+        let total = service.stats().expect("stats are always served");
         assert_eq!(total.events_ingested + total.events_unroutable, 7);
         assert_eq!(total.events_unroutable, 1);
+        assert_eq!(total.events_rejected, 0, "no dead shards, nothing rejected");
         assert_eq!((total.registered, total.admitted), (6, 6));
         assert_eq!(total.queries_dropped, 0);
         service.shutdown();
@@ -816,6 +1445,32 @@ mod tests {
             MonitorService::try_fixed(EstimatorKind::BytesOracle, 2).err(),
             Some(RegisterError::OracleKind(EstimatorKind::BytesOracle))
         );
+    }
+
+    #[test]
+    fn online_kind_codes_roundtrip() {
+        for &kind in ONLINE_KINDS.iter() {
+            assert_eq!(kind_from_code(kind_to_code(kind)), kind);
+        }
+    }
+
+    #[test]
+    fn batched_tap_sends_are_equivalent_to_singles() {
+        let plan = scan_plan();
+        let service = MonitorService::fixed(EstimatorKind::Dne, 3);
+        for q in 0..6usize {
+            service.register(q, &plan);
+        }
+        let tap = service.tap();
+        let batch: Vec<TraceEvent> = (0..6usize).map(|q| snapshot_event(q, 0, 10.0, 25)).collect();
+        tap.send_batch(batch).unwrap();
+        service.quiesce();
+        for q in 0..6usize {
+            assert!((service.query_progress(q).unwrap() - 0.25).abs() < 1e-12, "q{q}");
+        }
+        let total = service.stats().expect("stats are always served");
+        assert_eq!(total.events_ingested, 6);
+        service.shutdown();
     }
 
     #[test]
@@ -856,9 +1511,54 @@ mod tests {
             }
             writer.join().unwrap();
         });
+        service.quiesce();
         for q in 0..n_queries {
             let p = service.query_progress(q).expect("registered");
             assert!((p - 1.0).abs() < 1e-12, "q{q} final progress {p}");
         }
+    }
+
+    #[test]
+    fn dead_shard_reads_swaps_and_router_degrade_cleanly() {
+        let favoring = crate::shard::test_support::selector_favoring;
+        let plan = scan_plan();
+        let service = MonitorService::with_selector(
+            favoring(EstimatorKind::Dne),
+            crate::shard::MonitorConfig::default(),
+            3,
+        );
+        for q in 0..6usize {
+            service.register(q, &plan);
+        }
+        let tap = service.tap();
+        tap.send(snapshot_event(1, 0, 1.0, 10)).unwrap();
+        service.quiesce();
+        // Kill shard 1 (owns queries 1 and 4) through the real panic path.
+        service.inject_shard_panic(1);
+        // Reads on the dead shard: typed error, never a hang or panic.
+        assert_eq!(service.query_progress(1), Err(QueryError::ShardDown));
+        assert_eq!(service.remaining_time(4), Err(QueryError::ShardDown));
+        assert_eq!(service.status(4).err(), Some(QueryError::ShardDown));
+        // Live shards keep serving.
+        assert_eq!(service.query_progress(0), Ok(0.0));
+        // The router refuses the dead shard's events cleanly — Err returns
+        // the event, and the drop is counted (conservation law).
+        let ev = snapshot_event(4, 0, 1.0, 10);
+        let back = tap.send(ev.clone());
+        assert_eq!(back, Err(ev));
+        assert!(tap.send(snapshot_event(0, 1, 2.0, 20)).is_ok(), "live shards accept");
+        service.quiesce();
+        let stats = service.stats().expect("stats are always served");
+        assert_eq!(stats.events_rejected, 1);
+        // A swap reports the dead shard by id and still applies to the
+        // survivors (visible via the epoch on a fresh registration).
+        let err = service.swap_selector(Arc::new(favoring(EstimatorKind::Tgn))).unwrap_err();
+        assert_eq!(err.shards, vec![1]);
+        assert_eq!(err.epoch, Some(1));
+        service.register(6, &plan); // 6 % 3 == 0: a surviving shard
+        assert_eq!(service.query_selector_epoch(6), Ok(1));
+        // Registration on the dead shard is refused as a value.
+        assert_eq!(service.try_register(7, &plan), Err(RegisterError::ShardDown));
+        service.shutdown();
     }
 }

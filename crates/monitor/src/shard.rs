@@ -17,6 +17,7 @@
 //! O(pipelines × plan).
 
 use crate::eta::{Eta, SpeedTracker, StaleEta};
+use crate::runtime::RuntimeConfig;
 use prosel_core::features::{dynamic_features, static_features};
 use prosel_core::pipeline_runs::{record_from_online, PipelineRecord};
 use prosel_core::selection::EstimatorSelector;
@@ -56,6 +57,9 @@ pub struct MonitorConfig {
     /// never a panic — so an open-loop traffic spike degrades into
     /// rejected admissions instead of unbounded shard state.
     pub max_queries: usize,
+    /// Shard-runtime knobs (worker pool size, core affinity, ingest batch)
+    /// — service mode only; a plain [`ProgressMonitor`] ignores them.
+    pub runtime: RuntimeConfig,
 }
 
 impl Default for MonitorConfig {
@@ -65,6 +69,7 @@ impl Default for MonitorConfig {
             eta_window: 32,
             clock: Arc::new(SystemClock::new()),
             max_queries: 0,
+            runtime: RuntimeConfig::default(),
         }
     }
 }
@@ -176,9 +181,13 @@ impl HarvestSink for std::sync::mpsc::Sender<HarvestedQuery> {
 /// Conservation law: every call to [`ProgressMonitor::ingest`] increments
 /// exactly one of `events_ingested` (the query was registered when the
 /// event arrived — including events that triggered a defensive state
-/// drop) or `events_unroutable` (it was not), so a driver that sent `N`
-/// events to a drained shard set must observe
-/// `Σ events_ingested + Σ events_unroutable == N`.
+/// drop) or `events_unroutable` (it was not). In service mode a third
+/// bucket exists: `events_rejected` counts events a **dead** shard could
+/// not ingest (refused at the router, or drained from the shard queue
+/// after the shard panicked). A driver that sent `N` events to a drained
+/// shard set must observe
+/// `Σ events_ingested + Σ events_unroutable + Σ events_rejected == N` —
+/// a dead shard degrades the service but never breaks the count.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShardStats {
     /// Queries registered right now.
@@ -200,6 +209,11 @@ pub struct ShardStats {
     pub queries_finished: u64,
     /// Harvest envelopes delivered to the attached sink.
     pub harvests: u64,
+    /// Events dropped because the owning shard was dead (service mode
+    /// only; always 0 on a plain [`ProgressMonitor`]). Counted at the
+    /// router when a send is refused, and when a panicking shard's queue
+    /// is drained — the third leg of the conservation law above.
+    pub events_rejected: u64,
 }
 
 impl ShardStats {
@@ -215,6 +229,7 @@ impl ShardStats {
             queries_dropped: self.queries_dropped + other.queries_dropped,
             queries_finished: self.queries_finished + other.queries_finished,
             harvests: self.harvests + other.harvests,
+            events_rejected: self.events_rejected + other.events_rejected,
         }
     }
 }
@@ -260,9 +275,9 @@ enum Policy {
     Selector(Arc<EstimatorSelector>),
 }
 
-struct PipeState {
-    obs: IncrementalObs,
-    choice: EstimatorKind,
+pub(crate) struct PipeState {
+    pub(crate) obs: IncrementalObs,
+    pub(crate) choice: EstimatorKind,
     initial: EstimatorKind,
     /// Static feature prefix, cached at registration (selector mode only).
     static_feats: Vec<f32>,
@@ -295,6 +310,19 @@ struct QueryState {
     eta: SpeedTracker,
     /// Wall stamp of the latest stamped event seen for this query.
     last_wall: f64,
+}
+
+/// One query's state, projected for the service's read-snapshot publish
+/// (see [`ProgressMonitor::query_view`]).
+pub(crate) struct QueryView<'a> {
+    pub(crate) progress: f64,
+    pub(crate) time: f64,
+    pub(crate) finished: bool,
+    /// Raw at-last-event ETA ([`ProgressMonitor::remaining_time_at_last_event`]).
+    pub(crate) eta: Eta,
+    pub(crate) epoch: u64,
+    pub(crate) pipes: &'a [PipeState],
+    pub(crate) switches: &'a [SwitchEvent],
 }
 
 /// Long-lived online progress monitor (single-threaded core / one shard of
@@ -710,11 +738,32 @@ impl ProgressMonitor {
     }
 
     /// Wall-clock remaining-time answer for `query` — point + interval ETA
-    /// from the trailing speed window (see [`crate::eta`] for semantics).
+    /// from the trailing speed window (see [`crate::eta`] for semantics),
+    /// **with staleness folded in**: the countdowns are aged by the
+    /// configured [`MonitorConfig::clock`]'s reading past [`Eta::as_of`]
+    /// and floored at 0 ([`Eta::aged`]). Without aging, a stalled query's
+    /// point ETA would freeze at the last accepted speed sample forever —
+    /// [`SpeedTracker::offer`] correctly rejects non-advancing samples —
+    /// which is exactly the wrong answer to "how much longer?". The
+    /// event-stream-pure raw answer stays available as
+    /// [`Self::remaining_time_at_last_event`].
+    ///
     /// `None` for unregistered queries; an [`Eta`] with
     /// [`Eta::is_known`]` == false` while fewer than two speed samples
     /// exist; the all-zero [`Eta`] once the engine reported termination.
+    /// The aging is exactly meaningful when the monitor's clock shares the
+    /// epoch of the clock stamping the trace events (the
+    /// [`MonitorConfig::clock`] contract); the clamp at 0 keeps a
+    /// mismatched clock from ever serving a negative countdown.
     pub fn remaining_time(&self, query: usize) -> Option<Eta> {
+        Some(self.remaining_time_at_last_event(query)?.aged(self.config.clock.now()))
+    }
+
+    /// [`Self::remaining_time`] without the staleness fold: the answer as
+    /// of the latest accepted event, a pure function of the ingested
+    /// stream (bit-deterministic under a manual clock — the equivalence
+    /// suites pin on this variant).
+    pub fn remaining_time_at_last_event(&self, query: usize) -> Option<Eta> {
         let qs = self.queries.get(&query)?;
         if qs.finished {
             return Some(Eta::finished(qs.last_wall));
@@ -722,14 +771,15 @@ impl ProgressMonitor {
         Some(qs.eta.estimate())
     }
 
-    /// [`Self::remaining_time`] plus its staleness: how many wall seconds
-    /// the configured [`MonitorConfig::clock`] has advanced past the
-    /// answer's [`Eta::as_of`]. The [`Eta`] itself stays a pure function
-    /// of the ingested event stream (bit-deterministic under a manual
-    /// clock); only the `age` reads the serving clock. A countdown UI
-    /// displays `eta.remaining - age` (see [`StaleEta::remaining_now`]).
+    /// [`Self::remaining_time_at_last_event`] plus its staleness: how many
+    /// wall seconds the configured [`MonitorConfig::clock`] has advanced
+    /// past the answer's [`Eta::as_of`]. The [`Eta`] inside is the **raw**
+    /// variant — a pure function of the ingested event stream
+    /// (bit-deterministic under a manual clock); only the `age` reads the
+    /// serving clock. [`StaleEta::remaining_now`] folds the two, which is
+    /// what [`Self::remaining_time`] serves directly.
     pub fn remaining_time_with_age(&self, query: usize) -> Option<StaleEta> {
-        let eta = self.remaining_time(query)?;
+        let eta = self.remaining_time_at_last_event(query)?;
         Some(StaleEta::at(eta, self.config.clock.now()))
     }
 
@@ -826,6 +876,31 @@ impl ProgressMonitor {
     /// Drop a query's state (e.g. after its result was consumed).
     pub fn unregister(&mut self, query: usize) {
         self.queries.remove(&query);
+    }
+
+    /// The monitor's configuration (the service consults the shared clock
+    /// and runtime knobs).
+    pub(crate) fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// Everything the service's snapshot-publish path needs about one
+    /// query, borrowed in a single lookup: the served progress, the raw
+    /// at-last-event [`Eta`], and the per-pipeline observation state. The
+    /// service copies these into its seqlocked read snapshot after every
+    /// ingested event; keeping the projection here (instead of N public
+    /// getters × N BTreeMap lookups) keeps the publish cost one map probe.
+    pub(crate) fn query_view(&self, query: usize) -> Option<QueryView<'_>> {
+        let qs = self.queries.get(&query)?;
+        Some(QueryView {
+            progress: Self::progress_of(qs),
+            time: qs.last_time,
+            finished: qs.finished,
+            eta: if qs.finished { Eta::finished(qs.last_wall) } else { qs.eta.estimate() },
+            epoch: qs.epoch,
+            pipes: &qs.pipes,
+            switches: &qs.switches,
+        })
     }
 
     /// The per-shard policy, cloned — how the service stamps out N shards
@@ -1021,7 +1096,13 @@ mod tests {
     #[test]
     fn remaining_time_converges_and_pins_to_zero() {
         let plan = scan_plan();
-        let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+        // A manual clock held at 0.0 keeps the default staleness fold a
+        // no-op (age clamps at 0), so the raw convergence is what's served.
+        let config = MonitorConfig {
+            clock: Arc::new(ManualClock::new(0.0)) as Arc<dyn Clock>,
+            ..Default::default()
+        };
+        let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne).with_config(config);
         assert_eq!(monitor.remaining_time(0), None, "unregistered");
         monitor.register(0, &plan);
         let eta = monitor.remaining_time(0).expect("registered");
@@ -1085,12 +1166,26 @@ mod tests {
         // has moved on to 5.5 => age 3.5, countdown 8 − 3.5.
         clock.set(5.5);
         let stale = monitor.remaining_time_with_age(2).expect("registered");
-        assert_eq!(stale.eta, monitor.remaining_time(2).unwrap(), "eta itself is unchanged");
+        assert_eq!(
+            stale.eta,
+            monitor.remaining_time_at_last_event(2).unwrap(),
+            "the StaleEta carries the raw at-last-event answer"
+        );
         assert!((stale.age - 3.5).abs() < 1e-12, "age {}", stale.age);
         assert!((stale.remaining_now() - (8.0 - 3.5)).abs() < 1e-9);
-        // A clock that has burned past the estimate floors at zero.
+        // The default read path folds the same staleness in directly.
+        let folded = monitor.remaining_time(2).unwrap();
+        assert!((folded.remaining - stale.remaining_now()).abs() < 1e-12);
+        assert_eq!(folded.as_of, stale.eta.as_of, "aging keeps the sample provenance");
+        // A clock that has burned past the estimate floors at zero — on
+        // both the StaleEta fold and the default read path.
         clock.set(100.0);
         assert_eq!(monitor.remaining_time_with_age(2).unwrap().remaining_now(), 0.0);
+        assert_eq!(monitor.remaining_time(2).unwrap().remaining, 0.0);
+        assert!(
+            monitor.remaining_time_at_last_event(2).unwrap().remaining > 0.0,
+            "the raw variant stays frozen at the last event by design"
+        );
         assert_eq!(monitor.remaining_time_with_age(99), None, "unregistered");
     }
 

@@ -91,7 +91,11 @@ fn shard_and_service_serve_identical_deterministic_etas() {
         for ev in &events {
             let q = ev.query();
             monitor.ingest(ev.clone());
-            let eta = monitor.remaining_time(q).expect("registered");
+            // The at-last-event ETA is the pure function of the stream
+            // (the default `remaining_time` additionally folds wall-clock
+            // staleness in, which is deliberately not bit-stable across
+            // independent wall clocks).
+            let eta = monitor.remaining_time_at_last_event(q).expect("registered");
             etas.push(eta_bits(&eta));
             let p = monitor.progress_at_deadline(q, horizon).expect("registered");
             predictions.push(p.to_bits());
@@ -105,7 +109,9 @@ fn shard_and_service_serve_identical_deterministic_etas() {
     assert_eq!(pred_a, pred_b, "deadline predictions must be byte-identical across runs");
 
     // The sharded service, fed the same stream, must serve byte-identical
-    // answers (reads are FIFO-ordered behind the ingests they follow).
+    // answers. `MonitorService::ingest` blocks until the owning shard has
+    // drained the event (read-your-writes), so each wait-free read below
+    // observes exactly the prefix the single-threaded shard observed.
     let service = MonitorService::fixed(EstimatorKind::Dne, 3);
     for (qi, plan) in plans.iter().enumerate() {
         service.register(qi, plan);
@@ -115,7 +121,7 @@ fn shard_and_service_serve_identical_deterministic_etas() {
     for ev in &events {
         let q = ev.query();
         service.ingest(ev.clone());
-        let eta = service.remaining_time(q).expect("registered");
+        let eta = service.remaining_time_at_last_event(q).expect("registered");
         etas_s.push(eta_bits(&eta));
         let p = service.progress_at_deadline(q, horizon).expect("registered");
         pred_s.push(p.to_bits());

@@ -30,6 +30,9 @@ fn service_matches_single_monitor_on_concurrent_workload() {
         service.register(qi, plan);
     }
     let runs = run_concurrent_tapped(&catalog, &plans, &cfg, service.tap());
+    // Service reads are wait-free snapshots — drain the tapped events
+    // before comparing final state.
+    service.quiesce();
 
     // Run 2: the same workload tapped into a channel-fed single monitor.
     // Concurrent execution is deterministic, so both monitors saw the
@@ -97,6 +100,7 @@ fn selector_service_matches_single_monitor_including_switches() {
         service.register(qi, plan);
     }
     run_concurrent_tapped(&catalog, &plans, &run_cfg, service.tap());
+    service.quiesce();
 
     let (tap, rx) = std::sync::mpsc::channel();
     let mut reference =
@@ -147,6 +151,7 @@ fn service_registration_errors_and_late_join_are_graceful() {
         service.tap(),
     );
     assert!(runs.trace.snapshots.len() > 1);
+    service.quiesce();
     assert_eq!(service.query_progress(late), Err(QueryError::QueryUnknown(late)));
     service.register(late, &plan);
     let _ = prosel::engine::run_plan_tapped(
@@ -158,6 +163,7 @@ fn service_registration_errors_and_late_join_are_graceful() {
     );
     // The second stream also starts at seq 0 relative to the engine run,
     // which the shard accepts as a fresh stream for the new registration.
+    service.quiesce();
     assert_eq!(service.query_progress(late), Ok(1.0));
     service.shutdown();
 }
