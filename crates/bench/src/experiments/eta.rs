@@ -42,6 +42,14 @@ fn virtualize_wall(ev: &TraceEvent) -> TraceEvent {
             snapshot: snapshot.clone(),
             windows: windows.clone(),
         },
+        TraceEvent::Delta { query, seq, time, changes, window_updates, .. } => TraceEvent::Delta {
+            query: *query,
+            seq: *seq,
+            wall: *time,
+            time: *time,
+            changes: changes.clone(),
+            window_updates: window_updates.clone(),
+        },
         TraceEvent::Thinned { query } => TraceEvent::Thinned { query: *query },
         TraceEvent::Finished { query, windows, total_time, .. } => TraceEvent::Finished {
             query: *query,
@@ -127,6 +135,7 @@ pub fn run(_suite: &mut Suite, scale: ExpScale) -> String {
                 for ev in &events {
                     let truth = match ev {
                         TraceEvent::Snapshot { snapshot, .. } => total - snapshot.time,
+                        TraceEvent::Delta { time, .. } => total - time,
                         _ => {
                             monitor.ingest(ev.clone());
                             continue;

@@ -47,6 +47,7 @@ fn row_of(label: &str, out: &TrafficOutcome) -> Vec<String> {
         label.into(),
         c.finished.to_string(),
         format!("{:.0}", out.metrics.events_per_second()),
+        format!("{:.0}", out.metrics.bytes_per_event()),
         format!("{:.1}", p50 as f64 / 1e3),
         format!("{:.1}", p99 as f64 / 1e3),
         format!("{:.1}", p999 as f64 / 1e3),
@@ -68,6 +69,7 @@ pub fn run(_suite: &mut Suite, scale: ExpScale) -> String {
             "mode",
             "finished",
             "events/s",
+            "B/event",
             "read p50 us",
             "read p99 us",
             "read p999 us",

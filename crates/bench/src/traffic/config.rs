@@ -76,6 +76,12 @@ pub struct TrafficSpec {
     /// Hot-swap the selector every this many finished queries (0 = never
     /// swap).
     pub swap_every: usize,
+    /// Tap delta compression during template capture, forwarded to
+    /// [`prosel_engine::ExecConfig::delta_threshold`]: plans at least this
+    /// many nodes wide emit sparse [`prosel_engine::trace::TraceEvent::Delta`]
+    /// events past the full-snapshot baseline (0 = always emit full
+    /// snapshots).
+    pub delta_threshold: usize,
     /// Optional virtual-time horizon in seconds: arrivals scheduled past
     /// it are trimmed from the schedule.
     pub duration: Option<f64>,
@@ -95,6 +101,7 @@ impl Default for TrafficSpec {
             n_shards: 4,
             read_every: 16,
             swap_every: 512,
+            delta_threshold: 0,
             duration: None,
         }
     }
@@ -214,6 +221,10 @@ impl TrafficSpec {
                     spec.swap_every =
                         value.parse().map_err(|_| err("swap-every must be a usize"))?;
                 }
+                "delta-threshold" => {
+                    spec.delta_threshold =
+                        value.parse().map_err(|_| err("delta-threshold must be a usize"))?;
+                }
                 "duration" => {
                     spec.duration =
                         Some(value.parse().map_err(|_| err("duration must be a number"))?);
@@ -266,6 +277,7 @@ impl TrafficSpec {
         let _ = writeln!(out, "shards = {}", self.n_shards);
         let _ = writeln!(out, "read-every = {}", self.read_every);
         let _ = writeln!(out, "swap-every = {}", self.swap_every);
+        let _ = writeln!(out, "delta-threshold = {}", self.delta_threshold);
         if let Some(d) = self.duration {
             let _ = writeln!(out, "duration = {d}");
         }
@@ -364,10 +376,19 @@ real2 = 0.0\n";
     }
 
     #[test]
+    fn delta_threshold_round_trips_and_parses() {
+        let spec = TrafficSpec { delta_threshold: 8, ..TrafficSpec::smoke() };
+        assert_eq!(TrafficSpec::from_toml(&spec.to_toml()).expect("round-trip"), spec);
+        let parsed = TrafficSpec::from_toml("delta-threshold = 8").expect("parse");
+        assert_eq!(parsed.delta_threshold, 8);
+    }
+
+    #[test]
     fn the_checked_in_sample_spec_parses() {
         let text = include_str!("../../specs/traffic_quick.toml");
         let spec = TrafficSpec::from_toml(text).expect("sample spec must stay valid");
         assert!(spec.num_queries >= 10_000, "the quick soak drives >= 10k queries");
         assert!(spec.n_shards > 1, "the soak exercises a multi-shard service");
+        assert!(spec.delta_threshold > 0, "the quick soak exercises the delta tap");
     }
 }

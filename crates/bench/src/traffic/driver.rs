@@ -116,6 +116,10 @@ impl TemplateSet {
                     // Few retained snapshots: templates bound the per-query
                     // event count (and thus the soak's ingest volume).
                     max_snapshots: 16,
+                    // Captured streams carry the spec's tap wire format:
+                    // with a nonzero threshold the replay sends sparse
+                    // Delta events instead of full snapshots.
+                    delta_threshold: spec.delta_threshold,
                     ..ExecConfig::default()
                 };
                 let _run = run_plan_tapped(&catalog, &plan, &cfg, 0, tap);
@@ -161,6 +165,7 @@ fn retime(raw: Vec<TraceEvent>) -> Vec<(f64, TraceEvent)> {
         .map(|ev| {
             let rel = match &ev {
                 TraceEvent::Snapshot { snapshot, .. } => snapshot.time * scale,
+                TraceEvent::Delta { time, .. } => time * scale,
                 TraceEvent::Finished { total_time, .. } => total_time * scale,
                 TraceEvent::Thinned { .. } => last,
             };
@@ -183,6 +188,14 @@ fn restamp(ev: &TraceEvent, query: usize, wall: f64) -> TraceEvent {
             wall,
             snapshot: snapshot.clone(),
             windows: windows.clone(),
+        },
+        TraceEvent::Delta { seq, time, changes, window_updates, .. } => TraceEvent::Delta {
+            query,
+            seq: *seq,
+            wall,
+            time: *time,
+            changes: changes.clone(),
+            window_updates: window_updates.clone(),
         },
         TraceEvent::Thinned { .. } => TraceEvent::Thinned { query },
         TraceEvent::Finished { windows, total_time, .. } => {
@@ -261,7 +274,7 @@ impl TrafficOutcome {
         let s = &self.stats;
         let mut out = format!(
             "schedule={:016x} reads={:016x}\n\
-             arrivals={} registered={} finished={} events={} reads={} swaps={} \
+             arrivals={} registered={} finished={} events={} event_bytes={} reads={} swaps={} \
              queue_peak={} max_in_flight={}\n\
              shards: admitted={} refused={} ingested={} unroutable={} rejected={} dropped={} \
              finished={} harvests={} still_registered={}\n",
@@ -271,6 +284,7 @@ impl TrafficOutcome {
             c.registered,
             c.finished,
             c.events_sent,
+            c.event_bytes,
             c.reads,
             c.swaps,
             c.queue_peak,
@@ -496,7 +510,9 @@ pub fn drive_with(
                 let (rel, ev) = &tpl.events[event_idx];
                 let wall = fl.t0 + rel;
                 let is_last = event_idx + 1 == tpl.events.len();
-                if tap.send(restamp(ev, query, wall)).is_err() {
+                let stamped = restamp(ev, query, wall);
+                counters.event_bytes += stamped.payload_bytes() as u64;
+                if tap.send(stamped).is_err() {
                     violations.push(format!("tap rejected event for q{query}"));
                 }
                 counters.events_sent += 1;
@@ -699,6 +715,29 @@ mod tests {
         assert!(out.metrics.violations.is_empty(), "{:?}", out.metrics.violations);
         assert!(out.metrics.counters.max_in_flight <= 2);
         assert!(out.metrics.counters.queue_peak > 0, "a 2-wide window must queue");
+    }
+
+    #[test]
+    fn delta_tap_soak_is_clean_cheaper_on_the_wire_and_bit_identical() {
+        let full_spec = tiny_spec();
+        let delta_spec = TrafficSpec { delta_threshold: 1, ..tiny_spec() };
+        let full = drive(&full_spec, &TemplateSet::build(&full_spec));
+        let delta = drive(&delta_spec, &TemplateSet::build(&delta_spec));
+        assert_eq!(delta.metrics.violations, Vec::<String>::new());
+        assert_eq!(delta.metrics.counters.finished, 96);
+        // Deltas replace full snapshots 1:1 — same event count, fewer
+        // bytes on the wire.
+        assert_eq!(delta.metrics.counters.events_sent, full.metrics.counters.events_sent);
+        assert!(
+            delta.metrics.counters.event_bytes < full.metrics.counters.event_bytes,
+            "delta {} B vs full {} B",
+            delta.metrics.counters.event_bytes,
+            full.metrics.counters.event_bytes
+        );
+        // The shard reconstructs the exact counter stream from deltas, so
+        // every progress/ETA read returns bitwise the same value as under
+        // the full-snapshot wire format.
+        assert_eq!(delta.reads_digest, full.reads_digest, "delta reconstruction must be bitwise");
     }
 
     #[test]

@@ -72,6 +72,10 @@ pub struct TrafficCounters {
     pub finished: u64,
     /// Trace events sent through the tap.
     pub events_sent: u64,
+    /// Total approximate wire bytes of those events
+    /// ([`prosel_engine::trace::TraceEvent::payload_bytes`]) — the
+    /// quantity delta compression shrinks.
+    pub event_bytes: u64,
     /// Progress / ETA reads issued.
     pub reads: u64,
     /// Selector hot-swaps issued.
@@ -109,6 +113,16 @@ impl TrafficMetrics {
         }
     }
 
+    /// Mean wire bytes per tap event; 0 for an empty run. Full-snapshot
+    /// streams pay O(plan) here, delta streams O(changed counters).
+    pub fn bytes_per_event(&self) -> f64 {
+        if self.counters.events_sent > 0 {
+            self.counters.event_bytes as f64 / self.counters.events_sent as f64
+        } else {
+            0.0
+        }
+    }
+
     /// Append the reportable fields to the bench JSONL stream under
     /// `traffic/<prefix>...` metric names. No-op unless
     /// `PROSEL_BENCH_JSON` is set.
@@ -119,6 +133,7 @@ impl TrafficMetrics {
         append_metric_sample(&name("read_p99_ns"), p99 as f64);
         append_metric_sample(&name("read_p999_ns"), p999 as f64);
         append_metric_sample(&name("ingest_events_per_s"), self.events_per_second());
+        append_metric_sample(&name("tap_bytes_per_event"), self.bytes_per_event());
         if self.swap_latency.count() > 0 {
             append_metric_sample(&name("swap_p99_ns"), self.swap_latency.quantile(0.99) as f64);
         }

@@ -11,7 +11,7 @@
 use crate::clock::{Clock, SystemClock};
 use crate::cost::{CostModel, SplitMix64};
 use crate::exec::TurnScheduler;
-use crate::trace::{ObservationTrace, Snapshot, TraceEvent, TraceTap};
+use crate::trace::{DeltaEncoder, ObservationTrace, Snapshot, TraceEvent, TraceTap};
 use std::sync::Arc;
 
 /// Configuration for one execution.
@@ -33,6 +33,14 @@ pub struct ExecConfig {
     /// [`crate::clock::ManualClock`] for deterministic stamp sequences.
     /// Never read on untapped runs and never affects execution itself.
     pub wall_clock: Arc<dyn Clock>,
+    /// Snapshot-delta tap compression: plans with at least this many nodes
+    /// emit [`TraceEvent::Delta`] events (sparse changed-counter diffs)
+    /// instead of full snapshots after the first, baseline
+    /// [`TraceEvent::Snapshot`]. `0` disables deltas entirely. Narrow
+    /// plans gain little from the sparse encoding, so the knob keeps them
+    /// on the simple full-snapshot path. Like tapping itself, the setting
+    /// never affects execution — only the wire encoding of the stream.
+    pub delta_threshold: usize,
 }
 
 impl Default for ExecConfig {
@@ -44,6 +52,7 @@ impl Default for ExecConfig {
             max_snapshots: 512,
             initial_snapshot_interval: 50.0,
             wall_clock: Arc::new(SystemClock::new()),
+            delta_threshold: 0,
         }
     }
 }
@@ -71,6 +80,11 @@ pub struct ExecContext {
     ticks_left: u32,
     /// Live observation stream: (sender, query id). Dropped on send error.
     tap: Option<(TraceTap, usize)>,
+    /// Delta tap compression state: `Some` when the plan is at least
+    /// [`ExecConfig::delta_threshold`] nodes wide (and the threshold is
+    /// nonzero). Tracks the last-emitted counters so snapshots past the
+    /// baseline go out as sparse [`TraceEvent::Delta`] diffs.
+    delta_enc: Option<DeltaEncoder>,
     /// Snapshots emitted so far (tap event sequence number).
     snap_seq: u64,
     /// Wall-clock source for tap event stamps (read only when tapped).
@@ -107,6 +121,8 @@ impl ExecContext {
             sched: None,
             ticks_left: u32::MAX,
             tap: None,
+            delta_enc: (cfg.delta_threshold > 0 && n_nodes >= cfg.delta_threshold)
+                .then(DeltaEncoder::new),
             snap_seq: 0,
             wall_clock: Arc::clone(&cfg.wall_clock),
         }
@@ -143,9 +159,17 @@ impl ExecContext {
             let seq = self.snap_seq;
             self.snap_seq += 1;
             let wall = self.wall_clock.now();
-            let snapshot = self.snapshots.last().expect("snapshot just pushed").clone();
             let windows = self.windows();
-            self.emit(TraceEvent::Snapshot { query, seq, wall, snapshot, windows });
+            let snap = self.snapshots.last().expect("snapshot just pushed");
+            let ev = match self.delta_enc.as_mut().and_then(|enc| enc.encode(snap, &windows)) {
+                Some((changes, window_updates)) => {
+                    TraceEvent::Delta { query, seq, wall, time: snap.time, changes, window_updates }
+                }
+                // Either deltas are off for this plan or this is the
+                // encoder's baseline emission: ship the full snapshot.
+                None => TraceEvent::Snapshot { query, seq, wall, snapshot: snap.clone(), windows },
+            };
+            self.emit(ev);
         }
     }
 

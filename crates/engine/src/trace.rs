@@ -28,6 +28,52 @@ pub struct Snapshot {
     pub materialized: Box<[u64]>,
 }
 
+impl Snapshot {
+    /// Borrow this snapshot as a [`SnapshotView`] (no copies).
+    pub fn as_view(&self) -> SnapshotView<'_> {
+        SnapshotView {
+            time: self.time,
+            k: &self.k,
+            bytes_read: &self.bytes_read,
+            bytes_written: &self.bytes_written,
+            materialized: &self.materialized,
+        }
+    }
+}
+
+/// A borrowed view of one observation point — the same counters as
+/// [`Snapshot`] without owning the slabs. Consumers that reconstruct
+/// snapshots from [`TraceEvent::Delta`] events hand estimator code a view
+/// over their per-query scratch buffers instead of allocating a fresh
+/// `Box<[u64]>` quartet per event.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotView<'a> {
+    /// Virtual time of this observation.
+    pub time: f64,
+    /// GetNext calls so far per node (K_i^t).
+    pub k: &'a [u64],
+    /// Bytes logically read so far per node.
+    pub bytes_read: &'a [u64],
+    /// Bytes logically written so far per node.
+    pub bytes_written: &'a [u64],
+    /// Materialized output sizes per node (rows); see
+    /// [`Snapshot::materialized`].
+    pub materialized: &'a [u64],
+}
+
+impl SnapshotView<'_> {
+    /// Copy the view into an owned [`Snapshot`].
+    pub fn to_snapshot(&self) -> Snapshot {
+        Snapshot {
+            time: self.time,
+            k: self.k.into(),
+            bytes_read: self.bytes_read.into(),
+            bytes_written: self.bytes_written.into(),
+            materialized: self.materialized.into(),
+        }
+    }
+}
+
 /// The full observable history of one query execution.
 #[derive(Debug, Clone)]
 pub struct ObservationTrace {
@@ -125,6 +171,26 @@ pub enum TraceEvent {
     /// whether it has seen the stream from the start — required to mirror
     /// the bounded buffer through `Thinned` events.
     Snapshot { query: usize, seq: u64, wall: f64, snapshot: Snapshot, windows: Box<[(f64, f64)]> },
+    /// A snapshot was recorded, transmitted as a sparse diff against the
+    /// previous emission instead of full counter vectors: `changes` lists
+    /// the **absolute new values** of exactly the (node, counter) pairs
+    /// that changed, and `window_updates` the pipelines whose activity
+    /// window moved. `seq` follows the same numbering as
+    /// [`TraceEvent::Snapshot`] — a delta stands for one snapshot. The
+    /// first emission of a query is always a full `Snapshot` (the
+    /// baseline); see [`DeltaEncoder`]/[`DeltaDecoder`] for the wire
+    /// protocol. Because values are absolute, the encoding is insensitive
+    /// to buffer thinning on either side.
+    Delta {
+        query: usize,
+        seq: u64,
+        wall: f64,
+        /// Virtual time of the underlying observation (always changes, so
+        /// it rides in the header rather than as a counter update).
+        time: f64,
+        changes: Box<[CounterUpdate]>,
+        window_updates: Box<[(u32, (f64, f64))]>,
+    },
     /// The bounded snapshot buffer was thinned: of the snapshots retained
     /// so far, only those at odd positions survive, and the sampling
     /// interval doubles. Consumers mirroring the trace must apply the same
@@ -134,11 +200,39 @@ pub enum TraceEvent {
     Finished { query: usize, wall: f64, windows: Box<[(f64, f64)]>, total_time: f64 },
 }
 
+/// Which per-node counter a [`CounterUpdate`] addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum CounterKind {
+    /// GetNext calls (K_i).
+    GetNext,
+    /// Bytes logically read (R_i).
+    BytesRead,
+    /// Bytes logically written (W_i).
+    BytesWritten,
+    /// Materialized output size (rows).
+    Materialized,
+}
+
+/// One sparse counter update inside a [`TraceEvent::Delta`]: the counter
+/// `counter` of plan node `node` now holds `value` (absolute, not a
+/// difference — replaying updates is idempotent and thinning-safe).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterUpdate {
+    /// Plan node index.
+    pub node: u32,
+    /// Which counter changed.
+    pub counter: CounterKind,
+    /// The absolute new counter value.
+    pub value: u64,
+}
+
 impl TraceEvent {
     /// The query this event belongs to.
     pub fn query(&self) -> usize {
         match self {
             TraceEvent::Snapshot { query, .. }
+            | TraceEvent::Delta { query, .. }
             | TraceEvent::Thinned { query }
             | TraceEvent::Finished { query, .. } => *query,
         }
@@ -149,9 +243,199 @@ impl TraceEvent {
     /// unstamped).
     pub fn wall(&self) -> Option<f64> {
         match self {
-            TraceEvent::Snapshot { wall, .. } | TraceEvent::Finished { wall, .. } => Some(*wall),
+            TraceEvent::Snapshot { wall, .. }
+            | TraceEvent::Delta { wall, .. }
+            | TraceEvent::Finished { wall, .. } => Some(*wall),
             TraceEvent::Thinned { .. } => None,
         }
+    }
+
+    /// Approximate serialized size of this event's payload in bytes — the
+    /// accounting the benches and the traffic soak use to compare full
+    /// snapshots against delta compression. Header fields (query, seq,
+    /// wall, time) count 8 bytes each; each counter slot 8 bytes; each
+    /// sparse [`CounterUpdate`] 13 bytes (4 node + 1 kind + 8 value); each
+    /// window pair 16 bytes (plus a 4-byte pipeline index when sparse).
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            TraceEvent::Snapshot { snapshot, windows, .. } => {
+                32 + 8 * 4 * snapshot.k.len() + 16 * windows.len()
+            }
+            TraceEvent::Delta { changes, window_updates, .. } => {
+                32 + 13 * changes.len() + 20 * window_updates.len()
+            }
+            TraceEvent::Thinned { .. } => 8,
+            TraceEvent::Finished { windows, .. } => 32 + 16 * windows.len(),
+        }
+    }
+}
+
+/// Producer half of the snapshot-delta wire protocol.
+///
+/// Retains the last-emitted counters and windows for one query. The first
+/// call to [`DeltaEncoder::encode`] returns `None` — the caller must emit
+/// a full [`TraceEvent::Snapshot`] as the baseline — and every later call
+/// returns the sparse diff against the previous emission. Counter values
+/// are transmitted **absolute**, so a decoder that missed nothing
+/// reconstructs the exact snapshot stream bit-for-bit, and engine-side
+/// buffer thinning (which never rewinds counters) cannot desynchronize
+/// the pair.
+#[derive(Debug, Default)]
+pub struct DeltaEncoder {
+    primed: bool,
+    k: Vec<u64>,
+    bytes_read: Vec<u64>,
+    bytes_written: Vec<u64>,
+    materialized: Vec<u64>,
+    windows: Vec<(f64, f64)>,
+}
+
+impl DeltaEncoder {
+    /// A fresh, unprimed encoder.
+    pub fn new() -> DeltaEncoder {
+        DeltaEncoder::default()
+    }
+
+    /// Diff `snap`/`windows` against the previous emission and advance the
+    /// baseline. Returns `None` on the first call (emit a full snapshot);
+    /// `Some((changes, window_updates))` afterwards.
+    #[allow(clippy::type_complexity)]
+    pub fn encode(
+        &mut self,
+        snap: &Snapshot,
+        windows: &[(f64, f64)],
+    ) -> Option<(Box<[CounterUpdate]>, Box<[(u32, (f64, f64))]>)> {
+        if !self.primed {
+            self.k = snap.k.to_vec();
+            self.bytes_read = snap.bytes_read.to_vec();
+            self.bytes_written = snap.bytes_written.to_vec();
+            self.materialized = snap.materialized.to_vec();
+            self.windows = windows.to_vec();
+            self.primed = true;
+            return None;
+        }
+        let mut changes = Vec::new();
+        let cols: [(&[u64], &mut Vec<u64>, CounterKind); 4] = [
+            (&snap.k, &mut self.k, CounterKind::GetNext),
+            (&snap.bytes_read, &mut self.bytes_read, CounterKind::BytesRead),
+            (&snap.bytes_written, &mut self.bytes_written, CounterKind::BytesWritten),
+            (&snap.materialized, &mut self.materialized, CounterKind::Materialized),
+        ];
+        for (now, last, kind) in cols {
+            for (node, (&v, slot)) in now.iter().zip(last.iter_mut()).enumerate() {
+                if v != *slot {
+                    changes.push(CounterUpdate { node: node as u32, counter: kind, value: v });
+                    *slot = v;
+                }
+            }
+        }
+        let mut window_updates = Vec::new();
+        for (pid, (&w, slot)) in windows.iter().zip(self.windows.iter_mut()).enumerate() {
+            if w != *slot {
+                window_updates.push((pid as u32, w));
+                *slot = w;
+            }
+        }
+        Some((changes.into_boxed_slice(), window_updates.into_boxed_slice()))
+    }
+}
+
+/// Consumer half of the snapshot-delta wire protocol: per-query scratch
+/// state holding the current counter vectors and activity windows. Full
+/// snapshots overwrite the scratch in place (`copy_from_slice`, no
+/// allocation after the first event); deltas patch it sparsely. The
+/// scratch doubles as the monitor shard's reusable counter buffers — the
+/// estimator path reads it through [`DeltaDecoder::view`] without copying.
+#[derive(Debug, Default, Clone)]
+pub struct DeltaDecoder {
+    primed: bool,
+    time: f64,
+    k: Vec<u64>,
+    bytes_read: Vec<u64>,
+    bytes_written: Vec<u64>,
+    materialized: Vec<u64>,
+    windows: Vec<(f64, f64)>,
+}
+
+impl DeltaDecoder {
+    /// A fresh, unprimed decoder.
+    pub fn new() -> DeltaDecoder {
+        DeltaDecoder::default()
+    }
+
+    /// Whether a baseline full snapshot has been applied yet. Deltas
+    /// arriving before that are a protocol violation.
+    pub fn primed(&self) -> bool {
+        self.primed
+    }
+
+    /// Apply a full snapshot, replacing the scratch contents in place.
+    pub fn apply_full(&mut self, snap: &Snapshot, windows: &[(f64, f64)]) {
+        self.time = snap.time;
+        copy_into(&mut self.k, &snap.k);
+        copy_into(&mut self.bytes_read, &snap.bytes_read);
+        copy_into(&mut self.bytes_written, &snap.bytes_written);
+        copy_into(&mut self.materialized, &snap.materialized);
+        self.windows.clear();
+        self.windows.extend_from_slice(windows);
+        self.primed = true;
+    }
+
+    /// Patch the scratch with one delta. Returns `false` (leaving the
+    /// scratch untouched) when the decoder is unprimed or an update
+    /// addresses a node/pipeline outside the known arity — the caller
+    /// should treat the stream as corrupt.
+    pub fn apply_delta(
+        &mut self,
+        time: f64,
+        changes: &[CounterUpdate],
+        window_updates: &[(u32, (f64, f64))],
+    ) -> bool {
+        if !self.primed
+            || changes.iter().any(|u| u.node as usize >= self.k.len())
+            || window_updates.iter().any(|&(pid, _)| pid as usize >= self.windows.len())
+        {
+            return false;
+        }
+        self.time = time;
+        for u in changes {
+            let col = match u.counter {
+                CounterKind::GetNext => &mut self.k,
+                CounterKind::BytesRead => &mut self.bytes_read,
+                CounterKind::BytesWritten => &mut self.bytes_written,
+                CounterKind::Materialized => &mut self.materialized,
+            };
+            col[u.node as usize] = u.value;
+        }
+        for &(pid, w) in window_updates {
+            self.windows[pid as usize] = w;
+        }
+        true
+    }
+
+    /// Borrow the current reconstructed counters as a [`SnapshotView`].
+    pub fn view(&self) -> SnapshotView<'_> {
+        SnapshotView {
+            time: self.time,
+            k: &self.k,
+            bytes_read: &self.bytes_read,
+            bytes_written: &self.bytes_written,
+            materialized: &self.materialized,
+        }
+    }
+
+    /// The current reconstructed activity windows.
+    pub fn windows(&self) -> &[(f64, f64)] {
+        &self.windows
+    }
+}
+
+fn copy_into(dst: &mut Vec<u64>, src: &[u64]) {
+    if dst.len() == src.len() {
+        dst.copy_from_slice(src);
+    } else {
+        dst.clear();
+        dst.extend_from_slice(src);
     }
 }
 

@@ -40,10 +40,41 @@ pub struct SnapshotCtx {
 
 impl SnapshotCtx {
     /// Compute the context for one snapshot — the single O(plan) bound
-    /// pass that all pipelines of the query then share.
+    /// pass that all pipelines of the query then share. Allocates the two
+    /// bound vectors; long-lived consumers (the monitor shard) keep one
+    /// [`SnapshotCtx`] per query and refresh it in place with
+    /// [`Self::recompute`] instead.
     pub fn new(plan: &PhysicalPlan, snap: &Snapshot) -> SnapshotCtx {
         let (lb, ub) = bounds(plan, &snap.k);
         SnapshotCtx { lb, ub }
+    }
+
+    /// An empty context to be filled by [`Self::recompute`].
+    pub fn empty() -> SnapshotCtx {
+        SnapshotCtx { lb: Vec::new(), ub: Vec::new() }
+    }
+
+    /// Refresh the bounds in place from a compiled kernel — the
+    /// allocation-free per-snapshot path. Bit-identical to
+    /// [`Self::new`] on the kernel's plan (see [`crate::soa`]).
+    pub fn recompute(&mut self, kernel: &crate::soa::BoundsKernel, k: &[u64]) {
+        kernel.eval_into(k, &mut self.lb, &mut self.ub);
+    }
+
+    /// Refresh only the bounds at topological positions `from` and later —
+    /// the delta-driven path: a sparse counter delta names exactly which
+    /// `GetNext` counters moved, and bounds at earlier positions are pure
+    /// functions of unchanged inputs, so leaving them in place is
+    /// bit-identical to a full pass (see
+    /// [`BoundsKernel::position_of`][crate::soa::BoundsKernel::position_of]).
+    /// Falls back to a full evaluation when the context has not been
+    /// sized for this kernel yet.
+    pub fn refresh_from(&mut self, kernel: &crate::soa::BoundsKernel, k: &[u64], from: usize) {
+        if self.lb.len() != kernel.width() {
+            kernel.eval_into(k, &mut self.lb, &mut self.ub);
+        } else {
+            kernel.eval_from(k, &mut self.lb, &mut self.ub, from);
+        }
     }
 
     /// Number of plan nodes covered.

@@ -47,8 +47,9 @@ use crate::pipeline_obs::{
     ObsView,
 };
 use crate::refine::{alpha, clamp_estimate};
+use crate::soa::PipeCols;
 use prosel_engine::plan::{NodeId, OperatorKind, PhysicalPlan};
-use prosel_engine::trace::Snapshot;
+use prosel_engine::trace::{Snapshot, SnapshotView};
 use prosel_engine::Pipeline;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -111,6 +112,9 @@ struct DriverState {
     /// `(join node, build-side spill bytes)` — final once the build
     /// pipeline completed, i.e. before this pipeline starts.
     hash_joins: Vec<(NodeId, u64)>,
+    /// Struct-of-arrays columns compiled from the fields above — what the
+    /// hot-path aggregate walk actually reads (see [`crate::soa`]).
+    cols: PipeCols,
 }
 
 /// Incrementally built estimator state for one pipeline of a running
@@ -250,13 +254,13 @@ impl IncrementalObs {
     /// reported when their build phase (a *previous* pipeline) completed,
     /// and build-side spill bytes stopped moving when the build pipeline
     /// finished.
-    fn resolve(&mut self, snap: &Snapshot) {
+    fn resolve(&mut self, snap: SnapshotView<'_>) {
         let plan = &self.plan;
         let drivers: Vec<(NodeId, f64)> = self
             .pipeline
             .driver_nodes
             .iter()
-            .map(|&d| (d, driver_node_total(plan, d, &snap.materialized).max(1.0)))
+            .map(|&d| (d, driver_node_total(plan, d, snap.materialized).max(1.0)))
             .collect();
         let driver_set: Vec<NodeId> = drivers.iter().map(|&(d, _)| d).collect();
         let batch_extra: Vec<(NodeId, f64)> = self
@@ -291,6 +295,7 @@ impl IncrementalObs {
             .filter(|&n| matches!(plan.node(n).op, OperatorKind::HashJoin { .. }))
             .map(|n| (n, snap.bytes_written[plan.node(n).children[1]]))
             .collect();
+        let cols = PipeCols::build(plan, &self.pipeline.nodes, &drivers, &batch_extra, &seek_extra);
         self.state = Some(DriverState {
             drivers,
             driver_set,
@@ -302,13 +307,95 @@ impl IncrementalObs {
             sum_d,
             driver_total_bytes,
             hash_joins,
+            cols,
         });
     }
 
-    /// Compute the per-observation aggregates for one snapshot (same loop
-    /// structure and accumulation order as [`PipelineObs::new`]), reading
-    /// the refinement bounds from the shared per-snapshot context.
-    fn entry_for(&self, serial: u64, snap: &Snapshot, ctx: &SnapshotCtx) -> ObsEntry {
+    /// Compute the per-observation aggregates for one snapshot — the
+    /// struct-of-arrays hot path: every operand was hoisted into the
+    /// [`PipeCols`] columns when the driver sets resolved, so the walk is
+    /// a branch-light pass over contiguous slices (gathers into the
+    /// counter vectors, no plan-node access, no membership tests). Same
+    /// floating-point operations in the same accumulation order as the
+    /// scalar reference (`entry_for_scalar`), hence bit-identical
+    /// output — the property nets pin this.
+    fn entry_for(&self, serial: u64, snap: SnapshotView<'_>, ctx: &SnapshotCtx) -> ObsEntry {
+        let state = self.state.as_ref().expect("drivers resolved");
+        let cols = &state.cols;
+        let (lb, ub) = (&ctx.lb[..], &ctx.ub[..]);
+        let (ks, br, bw) = (snap.k, snap.bytes_read, snap.bytes_written);
+        let mut k_total = 0.0;
+        let mut k_u64 = 0u64;
+        let mut e_clamped = 0.0;
+        let mut wl = 0.0;
+        let mut wu = 0.0;
+        let mut bytes = 0.0;
+        for ((&n, &est), &mask) in cols.node.iter().zip(&cols.est_rows).zip(&cols.read_mask) {
+            let n = n as usize;
+            let kk = ks[n];
+            let k = kk as f64;
+            k_total += k;
+            k_u64 += kk;
+            e_clamped += clamp_estimate(est, lb[n], ub[n]);
+            wu += ub[n];
+            wl += k;
+            // 0/1 mask instead of the membership branch: bit-identical
+            // because the accumulator is non-negative (see PipeCols docs).
+            bytes += mask * br[n] as f64;
+            bytes += bw[n] as f64;
+        }
+        // One pass over the driver columns serves all three per-driver
+        // sums. Each accumulator's additions stay in driver order, so
+        // every value is bitwise equal to the scalar reference's separate
+        // walks (f64 addition is order-sensitive, not pass-sensitive).
+        let mut k_driver = 0.0;
+        let mut driver_read = 0.0;
+        for (&d, &total) in cols.driver_node.iter().zip(&cols.driver_total) {
+            let d = d as usize;
+            let kd = ks[d] as f64;
+            wl += (total - kd).max(0.0);
+            k_driver += kd;
+            driver_read += br[d] as f64;
+        }
+        let mut pending_spill = 0.0;
+        for &(j_node, build_spill) in &state.hash_joins {
+            let expected = build_spill as f64 + bw[j_node] as f64;
+            pending_spill += (expected - br[j_node] as f64).max(0.0);
+        }
+        // `batch_node`/`seek_node` are drivers ++ extras, so their chained
+        // sums share the driver prefix: resuming the fold from `k_driver`
+        // replays the exact op sequence of a full front-to-back gather.
+        let tail = cols.driver_node.len();
+        let gather_from = |acc: f64, idx: &[u32]| -> f64 {
+            idx.iter().fold(acc, |a, &n| a + ks[n as usize] as f64)
+        };
+        ObsEntry {
+            serial,
+            time: snap.time,
+            sum_k: k_total,
+            k_u64,
+            sum_e_clamped: e_clamped.max(1.0),
+            work_lb: wl.max(1.0),
+            work_ub: wu.max(1.0),
+            alpha: alpha(k_driver, state.sum_d),
+            done_bytes: bytes,
+            pending_spill,
+            k_dne: k_driver,
+            k_batch: gather_from(k_driver, &cols.batch_node[tail..]),
+            k_seek: gather_from(k_driver, &cols.seek_node[tail..]),
+            driver_read,
+        }
+    }
+
+    /// The original per-node *scalar* walk (same loop structure and
+    /// accumulation order as [`PipelineObs::new`]): per-node plan access,
+    /// [`OperatorKind`] dispatch and driver-set membership tests. Kept as
+    /// the reference implementation the compiled [`PipeCols`] path is
+    /// pinned against (bit-identity property nets, and the scalar side of
+    /// the `monitor_overhead` A/B group); not used on any hot path.
+    ///
+    /// [`PipelineObs::new`]: crate::pipeline_obs::PipelineObs::new
+    fn entry_for_scalar(&self, serial: u64, snap: SnapshotView<'_>, ctx: &SnapshotCtx) -> ObsEntry {
         let plan = &self.plan;
         let state = self.state.as_ref().expect("drivers resolved");
         let (lb, ub) = (&ctx.lb, &ctx.ub);
@@ -384,7 +471,7 @@ impl IncrementalObs {
             return 0; // pipeline not started, or pre-window snapshot
         }
         let ctx = SnapshotCtx::new(&self.plan, snap);
-        self.offer_shared(serial, snap, window, &ctx)
+        self.offer_view(serial, snap.as_view(), window, &ctx)
     }
 
     /// [`Self::offer`] with the refinement bounds precomputed once per
@@ -397,6 +484,47 @@ impl IncrementalObs {
         window: (f64, f64),
         ctx: &SnapshotCtx,
     ) -> usize {
+        self.offer_view(serial, snap.as_view(), window, ctx)
+    }
+
+    /// [`Self::offer_shared`] over a borrowed [`SnapshotView`] — the
+    /// zero-copy path for consumers that reconstruct counter state from
+    /// delta events (the monitor shard's per-query scratch): no owned
+    /// [`Snapshot`] is ever materialized.
+    pub fn offer_view(
+        &mut self,
+        serial: u64,
+        snap: SnapshotView<'_>,
+        window: (f64, f64),
+        ctx: &SnapshotCtx,
+    ) -> usize {
+        self.offer_impl(serial, snap, window, ctx, false)
+    }
+
+    /// [`Self::offer_shared`] computing the per-observation aggregates via
+    /// the original scalar walk (`entry_for_scalar`) instead of
+    /// the compiled struct-of-arrays columns. Identical protocol,
+    /// bit-identical curves — this is the reference side of the
+    /// scalar-vs-SoA A/B comparison in the `monitor_overhead` bench and
+    /// the equivalence property nets. Not a hot path.
+    pub fn offer_shared_scalar(
+        &mut self,
+        serial: u64,
+        snap: &Snapshot,
+        window: (f64, f64),
+        ctx: &SnapshotCtx,
+    ) -> usize {
+        self.offer_impl(serial, snap.as_view(), window, ctx, true)
+    }
+
+    fn offer_impl(
+        &mut self,
+        serial: u64,
+        snap: SnapshotView<'_>,
+        window: (f64, f64),
+        ctx: &SnapshotCtx,
+        scalar: bool,
+    ) -> usize {
         assert!(!self.finalized, "offer after finalize");
         debug_assert_eq!(ctx.len(), self.plan.len(), "SnapshotCtx built for a different plan");
         let (start, last) = window;
@@ -408,10 +536,20 @@ impl IncrementalObs {
             self.resolve(snap);
         }
         self.window_end = self.window_end.max(last);
-        let entry = self.entry_for(serial, snap, ctx);
-        self.pending.push_back(entry);
+        let entry = if scalar {
+            self.entry_for_scalar(serial, snap, ctx)
+        } else {
+            self.entry_for(serial, snap, ctx)
+        };
         // Snapshots at or before the last tick seen so far are provably
-        // inside the final window (the final end can only grow).
+        // inside the final window (the final end can only grow). Common
+        // case — nothing queued and this entry already committable —
+        // bypasses the deque entirely (same commit order either way).
+        if self.pending.is_empty() && entry.time <= self.window_end {
+            self.commit(entry);
+            return 1;
+        }
+        self.pending.push_back(entry);
         let mut committed = 0;
         while let Some(front) = self.pending.front() {
             if front.time <= self.window_end {

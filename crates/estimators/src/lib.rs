@@ -31,12 +31,19 @@
 //! context ([`PipelineObs::with_ctx`],
 //! [`IncrementalObs::offer_shared`]) and produce bit-identical curves.
 
+//! The per-snapshot hot paths — the bound pass and the per-pipeline
+//! aggregate walk — also exist in compiled struct-of-arrays form
+//! ([`soa::BoundsKernel`] and the columns behind
+//! [`IncrementalObs::offer_view`]), bit-identical to the scalar
+//! references and allocation-free per snapshot; see [`soa`].
+
 pub mod ctx;
 pub mod eval;
 pub mod incremental;
 pub mod kinds;
 pub mod pipeline_obs;
 pub mod refine;
+pub mod soa;
 
 pub use ctx::{SnapshotCtx, TraceCtx};
 pub use eval::{

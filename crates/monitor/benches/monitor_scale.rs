@@ -107,6 +107,14 @@ fn retag(ev: &TraceEvent, query: usize) -> TraceEvent {
             snapshot: snapshot.clone(),
             windows: windows.clone(),
         },
+        TraceEvent::Delta { seq, wall, time, changes, window_updates, .. } => TraceEvent::Delta {
+            query,
+            seq: *seq,
+            wall: *wall,
+            time: *time,
+            changes: changes.clone(),
+            window_updates: window_updates.clone(),
+        },
         TraceEvent::Thinned { .. } => TraceEvent::Thinned { query },
         TraceEvent::Finished { wall, windows, total_time, .. } => TraceEvent::Finished {
             query,

@@ -1224,6 +1224,29 @@ mod tests {
     }
 
     #[test]
+    fn delta_events_route_and_advance_progress_like_snapshots() {
+        use prosel_engine::trace::{CounterKind, CounterUpdate};
+        let plan = scan_plan();
+        let service = MonitorService::fixed(EstimatorKind::Dne, 2);
+        service.register(6, &plan);
+        // Full baseline, then a sparse delta standing for snapshot seq 1.
+        service.ingest(snapshot_event(6, 0, 10.0, 25));
+        service.ingest(TraceEvent::Delta {
+            query: 6,
+            seq: 1,
+            wall: 20.0,
+            time: 20.0,
+            changes: Box::new([
+                CounterUpdate { node: 0, counter: CounterKind::GetNext, value: 50 },
+                CounterUpdate { node: 0, counter: CounterKind::BytesRead, value: 400 },
+            ]),
+            window_updates: Box::new([(0, (1.0, 20.0))]),
+        });
+        assert!((service.query_progress(6).unwrap() - 0.5).abs() < 1e-12);
+        service.shutdown();
+    }
+
+    #[test]
     fn duplicate_registration_is_an_error_not_an_abort() {
         let plan = scan_plan();
         let service = MonitorService::fixed(EstimatorKind::Dne, 2);

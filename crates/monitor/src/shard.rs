@@ -23,8 +23,11 @@ use prosel_core::pipeline_runs::{record_from_online, PipelineRecord};
 use prosel_core::selection::EstimatorSelector;
 use prosel_engine::clock::{Clock, SystemClock};
 use prosel_engine::plan::PhysicalPlan;
-use prosel_engine::trace::{thin_half, Snapshot, TraceEvent};
+use prosel_engine::trace::{
+    thin_half, CounterKind, CounterUpdate, DeltaDecoder, Snapshot, TraceEvent,
+};
 use prosel_engine::{decompose, pipeline_weight, Pipeline};
+use prosel_estimators::soa::BoundsKernel;
 use prosel_estimators::{EstimatorKind, IncrementalObs, SnapshotCtx};
 use std::collections::BTreeMap;
 use std::sync::mpsc::Receiver;
@@ -284,10 +287,46 @@ pub(crate) struct PipeState {
     since_select: usize,
 }
 
+/// Per-query reusable ingest scratch. One allocation set per query for
+/// its whole lifetime: the [`DeltaDecoder`] holds the current counter
+/// vectors and windows (full snapshots are copied into it in place,
+/// [`TraceEvent::Delta`] events patch it sparsely), the [`SnapshotCtx`]
+/// is the refinement-bound scratch refreshed per event, and the
+/// [`BoundsKernel`] is the bound pass compiled once at registration.
+/// Before this existed, every ingested snapshot allocated a fresh
+/// `SnapshotCtx` (two `Vec<f64>` plus the topological order) — visible
+/// under the 24k-query saturated-ingest bench.
+struct IngestScratch {
+    decoder: DeltaDecoder,
+    ctx: SnapshotCtx,
+    kernel: BoundsKernel,
+}
+
+impl IngestScratch {
+    fn new(plan: &PhysicalPlan) -> IngestScratch {
+        IngestScratch {
+            decoder: DeltaDecoder::new(),
+            ctx: SnapshotCtx::empty(),
+            kernel: BoundsKernel::new(plan),
+        }
+    }
+
+    /// Refresh the shared bound context from the current scratch counters,
+    /// re-evaluating only from topological position `dirty_from` onward —
+    /// the delta-driven incremental path (bit-identical to a full pass,
+    /// see [`SnapshotCtx::refresh_from`]). Full snapshots pass 0.
+    fn refresh_ctx(&mut self, dirty_from: usize) {
+        let IngestScratch { decoder, ctx, kernel } = self;
+        ctx.refresh_from(kernel, decoder.view().k, dirty_from);
+    }
+}
+
 struct QueryState {
     /// The registered plan (shared with every pipeline's observation
     /// state); the per-snapshot [`SnapshotCtx`] is computed against it.
     plan: Arc<PhysicalPlan>,
+    /// Reusable counter/bound scratch (see [`IngestScratch`]).
+    scratch: IngestScratch,
     weights: Vec<f64>,
     total_weight: f64,
     /// The selector captured at registration — in-flight queries keep
@@ -518,10 +557,12 @@ impl ProgressMonitor {
             Policy::Fixed(_) => None,
             Policy::Selector(sel) => Some(Arc::clone(sel)),
         };
+        let scratch = IngestScratch::new(&plan);
         self.queries.insert(
             query,
             QueryState {
                 plan,
+                scratch,
                 weights,
                 total_weight,
                 selector,
@@ -547,6 +588,9 @@ impl ProgressMonitor {
         match ev {
             TraceEvent::Snapshot { query, seq, wall, snapshot, windows } => {
                 self.on_snapshot(query, seq, wall, &snapshot, &windows);
+            }
+            TraceEvent::Delta { query, seq, wall, time, changes, window_updates } => {
+                self.on_delta(query, seq, wall, time, &changes, &window_updates);
             }
             TraceEvent::Thinned { query } => {
                 if let Some(qs) = self.queries.get_mut(&query) {
@@ -653,24 +697,82 @@ impl ProgressMonitor {
             self.stats.queries_dropped += 1;
             return;
         }
+        // Copy the full counter vectors into the per-query scratch (no
+        // allocation once the scratch is warm) and run the shared tail.
+        qs.scratch.decoder.apply_full(snapshot, windows);
+        Self::advance_query(qs, self.config.reselect_every, wall, 0);
+    }
+
+    /// Ingest a [`TraceEvent::Delta`]: patch the per-query counter
+    /// scratch with the changed `(node, counter)` pairs and advance the
+    /// pipelines exactly as a full snapshot would.
+    fn on_delta(
+        &mut self,
+        query: usize,
+        seq: u64,
+        wall: f64,
+        time: f64,
+        changes: &[CounterUpdate],
+        window_updates: &[(u32, (f64, f64))],
+    ) {
+        let Some(qs) = self.queries.get_mut(&query) else {
+            self.stats.events_unroutable += 1;
+            return;
+        };
+        self.stats.events_ingested += 1;
+        // Same contract as the snapshot path, plus: a delta is only
+        // meaningful against a primed baseline (the engine always emits a
+        // full snapshot first), and its node/pipeline indices must land
+        // inside that baseline. `apply_delta` refuses (leaving the scratch
+        // untouched) on either violation — treat that exactly like a
+        // seq gap: the stream can no longer be trusted.
+        let ok = !qs.finished
+            && seq == qs.serial_next
+            && qs.scratch.decoder.apply_delta(time, changes, window_updates);
+        if !ok {
+            self.queries.remove(&query);
+            self.stats.queries_dropped += 1;
+            return;
+        }
+        // The delta names exactly which counters moved, and the bound pass
+        // only reads `GetNext` counters — refresh the bound context from
+        // the first dirty topological position instead of re-evaluating
+        // the whole plan.
+        let dirty_from = changes
+            .iter()
+            .filter(|u| matches!(u.counter, CounterKind::GetNext))
+            .map(|u| qs.scratch.kernel.position_of(u.node as usize))
+            .min()
+            .unwrap_or(usize::MAX);
+        Self::advance_query(qs, self.config.reselect_every, wall, dirty_from);
+    }
+
+    /// The shared per-event tail of [`Self::on_snapshot`] /
+    /// [`Self::on_delta`]: the query's counter scratch holds the current
+    /// snapshot; do the serial bookkeeping, refresh the shared bound
+    /// context (the O(pipelines × plan) → O(plan) hoist, now also
+    /// allocation-free), and offer the snapshot view to every pipeline.
+    fn advance_query(qs: &mut QueryState, reselect_every: usize, wall: f64, dirty_from: usize) {
         let serial = qs.serial_next;
         qs.serial_next += 1;
         qs.live.push(serial);
-        qs.last_time = snapshot.time;
-        // The one refinement-bound pass of this snapshot, shared by every
-        // pipeline below (the O(pipelines × plan) → O(plan) hoist).
-        let ctx = SnapshotCtx::new(&qs.plan, snapshot);
-        let reselect_every = self.config.reselect_every;
-        for pipe in &mut qs.pipes {
+        qs.scratch.refresh_ctx(dirty_from);
+        // Destructure so the pipe loop can borrow the scratch (view +
+        // ctx) and the pipes mutably at the same time.
+        let QueryState { scratch, pipes, selector, switches, last_time, .. } = qs;
+        let view = scratch.decoder.view();
+        let windows = scratch.decoder.windows();
+        *last_time = view.time;
+        for pipe in pipes.iter_mut() {
             let pid = pipe.obs.pipeline_id();
-            let committed = pipe.obs.offer_shared(serial, snapshot, windows[pid], &ctx);
+            let committed = pipe.obs.offer_view(serial, view, windows[pid], &scratch.ctx);
             if committed == 0 {
                 continue;
             }
             // Re-selection scores with the selector captured at this
             // query's registration, not the monitor's current policy: a
             // hot swap must never change an in-flight query's behavior.
-            if let Some(sel) = &qs.selector {
+            if let Some(sel) = selector {
                 pipe.since_select += committed;
                 if reselect_every > 0 && pipe.since_select >= reselect_every && !pipe.obs.is_empty()
                 {
@@ -679,9 +781,9 @@ impl ProgressMonitor {
                     feats.extend(dynamic_features::extract(&pipe.obs));
                     let next = sel.select(&feats);
                     if next != pipe.choice {
-                        qs.switches.push(SwitchEvent {
+                        switches.push(SwitchEvent {
                             pipeline: pid,
-                            time: snapshot.time,
+                            time: view.time,
                             from: pipe.choice,
                             to: next,
                         });
@@ -999,6 +1101,124 @@ mod tests {
             },
             windows: vec![(1.0, time)].into_boxed_slice(),
         }
+    }
+
+    fn raw_snapshot(time: f64, k: u64) -> Snapshot {
+        Snapshot {
+            time,
+            k: vec![k].into_boxed_slice(),
+            bytes_read: vec![k * 8].into_boxed_slice(),
+            bytes_written: vec![0].into_boxed_slice(),
+            materialized: vec![0].into_boxed_slice(),
+        }
+    }
+
+    #[test]
+    fn delta_stream_matches_full_snapshot_stream_bitwise() {
+        use prosel_engine::trace::DeltaEncoder;
+        let plan = scan_plan();
+        let mut full = ProgressMonitor::fixed(EstimatorKind::Dne);
+        let mut delta = ProgressMonitor::fixed(EstimatorKind::Dne);
+        full.register(7, &plan);
+        delta.register(7, &plan);
+        let mut enc = DeltaEncoder::new();
+        for (seq, (time, k)) in [(10.0, 10u64), (20.0, 25), (30.0, 60)].into_iter().enumerate() {
+            let snapshot = raw_snapshot(time, k);
+            let windows: Box<[(f64, f64)]> = vec![(1.0, time)].into_boxed_slice();
+            full.ingest(TraceEvent::Snapshot {
+                query: 7,
+                seq: seq as u64,
+                wall: time,
+                snapshot: snapshot.clone(),
+                windows: windows.clone(),
+            });
+            // Mirror the engine tap: first emission is the full baseline,
+            // every later one a sparse delta.
+            let ev = match enc.encode(&snapshot, &windows) {
+                None => TraceEvent::Snapshot {
+                    query: 7,
+                    seq: seq as u64,
+                    wall: time,
+                    snapshot,
+                    windows,
+                },
+                Some((changes, window_updates)) => TraceEvent::Delta {
+                    query: 7,
+                    seq: seq as u64,
+                    wall: time,
+                    time,
+                    changes,
+                    window_updates,
+                },
+            };
+            delta.ingest(ev);
+            let (pf, pd) = (full.query_progress(7).unwrap(), delta.query_progress(7).unwrap());
+            assert_eq!(pf.to_bits(), pd.to_bits(), "divergence at seq {seq}");
+            assert_eq!(
+                full.remaining_time_at_last_event(7).map(|e| e.remaining.to_bits()),
+                delta.remaining_time_at_last_event(7).map(|e| e.remaining.to_bits()),
+            );
+        }
+    }
+
+    #[test]
+    fn delta_without_baseline_drops_the_query() {
+        // The engine always emits a full snapshot first; a delta arriving
+        // at seq 0 means the baseline was lost — state is untrustworthy.
+        let plan = scan_plan();
+        let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+        monitor.register(3, &plan);
+        monitor.ingest(TraceEvent::Delta {
+            query: 3,
+            seq: 0,
+            wall: 10.0,
+            time: 10.0,
+            changes: Box::new([CounterUpdate {
+                node: 0,
+                counter: prosel_engine::trace::CounterKind::GetNext,
+                value: 5,
+            }]),
+            window_updates: Box::new([(0, (1.0, 10.0))]),
+        });
+        assert_eq!(monitor.query_progress(3), None, "unprimed delta must drop the query");
+        assert_eq!(monitor.shard_stats().queries_dropped, 1);
+    }
+
+    #[test]
+    fn malformed_delta_drops_the_query() {
+        let plan = scan_plan();
+        // Out-of-range node index: the engine is running a different plan
+        // under this id. The scratch must stay untouched and the query
+        // dropped, not a panic or a silent partial patch.
+        let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+        monitor.register(5, &plan);
+        monitor.ingest(snapshot_event(5, 0, 10.0, 25));
+        monitor.ingest(TraceEvent::Delta {
+            query: 5,
+            seq: 1,
+            wall: 20.0,
+            time: 20.0,
+            changes: Box::new([CounterUpdate {
+                node: 9,
+                counter: prosel_engine::trace::CounterKind::GetNext,
+                value: 50,
+            }]),
+            window_updates: Box::new([]),
+        });
+        assert_eq!(monitor.query_progress(5), None, "out-of-range node must drop the query");
+        // A seq gap on the delta path is refused like on the snapshot path.
+        let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+        monitor.register(6, &plan);
+        monitor.ingest(snapshot_event(6, 0, 10.0, 25));
+        monitor.ingest(TraceEvent::Delta {
+            query: 6,
+            seq: 2,
+            wall: 20.0,
+            time: 20.0,
+            changes: Box::new([]),
+            window_updates: Box::new([]),
+        });
+        assert_eq!(monitor.query_progress(6), None, "seq gap on delta must drop the query");
     }
 
     #[test]
