@@ -6,7 +6,7 @@
 //! second), which makes ground truth exact and the whole experiment
 //! deterministic: at a snapshot taken at virtual time `t` of a query with
 //! total virtual time `T`, the true remaining time is `T − t`. A
-//! [`ProgressMonitor`] per estimator kind ingests the stream and serves
+//! [`prosel_monitor::ProgressMonitor`] per estimator kind ingests the stream and serves
 //! [`prosel_monitor::Eta`] answers whose point estimates are scored as
 //! ratio error `max(pred/true, true/pred)` — the metric the paper uses for
 //! worst-case progress error, applied to the remaining-time conversion —
@@ -24,7 +24,7 @@ use crate::report::Table;
 use crate::suite::{ExpScale, Suite};
 use prosel_engine::{run_plan_tapped, Catalog, ExecConfig, TraceEvent};
 use prosel_estimators::EstimatorKind;
-use prosel_monitor::ProgressMonitor;
+use prosel_monitor::MonitorBuilder;
 use prosel_planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use prosel_planner::PlanBuilder;
 
@@ -130,7 +130,9 @@ pub fn run(_suite: &mut Suite, scale: ExpScale) -> String {
             // nothing but division noise; score the body of the run.
             let floor = 0.02 * total;
             for (ki, kind) in KINDS.iter().enumerate() {
-                let mut monitor = ProgressMonitor::fixed(*kind);
+                let mut monitor = MonitorBuilder::fixed(*kind)
+                    .build_monitor()
+                    .expect("only online kinds are scored");
                 monitor.register(qi, &plan);
                 for ev in &events {
                     let truth = match ev {

@@ -8,6 +8,7 @@
 pub mod ablation;
 pub mod adhoc;
 pub mod curves;
+pub mod drift;
 pub mod eta;
 pub mod fig1;
 pub mod importance;
@@ -46,6 +47,7 @@ pub const ALL: &[&str] = &[
     "multiquery",
     "eta-accuracy",
     "online-learning",
+    "drift",
     "traffic-soak",
 ];
 
@@ -71,6 +73,7 @@ pub fn run_one(name: &str, suite: &mut Suite, scale: ExpScale) -> Option<String>
         "multiquery" => multiquery::run(suite, scale),
         "eta-accuracy" | "eta_accuracy" => eta::run(suite, scale),
         "online-learning" | "online_learning" => online_learning::run(suite, scale),
+        "drift" => drift::run(suite, scale),
         "traffic-soak" | "traffic_soak" | "traffic" => traffic::run(suite, scale),
         _ => return None,
     };

@@ -4,10 +4,10 @@
 //! The realistic cold-start situation: a selector bootstrapped on one
 //! distribution (a small TPC-H-like slice) serves traffic from another
 //! (TPC-DS-like). Each feedback round executes a batch of production
-//! queries *tapped* through a harvesting [`ProgressMonitor`], the
+//! queries *tapped* through a harvesting [`prosel_monitor::ProgressMonitor`], the
 //! harvested records feed the [`OnlineLearner`] (bounded reservoir
 //! buffer, deterministic holdout, guarded promotion), the promoted model is
-//! hot-swapped into the monitor ([`ProgressMonitor::swap_selector`] — new
+//! hot-swapped into the monitor ([`prosel_monitor::ProgressMonitor::swap_selector`] — new
 //! registrations only), and the held-out selection L1 of the currently
 //! served model is scored against a *batch-collected* held-out workload
 //! the loop never trains on.
@@ -26,7 +26,7 @@ use prosel_core::training::TrainingSet;
 use prosel_engine::{run_plan_tapped, Catalog, ExecConfig};
 use prosel_learn::{BufferConfig, LearnConfig, OnlineLearner};
 use prosel_mart::BoostParams;
-use prosel_monitor::{HarvestConfig, MonitorConfig, ProgressMonitor};
+use prosel_monitor::{HarvestConfig, MonitorBuilder};
 use prosel_planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use prosel_planner::PlanBuilder;
 use std::sync::Arc;
@@ -68,12 +68,10 @@ pub fn run(suite: &mut Suite, scale: ExpScale) -> String {
     // One long-lived harvesting monitor; each round's registrations pick
     // up whatever the loop promoted last (the hot-swap path).
     let (sink, harvest_rx) = std::sync::mpsc::channel();
-    let mut monitor =
-        ProgressMonitor::with_shared_selector(Arc::clone(&baseline), MonitorConfig::default())
-            .with_harvester(
-                Arc::new(sink),
-                HarvestConfig { label: "prod".into(), min_observations: 5 },
-            );
+    let mut monitor = MonitorBuilder::with_selector(Arc::clone(&baseline))
+        .harvester(Arc::new(sink), HarvestConfig { label: "prod".into(), min_observations: 5 })
+        .build_monitor()
+        .expect("selector-policy monitors always build");
 
     let mut table = Table::new(
         "Extension — online-learning loop: held-out selection L1 per feedback round",
@@ -104,7 +102,8 @@ pub fn run(suite: &mut Suite, scale: ExpScale) -> String {
             let cfg = ExecConfig { seed: 0x0D0 ^ query_id as u64, ..ExecConfig::default() };
             let _run = run_plan_tapped(&catalog, &plan, &cfg, query_id, tap);
             monitor.drain(&events);
-            monitor.unregister(query_id); // result consumed; free the state
+            // Result consumed; free the state.
+            monitor.unregister(query_id).expect("query was registered above");
         }
         let mut harvested = 0usize;
         for h in harvest_rx.try_iter() {

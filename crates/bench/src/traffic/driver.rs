@@ -1,5 +1,5 @@
 //! The open-loop driver: replay a schedule against a live
-//! [`MonitorService`].
+//! [`prosel_monitor::MonitorService`].
 //!
 //! The driver splits the expensive and the hot parts of the run:
 //!
@@ -42,7 +42,7 @@ use prosel_engine::{run_plan_tapped, Catalog, ExecConfig};
 use prosel_estimators::EstimatorKind;
 use prosel_learn::{LearnConfig, OnlineLearner, Trainer};
 use prosel_mart::BoostParams;
-use prosel_monitor::{HarvestConfig, MonitorConfig, MonitorService, ProgressMonitor, ShardStats};
+use prosel_monitor::{HarvestConfig, MonitorBuilder, MonitorConfig, ShardStats};
 use prosel_planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use prosel_planner::PlanBuilder;
 use rand::rngs::StdRng;
@@ -360,7 +360,7 @@ fn fold(h: &mut u64, word: u64) {
     }
 }
 
-/// Replay `spec`'s schedule against a fresh [`MonitorService`] built from
+/// Replay `spec`'s schedule against a fresh [`prosel_monitor::MonitorService`] built from
 /// `templates`. See the module docs for the execution model and
 /// [`TrafficOutcome`] for what comes back.
 pub fn drive(spec: &TrafficSpec, templates: &TemplateSet) -> TrafficOutcome {
@@ -383,17 +383,18 @@ pub fn drive_with(
     let config =
         MonitorConfig { clock: Arc::clone(&clock) as Arc<dyn Clock>, ..MonitorConfig::default() };
     let selector = Arc::new(synthetic_selector(EstimatorKind::Dne));
-    let mut prototype = ProgressMonitor::with_shared_selector(Arc::clone(&selector), config);
+    let mut builder =
+        MonitorBuilder::with_selector(Arc::clone(&selector)).config(config).shards(spec.n_shards);
     let mut harvest_rx = None;
     if opts.retrain {
         let (sink, rx) = channel();
-        prototype = prototype.with_harvester(
+        builder = builder.harvester(
             Arc::new(sink),
             HarvestConfig { label: "traffic".into(), min_observations: 3 },
         );
         harvest_rx = Some(rx);
     }
-    let service = Arc::new(MonitorService::from_prototype(prototype, spec.n_shards));
+    let service = Arc::new(builder.build_service().expect("selector-policy services always build"));
     let trainer = harvest_rx.map(|rx| {
         let learner = OnlineLearner::new(
             Arc::clone(&selector),
@@ -473,7 +474,9 @@ pub fn drive_with(
                 // immediately so the query cannot leak.
                 violations
                     .push(format!("template {}/{} captured no events", a.workload, a.template));
-                service.unregister(a.query);
+                if let Err(e) = service.unregister(a.query) {
+                    violations.push(format!("unregister q{}: {e}", a.query));
+                }
                 remove_in_flight(&mut in_flight, &mut in_flight_ids, &mut id_pos, a.query);
             }
         }};
@@ -562,7 +565,9 @@ pub fn drive_with(
                             .push(format!("q{query} not finished after its Finished event")),
                         Err(e) => violations.push(format!("finish check q{query}: {e}")),
                     }
-                    service.unregister(query);
+                    if let Err(e) = service.unregister(query) {
+                        violations.push(format!("unregister q{query}: {e}"));
+                    }
                     remove_in_flight(&mut in_flight, &mut in_flight_ids, &mut id_pos, query);
                     counters.finished += 1;
 

@@ -18,12 +18,16 @@
 //!   evaluation logic (% optimal, error ratios, oracle floor);
 //! * [`progress`] — an end-to-end query progress monitor (Figure 3):
 //!   static choice at pipeline start, dynamic revision at the 20% marker,
-//!   eq. (5) weighting across pipelines.
+//!   eq. (5) weighting across pipelines;
+//! * [`textio`] — the shared strict text-codec helpers (FNV-1a checksums,
+//!   bit-exact float hex, line cursor) behind selector, checkpoint and
+//!   publication (de)serialization.
 
 pub mod features;
 pub mod pipeline_runs;
 pub mod progress;
 pub mod selection;
+pub mod textio;
 pub mod training;
 
 pub use features::FeatureSchema;

@@ -108,6 +108,14 @@ impl EstimatorSelector {
         &self.config
     }
 
+    /// Re-seat the retraining boost parameters. [`Self::from_text`]
+    /// returns defaults (the text codec ships models, not training
+    /// recipes); a checkpoint restore that recorded the real parameters
+    /// re-attaches them here so post-restore retrains replay exactly.
+    pub fn set_boost(&mut self, boost: BoostParams) {
+        self.config.boost = boost;
+    }
+
     /// Predicted error per candidate for one feature vector.
     pub fn predicted_errors(&self, features: &[f32]) -> Vec<(EstimatorKind, f32)> {
         let dims = self.config.mode.dims();

@@ -1,0 +1,212 @@
+//! Shared helpers for the workspace's strict line-oriented text codecs.
+//!
+//! Every persisted artifact in this workspace (selector text, MART model
+//! text, learning checkpoints, publication frames) uses the same
+//! deliberately simple serde-free format: a versioned header line,
+//! whitespace-separated key/value fields validated positionally, and a
+//! hard "nothing after the declared end" rule so torn or concatenated
+//! files can never parse as a different artifact. This module collects
+//! the pieces those codecs share:
+//!
+//! * [`fnv64`] — the FNV-1a checksum stamped into checkpoint and
+//!   publication frames (same hash family the bench traffic harness uses
+//!   for digests);
+//! * [`f32_to_hex`] / [`f32_from_hex`] (and the `f64` pair) — float
+//!   round-tripping via IEEE-754 bit patterns, so restored state is
+//!   **bit-identical**, not merely close (Display-printed floats are fine
+//!   for models that are re-scored, but checkpoint/restore promises the
+//!   same reservoir and the same next retrain output);
+//! * [`LineReader`] — a cursor over lines that turns "missing line",
+//!   "wrong literal" and "trailing garbage" into typed `Err(String)`s
+//!   with line numbers, instead of panics or silent acceptance.
+
+/// FNV-1a 64-bit hash over a byte slice.
+///
+/// Used as the integrity checksum in publication frames and checkpoint
+/// footers: cheap, dependency-free, and plenty for detecting torn writes
+/// and bit rot (it is *not* a cryptographic signature).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Render an `f32` as its IEEE-754 bit pattern in lowercase hex.
+pub fn f32_to_hex(v: f32) -> String {
+    format!("{:08x}", v.to_bits())
+}
+
+/// Parse an `f32` from [`f32_to_hex`] output. Exact inverse, NaN included.
+pub fn f32_from_hex(s: &str) -> Result<f32, String> {
+    if s.len() != 8 {
+        return Err(format!("expected 8 hex digits for an f32 bit pattern, got {s:?}"));
+    }
+    u32::from_str_radix(s, 16).map(f32::from_bits).map_err(|e| format!("bad f32 hex {s:?}: {e}"))
+}
+
+/// Render an `f64` as its IEEE-754 bit pattern in lowercase hex.
+pub fn f64_to_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Parse an `f64` from [`f64_to_hex`] output. Exact inverse, NaN included.
+pub fn f64_from_hex(s: &str) -> Result<f64, String> {
+    if s.len() != 16 {
+        return Err(format!("expected 16 hex digits for an f64 bit pattern, got {s:?}"));
+    }
+    u64::from_str_radix(s, 16).map(f64::from_bits).map_err(|e| format!("bad f64 hex {s:?}: {e}"))
+}
+
+/// A line cursor for strict text codecs.
+///
+/// Wraps `str::lines()` with a running line number so every error names
+/// the offending line, and enforces the workspace codec discipline:
+/// missing lines, mismatched literals, wrong field keys, and content
+/// after the declared end are all hard errors.
+pub struct LineReader<'a> {
+    lines: std::str::Lines<'a>,
+    line_no: usize,
+}
+
+impl<'a> LineReader<'a> {
+    /// Start reading `text` from its first line.
+    pub fn new(text: &'a str) -> Self {
+        LineReader { lines: text.lines(), line_no: 0 }
+    }
+
+    /// The 1-based number of the most recently returned line.
+    pub fn line_no(&self) -> usize {
+        self.line_no
+    }
+
+    /// Next line, or an error if the input ends early.
+    pub fn next_line(&mut self) -> Result<&'a str, String> {
+        self.line_no += 1;
+        self.lines.next().ok_or_else(|| format!("unexpected end of input at line {}", self.line_no))
+    }
+
+    /// Require the next line to equal `literal` exactly (after trimming
+    /// trailing whitespace).
+    pub fn expect(&mut self, literal: &str) -> Result<(), String> {
+        let line = self.next_line()?;
+        if line.trim_end() != literal {
+            return Err(format!("line {}: expected {literal:?}, got {line:?}", self.line_no));
+        }
+        Ok(())
+    }
+
+    /// Parse the next line as `key1 v1 key2 v2 ...` with the given keys in
+    /// order, returning the raw value strings.
+    ///
+    /// Mirrors `model_io`'s positional meta-line validation: both the key
+    /// *names* and their order are part of the format, so field drift
+    /// (renamed, reordered, added or dropped fields) is rejected instead
+    /// of being silently misread.
+    pub fn fields(&mut self, keys: &[&str]) -> Result<Vec<&'a str>, String> {
+        let line = self.next_line()?;
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 2 * keys.len() {
+            return Err(format!(
+                "line {}: expected {} `key value` pairs ({}), got {line:?}",
+                self.line_no,
+                keys.len(),
+                keys.join(", ")
+            ));
+        }
+        let mut values = Vec::with_capacity(keys.len());
+        for (i, key) in keys.iter().enumerate() {
+            if parts[2 * i] != *key {
+                return Err(format!(
+                    "line {}: field {} must be {key:?}, got {:?}",
+                    self.line_no,
+                    i + 1,
+                    parts[2 * i]
+                ));
+            }
+            values.push(parts[2 * i + 1]);
+        }
+        Ok(values)
+    }
+
+    /// Consume the remainder, rejecting anything but trailing whitespace.
+    ///
+    /// The strictness that makes torn and concatenated artifacts
+    /// unrepresentable: content past the declared end is an error, never
+    /// ignored.
+    pub fn finish(mut self) -> Result<(), String> {
+        for line in self.lines.by_ref() {
+            self.line_no += 1;
+            if !line.trim().is_empty() {
+                return Err(format!(
+                    "line {}: trailing garbage after the declared end: {line:?}",
+                    self.line_no
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parse one whitespace-separated value with a field name in the error.
+pub fn parse<T: std::str::FromStr>(field: &str, raw: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    raw.parse().map_err(|e| format!("{field}: bad value {raw:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn float_hex_round_trips_are_bit_exact() {
+        for v in [0.0f32, -0.0, 1.5, f32::MIN_POSITIVE, f32::NAN, f32::INFINITY, -123.456] {
+            let back = f32_from_hex(&f32_to_hex(v)).unwrap();
+            assert_eq!(v.to_bits(), back.to_bits());
+        }
+        for v in [0.0f64, -0.0, 1.5e-300, f64::NAN, f64::NEG_INFINITY, 987.654321] {
+            let back = f64_from_hex(&f64_to_hex(v)).unwrap();
+            assert_eq!(v.to_bits(), back.to_bits());
+        }
+        assert!(f32_from_hex("123").is_err());
+        assert!(f32_from_hex("zzzzzzzz").is_err());
+        assert!(f64_from_hex("0123").is_err());
+    }
+
+    #[test]
+    fn line_reader_enforces_the_codec_discipline() {
+        let mut r = LineReader::new("header v1\ncount 3 seed 7\n");
+        r.expect("header v1").unwrap();
+        let vals = r.fields(&["count", "seed"]).unwrap();
+        assert_eq!(vals, vec!["3", "7"]);
+        assert_eq!(parse::<usize>("count", vals[0]).unwrap(), 3);
+        r.finish().unwrap();
+
+        let mut r = LineReader::new("wrong\n");
+        assert!(r.expect("header v1").unwrap_err().contains("line 1"));
+
+        let mut r = LineReader::new("header v1\nseed 7 count 3\n");
+        r.expect("header v1").unwrap();
+        assert!(r.fields(&["count", "seed"]).is_err(), "reordered keys are field drift");
+
+        let mut r = LineReader::new("header v1\n\n  \njunk\n");
+        r.expect("header v1").unwrap();
+        assert!(r.finish().unwrap_err().contains("trailing garbage"));
+
+        let mut r = LineReader::new("one");
+        r.next_line().unwrap();
+        assert!(r.next_line().unwrap_err().contains("end of input"));
+    }
+}

@@ -268,6 +268,16 @@ pub struct PhysicalPlan {
     pub root: NodeId,
 }
 
+/// Registration surfaces take `impl Into<Arc<PhysicalPlan>>`: a borrowed
+/// plan clones into a fresh `Arc` (the common "register this plan I still
+/// own" path), while an owned `Arc` moves in without copying (the sharded
+/// service registering one plan on many shards).
+impl From<&PhysicalPlan> for std::sync::Arc<PhysicalPlan> {
+    fn from(plan: &PhysicalPlan) -> Self {
+        std::sync::Arc::new(plan.clone())
+    }
+}
+
 impl PhysicalPlan {
     /// Number of nodes.
     pub fn len(&self) -> usize {

@@ -23,6 +23,18 @@
 //! the reservoir draws come from one seeded generator consumed in
 //! insertion order, and tie-breaks iterate groups in `BTreeMap` order —
 //! replaying the same harvest stream reproduces the buffer bit for bit.
+//! That purity is also what makes the fleet layer's checkpoint/restore
+//! exact: the buffer serializes its retained records, its offer counter
+//! and its **draw counter**, and a restore re-seeds the generator and
+//! fast-forwards it by that many draws — the restored buffer is
+//! indistinguishable from one that never stopped.
+//!
+//! For drifting workloads a [`DecayPolicy`] ages records out: a record
+//! expires once more than `max_age` records have been offered since it
+//! was admitted. Age is measured in *offers*, not wall time, so decayed
+//! replays stay deterministic; expiry applies to quota-protected groups
+//! too — a rare group's floor protects it from *eviction pressure*, not
+//! from its own staleness.
 
 use prosel_core::pipeline_runs::PipelineRecord;
 use prosel_core::training::TrainingSet;
@@ -39,6 +51,26 @@ pub enum GroupBy {
     /// The structural pipeline fingerprint — rare *plan shapes* keep
     /// their floor even inside one hot workload.
     Fingerprint,
+}
+
+/// How retained records age out of the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecayPolicy {
+    /// Records live until the reservoir evicts them (the pre-fleet
+    /// behavior): the buffer converges on the *lifetime* traffic mix.
+    #[default]
+    None,
+    /// A record expires once more than `max_age` records have been
+    /// offered since it was admitted (or last refreshed by replacement).
+    /// The buffer then tracks a trailing window of roughly `max_age`
+    /// offers, so after a workload shift the old distribution drains out
+    /// instead of anchoring the selector forever.
+    MaxAge {
+        /// Age bound, in offered records. Must be ≥ the capacity to be
+        /// useful (a bound below the capacity keeps the buffer
+        /// perpetually short).
+        max_age: u64,
+    },
 }
 
 /// Buffer configuration.
@@ -59,11 +91,19 @@ pub struct BufferConfig {
     pub group_by: GroupBy,
     /// Seed of the reservoir's random stream.
     pub seed: u64,
+    /// Aging policy for retained records (see [`DecayPolicy`]).
+    pub decay: DecayPolicy,
 }
 
 impl Default for BufferConfig {
     fn default() -> Self {
-        BufferConfig { capacity: 4096, group_quota: 64, group_by: GroupBy::Workload, seed: 0x1EA2 }
+        BufferConfig {
+            capacity: 4096,
+            group_quota: 64,
+            group_by: GroupBy::Workload,
+            seed: 0x1EA2,
+            decay: DecayPolicy::None,
+        }
     }
 }
 
@@ -73,11 +113,22 @@ impl Default for BufferConfig {
 pub struct TrainingBuffer {
     config: BufferConfig,
     items: Vec<PipelineRecord>,
+    /// Admission stamp per retained record (the value of `seen` when the
+    /// record entered or last replaced a slot), parallel to `items`.
+    /// Drives [`DecayPolicy::MaxAge`] expiry.
+    stamps: Vec<u64>,
     /// Live record count per group (groups never seen are absent; groups
     /// evicted to zero keep their entry so the bookkeeping stays simple).
     counts: BTreeMap<String, usize>,
     /// Records offered so far (the reservoir's denominator).
     seen: u64,
+    /// Random values drawn so far — with the seed, the generator's whole
+    /// state. A checkpoint stores this count; restore re-seeds and
+    /// discards this many draws to land on the identical stream position.
+    draws: u64,
+    /// Smallest stamp possibly still retained (may lag behind after
+    /// replacements; only used to skip no-op expiry sweeps).
+    oldest_stamp: u64,
     rng: StdRng,
 }
 
@@ -85,17 +136,66 @@ impl TrainingBuffer {
     pub fn new(config: BufferConfig) -> TrainingBuffer {
         assert!(config.capacity > 0, "a zero-capacity buffer cannot learn");
         let rng = StdRng::seed_from_u64(config.seed);
-        TrainingBuffer { config, items: Vec::new(), counts: BTreeMap::new(), seen: 0, rng }
+        TrainingBuffer {
+            config,
+            items: Vec::new(),
+            stamps: Vec::new(),
+            counts: BTreeMap::new(),
+            seen: 0,
+            draws: 0,
+            oldest_stamp: u64::MAX,
+            rng,
+        }
+    }
+
+    /// One counted draw from the reservoir stream. Every consumption of
+    /// the generator must route through here or checkpoint fast-forward
+    /// would desynchronize.
+    fn draw(&mut self) -> u64 {
+        self.draws += 1;
+        self.rng.next_u64()
+    }
+
+    /// Expire records older than the decay bound. O(1) when nothing can
+    /// have expired; a full compacting sweep otherwise.
+    fn expire(&mut self) {
+        let DecayPolicy::MaxAge { max_age } = self.config.decay else {
+            return;
+        };
+        if self.items.is_empty() || self.seen.saturating_sub(self.oldest_stamp) <= max_age {
+            return;
+        }
+        let mut oldest = u64::MAX;
+        let mut write = 0;
+        for read in 0..self.items.len() {
+            if self.seen - self.stamps[read] > max_age {
+                let group = self.key_of(&self.items[read]);
+                *self.counts.get_mut(&group).expect("retained record has a count") -= 1;
+                continue;
+            }
+            oldest = oldest.min(self.stamps[read]);
+            if write != read {
+                self.items.swap(write, read);
+                self.stamps.swap(write, read);
+            }
+            write += 1;
+        }
+        self.items.truncate(write);
+        self.stamps.truncate(write);
+        self.oldest_stamp = oldest;
     }
 
     /// Offer one record; returns whether it was retained. Deterministic
     /// given the seed and the insertion sequence.
     pub fn insert(&mut self, rec: PipelineRecord) -> bool {
         self.seen += 1;
+        self.expire();
         let group = self.key_of(&rec);
         if self.items.len() < self.config.capacity {
             *self.counts.entry(group).or_insert(0) += 1;
+            self.oldest_stamp = self.oldest_stamp.min(self.seen);
             self.items.push(rec);
+            self.stamps.push(self.seen);
             return true;
         }
         let incoming = self.counts.get(&group).copied().unwrap_or(0);
@@ -123,7 +223,7 @@ impl TrainingBuffer {
                 .or_else(|| largest_above_quota(0))
                 .expect("full buffer has at least one group");
             let members = self.counts[&victim_group];
-            let pick = (self.rng.next_u64() % members as u64) as usize;
+            let pick = (self.draw() % members as u64) as usize;
             let idx = self
                 .items
                 .iter()
@@ -135,11 +235,16 @@ impl TrainingBuffer {
             *self.counts.get_mut(&victim_group).expect("victim group exists") -= 1;
             *self.counts.entry(group).or_insert(0) += 1;
             self.items[idx] = rec;
+            self.stamps[idx] = self.seen;
             return true;
         }
-        // Classic reservoir step over the whole stream.
-        let j = (self.rng.next_u64() % self.seen) as usize;
-        if j >= self.config.capacity {
+        // Classic reservoir step over the whole stream. The denominator
+        // stays `seen` (lifetime offers) even under decay: expiry already
+        // biases the contents towards the trailing window, and a lifetime
+        // denominator keeps replay bit-compatible with the no-decay twin
+        // until the first expiry.
+        let j = (self.draw() % self.seen) as usize;
+        if j >= self.items.len() {
             return false;
         }
         let victim_group = self.key_of(&self.items[j]);
@@ -151,6 +256,7 @@ impl TrainingBuffer {
         *self.counts.get_mut(&victim_group).expect("victim group exists") -= 1;
         *self.counts.entry(group).or_insert(0) += 1;
         self.items[j] = rec;
+        self.stamps[j] = self.seen;
         true
     }
 
@@ -203,6 +309,75 @@ impl TrainingBuffer {
     pub fn groups(&self) -> Vec<&str> {
         self.counts.iter().filter(|&(_, &c)| c > 0).map(|(g, _)| g.as_str()).collect()
     }
+
+    /// The buffer's configuration.
+    pub fn config(&self) -> &BufferConfig {
+        &self.config
+    }
+
+    /// Admission stamps parallel to [`records`](Self::records): the value
+    /// of [`seen`](Self::seen) when each retained record entered (or last
+    /// refreshed) its slot. Exposed for decay introspection and for the
+    /// checkpoint codec's bit-identity guarantees.
+    pub fn stamps(&self) -> &[u64] {
+        &self.stamps
+    }
+
+    /// Random values drawn from the reservoir stream so far. Serialized
+    /// by checkpoints; restore fast-forwards a re-seeded generator by this
+    /// count.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    /// Rebuild a buffer from checkpointed parts: retained records with
+    /// their stamps, the lifetime offer counter, and the draw counter.
+    ///
+    /// Group counts are recomputed from the records and the generator is
+    /// re-seeded from `config.seed` and fast-forwarded by `draws`, so the
+    /// result is bit-identical to the buffer that was checkpointed — the
+    /// next insert consumes the same random value it would have.
+    pub fn from_parts(
+        config: BufferConfig,
+        records: Vec<PipelineRecord>,
+        stamps: Vec<u64>,
+        seen: u64,
+        draws: u64,
+    ) -> Result<TrainingBuffer, String> {
+        if config.capacity == 0 {
+            return Err("a zero-capacity buffer cannot learn".into());
+        }
+        if records.len() != stamps.len() {
+            return Err(format!(
+                "{} records but {} stamps — the checkpoint is inconsistent",
+                records.len(),
+                stamps.len()
+            ));
+        }
+        if records.len() > config.capacity {
+            return Err(format!(
+                "{} records exceed the configured capacity {}",
+                records.len(),
+                config.capacity
+            ));
+        }
+        if stamps.iter().any(|&s| s == 0 || s > seen) {
+            return Err(format!("stamps must lie in 1..=seen ({seen})"));
+        }
+        let mut buf = TrainingBuffer::new(config);
+        for rec in &records {
+            *buf.counts.entry(buf.key_of(rec)).or_insert(0) += 1;
+        }
+        buf.oldest_stamp = stamps.iter().copied().min().unwrap_or(u64::MAX);
+        buf.items = records;
+        buf.stamps = stamps;
+        buf.seen = seen;
+        for _ in 0..draws {
+            buf.draw();
+        }
+        debug_assert_eq!(buf.draws, draws);
+        Ok(buf)
+    }
 }
 
 #[cfg(test)]
@@ -229,7 +404,13 @@ mod tests {
     }
 
     fn cfg(capacity: usize, quota: usize) -> BufferConfig {
-        BufferConfig { capacity, group_quota: quota, group_by: GroupBy::Workload, seed: 7 }
+        BufferConfig {
+            capacity,
+            group_quota: quota,
+            group_by: GroupBy::Workload,
+            seed: 7,
+            decay: DecayPolicy::None,
+        }
     }
 
     #[test]
@@ -316,6 +497,7 @@ mod tests {
             group_quota: 4,
             group_by: GroupBy::Fingerprint,
             seed: 1,
+            decay: DecayPolicy::None,
         });
         for i in 0..3 {
             buf.insert(rec("w", "merge-sort|a,b", i));
@@ -330,5 +512,102 @@ mod tests {
     fn zero_capacity_is_refused() {
         let result = std::panic::catch_unwind(|| TrainingBuffer::new(cfg(0, 1)));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn max_age_decay_drains_a_stale_workload() {
+        let mut buf = TrainingBuffer::new(BufferConfig {
+            decay: DecayPolicy::MaxAge { max_age: 200 },
+            ..cfg(64, 4)
+        });
+        for i in 0..100 {
+            buf.insert(rec("old", "scan|t", i));
+        }
+        assert_eq!(buf.group_count("old"), 64);
+        // The workload shifts; after > max_age further offers every "old"
+        // record has aged out, quota floor or not.
+        for i in 0..400 {
+            buf.insert(rec("new", "seek|s", i));
+        }
+        assert_eq!(buf.group_count("old"), 0, "stale records must age out");
+        assert!(buf.group_count("new") > 0);
+        assert!(buf.len() <= 64);
+        // The no-decay twin keeps the old group pinned forever.
+        let mut pinned = TrainingBuffer::new(cfg(64, 4));
+        for i in 0..100 {
+            pinned.insert(rec("old", "scan|t", i));
+        }
+        for i in 0..400 {
+            pinned.insert(rec("new", "seek|s", i));
+        }
+        assert!(pinned.group_count("old") >= 4, "without decay the floor pins stale records");
+    }
+
+    #[test]
+    fn decay_replay_is_deterministic_and_stamps_track_refreshes() {
+        let stream: Vec<PipelineRecord> =
+            (0..600).map(|i| rec(if i < 300 { "a" } else { "b" }, "scan|t", i)).collect();
+        let run = || {
+            let mut buf = TrainingBuffer::new(BufferConfig {
+                decay: DecayPolicy::MaxAge { max_age: 150 },
+                ..cfg(32, 4)
+            });
+            for r in &stream {
+                buf.insert(r.clone());
+            }
+            (
+                buf.records().iter().map(|r| (r.workload.clone(), r.query_idx)).collect::<Vec<_>>(),
+                buf.stamps().to_vec(),
+                buf.draws(),
+            )
+        };
+        assert_eq!(run(), run(), "decayed replay must be bit-deterministic");
+        let (_, stamps, _) = run();
+        assert!(stamps.iter().all(|&s| 600 - s <= 150), "every survivor is within the age bound");
+    }
+
+    #[test]
+    fn from_parts_resumes_the_reservoir_bit_identically() {
+        let stream: Vec<PipelineRecord> =
+            (0..900).map(|i| rec(if i % 13 == 0 { "rare" } else { "hot" }, "scan|t", i)).collect();
+        let (head, tail) = stream.split_at(500);
+        let mut live = TrainingBuffer::new(cfg(48, 6));
+        for r in head {
+            live.insert(r.clone());
+        }
+        // Capture the mid-stream state, rebuild, and replay the tail on
+        // both; the restored buffer must shadow the live one exactly.
+        let mut restored = TrainingBuffer::from_parts(
+            live.config().clone(),
+            live.records().to_vec(),
+            live.stamps().to_vec(),
+            live.seen(),
+            live.draws(),
+        )
+        .expect("valid parts");
+        for r in tail {
+            live.insert(r.clone());
+            restored.insert(r.clone());
+        }
+        let shape = |b: &TrainingBuffer| {
+            (
+                b.records().iter().map(|r| (r.workload.clone(), r.query_idx)).collect::<Vec<_>>(),
+                b.stamps().to_vec(),
+                b.seen(),
+                b.draws(),
+            )
+        };
+        assert_eq!(shape(&live), shape(&restored));
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_checkpoints() {
+        let records = vec![rec("w", "scan|t", 0)];
+        assert!(TrainingBuffer::from_parts(cfg(8, 1), records.clone(), vec![], 1, 0).is_err());
+        assert!(TrainingBuffer::from_parts(cfg(8, 1), records.clone(), vec![5], 3, 0).is_err());
+        assert!(TrainingBuffer::from_parts(cfg(8, 1), records.clone(), vec![0], 3, 0).is_err());
+        assert!(TrainingBuffer::from_parts(cfg(0, 1), records.clone(), vec![1], 3, 0).is_err());
+        let many = vec![rec("w", "scan|t", 0), rec("w", "scan|t", 1)];
+        assert!(TrainingBuffer::from_parts(cfg(1, 1), many, vec![1, 2], 2, 0).is_err());
     }
 }

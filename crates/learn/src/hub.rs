@@ -11,8 +11,17 @@
 //! [`EstimatorSelector::to_text`] blobs, a second service joining late —
 //! read [`SelectorHub::current`] to catch up to the latest epoch without
 //! replaying the harvest stream.
+//!
+//! For followers that do **not** share the trainer's address space, the
+//! hub speaks the fleet publication protocol: [`SelectorHub::publish_to`]
+//! frames the current `(epoch, checksum, selector-text)` onto any
+//! [`std::io::Write`] (a pipe, a socket, an append-only file), and the
+//! [`crate::subscriber::SelectorSubscriber`] on the other end decodes,
+//! verifies and installs it — rejecting torn, corrupted or stale frames
+//! with typed errors. See [`crate::subscriber`] for the frame grammar.
 
 use prosel_core::selection::EstimatorSelector;
+use prosel_core::textio::fnv64;
 use std::sync::{Arc, RwLock};
 
 /// A reference-counted, epoch-versioned selector slot. Cloning the hub's
@@ -51,6 +60,50 @@ impl SelectorHub {
         guard.0 += 1;
         guard.1 = selector;
         guard.0
+    }
+
+    /// Encode one `(epoch, checksum, selector-text)` publication frame.
+    ///
+    /// The frame grammar (see [`crate::subscriber`] for the decoder's
+    /// rejection rules):
+    ///
+    /// ```text
+    /// prosel-publication v1
+    /// epoch <n> bytes <len> checksum <fnv64 hex>
+    /// <exactly len bytes of selector text>
+    /// endpublication
+    /// ```
+    ///
+    /// The byte length makes truncation detectable without trusting the
+    /// payload's own structure, and the FNV-1a checksum covers the payload
+    /// bytes so corruption inside an otherwise well-formed frame is caught
+    /// before any parse is attempted.
+    pub fn encode_frame(epoch: u64, selector: &EstimatorSelector) -> String {
+        let payload = selector.to_text();
+        let mut out = String::with_capacity(payload.len() + 96);
+        out.push_str("prosel-publication v1\n");
+        out.push_str(&format!(
+            "epoch {epoch} bytes {} checksum {:016x}\n",
+            payload.len(),
+            fnv64(payload.as_bytes())
+        ));
+        out.push_str(&payload);
+        out.push_str("endpublication\n");
+        out
+    }
+
+    /// Frame the hub's current `(epoch, selector)` onto a byte stream.
+    ///
+    /// One call writes one complete frame; a trainer loop calls this after
+    /// every promotion and N subscribers replay the stream in order. The
+    /// snapshot of `(epoch, selector)` is taken atomically, so a publish
+    /// racing this call yields either the old frame or the new one, never
+    /// a blend.
+    pub fn publish_to(&self, sink: &mut dyn std::io::Write) -> std::io::Result<u64> {
+        let (epoch, selector) = self.current();
+        sink.write_all(Self::encode_frame(epoch, &selector).as_bytes())?;
+        sink.flush()?;
+        Ok(epoch)
     }
 }
 

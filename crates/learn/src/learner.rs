@@ -13,6 +13,7 @@
 //! seeds) makes whole learning loops replayable.
 
 use crate::buffer::{BufferConfig, TrainingBuffer};
+use crate::checkpoint::{self, CheckpointError, LearnerParts};
 use prosel_core::selection::{EstimatorSelector, SelectorConfig};
 use prosel_core::training::TrainingSet;
 use prosel_mart::BoostParams;
@@ -194,6 +195,61 @@ impl OnlineLearner {
         } else {
             None
         }
+    }
+
+    /// Serialize the learner's complete state — config, buffer (records,
+    /// stamps, offer/draw counters), validation slice, lifetime stats and
+    /// the current selector — as one versioned, checksummed text artifact.
+    ///
+    /// [`Self::restore`] rebuilds a **bit-identical** learner from it:
+    /// same reservoir contents, same generator position, same next
+    /// retrain output. See [`crate::checkpoint`] for the format and its
+    /// rejection guarantees.
+    pub fn checkpoint(&self) -> String {
+        checkpoint::encode(&LearnerParts {
+            config: self.config.clone(),
+            boost: self.current.config().boost.clone(),
+            records: self.buffer.records().to_vec(),
+            stamps: self.buffer.stamps().to_vec(),
+            seen: self.buffer.seen(),
+            draws: self.buffer.draws(),
+            validation: self.validation.iter().cloned().collect(),
+            selector_text: self.current.to_text(),
+            record_counter: self.record_counter,
+            since_retrain: self.since_retrain,
+            rounds: self.rounds,
+            stats: self.stats,
+        })
+    }
+
+    /// Rebuild a learner from [`Self::checkpoint`] output. Truncated,
+    /// corrupted or drifted checkpoints are rejected with a
+    /// [`CheckpointError`]; on success the restored learner replays
+    /// exactly as the checkpointed one would have.
+    pub fn restore(text: &str) -> Result<OnlineLearner, CheckpointError> {
+        let parts = checkpoint::decode(text)?;
+        let buffer = TrainingBuffer::from_parts(
+            parts.config.buffer.clone(),
+            parts.records,
+            parts.stamps,
+            parts.seen,
+            parts.draws,
+        )?;
+        let mut selector = EstimatorSelector::from_text(&parts.selector_text)
+            .map_err(|e| CheckpointError(format!("embedded selector: {e}")))?;
+        // `from_text` drops the training recipe; re-seat the recorded one
+        // so the restored learner's next retrain replays exactly.
+        selector.set_boost(parts.boost);
+        Ok(OnlineLearner {
+            config: parts.config,
+            buffer,
+            validation: parts.validation.into(),
+            current: Arc::new(selector),
+            record_counter: parts.record_counter,
+            since_retrain: parts.since_retrain,
+            rounds: parts.rounds,
+            stats: parts.stats,
+        })
     }
 
     /// Fit a candidate on the buffer and run guarded promotion. Resets

@@ -42,13 +42,41 @@
 //! `tests/harvest_equivalence.rs` at the workspace root). [`Trainer`]
 //! wraps the deterministic [`OnlineLearner`] core in a background thread
 //! for deployments where retraining must not block ingest.
+//!
+//! ## Fleet operation
+//!
+//! Three pieces turn the single-process loop into something you can run
+//! as a fleet of monitor processes following one trainer:
+//!
+//! * **Publication protocol** ([`hub`] + [`subscriber`]):
+//!   [`SelectorHub::publish_to`] frames `(epoch, checksum, selector)`
+//!   onto any byte stream; a [`SelectorSubscriber`] on each follower
+//!   decodes and installs frames, rejecting torn, corrupted or stale
+//!   (epoch ≤ installed) publications with typed [`SubscribeError`]s — a
+//!   follower can never be rolled back or fed a half-written model.
+//! * **Checkpoints** ([`checkpoint`]): [`OnlineLearner::checkpoint`] /
+//!   [`OnlineLearner::restore`] round-trip the entire learning state —
+//!   reservoir records *with their admission stamps and RNG position* —
+//!   through a strict checksummed text codec, and
+//!   [`Trainer::spawn_with_checkpoints`] emits them on a cadence, so a
+//!   crashed trainer resumes bit-identically (same buffer, same next
+//!   promoted selector) without losing rare-group samples.
+//! * **Decay** ([`buffer::DecayPolicy`]): a max-age bound (measured in
+//!   offered records, so replay stays deterministic) ages stale traffic
+//!   out of the buffer — after a workload shift the old distribution
+//!   drains instead of anchoring the selector forever. The `drift` bench
+//!   experiment scores exactly this against a no-decay twin.
 
 pub mod buffer;
+pub mod checkpoint;
 pub mod hub;
 pub mod learner;
+pub mod subscriber;
 pub mod trainer;
 
-pub use buffer::{BufferConfig, GroupBy, TrainingBuffer};
+pub use buffer::{BufferConfig, DecayPolicy, GroupBy, TrainingBuffer};
+pub use checkpoint::CheckpointError;
 pub use hub::SelectorHub;
 pub use learner::{LearnConfig, LearnStats, OnlineLearner, RetrainOutcome};
+pub use subscriber::{Publication, SelectorSubscriber, SubscribeError};
 pub use trainer::Trainer;

@@ -1,0 +1,202 @@
+//! Property tests for the fleet codecs: the publication frames a
+//! [`SelectorHub`] ships to followers and the learner checkpoints the
+//! trainer writes to disk. Both must round-trip exactly and reject every
+//! torn, corrupted or polluted blob — a follower or a restarted trainer
+//! either resumes the exact published/checkpointed state or refuses.
+
+use proptest::prelude::*;
+use prosel_core::features::FeatureSchema;
+use prosel_core::pipeline_runs::PipelineRecord;
+use prosel_core::selection::{EstimatorSelector, SelectorConfig};
+use prosel_core::training::TrainingSet;
+use prosel_estimators::EstimatorKind;
+use prosel_learn::{
+    BufferConfig, LearnConfig, OnlineLearner, SelectorHub, SelectorSubscriber, SubscribeError,
+};
+use prosel_mart::BoostParams;
+use prosel_monitor::HarvestedQuery;
+use std::io::BufReader;
+use std::sync::Arc;
+
+fn synthetic_records(n: usize, seed: u64) -> Vec<PipelineRecord> {
+    let dims = FeatureSchema::get().len();
+    (0..n)
+        .map(|i| {
+            let x = ((i as u64).wrapping_mul(seed | 1) % 7) as f32;
+            let mut features = vec![0.0f32; dims];
+            features[0] = x;
+            features[1] = (i % 5) as f32;
+            let mut errors = vec![0.6f32; 8];
+            errors[0] = if x < 3.5 { 0.05 } else { 0.4 };
+            errors[1] = if x < 3.5 { 0.4 } else { 0.05 };
+            PipelineRecord {
+                workload: format!("syn{}", i % 3),
+                query_idx: i,
+                pipeline_id: 0,
+                features,
+                errors_l1: errors.clone(),
+                errors_l2: errors,
+                total_getnext: 10,
+                weight: 1.0,
+                n_obs: 10,
+                fingerprint: "scan|syn".into(),
+                oracle_l1: [0.0; 2],
+                oracle_l2: [0.0; 2],
+            }
+        })
+        .collect()
+}
+
+fn tiny_selector(seed: u64) -> EstimatorSelector {
+    let records = synthetic_records(40, seed);
+    let cfg = SelectorConfig {
+        candidates: vec![EstimatorKind::Dne, EstimatorKind::Tgn, EstimatorKind::Luo],
+        boost: BoostParams { iterations: 4, seed, ..BoostParams::fast() },
+        ..SelectorConfig::default()
+    };
+    EstimatorSelector::train(&TrainingSet::from_records(&records), &cfg)
+}
+
+/// A learner with absorbed harvests and live reservoir/holdout state —
+/// the thing a trainer would checkpoint mid-run.
+fn warm_learner(seed: u64) -> OnlineLearner {
+    let mut learner = OnlineLearner::new(
+        Arc::new(tiny_selector(seed)),
+        LearnConfig {
+            buffer: BufferConfig {
+                capacity: 24, // smaller than the stream: reservoir draws happen
+                group_quota: 6,
+                seed,
+                ..BufferConfig::default()
+            },
+            retrain_every: 0,
+            holdout_every: 3,
+            min_records: 8,
+            warm_trees: 0,
+            ..LearnConfig::default()
+        },
+    );
+    for (qi, chunk) in synthetic_records(36, seed ^ 0x5EED).chunks(4).enumerate() {
+        learner.absorb(&HarvestedQuery {
+            query: qi,
+            selector_epoch: 0,
+            total_time: 0.0,
+            records: chunk.to_vec(),
+            switches: Vec::new(),
+        });
+    }
+    learner
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Hub frame → subscriber install round-trips: the installed selector
+    /// re-encodes to the identical frame and scores identically.
+    #[test]
+    fn publication_round_trip_is_exact(seed in 1u64..500, epoch in 1u64..1000) {
+        let sel = tiny_selector(seed);
+        let frame = SelectorHub::encode_frame(epoch, &sel);
+        let mut sub = SelectorSubscriber::new();
+        let p = sub
+            .recv_from(&mut BufReader::new(frame.as_bytes()))
+            .expect("own frame must install")
+            .expect("one frame present");
+        prop_assert_eq!(p.epoch, epoch);
+        prop_assert_eq!(SelectorHub::encode_frame(epoch, &p.selector), frame);
+        for r in synthetic_records(12, seed ^ 0xABCD) {
+            prop_assert_eq!(sel.select(&r.features), p.selector.select(&r.features));
+        }
+    }
+
+    /// Every strict prefix of a frame is refused without an install: a
+    /// torn stream can never hand a follower a different model.
+    #[test]
+    fn torn_publications_never_install(seed in 1u64..500, frac in 0.0f64..1.0) {
+        let frame = SelectorHub::encode_frame(1, &tiny_selector(seed));
+        let cut = 1 + ((frame.len() - 2) as f64 * frac) as usize; // 1..frame.len()-1
+        let mut sub = SelectorSubscriber::new();
+        let out = sub.recv_from(&mut BufReader::new(&frame.as_bytes()[..cut]));
+        prop_assert!(out.is_err(), "prefix of {} of {} bytes must be refused", cut, frame.len());
+        prop_assert!(sub.current().is_none(), "nothing may install from a torn frame");
+    }
+
+    /// A corrupted payload byte inside a structurally complete frame is a
+    /// checksum mismatch, and the next frame on the stream still installs.
+    #[test]
+    fn corrupted_payloads_are_skipped_not_installed(seed in 1u64..500, frac in 0.0f64..1.0) {
+        let sel = tiny_selector(seed);
+        let good = SelectorHub::encode_frame(2, &sel);
+        let mut corrupt = SelectorHub::encode_frame(1, &sel).into_bytes();
+        let body_start = corrupt
+            .windows(1)
+            .enumerate()
+            .filter(|(_, w)| w[0] == b'\n')
+            .nth(1)
+            .map(|(i, _)| i + 1)
+            .unwrap();
+        let body_end = corrupt.len() - "endpublication\n".len();
+        let idx = body_start + ((body_end - body_start - 1) as f64 * frac) as usize;
+        corrupt[idx] ^= 0x20; // flip case/space: same length, different bytes
+        let stream = [corrupt.as_slice(), good.as_bytes()].concat();
+        let mut sub = SelectorSubscriber::new();
+        let mut reader = BufReader::new(stream.as_slice());
+        match sub.recv_from(&mut reader) {
+            Err(SubscribeError::ChecksumMismatch { declared, computed }) => {
+                prop_assert_ne!(declared, computed);
+            }
+            // The checksum gate runs before any payload parse, so a
+            // flipped byte can never surface as any other outcome.
+            Ok(_) => prop_assert!(false, "corrupted frame must not install"),
+            Err(e) => prop_assert!(false, "want ChecksumMismatch, got {:?}", e),
+        }
+        prop_assert!(sub.current().is_none());
+        let p = sub.recv_from(&mut reader).expect("clean frame follows").expect("frame");
+        prop_assert_eq!(p.epoch, 2);
+    }
+
+    /// Checkpoint → restore → checkpoint is the identity on the text, and
+    /// the restored learner retrains to the identical model.
+    #[test]
+    fn checkpoint_round_trip_is_bit_identical(seed in 1u64..500) {
+        let mut learner = warm_learner(seed);
+        let text = learner.checkpoint();
+        let mut back = OnlineLearner::restore(&text).expect("own checkpoint must restore");
+        prop_assert_eq!(back.checkpoint(), text);
+        // The restored reservoir replays: both learners' next retrain
+        // produces byte-identical selector text.
+        let a = learner.retrain();
+        let b = back.retrain();
+        prop_assert_eq!(a.promoted, b.promoted);
+        prop_assert_eq!(learner.current().to_text(), back.current().to_text());
+    }
+
+    /// Every strict line-prefix of a checkpoint is rejected: a torn write
+    /// can never restore as a (different) learner.
+    #[test]
+    fn checkpoint_truncations_are_rejected(seed in 1u64..500, frac in 0.0f64..1.0) {
+        let text = warm_learner(seed).checkpoint();
+        let lines: Vec<&str> = text.lines().collect();
+        let keep = ((lines.len() - 1) as f64 * frac) as usize; // < lines.len()
+        let truncated = lines[..keep].join("\n");
+        prop_assert!(
+            OnlineLearner::restore(&truncated).is_err(),
+            "prefix of {} of {} lines must not restore", keep, lines.len()
+        );
+    }
+
+    /// A foreign line injected anywhere in a checkpoint is rejected.
+    #[test]
+    fn checkpoint_garbage_is_rejected(seed in 1u64..500, frac in 0.0f64..1.0) {
+        let text = warm_learner(seed).checkpoint();
+        let mut lines: Vec<&str> = text.lines().collect();
+        let pos = ((lines.len()) as f64 * frac) as usize;
+        lines.insert(pos.min(lines.len()), "garbage 0.5 xyz");
+        let mut polluted = lines.join("\n");
+        polluted.push('\n');
+        prop_assert!(
+            OnlineLearner::restore(&polluted).is_err(),
+            "garbage at line {} must not restore", pos
+        );
+    }
+}

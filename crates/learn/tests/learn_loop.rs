@@ -7,7 +7,7 @@ use prosel_core::training::TrainingSet;
 use prosel_engine::{run_plan_tapped, Catalog, ExecConfig};
 use prosel_learn::{BufferConfig, LearnConfig, OnlineLearner, SelectorHub, Trainer};
 use prosel_mart::BoostParams;
-use prosel_monitor::{HarvestConfig, HarvestedQuery, MonitorConfig, ProgressMonitor};
+use prosel_monitor::{HarvestConfig, HarvestedQuery, MonitorBuilder};
 use prosel_planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use prosel_planner::PlanBuilder;
 use std::sync::Arc;
@@ -33,8 +33,10 @@ fn harvest_workload(spec: &WorkloadSpec, selector: Arc<EstimatorSelector>) -> Ve
     let catalog = Catalog::new(&w.db, &w.design);
     let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
     let (sink, rx) = std::sync::mpsc::channel();
-    let mut monitor = ProgressMonitor::with_shared_selector(selector, MonitorConfig::default())
-        .with_harvester(Arc::new(sink), HarvestConfig { label: spec.label(), min_observations: 5 });
+    let mut monitor = MonitorBuilder::with_selector(selector)
+        .harvester(Arc::new(sink), HarvestConfig { label: spec.label(), min_observations: 5 })
+        .build_monitor()
+        .expect("build");
     for (qi, q) in w.queries.iter().enumerate() {
         let plan = builder.build(q).expect("plan");
         let (tap, events) = std::sync::mpsc::channel();

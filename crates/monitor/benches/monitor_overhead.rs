@@ -15,7 +15,7 @@ use prosel_engine::trace::{CounterKind, CounterUpdate, DeltaEncoder, Snapshot, T
 use prosel_engine::{decompose, Pipeline};
 use prosel_estimators::soa::BoundsKernel;
 use prosel_estimators::{EstimatorKind, IncrementalObs, SnapshotCtx};
-use prosel_monitor::ProgressMonitor;
+use prosel_monitor::MonitorBuilder;
 use std::sync::Arc;
 
 fn scan_filter_plan(rows: f64) -> PhysicalPlan {
@@ -90,7 +90,8 @@ fn bench_monitor_ingest(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &snaps, |b, snaps| {
             b.iter(|| {
-                let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+                let mut monitor =
+                    MonitorBuilder::fixed(EstimatorKind::Dne).build_monitor().expect("build");
                 monitor.register(0, &plan);
                 for (seq, s) in snaps.iter().enumerate() {
                     monitor.ingest(TraceEvent::Snapshot {
@@ -111,7 +112,7 @@ fn bench_monitor_ingest(c: &mut Criterion) {
 fn bench_serving(c: &mut Criterion) {
     let plan = scan_filter_plan(1_000_000.0);
     let snaps = synthetic_snapshots(4096, 1_000_000);
-    let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+    let mut monitor = MonitorBuilder::fixed(EstimatorKind::Dne).build_monitor().expect("build");
     monitor.register(0, &plan);
     for (seq, s) in snaps.iter().enumerate() {
         monitor.ingest(TraceEvent::Snapshot {

@@ -23,7 +23,7 @@ use prosel_engine::plan::{CmpOp, OperatorKind, PhysicalPlan, PlanNode, Predicate
 use prosel_engine::trace::TraceEvent;
 use prosel_engine::{decompose, run_plan_tapped, Catalog, CostModel, ExecConfig};
 use prosel_estimators::{EstimatorKind, IncrementalObs};
-use prosel_monitor::{MonitorService, ProgressMonitor};
+use prosel_monitor::MonitorBuilder;
 use std::sync::Arc;
 
 const ROWS: usize = 2000;
@@ -143,7 +143,8 @@ fn bench_ingest_by_pipelines(c: &mut Criterion) {
             &events,
             |b, events| {
                 b.iter(|| {
-                    let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+                    let mut monitor =
+                        MonitorBuilder::fixed(EstimatorKind::Dne).build_monitor().expect("build");
                     monitor.register(0, &plan);
                     for ev in events {
                         monitor.ingest(ev.clone());
@@ -212,7 +213,10 @@ fn bench_service_ingest_by_shards(c: &mut Criterion) {
             &events,
             |b, events| {
                 b.iter(|| {
-                    let service = MonitorService::fixed(EstimatorKind::Dne, n_shards);
+                    let service = MonitorBuilder::fixed(EstimatorKind::Dne)
+                        .shards(n_shards)
+                        .build_service()
+                        .expect("build");
                     // Bulk admission: one round-trip per shard, not per
                     // query (blocking per-query registration would be
                     // latency-bound and mask the ingest scaling).
@@ -300,7 +304,8 @@ fn bench_read_tail_under_saturated_ingest(_c: &mut Criterion) {
         windows: vec![(1.0, time)].into_boxed_slice(),
     };
 
-    let service = MonitorService::fixed(EstimatorKind::Dne, N_SHARDS);
+    let service =
+        MonitorBuilder::fixed(EstimatorKind::Dne).shards(N_SHARDS).build_service().expect("build");
     let queries: Vec<usize> = (0..N_QUERIES).collect();
     for (q, r) in service.try_register_batch(&queries, &plan) {
         r.unwrap_or_else(|e| panic!("q{q}: {e}"));

@@ -1,0 +1,102 @@
+//! The crate-wide error umbrella.
+//!
+//! The monitor's operations fail in three well-typed ways — a read
+//! against an unknown/dead query ([`QueryError`]), a refused registration
+//! ([`RegisterError`]), a partially applied selector swap
+//! ([`SwapError`]) — plus the builder's checkpoint-restore mismatches.
+//! Call sites that only care about *one* operation keep the precise
+//! type; callers composing several (the builder, service embeds, `?`
+//! chains in examples) fold them into [`MonitorError`] via the `From`
+//! impls here.
+
+use crate::service::{QueryError, SwapError};
+use crate::shard::RegisterError;
+use crate::state::StateError;
+use std::fmt;
+
+/// Any error the monitor crate can produce, as one `?`-friendly type.
+#[derive(Debug)]
+pub enum MonitorError {
+    /// A read or unregister against an unknown query or dead shard.
+    Query(QueryError),
+    /// A refused registration (duplicate id, oracle kind, saturation,
+    /// dead shard).
+    Register(RegisterError),
+    /// A selector swap that failed on one or more shards.
+    Swap(SwapError),
+    /// A checkpoint-restore mismatch at build time: a rejected
+    /// [`HarvestState`](crate::HarvestState) artifact, or a state count
+    /// that does not match the shard count.
+    Restore(String),
+}
+
+impl fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorError::Query(e) => write!(f, "{e}"),
+            MonitorError::Register(e) => write!(f, "{e}"),
+            MonitorError::Swap(e) => write!(f, "{e}"),
+            MonitorError::Restore(msg) => write!(f, "restore rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MonitorError::Query(e) => Some(e),
+            MonitorError::Register(e) => Some(e),
+            MonitorError::Swap(e) => Some(e),
+            MonitorError::Restore(_) => None,
+        }
+    }
+}
+
+impl From<QueryError> for MonitorError {
+    fn from(e: QueryError) -> Self {
+        MonitorError::Query(e)
+    }
+}
+
+impl From<RegisterError> for MonitorError {
+    fn from(e: RegisterError) -> Self {
+        MonitorError::Register(e)
+    }
+}
+
+impl From<SwapError> for MonitorError {
+    fn from(e: SwapError) -> Self {
+        MonitorError::Swap(e)
+    }
+}
+
+impl From<StateError> for MonitorError {
+    fn from(e: StateError) -> Self {
+        MonitorError::Restore(e.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn every_variant_displays_and_sources() {
+        let q: MonitorError = QueryError::QueryUnknown(7).into();
+        assert!(q.to_string().contains('7'));
+        assert!(q.source().is_some());
+
+        let r: MonitorError = RegisterError::DuplicateQuery(3).into();
+        assert!(r.to_string().contains('3'));
+        assert!(r.source().is_some());
+
+        let s: MonitorError = SwapError { shards: vec![1], epoch: None }.into();
+        assert!(s.to_string().contains('1'));
+        assert!(s.source().is_some());
+
+        let st: MonitorError = StateError("bad".into()).into();
+        assert!(st.to_string().contains("bad"));
+        assert!(st.source().is_none());
+    }
+}

@@ -45,13 +45,17 @@
 //! Feed either from [`prosel_engine::run_plan_tapped`] or
 //! [`prosel_engine::run_concurrent_tapped`]:
 //!
+//! Both shapes are constructed through one surface, [`MonitorBuilder`]
+//! ([`builder`]) — policy, config knobs, shard count, harvest sink and
+//! checkpoint restore in a single chain:
+//!
 //! ```no_run
 //! use prosel_engine::{run_plan_tapped, Catalog, ExecConfig};
-//! use prosel_monitor::ProgressMonitor;
+//! use prosel_monitor::MonitorBuilder;
 //! use prosel_estimators::EstimatorKind;
 //! # fn demo(catalog: &Catalog<'_>, plan: &prosel_engine::PhysicalPlan) {
 //! let (tap, rx) = std::sync::mpsc::channel();
-//! let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+//! let mut monitor = MonitorBuilder::fixed(EstimatorKind::Dne).build_monitor().unwrap();
 //! monitor.register(0, plan);
 //! let run = run_plan_tapped(catalog, plan, &ExecConfig::default(), 0, tap);
 //! monitor.drain(&rx);
@@ -60,14 +64,14 @@
 //! # }
 //! ```
 //!
-//! The sharded service is the same three lines, minus the channel:
+//! The sharded service is the same chain with a shard count:
 //!
 //! ```no_run
 //! use prosel_engine::{run_plan_tapped, Catalog, ExecConfig};
-//! use prosel_monitor::MonitorService;
+//! use prosel_monitor::MonitorBuilder;
 //! use prosel_estimators::EstimatorKind;
 //! # fn demo(catalog: &Catalog<'_>, plan: &prosel_engine::PhysicalPlan) {
-//! let service = MonitorService::fixed(EstimatorKind::Dne, 4);
+//! let service = MonitorBuilder::fixed(EstimatorKind::Dne).shards(4).build_service().unwrap();
 //! service.register(0, plan);
 //! let run = run_plan_tapped(catalog, plan, &ExecConfig::default(), 0, service.tap());
 //! assert_eq!(service.query_progress(0), Ok(1.0));
@@ -97,12 +101,24 @@
 //! [`MonitorService::swap_selector`]: new registrations score with the
 //! new model (epoch bumped), in-flight queries keep the selector captured
 //! at their registration.
+//!
+//! For fleet deployments, [`HarvestState`] ([`state`]) checkpoints the
+//! restart-worthy shard state (selector epoch + monotone counters)
+//! through a strict checksummed text codec, and
+//! [`MonitorBuilder::restore`] re-seats it; [`MonitorError`] ([`error`])
+//! is the `?`-friendly umbrella over every typed failure the crate
+//! produces.
 
+pub mod builder;
+pub mod error;
 pub mod eta;
 pub mod runtime;
 pub mod service;
 pub mod shard;
+pub mod state;
 
+pub use builder::MonitorBuilder;
+pub use error::MonitorError;
 pub use eta::{Eta, SpeedTracker, StaleEta};
 pub use runtime::RuntimeConfig;
 pub use service::{MonitorService, QueryError, SwapError};
@@ -110,3 +126,4 @@ pub use shard::{
     HarvestConfig, HarvestSink, HarvestedQuery, MonitorConfig, PipelineStatus, ProgressMonitor,
     QueryStatus, RegisterError, ShardStats, SwitchEvent,
 };
+pub use state::{HarvestState, StateError};

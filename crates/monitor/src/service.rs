@@ -706,6 +706,11 @@ impl MonitorService {
     /// Service with one fixed estimator on every pipeline, `n_shards`
     /// shard tasks (clamped to ≥ 1).
     ///
+    /// Documented legacy: prefer
+    /// [`MonitorBuilder::fixed`](crate::MonitorBuilder::fixed)`.shards(n).build_service()`,
+    /// which also carries config, harvester and checkpoint-restore. Kept
+    /// as a thin delegate for existing embeds.
+    ///
     /// # Panics
     /// Panics for the oracle kinds, like [`ProgressMonitor::fixed`]; use
     /// [`Self::try_fixed`] to handle the error as a value.
@@ -713,7 +718,8 @@ impl MonitorService {
         Self::try_fixed(kind, n_shards).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Non-panicking [`Self::fixed`].
+    /// Non-panicking [`Self::fixed`]. Documented legacy — prefer
+    /// [`crate::MonitorBuilder`].
     pub fn try_fixed(
         kind: EstimatorKind,
         n_shards: usize,
@@ -724,13 +730,15 @@ impl MonitorService {
     /// Service with a trained selector (shared by every shard): static
     /// selection at registration, dynamic re-selection at the configured
     /// cadence — exactly the [`ProgressMonitor::with_selector`] behavior,
-    /// scaled across `n_shards` shard tasks.
+    /// scaled across `n_shards` shard tasks. Accepts an owned selector or
+    /// an `Arc` (shared with a learning loop). Documented legacy — prefer
+    /// [`MonitorBuilder::with_selector`](crate::MonitorBuilder::with_selector).
     pub fn with_selector(
-        selector: EstimatorSelector,
+        selector: impl Into<Arc<EstimatorSelector>>,
         config: crate::shard::MonitorConfig,
         n_shards: usize,
     ) -> MonitorService {
-        Self::spawn(ProgressMonitor::with_shared_selector(Arc::new(selector), config), n_shards)
+        Self::spawn(ProgressMonitor::with_selector(selector, config), n_shards)
     }
 
     /// Scale an arbitrarily configured [`ProgressMonitor`] across
@@ -740,12 +748,13 @@ impl MonitorService {
     /// from all shards). The prototype's own registered queries are *not*
     /// carried over; forks start empty. The prototype's
     /// [`crate::RuntimeConfig`] (inside its [`crate::MonitorConfig`])
-    /// sizes and pins the worker pool.
+    /// sizes and pins the worker pool. Documented legacy — prefer
+    /// [`crate::MonitorBuilder`], which builds the prototype for you.
     pub fn from_prototype(prototype: ProgressMonitor, n_shards: usize) -> MonitorService {
         Self::spawn(prototype, n_shards)
     }
 
-    fn spawn(prototype: ProgressMonitor, n_shards: usize) -> MonitorService {
+    pub(crate) fn spawn(prototype: ProgressMonitor, n_shards: usize) -> MonitorService {
         let n = n_shards.max(1);
         let runtime_config = prototype.config().runtime.clone();
         let clock = Arc::clone(&prototype.config().clock);
@@ -797,18 +806,20 @@ impl MonitorService {
     /// # Panics
     /// Panics if `query` is already registered; use [`Self::try_register`]
     /// to handle the error as a value.
-    pub fn register(&self, query: usize, plan: &PhysicalPlan) {
+    pub fn register(&self, query: usize, plan: impl Into<Arc<PhysicalPlan>>) {
         self.try_register(query, plan).unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Non-panicking [`Self::register`]: duplicate ids come back as
     /// [`RegisterError::DuplicateQuery`], a dead shard as
-    /// [`RegisterError::ShardDown`].
-    pub fn try_register(&self, query: usize, plan: &PhysicalPlan) -> Result<(), RegisterError> {
-        self.register_arc(query, Arc::new(plan.clone()))
-    }
-
-    fn register_arc(&self, query: usize, plan: Arc<PhysicalPlan>) -> Result<(), RegisterError> {
+    /// [`RegisterError::ShardDown`]. Accepts `&PhysicalPlan`, an owned
+    /// plan, or `Arc<PhysicalPlan>` (no deep clone for shared plans).
+    pub fn try_register(
+        &self,
+        query: usize,
+        plan: impl Into<Arc<PhysicalPlan>>,
+    ) -> Result<(), RegisterError> {
+        let plan: Arc<PhysicalPlan> = plan.into();
         let si = self.inner.shard_of(query);
         let slot = &self.inner.shards[si];
         if !slot.is_alive() {
@@ -816,7 +827,7 @@ impl MonitorService {
         }
         self.inner.quiesce_shard(si);
         let mut core = slot.core.lock().map_err(|_| RegisterError::ShardDown)?;
-        let result = core.try_register_arc(query, plan);
+        let result = core.try_register(query, plan);
         if result.is_ok() {
             let view = core.query_view(query).expect("query registered above");
             slot.registry
@@ -859,7 +870,7 @@ impl MonitorService {
                 continue;
             };
             for q in queries {
-                let result = core.try_register_arc(q, Arc::clone(&plan));
+                let result = core.try_register(q, Arc::clone(&plan));
                 if result.is_ok() {
                     let view = core.query_view(q).expect("query registered above");
                     slot.registry
@@ -874,22 +885,24 @@ impl MonitorService {
         out
     }
 
-    /// Drop a query's state on its owning shard (no-op when the shard is
-    /// dead — its state is frozen and unreachable anyway).
-    pub fn unregister(&self, query: usize) {
+    /// Drop a query's state on its owning shard. Unknown ids come back as
+    /// [`QueryError::QueryUnknown`]; a dead owning shard as
+    /// [`QueryError::ShardDown`] (its state is frozen and unreachable).
+    pub fn unregister(&self, query: usize) -> Result<(), QueryError> {
         let si = self.inner.shard_of(query);
         let slot = &self.inner.shards[si];
         if !slot.is_alive() {
-            return;
+            return Err(QueryError::ShardDown);
         }
         // Quiesce first: events for this id already in the queue belong to
         // the registration being dropped and must drain into it, not into
         // the unroutable bucket of a later re-registration.
         self.inner.quiesce_shard(si);
-        let Ok(mut core) = slot.core.lock() else { return };
-        core.unregister(query);
+        let mut core = slot.core.lock().map_err(|_| QueryError::ShardDown)?;
+        let result = core.unregister(query);
         slot.registry.write().unwrap_or_else(|e| e.into_inner()).remove(&query);
         slot.stats.publish(&core.shard_stats());
+        result
     }
 
     /// A [`TraceTap`] that fans the engine's event stream out to the
@@ -1094,6 +1107,48 @@ impl MonitorService {
         Ok(self.shard_stats()?.iter().fold(ShardStats::default(), |acc, s| acc.merged(s)))
     }
 
+    /// Per-shard checkpointable state, in shard order: the selector epoch
+    /// and the monotone counters, for persisting via
+    /// [`HarvestState::to_text`](crate::HarvestState::to_text) and
+    /// re-seating through
+    /// [`MonitorBuilder::restore`](crate::MonitorBuilder::restore).
+    /// Quiesces first so the snapshot reflects every event already sent.
+    /// Dead shards report their state frozen at the crash.
+    pub fn harvest_states(&self) -> Vec<crate::HarvestState> {
+        self.inner.quiesce();
+        self.inner
+            .shards
+            .iter()
+            .map(|slot| {
+                let core = slot.core.lock().unwrap_or_else(|e| e.into_inner());
+                core.harvest_state()
+            })
+            .collect()
+    }
+
+    /// Re-seat checkpointed per-shard state (builder restore path). Must
+    /// run before any registration; one state per shard, in shard order.
+    pub(crate) fn restore_harvest_states(
+        &self,
+        states: &[crate::HarvestState],
+    ) -> Result<(), crate::MonitorError> {
+        if states.len() != self.inner.shards.len() {
+            return Err(crate::MonitorError::Restore(format!(
+                "{} checkpointed shard state(s) for a {}-shard service",
+                states.len(),
+                self.inner.shards.len()
+            )));
+        }
+        for (slot, state) in self.inner.shards.iter().zip(states) {
+            let mut core = slot.core.lock().map_err(|_| {
+                crate::MonitorError::Restore("shard died during restore".to_string())
+            })?;
+            core.restore_harvest_state(state);
+            slot.stats.publish(&core.shard_stats());
+        }
+        Ok(())
+    }
+
     /// Deliberately crash one shard task — test hook for the crash-path
     /// suites (dead-shard reads, partial swaps, conservation under
     /// failure). Sets a poison pill, schedules the shard, and waits until
@@ -1217,7 +1272,7 @@ mod tests {
         // Staleness folding keeps a finished query's ETA all-zero, so the
         // exact comparison survives the default read path.
         assert_eq!(service.remaining_time(7), Ok(Eta::finished(40.0)));
-        service.unregister(7);
+        service.unregister(7).unwrap();
         assert_eq!(service.query_progress(7), Err(QueryError::QueryUnknown(7)));
         assert_eq!(service.remaining_time(7), Err(QueryError::QueryUnknown(7)));
         service.shutdown();
@@ -1426,7 +1481,7 @@ mod tests {
         }
         // Draining a query frees its slot on the owning shard only.
         let freed = admitted[0];
-        service.unregister(freed);
+        service.unregister(freed).unwrap();
         assert_eq!(service.try_register(freed + 2 * service.n_shards(), &plan), Ok(()));
         let stats = service.stats().expect("stats are always served");
         assert_eq!(stats.registered, 4);

@@ -18,6 +18,7 @@
 
 use crate::eta::{Eta, SpeedTracker, StaleEta};
 use crate::runtime::RuntimeConfig;
+use crate::state::HarvestState;
 use prosel_core::features::{dynamic_features, static_features};
 use prosel_core::pipeline_runs::{record_from_online, PipelineRecord};
 use prosel_core::selection::EstimatorSelector;
@@ -382,6 +383,11 @@ pub struct ProgressMonitor {
 impl ProgressMonitor {
     /// Monitor every pipeline with one fixed estimator (no selection).
     ///
+    /// Documented legacy: prefer
+    /// [`MonitorBuilder::fixed`](crate::MonitorBuilder::fixed)`.build_monitor()`,
+    /// which also carries config, harvester and checkpoint-restore in one
+    /// construction surface. Kept as a thin delegate for existing embeds.
+    ///
     /// # Panics
     /// Panics for the oracle kinds (`GetNextOracle`, `BytesOracle`): they
     /// need post-hoc totals and cannot serve live progress. Use
@@ -391,7 +397,8 @@ impl ProgressMonitor {
     }
 
     /// Non-panicking [`Self::fixed`]: refuses the oracle kinds with
-    /// [`RegisterError::OracleKind`].
+    /// [`RegisterError::OracleKind`]. Documented legacy — prefer
+    /// [`crate::MonitorBuilder`].
     pub fn try_fixed(kind: EstimatorKind) -> Result<ProgressMonitor, RegisterError> {
         if !prosel_estimators::ONLINE_KINDS.contains(&kind) {
             return Err(RegisterError::OracleKind(kind));
@@ -408,19 +415,18 @@ impl ProgressMonitor {
 
     /// Monitor with a trained selector: static selection at registration,
     /// dynamic re-selection at the configured observation cadence.
-    pub fn with_selector(selector: EstimatorSelector, config: MonitorConfig) -> ProgressMonitor {
-        Self::with_shared_selector(Arc::new(selector), config)
-    }
-
-    /// [`Self::with_selector`] over a shared (reference-counted) selector
-    /// — the form the sharded service uses so N shards score with one
-    /// model instance instead of N copies.
-    pub fn with_shared_selector(
-        selector: Arc<EstimatorSelector>,
+    ///
+    /// Accepts an owned [`EstimatorSelector`] or an
+    /// `Arc<EstimatorSelector>` — the `Arc` form is how the sharded
+    /// service has N shards score with one model instance instead of N
+    /// copies. Documented legacy: prefer
+    /// [`MonitorBuilder::with_selector`](crate::MonitorBuilder::with_selector).
+    pub fn with_selector(
+        selector: impl Into<Arc<EstimatorSelector>>,
         config: MonitorConfig,
     ) -> ProgressMonitor {
         ProgressMonitor {
-            policy: Policy::Selector(selector),
+            policy: Policy::Selector(selector.into()),
             config,
             queries: BTreeMap::new(),
             epoch: 0,
@@ -498,27 +504,23 @@ impl ProgressMonitor {
     /// # Panics
     /// Panics if `query` is already registered. Use [`Self::try_register`]
     /// to handle the duplicate as a value.
-    pub fn register(&mut self, query: usize, plan: &PhysicalPlan) {
+    pub fn register(&mut self, query: usize, plan: impl Into<Arc<PhysicalPlan>>) {
         self.try_register(query, plan).unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Non-panicking [`Self::register`]: refuses duplicate query ids with
-    /// [`RegisterError::DuplicateQuery`] instead of aborting.
-    pub fn try_register(&mut self, query: usize, plan: &PhysicalPlan) -> Result<(), RegisterError> {
-        if self.queries.contains_key(&query) {
-            self.stats.refused += 1;
-            return Err(RegisterError::DuplicateQuery(query));
-        }
-        self.try_register_arc(query, Arc::new(plan.clone()))
-    }
-
-    /// [`Self::try_register`] over an already-shared plan (avoids a deep
-    /// clone when the caller — e.g. the sharded service — holds an `Arc`).
-    pub fn try_register_arc(
+    /// [`RegisterError::DuplicateQuery`] and a full shard with
+    /// [`RegisterError::Saturated`] instead of aborting.
+    ///
+    /// Accepts `&PhysicalPlan`, an owned plan, or `Arc<PhysicalPlan>` —
+    /// the `Arc` form avoids a deep clone when the caller (e.g. the
+    /// sharded service) already holds a shared plan.
+    pub fn try_register(
         &mut self,
         query: usize,
-        plan: Arc<PhysicalPlan>,
+        plan: impl Into<Arc<PhysicalPlan>>,
     ) -> Result<(), RegisterError> {
+        let plan: Arc<PhysicalPlan> = plan.into();
         if self.queries.contains_key(&query) {
             self.stats.refused += 1;
             return Err(RegisterError::DuplicateQuery(query));
@@ -976,8 +978,33 @@ impl ProgressMonitor {
     }
 
     /// Drop a query's state (e.g. after its result was consumed).
-    pub fn unregister(&mut self, query: usize) {
-        self.queries.remove(&query);
+    /// Refuses ids that are not registered with
+    /// [`QueryError::QueryUnknown`](crate::QueryError::QueryUnknown), so a
+    /// caller tearing down by id learns about double-frees instead of
+    /// silently absorbing them.
+    pub fn unregister(&mut self, query: usize) -> Result<(), crate::service::QueryError> {
+        match self.queries.remove(&query) {
+            Some(_) => Ok(()),
+            None => Err(crate::service::QueryError::QueryUnknown(query)),
+        }
+    }
+
+    /// Export the harvest-relevant shard state — the selector epoch and
+    /// the monotone counters — for checkpointing. See [`HarvestState`].
+    pub fn harvest_state(&self) -> HarvestState {
+        HarvestState { epoch: self.epoch, stats: self.shard_stats() }
+    }
+
+    /// Re-seat a checkpointed [`HarvestState`]: the selector epoch resumes
+    /// (future swaps keep increasing monotonically across the restart) and
+    /// the monotone counters continue from their checkpointed values. Used
+    /// by [`crate::MonitorBuilder::restore`]; only meaningful on a monitor
+    /// with no registered queries.
+    pub(crate) fn restore_harvest_state(&mut self, state: &HarvestState) {
+        self.epoch = state.epoch;
+        // `registered` is derived from the live query map on read; only
+        // the monotone counters are carried across the restart.
+        self.stats = ShardStats { registered: 0, ..state.stats };
     }
 
     /// The monitor's configuration (the service consults the shared clock
@@ -1415,7 +1442,7 @@ mod tests {
         let favor_dne = Arc::new(selector_favoring(EstimatorKind::Dne));
         let favor_tgn = Arc::new(selector_favoring(EstimatorKind::Tgn));
         let mut monitor =
-            ProgressMonitor::with_shared_selector(Arc::clone(&favor_dne), MonitorConfig::default());
+            ProgressMonitor::with_selector(Arc::clone(&favor_dne), MonitorConfig::default());
         assert_eq!(monitor.selector_epoch(), 0);
         monitor.register(0, &plan);
         assert_eq!(monitor.initial_choice(0, 0), Some(EstimatorKind::Dne));
@@ -1498,7 +1525,7 @@ mod tests {
         monitor.ingest(snapshot_event(0, 0, 10.0, 50));
         assert!((monitor.query_progress(0).unwrap() - 0.5).abs() < 1e-12);
         // Draining a query frees a slot; admission resumes.
-        monitor.unregister(1);
+        monitor.unregister(1).unwrap();
         assert_eq!(monitor.try_register(2, &plan), Ok(()));
         let stats = monitor.shard_stats();
         assert_eq!((stats.admitted, stats.refused, stats.registered), (3, 2, 2));

@@ -14,7 +14,7 @@
 
 use prosel::engine::{run_concurrent_tapped, Catalog, ConcurrentConfig};
 use prosel::estimators::EstimatorKind;
-use prosel::monitor::MonitorService;
+use prosel::monitor::MonitorBuilder;
 use prosel::planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use prosel::planner::PlanBuilder;
 use std::time::Duration;
@@ -38,7 +38,8 @@ fn main() {
 
     // The service owns its shard workers; registration is routed to the
     // shard that will own each query (query % n_shards).
-    let service = MonitorService::fixed(EstimatorKind::Dne, n_shards);
+    let service =
+        MonitorBuilder::fixed(EstimatorKind::Dne).shards(n_shards).build_service().expect("build");
     for (qi, plan) in plans.iter().enumerate() {
         service.register(qi, plan);
         println!(

@@ -15,7 +15,7 @@ use prosel::core::training::TrainingSet;
 use prosel::engine::{run_concurrent_tapped, Catalog, ConcurrentConfig, ExecConfig};
 use prosel::learn::{BufferConfig, LearnConfig, OnlineLearner, SelectorHub, Trainer};
 use prosel::mart::BoostParams;
-use prosel::monitor::{HarvestConfig, MonitorConfig, MonitorService, ProgressMonitor};
+use prosel::monitor::{HarvestConfig, MonitorBuilder};
 use prosel::planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use prosel::planner::PlanBuilder;
 use std::sync::Arc;
@@ -37,13 +37,16 @@ fn main() {
     // 2. The serving side: a sharded service whose prototype harvests
     //    every finished query into the learning loop's channel.
     let (harvest_sink, harvest_rx) = std::sync::mpsc::channel();
-    let prototype =
-        ProgressMonitor::with_shared_selector(Arc::clone(&baseline), MonitorConfig::default())
-            .with_harvester(
+    let service = Arc::new(
+        MonitorBuilder::with_selector(Arc::clone(&baseline))
+            .harvester(
                 Arc::new(harvest_sink),
                 HarvestConfig { label: "prod".into(), min_observations: 5 },
-            );
-    let service = Arc::new(MonitorService::from_prototype(prototype, 4));
+            )
+            .shards(4)
+            .build_service()
+            .expect("selector-policy services always build"),
+    );
 
     // 3. The learning side: a background trainer that publishes every
     //    promoted model to the hub *and* hot-swaps it into the service.
@@ -112,7 +115,7 @@ fn main() {
             spec.label(),
         );
         for qi in 0..plans.len() {
-            service.unregister(qi);
+            service.unregister(qi).expect("registered above");
         }
     }
 

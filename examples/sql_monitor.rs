@@ -17,7 +17,7 @@ use prosel::core::selection::{EstimatorSelector, SelectorConfig};
 use prosel::core::training::TrainingSet;
 use prosel::engine::{run_concurrent_tapped, Catalog, ConcurrentConfig};
 use prosel::mart::BoostParams;
-use prosel::monitor::{MonitorConfig, ProgressMonitor};
+use prosel::monitor::MonitorBuilder;
 use prosel::planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use prosel::planner::PlanBuilder;
 
@@ -47,7 +47,7 @@ fn main() {
     // Register every query with the monitor *before* execution: static
     // features, pipeline weights and the initial estimator choices all
     // come from the plans alone.
-    let mut monitor = ProgressMonitor::with_selector(selector, MonitorConfig::default());
+    let mut monitor = MonitorBuilder::with_selector(selector).build_monitor().expect("build");
     for (qi, plan) in plans.iter().enumerate() {
         monitor.register(qi, plan);
         println!(

@@ -12,7 +12,7 @@ use prosel::engine::{
 };
 use prosel::estimators::{EstimatorKind, PipelineObs};
 use prosel::mart::BoostParams;
-use prosel::monitor::{MonitorConfig, ProgressMonitor, SwitchEvent};
+use prosel::monitor::{MonitorBuilder, MonitorConfig, SwitchEvent};
 use prosel::planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use prosel::planner::PlanBuilder;
 
@@ -116,10 +116,10 @@ fn monitored_concurrent_execution_is_deterministic_and_nonintrusive() {
     let run_monitored = || -> (Vec<QueryRun>, Vec<TraceEvent>, Vec<Vec<SwitchEvent>>, Vec<f64>) {
         let cfg = make_cfg();
         let selector = EstimatorSelector::from_text(&selector_text).expect("selector");
-        let mut monitor = ProgressMonitor::with_selector(
-            selector,
-            MonitorConfig { reselect_every: 3, ..MonitorConfig::default() },
-        );
+        let mut monitor = MonitorBuilder::with_selector(selector)
+            .config(MonitorConfig { reselect_every: 3, ..MonitorConfig::default() })
+            .build_monitor()
+            .expect("build");
         for (qi, plan) in plans.iter().enumerate() {
             monitor.register(qi, plan);
         }

@@ -11,7 +11,7 @@ use prosel::engine::{
     run_concurrent_tapped, Catalog, ConcurrentConfig, ExecConfig, ManualClock, TraceEvent,
 };
 use prosel::estimators::EstimatorKind;
-use prosel::monitor::{Eta, MonitorService, ProgressMonitor, QueryError};
+use prosel::monitor::{Eta, MonitorBuilder, QueryError};
 use prosel::planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use prosel::planner::PlanBuilder;
 use std::sync::Arc;
@@ -82,7 +82,7 @@ fn shard_and_service_serve_identical_deterministic_etas() {
     let horizon = prev + 10.0;
 
     let run_shard = || {
-        let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+        let mut monitor = MonitorBuilder::fixed(EstimatorKind::Dne).build_monitor().expect("build");
         for (qi, plan) in plans.iter().enumerate() {
             monitor.register(qi, plan);
         }
@@ -112,7 +112,8 @@ fn shard_and_service_serve_identical_deterministic_etas() {
     // answers. `MonitorService::ingest` blocks until the owning shard has
     // drained the event (read-your-writes), so each wait-free read below
     // observes exactly the prefix the single-threaded shard observed.
-    let service = MonitorService::fixed(EstimatorKind::Dne, 3);
+    let service =
+        MonitorBuilder::fixed(EstimatorKind::Dne).shards(3).build_service().expect("build");
     for (qi, plan) in plans.iter().enumerate() {
         service.register(qi, plan);
     }
@@ -154,7 +155,7 @@ fn eta_converges_on_a_live_run() {
     let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
     let plans: Vec<_> =
         w.queries.iter().take(n_queries).map(|q| builder.build(q).expect("plan")).collect();
-    let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+    let mut monitor = MonitorBuilder::fixed(EstimatorKind::Dne).build_monitor().expect("build");
     for (qi, plan) in plans.iter().enumerate() {
         monitor.register(qi, plan);
     }

@@ -1,0 +1,205 @@
+//! Restart-resume at the workspace level: a learning-loop process that
+//! crashes between feedback rounds and comes back from its artifacts
+//! must be **indistinguishable** from one that never crashed.
+//!
+//! * The learner side: checkpoint → drop → [`OnlineLearner::restore`] in
+//!   a "new process", then drive the restored learner and a never-crashed
+//!   twin with the identical harvest stream — every subsequent
+//!   checkpoint, retrain decision and served model must stay
+//!   byte-identical.
+//! * The monitor side: [`MonitorService::harvest_states`] → persist via
+//!   the [`HarvestState`] text codec → rebuild through
+//!   [`MonitorBuilder::restore`] — the selector epoch stays monotone
+//!   across the restart (no replayed publication can roll it back) and
+//!   the monotone operation counters carry over instead of resetting.
+
+use prosel::core::pipeline_runs::collect_workload_records;
+use prosel::core::selection::{EstimatorSelector, SelectorConfig};
+use prosel::core::training::TrainingSet;
+use prosel::engine::{run_plan_tapped, Catalog, ExecConfig};
+use prosel::learn::{BufferConfig, LearnConfig, OnlineLearner};
+use prosel::mart::BoostParams;
+use prosel::monitor::{HarvestConfig, HarvestState, HarvestedQuery, MonitorBuilder};
+use prosel::planner::workload::{materialize, WorkloadKind, WorkloadSpec};
+use prosel::planner::PlanBuilder;
+use std::sync::Arc;
+
+fn selector_on(spec: &WorkloadSpec) -> EstimatorSelector {
+    let records = collect_workload_records(spec).expect("workload");
+    EstimatorSelector::train(
+        &TrainingSet::from_records(&records),
+        &SelectorConfig {
+            boost: BoostParams { iterations: 8, ..BoostParams::fast() },
+            ..SelectorConfig::default()
+        },
+    )
+}
+
+/// Execute one workload through a harvesting monitor and return the
+/// harvests in deterministic (query) order — the feedback stream both
+/// universes replay.
+fn harvest_round(spec: &WorkloadSpec, selector: Arc<EstimatorSelector>) -> Vec<HarvestedQuery> {
+    let w = materialize(spec);
+    let catalog = Catalog::new(&w.db, &w.design);
+    let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
+    let (sink, rx) = std::sync::mpsc::channel();
+    let mut monitor = MonitorBuilder::with_selector(selector)
+        .harvester(Arc::new(sink), HarvestConfig { label: spec.label(), min_observations: 5 })
+        .build_monitor()
+        .expect("build");
+    for (qi, q) in w.queries.iter().enumerate() {
+        let plan = builder.build(q).expect("plan");
+        let (tap, events) = std::sync::mpsc::channel();
+        monitor.register(qi, &plan);
+        let cfg = ExecConfig { seed: 0xF1EE ^ qi as u64, ..ExecConfig::default() };
+        let _run = run_plan_tapped(&catalog, &plan, &cfg, qi, tap);
+        monitor.drain(&events);
+        monitor.unregister(qi).expect("registered above");
+    }
+    drop(monitor);
+    rx.try_iter().collect()
+}
+
+fn learn_config() -> LearnConfig {
+    LearnConfig {
+        buffer: BufferConfig { capacity: 96, group_quota: 16, ..BufferConfig::default() },
+        retrain_every: 0,
+        holdout_every: 4,
+        min_records: 12,
+        warm_trees: 16,
+        ..LearnConfig::default()
+    }
+}
+
+/// Crash between feedback rounds: the restored learner and a
+/// never-crashed twin fed the same stream stay byte-identical through
+/// the next absorb/retrain cycle — including the retrain (the restored
+/// reservoir generator resumes at the recorded draw position and the
+/// re-seated boost parameters reproduce the exact candidate fit).
+#[test]
+fn restarted_learner_is_indistinguishable_from_an_uncrashed_one() {
+    let baseline = Arc::new(selector_on(
+        &WorkloadSpec::new(WorkloadKind::TpchLike, 0xF1E0).with_queries(8).with_scale(0.4),
+    ));
+    let round1 = harvest_round(
+        &WorkloadSpec::new(WorkloadKind::TpcdsLike, 0xF1E1).with_queries(8),
+        Arc::clone(&baseline),
+    );
+    let round2 = harvest_round(
+        &WorkloadSpec::new(WorkloadKind::TpcdsLike, 0xF1E2).with_queries(8),
+        Arc::clone(&baseline),
+    );
+    assert!(!round1.is_empty() && !round2.is_empty(), "harvests must flow");
+
+    // Universe A never crashes.
+    let mut continuous = OnlineLearner::new(Arc::clone(&baseline), learn_config());
+    // Universe B checkpoints after round 1, "crashes", and resumes.
+    let mut doomed = OnlineLearner::new(Arc::clone(&baseline), learn_config());
+    for h in &round1 {
+        continuous.absorb(h);
+        doomed.absorb(h);
+    }
+    continuous.retrain();
+    doomed.retrain();
+    let artifact = doomed.checkpoint();
+    drop(doomed); // the crash
+
+    let mut restored = OnlineLearner::restore(&artifact).expect("own checkpoint must restore");
+    assert_eq!(restored.checkpoint(), artifact, "restore -> checkpoint is the identity");
+    assert_eq!(
+        restored.current().to_text(),
+        continuous.current().to_text(),
+        "the restored learner serves the exact promoted model"
+    );
+
+    // Both universes replay round 2.
+    for h in &round2 {
+        continuous.absorb(h);
+        restored.absorb(h);
+    }
+    let a = continuous.retrain();
+    let b = restored.retrain();
+    assert_eq!(a.promoted, b.promoted);
+    assert_eq!(a.trained_on, b.trained_on);
+    assert_eq!(
+        continuous.current().to_text(),
+        restored.current().to_text(),
+        "post-restart retrains must fit the identical model"
+    );
+    assert_eq!(
+        continuous.checkpoint(),
+        restored.checkpoint(),
+        "the universes stay bit-identical after the restart"
+    );
+}
+
+/// Crash a sharded service after swaps and traffic: the successor built
+/// from persisted [`HarvestState`] artifacts resumes the epoch (keeping
+/// post-restart swaps monotone) and the monotone counters.
+#[test]
+fn restarted_service_resumes_epoch_and_counters() {
+    let spec = WorkloadSpec::new(WorkloadKind::TpchLike, 0xF1E5).with_queries(6);
+    let w = materialize(&spec);
+    let catalog = Catalog::new(&w.db, &w.design);
+    let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
+    let plans: Vec<_> = w.queries.iter().map(|q| builder.build(q).expect("plan")).collect();
+    let baseline = Arc::new(selector_on(
+        &WorkloadSpec::new(WorkloadKind::TpchLike, 0xF1E6).with_queries(8).with_scale(0.4),
+    ));
+
+    let service = MonitorBuilder::with_selector(Arc::clone(&baseline))
+        .shards(3)
+        .build_service()
+        .expect("build");
+    // Two swaps advance the epoch; traffic advances the counters.
+    service.swap_selector(Arc::clone(&baseline)).expect("swap");
+    service.swap_selector(Arc::clone(&baseline)).expect("swap");
+    for (qi, plan) in plans.iter().enumerate() {
+        service.try_register(qi, plan).expect("register");
+        let cfg = ExecConfig { seed: 0xF1E5 ^ qi as u64, ..ExecConfig::default() };
+        let _run = run_plan_tapped(&catalog, plan, &cfg, qi, service.tap());
+    }
+    service.quiesce();
+    let states = service.harvest_states();
+    assert_eq!(states.len(), 3);
+    assert!(states.iter().all(|s| s.epoch == 2), "both swaps reached every shard");
+    assert!(states.iter().map(|s| s.stats.events_ingested).sum::<u64>() > 0);
+
+    // Persist through the strict text codec — what a checkpoint file
+    // holds — and crash the process.
+    let persisted: Vec<String> = states.iter().map(HarvestState::to_text).collect();
+    service.shutdown();
+    let recovered: Vec<HarvestState> =
+        persisted.iter().map(|t| HarvestState::from_text(t).expect("own artifact")).collect();
+    assert_eq!(recovered, states, "the codec round-trips the exact states");
+
+    let successor = MonitorBuilder::with_selector(Arc::clone(&baseline))
+        .shards(3)
+        .restore(recovered)
+        .build_service()
+        .expect("restore");
+    let resumed = successor.harvest_states();
+    for (before, after) in states.iter().zip(&resumed) {
+        assert_eq!(after.epoch, before.epoch, "epoch must survive the restart");
+        assert_eq!(
+            after.stats.events_ingested, before.stats.events_ingested,
+            "monotone counters must carry over"
+        );
+        assert_eq!(after.stats.registered, 0, "no phantom registrations after a restart");
+    }
+    // Post-restart swaps continue the monotone epoch sequence instead of
+    // restarting from zero — the stale-publication guard keeps working.
+    let epoch = successor.swap_selector(baseline).expect("swap");
+    assert_eq!(epoch, 3, "the first post-restart swap must advance past the checkpoint");
+
+    // A shard-count mismatch is a refused restore, not a silent partial.
+    let one = vec![HarvestState::default()];
+    let err = MonitorBuilder::fixed(prosel::estimators::EstimatorKind::Dne)
+        .shards(2)
+        .restore(one)
+        .build_service()
+        .err()
+        .unwrap();
+    assert!(err.to_string().contains("shard"), "{err}");
+    successor.shutdown();
+}

@@ -9,7 +9,7 @@ use prosel::engine::{
     run_concurrent_tapped, run_plan_tapped, Catalog, ConcurrentConfig, ExecConfig, QueryRun,
 };
 use prosel::estimators::kinds::EstimatorKind;
-use prosel::monitor::{HarvestConfig, HarvestedQuery, ProgressMonitor};
+use prosel::monitor::{HarvestConfig, HarvestedQuery, MonitorBuilder};
 use prosel::planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use prosel::planner::PlanBuilder;
 use std::sync::Arc;
@@ -79,10 +79,13 @@ fn sequential_harvest_is_byte_identical_to_batch_extraction() {
         let catalog = Catalog::new(&w.db, &w.design);
         let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
         let (sink, harvest_rx) = std::sync::mpsc::channel();
-        let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne).with_harvester(
-            Arc::new(sink),
-            HarvestConfig { label: label.clone(), min_observations: MIN_OBS },
-        );
+        let mut monitor = MonitorBuilder::fixed(EstimatorKind::Dne)
+            .harvester(
+                Arc::new(sink),
+                HarvestConfig { label: label.clone(), min_observations: MIN_OBS },
+            )
+            .build_monitor()
+            .expect("build");
         let mut runs = Vec::new();
         for (qi, q) in w.queries.iter().enumerate() {
             let plan = builder.build(q).expect("plan");
@@ -110,10 +113,13 @@ fn concurrent_harvest_with_thinning_is_byte_identical_to_batch_extraction() {
     let plans: Vec<_> = w.queries.iter().map(|q| builder.build(q).expect("plan")).collect();
 
     let (sink, harvest_rx) = std::sync::mpsc::channel();
-    let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne).with_harvester(
-        Arc::new(sink),
-        HarvestConfig { label: label.clone(), min_observations: MIN_OBS },
-    );
+    let mut monitor = MonitorBuilder::fixed(EstimatorKind::Dne)
+        .harvester(
+            Arc::new(sink),
+            HarvestConfig { label: label.clone(), min_observations: MIN_OBS },
+        )
+        .build_monitor()
+        .expect("build");
     for (qi, plan) in plans.iter().enumerate() {
         monitor.register(qi, plan);
     }

@@ -19,7 +19,7 @@ use prosel::engine::{
 };
 use prosel::learn::{BufferConfig, LearnConfig, OnlineLearner};
 use prosel::mart::BoostParams;
-use prosel::monitor::{HarvestConfig, MonitorConfig, ProgressMonitor};
+use prosel::monitor::{HarvestConfig, MonitorBuilder};
 use prosel::planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use prosel::planner::PlanBuilder;
 use std::sync::Arc;
@@ -63,10 +63,9 @@ fn hot_swap_mid_workload_is_invisible_to_registered_queries() {
     let events: Vec<TraceEvent> = rx.try_iter().collect();
     assert!(events.len() > 20);
 
-    let mut plain =
-        ProgressMonitor::with_shared_selector(Arc::clone(&s1), MonitorConfig::default());
+    let mut plain = MonitorBuilder::with_selector(Arc::clone(&s1)).build_monitor().expect("build");
     let mut swapped =
-        ProgressMonitor::with_shared_selector(Arc::clone(&s1), MonitorConfig::default());
+        MonitorBuilder::with_selector(Arc::clone(&s1)).build_monitor().expect("build");
     for (qi, plan) in plans.iter().enumerate() {
         plain.register(qi, plan);
         swapped.register(qi, plan);
@@ -106,7 +105,7 @@ fn hot_swap_mid_workload_is_invisible_to_registered_queries() {
     // New registrations land on the swapped model and epoch: they must
     // match a reference monitor built on s2 directly.
     let mut reference =
-        ProgressMonitor::with_shared_selector(Arc::clone(&s2), MonitorConfig::default());
+        MonitorBuilder::with_selector(Arc::clone(&s2)).build_monitor().expect("build");
     let q_new = 100usize;
     swapped.register(q_new, &plans[0]);
     reference.register(q_new, &plans[0]);
@@ -142,12 +141,10 @@ fn feedback_retrained_selector_is_no_worse_than_the_static_baseline() {
         },
     );
     let (sink, harvest_rx) = std::sync::mpsc::channel();
-    let mut monitor =
-        ProgressMonitor::with_shared_selector(Arc::clone(&baseline), MonitorConfig::default())
-            .with_harvester(
-                Arc::new(sink),
-                HarvestConfig { label: "prod".into(), min_observations: 5 },
-            );
+    let mut monitor = MonitorBuilder::with_selector(Arc::clone(&baseline))
+        .harvester(Arc::new(sink), HarvestConfig { label: "prod".into(), min_observations: 5 })
+        .build_monitor()
+        .expect("build");
 
     for round in 0..3usize {
         let spec =
@@ -163,7 +160,7 @@ fn feedback_retrained_selector_is_no_worse_than_the_static_baseline() {
             let cfg = ExecConfig { seed: 0x0D0 ^ query_id as u64, ..ExecConfig::default() };
             run_plan_tapped(&catalog, &plan, &cfg, query_id, tap);
             monitor.drain(&events);
-            monitor.unregister(query_id);
+            monitor.unregister(query_id).expect("registered above");
         }
         for h in harvest_rx.try_iter() {
             learner.absorb(&h);
@@ -191,7 +188,6 @@ fn feedback_retrained_selector_is_no_worse_than_the_static_baseline() {
 fn eta_reads_stay_served_and_sane_during_hot_swaps_under_load() {
     use prosel::engine::plan::{OperatorKind, PhysicalPlan, PlanNode};
     use prosel::engine::trace::Snapshot;
-    use prosel::monitor::MonitorService;
 
     fn scan_plan() -> PhysicalPlan {
         PhysicalPlan {
@@ -234,10 +230,10 @@ fn eta_reads_stay_served_and_sane_during_hot_swaps_under_load() {
     let plan = scan_plan();
     let n_queries = 32usize;
     let n_snaps = 60u64;
-    let service = MonitorService::from_prototype(
-        ProgressMonitor::with_shared_selector(Arc::clone(&s1_arc), MonitorConfig::default()),
-        4,
-    );
+    let service = MonitorBuilder::with_selector(Arc::clone(&s1_arc))
+        .shards(4)
+        .build_service()
+        .expect("build");
     for q in 0..n_queries {
         service.register(q, &plan);
     }
@@ -294,7 +290,7 @@ fn eta_reads_stay_served_and_sane_during_hot_swaps_under_load() {
     // folds wall-clock staleness and so differs between two services read
     // at different instants by design.
     let mut reference =
-        ProgressMonitor::with_shared_selector(Arc::clone(&s1_arc), MonitorConfig::default());
+        MonitorBuilder::with_selector(Arc::clone(&s1_arc)).build_monitor().expect("build");
     for q in 0..n_queries {
         reference.register(q, &plan);
         for seq in 0..n_snaps {

@@ -12,7 +12,7 @@ use prosel::engine::{
 use prosel::estimators::kinds::EstimatorKind;
 use prosel::estimators::{IncrementalObs, PipelineObs, TraceCtx, ONLINE_KINDS};
 use prosel::mart::BoostParams;
-use prosel::monitor::{MonitorConfig, ProgressMonitor};
+use prosel::monitor::{MonitorBuilder, MonitorConfig, ProgressMonitor};
 use prosel::planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use prosel::planner::PlanBuilder;
 
@@ -73,7 +73,7 @@ fn online_offline_equivalence_tpch() {
     for (qi, q) in w.queries.iter().enumerate() {
         let plan = builder.build(q).expect("plan");
         let (tap, rx) = std::sync::mpsc::channel();
-        let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+        let mut monitor = MonitorBuilder::fixed(EstimatorKind::Dne).build_monitor().expect("build");
         monitor.register(qi, &plan);
         let cfg = ExecConfig { seed: qi as u64, ..ExecConfig::default() };
         let run = run_plan_tapped(&catalog, &plan, &cfg, qi, tap);
@@ -95,7 +95,7 @@ fn online_offline_equivalence_survives_thinning() {
     for (qi, q) in w.queries.iter().enumerate() {
         let plan = builder.build(q).expect("plan");
         let (tap, rx) = std::sync::mpsc::channel();
-        let mut monitor = ProgressMonitor::fixed(EstimatorKind::Tgn);
+        let mut monitor = MonitorBuilder::fixed(EstimatorKind::Tgn).build_monitor().expect("build");
         monitor.register(qi, &plan);
         let cfg = ExecConfig {
             max_snapshots: 32,
@@ -126,7 +126,7 @@ fn monitor_progress_is_monotone_and_pins_to_one() {
         let (tap, rx) = std::sync::mpsc::channel();
         // DNE is monotone (driver counters only grow against fixed
         // totals), so the served query progress must be too.
-        let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+        let mut monitor = MonitorBuilder::fixed(EstimatorKind::Dne).build_monitor().expect("build");
         monitor.register(qi, &plan);
         let run = run_plan_tapped(&catalog, &plan, &ExecConfig::default(), qi, tap);
         let mut prev = 0.0f64;
@@ -175,10 +175,10 @@ fn selector_driven_monitor_end_to_end() {
     let plans: Vec<_> = w.queries.iter().take(6).map(|q| builder.build(q).expect("plan")).collect();
 
     let (tap, rx) = std::sync::mpsc::channel();
-    let mut monitor = ProgressMonitor::with_selector(
-        selector,
-        MonitorConfig { reselect_every: 3, ..MonitorConfig::default() },
-    );
+    let mut monitor = MonitorBuilder::with_selector(selector)
+        .config(MonitorConfig { reselect_every: 3, ..MonitorConfig::default() })
+        .build_monitor()
+        .expect("build");
     for (qi, plan) in plans.iter().enumerate() {
         monitor.register(qi, plan);
     }

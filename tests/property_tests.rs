@@ -7,7 +7,7 @@ use prosel::engine::{run_plan, run_plan_tapped, Catalog, ExecConfig, SortedIndex
 use prosel::estimators::refine::{bounds, clamp_estimate, interpolated_estimate};
 use prosel::estimators::{l1_error, l2_error, EstimatorKind, IncrementalObs, PipelineObs};
 use prosel::mart::{BoostParams, Dataset, Mart};
-use prosel::monitor::ProgressMonitor;
+use prosel::monitor::MonitorBuilder;
 use prosel::planner::stats::ColumnStats;
 use prosel::planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use prosel::planner::PlanBuilder;
@@ -258,7 +258,7 @@ proptest! {
                 ..ExecConfig::default()
             };
             let (tap, rx) = std::sync::mpsc::channel();
-            let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+            let mut monitor = MonitorBuilder::fixed(EstimatorKind::Dne).build_monitor().expect("build");
             monitor.register(qi, &plan);
             let run = run_plan_tapped(&catalog, &plan, &cfg, qi, tap);
             monitor.drain(&rx);
@@ -311,7 +311,7 @@ proptest! {
         let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
         let plan = builder.build(&w.queries[query_pick]).expect("plan");
         let (tap, rx) = std::sync::mpsc::channel();
-        let mut monitor = ProgressMonitor::fixed(EstimatorKind::Dne);
+        let mut monitor = MonitorBuilder::fixed(EstimatorKind::Dne).build_monitor().expect("build");
         monitor.register(0, &plan);
         let run = run_plan_tapped(
             &catalog,

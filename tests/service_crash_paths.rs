@@ -9,7 +9,7 @@
 use prosel::engine::trace::Snapshot;
 use prosel::engine::{run_plan_tapped, Catalog, ExecConfig, TraceEvent};
 use prosel::estimators::EstimatorKind;
-use prosel::monitor::{MonitorService, QueryError, RegisterError};
+use prosel::monitor::{MonitorBuilder, QueryError, RegisterError};
 use prosel::planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use prosel::planner::PlanBuilder;
 use std::sync::Arc;
@@ -68,13 +68,14 @@ fn dead_shard_serves_typed_errors_and_conserves_events() {
     let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
     let plan = builder.build(&w.queries[0]).expect("plan");
 
-    let service = MonitorService::fixed(EstimatorKind::Dne, 3);
+    let service =
+        MonitorBuilder::fixed(EstimatorKind::Dne).shards(3).build_service().expect("build");
     for q in 0..6usize {
         service.register(q, &plan);
     }
     // Query 9 lives on shard 0 (alive) under a 1-node scan plan that the
     // synthetic snapshots below match shape-for-shape.
-    service.register(9, &scan_plan());
+    service.register(9, scan_plan());
     // Real tapped executions feed queries 0 and 1 so the survivors hold
     // genuine state when the crash hits.
     for q in [0usize, 1] {
@@ -104,8 +105,8 @@ fn dead_shard_serves_typed_errors_and_conserves_events() {
         batch.sort_by_key(|&(q, _)| q);
         assert_eq!(batch[0], (7, Ok(())));
         assert_eq!(batch[1], (8, Err(RegisterError::ShardDown)));
-        // Unregister on the dead shard is a quiet no-op.
-        service.unregister(5);
+        // Unregister on the dead shard reports the dead shard.
+        assert_eq!(service.unregister(5), Err(QueryError::ShardDown));
     });
 
     // The router returns the dead shard's events to the sender — singly
@@ -147,11 +148,10 @@ fn partial_swap_reports_dead_shards_and_applies_to_survivors() {
     let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
     let plan = builder.build(&w.queries[0]).expect("plan");
 
-    let service = MonitorService::with_selector(
-        synthetic_selector(EstimatorKind::Dne),
-        Default::default(),
-        4,
-    );
+    let service = MonitorBuilder::with_selector(synthetic_selector(EstimatorKind::Dne))
+        .shards(4)
+        .build_service()
+        .expect("build");
     service.inject_shard_panic(1);
     service.inject_shard_panic(3);
 
@@ -175,7 +175,8 @@ fn shutdown_during_live_ingest_drains_accepted_events() {
     let plan = scan_plan();
     let n_queries = 16usize;
     let n_events = 200u64;
-    let service = MonitorService::fixed(EstimatorKind::Dne, 4);
+    let service =
+        MonitorBuilder::fixed(EstimatorKind::Dne).shards(4).build_service().expect("build");
     for q in 0..n_queries {
         service.register(q, &plan);
     }
@@ -221,7 +222,8 @@ fn accepted_events_are_all_ingested_when_shutdown_races_ingest() {
     // the service outlives the writer so stats stay readable.
     let plan = scan_plan();
     let n_queries = 8usize;
-    let service = MonitorService::fixed(EstimatorKind::Dne, 2);
+    let service =
+        MonitorBuilder::fixed(EstimatorKind::Dne).shards(2).build_service().expect("build");
     for q in 0..n_queries {
         service.register(q, &plan);
     }

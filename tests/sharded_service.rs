@@ -9,7 +9,7 @@ use prosel::core::training::TrainingSet;
 use prosel::engine::{run_concurrent_tapped, Catalog, ConcurrentConfig, ExecConfig};
 use prosel::estimators::kinds::EstimatorKind;
 use prosel::mart::BoostParams;
-use prosel::monitor::{MonitorConfig, MonitorService, ProgressMonitor, QueryError, RegisterError};
+use prosel::monitor::{MonitorBuilder, MonitorConfig, QueryError, RegisterError};
 use prosel::planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use prosel::planner::PlanBuilder;
 
@@ -24,7 +24,8 @@ fn service_matches_single_monitor_on_concurrent_workload() {
 
     // Run 1: tapped into the sharded service (3 shards on 8 queries so
     // shards hold 3/3/2 queries each).
-    let service = MonitorService::fixed(EstimatorKind::Dne, 3);
+    let service =
+        MonitorBuilder::fixed(EstimatorKind::Dne).shards(3).build_service().expect("build");
     let queries: Vec<usize> = (0..plans.len()).collect();
     for (qi, plan) in plans.iter().enumerate() {
         service.register(qi, plan);
@@ -38,7 +39,7 @@ fn service_matches_single_monitor_on_concurrent_workload() {
     // Concurrent execution is deterministic, so both monitors saw the
     // byte-identical event stream.
     let (tap, rx) = std::sync::mpsc::channel();
-    let mut reference = ProgressMonitor::fixed(EstimatorKind::Dne);
+    let mut reference = MonitorBuilder::fixed(EstimatorKind::Dne).build_monitor().expect("build");
     for (qi, plan) in plans.iter().enumerate() {
         reference.register(qi, plan);
     }
@@ -91,11 +92,11 @@ fn selector_service_matches_single_monitor_including_switches() {
     };
     let monitor_cfg = MonitorConfig { reselect_every: 3, ..MonitorConfig::default() };
 
-    let service = MonitorService::with_selector(
-        EstimatorSelector::train(&train, &cfg),
-        monitor_cfg.clone(),
-        4,
-    );
+    let service = MonitorBuilder::with_selector(EstimatorSelector::train(&train, &cfg))
+        .config(monitor_cfg.clone())
+        .shards(4)
+        .build_service()
+        .expect("build");
     for (qi, plan) in plans.iter().enumerate() {
         service.register(qi, plan);
     }
@@ -103,8 +104,10 @@ fn selector_service_matches_single_monitor_including_switches() {
     service.quiesce();
 
     let (tap, rx) = std::sync::mpsc::channel();
-    let mut reference =
-        ProgressMonitor::with_selector(EstimatorSelector::train(&train, &cfg), monitor_cfg);
+    let mut reference = MonitorBuilder::with_selector(EstimatorSelector::train(&train, &cfg))
+        .config(monitor_cfg)
+        .build_monitor()
+        .expect("build");
     for (qi, plan) in plans.iter().enumerate() {
         reference.register(qi, plan);
     }
@@ -135,7 +138,8 @@ fn service_registration_errors_and_late_join_are_graceful() {
     let builder = PlanBuilder::new(&w.db, &w.stats, &w.design);
     let plan = builder.build(&w.queries[0]).expect("plan");
 
-    let service = MonitorService::fixed(EstimatorKind::Tgn, 2);
+    let service =
+        MonitorBuilder::fixed(EstimatorKind::Tgn).shards(2).build_service().expect("build");
     assert_eq!(service.try_register(0, &plan), Ok(()));
     assert_eq!(service.try_register(0, &plan), Err(RegisterError::DuplicateQuery(0)));
 
