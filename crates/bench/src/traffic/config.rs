@@ -76,6 +76,12 @@ pub struct TrafficSpec {
     /// Hot-swap the selector every this many finished queries (0 = never
     /// swap).
     pub swap_every: usize,
+    /// Scrape the service's metrics registry into a
+    /// [`prosel_obs::MetricsSnapshot`] every this many finished queries
+    /// (0 = only the final post-drain scrape). The scrapes ride the bench
+    /// trajectory; they are excluded from the deterministic digests
+    /// because they carry wall-clock latency histograms.
+    pub scrape_every: usize,
     /// Tap delta compression during template capture, forwarded to
     /// [`prosel_engine::ExecConfig::delta_threshold`]: plans at least this
     /// many nodes wide emit sparse [`prosel_engine::trace::TraceEvent::Delta`]
@@ -101,6 +107,7 @@ impl Default for TrafficSpec {
             n_shards: 4,
             read_every: 16,
             swap_every: 512,
+            scrape_every: 1024,
             delta_threshold: 0,
             duration: None,
         }
@@ -221,6 +228,10 @@ impl TrafficSpec {
                     spec.swap_every =
                         value.parse().map_err(|_| err("swap-every must be a usize"))?;
                 }
+                "scrape-every" => {
+                    spec.scrape_every =
+                        value.parse().map_err(|_| err("scrape-every must be a usize"))?;
+                }
                 "delta-threshold" => {
                     spec.delta_threshold =
                         value.parse().map_err(|_| err("delta-threshold must be a usize"))?;
@@ -277,6 +288,7 @@ impl TrafficSpec {
         let _ = writeln!(out, "shards = {}", self.n_shards);
         let _ = writeln!(out, "read-every = {}", self.read_every);
         let _ = writeln!(out, "swap-every = {}", self.swap_every);
+        let _ = writeln!(out, "scrape-every = {}", self.scrape_every);
         let _ = writeln!(out, "delta-threshold = {}", self.delta_threshold);
         if let Some(d) = self.duration {
             let _ = writeln!(out, "duration = {d}");

@@ -43,6 +43,7 @@ use prosel_estimators::EstimatorKind;
 use prosel_learn::{LearnConfig, OnlineLearner, Trainer};
 use prosel_mart::BoostParams;
 use prosel_monitor::{HarvestConfig, MonitorBuilder, MonitorConfig, ShardStats};
+use prosel_obs::{MetricsRegistry, MetricsSnapshot};
 use prosel_planner::workload::{materialize, WorkloadKind, WorkloadSpec};
 use prosel_planner::PlanBuilder;
 use rand::rngs::StdRng;
@@ -262,6 +263,14 @@ pub struct TrafficOutcome {
     pub metrics: TrafficMetrics,
     /// Service-wide [`ShardStats`] readout taken after the last event.
     pub stats: ShardStats,
+    /// Final scrape of the service's metrics registry, taken after the
+    /// post-drain quiesce — the authoritative registry view the soak's
+    /// conservation assertions run against.
+    pub obs: MetricsSnapshot,
+    /// Cadence scrapes ([`TrafficSpec::scrape_every`] finished queries
+    /// apart), oldest first. Excluded from [`Self::invariant_report`] —
+    /// they carry wall-clock latency histograms.
+    pub obs_scrapes: Vec<MetricsSnapshot>,
 }
 
 impl TrafficOutcome {
@@ -380,8 +389,12 @@ pub fn drive_with(
     // forward to each event's instant, so staleness and deadline reads
     // are answered on the same timeline as the re-stamped event walls.
     let clock = Arc::new(ManualClock::new(0.0));
-    let config =
-        MonitorConfig { clock: Arc::clone(&clock) as Arc<dyn Clock>, ..MonitorConfig::default() };
+    let registry = Arc::new(MetricsRegistry::new());
+    let config = MonitorConfig {
+        clock: Arc::clone(&clock) as Arc<dyn Clock>,
+        metrics: Some(Arc::clone(&registry)),
+        ..MonitorConfig::default()
+    };
     let selector = Arc::new(synthetic_selector(EstimatorKind::Dne));
     let mut builder =
         MonitorBuilder::with_selector(Arc::clone(&selector)).config(config).shards(spec.n_shards);
@@ -396,10 +409,13 @@ pub fn drive_with(
     }
     let service = Arc::new(builder.build_service().expect("selector-policy services always build"));
     let trainer = harvest_rx.map(|rx| {
-        let learner = OnlineLearner::new(
+        let mut learner = OnlineLearner::new(
             Arc::clone(&selector),
             LearnConfig { retrain_every: 256, min_records: 64, ..LearnConfig::default() },
         );
+        // The learner shares the service's registry and trace ring: one
+        // scrape covers serving and learning.
+        learner.observe(&registry, service.trace_ring().clone());
         // Publish through a weak handle: the trainer must not keep the
         // service alive, or shutdown (which disconnects the harvest
         // channel) could never run.
@@ -444,6 +460,7 @@ pub fn drive_with(
     let mut wait_queue: VecDeque<Arrival> = VecDeque::new();
     let mut last_epoch = 0u64;
     let mut read_counter = 0u64;
+    let mut obs_scrapes: Vec<MetricsSnapshot> = Vec::new();
     let wall_start = Instant::now();
 
     // Admit one arrival at instant `now`: register, track, schedule its
@@ -571,6 +588,12 @@ pub fn drive_with(
                     remove_in_flight(&mut in_flight, &mut in_flight_ids, &mut id_pos, query);
                     counters.finished += 1;
 
+                    if spec.scrape_every > 0
+                        && counters.finished.is_multiple_of(spec.scrape_every as u64)
+                    {
+                        obs_scrapes.push(service.metrics());
+                    }
+
                     if spec.swap_every > 0
                         && counters.finished.is_multiple_of(spec.swap_every as u64)
                     {
@@ -657,9 +680,13 @@ pub fn drive_with(
         let _ = t.join();
     }
 
+    // The final scrape happens after the trainer joined, so the learn_*
+    // series include the tail retrain (the registry outlives the service).
+    let obs = registry.snapshot();
+
     metrics.counters = counters;
     metrics.violations = violations;
-    TrafficOutcome { schedule_digest, reads_digest, metrics, stats }
+    TrafficOutcome { schedule_digest, reads_digest, metrics, stats, obs, obs_scrapes }
 }
 
 fn remove_in_flight(

@@ -129,6 +129,9 @@ pub struct TrainingBuffer {
     /// Smallest stamp possibly still retained (may lag behind after
     /// replacements; only used to skip no-op expiry sweeps).
     oldest_stamp: u64,
+    /// Records expired by [`DecayPolicy::MaxAge`] over the buffer's
+    /// lifetime (reservoir replacements are not counted here).
+    evicted: u64,
     rng: StdRng,
 }
 
@@ -144,6 +147,7 @@ impl TrainingBuffer {
             seen: 0,
             draws: 0,
             oldest_stamp: u64::MAX,
+            evicted: 0,
             rng,
         }
     }
@@ -171,6 +175,7 @@ impl TrainingBuffer {
             if self.seen - self.stamps[read] > max_age {
                 let group = self.key_of(&self.items[read]);
                 *self.counts.get_mut(&group).expect("retained record has a count") -= 1;
+                self.evicted += 1;
                 continue;
             }
             oldest = oldest.min(self.stamps[read]);
@@ -328,6 +333,14 @@ impl TrainingBuffer {
     /// count.
     pub fn draws(&self) -> u64 {
         self.draws
+    }
+
+    /// Records aged out by [`DecayPolicy::MaxAge`] over this buffer
+    /// instance's lifetime. Not serialized by checkpoints — a restored
+    /// buffer restarts the count at zero (it feeds a monitoring gauge,
+    /// not the replay state).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
     }
 
     /// Rebuild a buffer from checkpointed parts: retained records with
@@ -532,6 +545,7 @@ mod tests {
         assert_eq!(buf.group_count("old"), 0, "stale records must age out");
         assert!(buf.group_count("new") > 0);
         assert!(buf.len() <= 64);
+        assert!(buf.evicted() > 0, "aged-out records are counted");
         // The no-decay twin keeps the old group pinned forever.
         let mut pinned = TrainingBuffer::new(cfg(64, 4));
         for i in 0..100 {

@@ -22,20 +22,30 @@
 
 use prosel_core::selection::EstimatorSelector;
 use prosel_core::textio::fnv64;
-use std::sync::{Arc, RwLock};
+use prosel_obs::{Counter, MetricsRegistry};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// A reference-counted, epoch-versioned selector slot. Cloning the hub's
 /// `Arc` wrapper is the intended sharing pattern; reads are lock-held only
 /// long enough to clone an `Arc`.
 pub struct SelectorHub {
     inner: RwLock<(u64, Arc<EstimatorSelector>)>,
+    /// `hub_publications_total` handle, once [`Self::observe`] bound one.
+    publications: OnceLock<Arc<Counter>>,
 }
 
 impl SelectorHub {
     /// A hub holding `initial` at epoch 0 (matching a monitor that has
     /// never seen a swap).
     pub fn new(initial: Arc<EstimatorSelector>) -> SelectorHub {
-        SelectorHub { inner: RwLock::new((0, initial)) }
+        SelectorHub { inner: RwLock::new((0, initial)), publications: OnceLock::new() }
+    }
+
+    /// Count every [`Self::publish`] into `registry` as
+    /// `hub_publications_total`. One-shot: later calls on an already
+    /// observed hub are ignored.
+    pub fn observe(&self, registry: &MetricsRegistry) {
+        let _ = self.publications.set(registry.counter("hub_publications_total"));
     }
 
     /// The latest `(epoch, selector)` pair.
@@ -59,6 +69,9 @@ impl SelectorHub {
         let mut guard = self.inner.write().expect("hub poisoned");
         guard.0 += 1;
         guard.1 = selector;
+        if let Some(counter) = self.publications.get() {
+            counter.inc();
+        }
         guard.0
     }
 

@@ -18,8 +18,50 @@ use prosel_core::selection::{EstimatorSelector, SelectorConfig};
 use prosel_core::training::TrainingSet;
 use prosel_mart::BoostParams;
 use prosel_monitor::HarvestedQuery;
+use prosel_obs::{Counter, Gauge, Histogram, MetricsRegistry, ObsEvent, TraceRing};
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Registry handles the learner publishes into when observed (see
+/// [`OnlineLearner::observe`]). Retrains are rare and expensive relative
+/// to a histogram record, so retrain timing is always on — no sampling
+/// stride here.
+struct LearnObs {
+    /// `learn_buffer_occupancy` — retained training records (gauge).
+    occupancy: Arc<Gauge>,
+    /// `learn_decay_evictions_total` — records aged out by decay.
+    evictions: Arc<Counter>,
+    /// `learn_retrain_ns` — wall time per retrain attempt that fit.
+    retrain_ns: Arc<Histogram>,
+    /// `learn_holdout_l1` — candidate L1 on the validation slice (gauge).
+    holdout_l1: Arc<Gauge>,
+    /// `learn_retrains_total` / `learn_promotions_total` /
+    /// `learn_rejections_total` / `learn_skipped_total` — mirrors of
+    /// [`LearnStats`] as scrapeable counters.
+    retrains: Arc<Counter>,
+    promotions: Arc<Counter>,
+    rejections: Arc<Counter>,
+    skipped: Arc<Counter>,
+    /// Control-plane ring receiving `RetrainPromoted` / `RetrainHeld`.
+    ring: TraceRing,
+}
+
+impl LearnObs {
+    fn new(registry: &MetricsRegistry, ring: TraceRing) -> LearnObs {
+        LearnObs {
+            occupancy: registry.gauge("learn_buffer_occupancy"),
+            evictions: registry.counter("learn_decay_evictions_total"),
+            retrain_ns: registry.histogram("learn_retrain_ns"),
+            holdout_l1: registry.gauge("learn_holdout_l1"),
+            retrains: registry.counter("learn_retrains_total"),
+            promotions: registry.counter("learn_promotions_total"),
+            rejections: registry.counter("learn_rejections_total"),
+            skipped: registry.counter("learn_skipped_total"),
+            ring,
+        }
+    }
+}
 
 /// Learning-loop configuration.
 #[derive(Debug, Clone)]
@@ -117,6 +159,8 @@ pub struct OnlineLearner {
     /// Completed retrain attempts (seeds each round's subsample stream).
     rounds: u64,
     stats: LearnStats,
+    /// Metric handles + trace ring, when [`Self::observe`] attached them.
+    obs: Option<LearnObs>,
 }
 
 impl OnlineLearner {
@@ -131,7 +175,34 @@ impl OnlineLearner {
             since_retrain: 0,
             rounds: 0,
             stats: LearnStats::default(),
+            obs: None,
         }
+    }
+
+    /// Publish the learner's gauges, counters and retrain-latency
+    /// histogram into `registry` (names `learn_*`; see the README's
+    /// metric inventory) and route retrain decisions into `ring` as
+    /// [`ObsEvent::RetrainPromoted`] / [`ObsEvent::RetrainHeld`].
+    ///
+    /// Observation is deliberately outside the checkpoint codec:
+    /// [`Self::restore`] returns an unobserved learner, and re-attaching
+    /// here restarts the gauges from live state (determinism of the
+    /// learning replay is untouched either way).
+    pub fn observe(&mut self, registry: &MetricsRegistry, ring: TraceRing) {
+        let obs = LearnObs::new(registry, ring);
+        obs.occupancy.set(self.buffer.len() as f64);
+        obs.evictions.reset(self.buffer.evicted());
+        obs.retrains.reset(self.stats.retrains as u64);
+        obs.promotions.reset(self.stats.promotions as u64);
+        obs.rejections.reset(self.stats.rejections as u64);
+        obs.skipped.reset(self.stats.skipped as u64);
+        self.obs = Some(obs);
+    }
+
+    /// The trace ring attached via [`Self::observe`], if any. The
+    /// background [`crate::Trainer`] emits its checkpoint events here.
+    pub fn obs_ring(&self) -> Option<&TraceRing> {
+        self.obs.as_ref().map(|o| &o.ring)
     }
 
     /// The selector currently considered best (the one to serve).
@@ -178,6 +249,10 @@ impl OnlineLearner {
             } else {
                 self.buffer.insert(rec.clone());
             }
+        }
+        if let Some(obs) = &self.obs {
+            obs.occupancy.set(self.buffer.len() as f64);
+            obs.evictions.reset(self.buffer.evicted());
         }
     }
 
@@ -249,6 +324,7 @@ impl OnlineLearner {
             since_retrain: parts.since_retrain,
             rounds: parts.rounds,
             stats: parts.stats,
+            obs: None,
         })
     }
 
@@ -259,14 +335,24 @@ impl OnlineLearner {
         let train = self.buffer.training_set();
         if train.len() < self.config.min_records.max(1) {
             self.stats.skipped += 1;
-            return RetrainOutcome {
+            let outcome = RetrainOutcome {
                 promoted: false,
                 trained_on: 0,
                 validation: self.validation.len(),
                 candidate_l1: f64::NAN,
                 incumbent_l1: f64::NAN,
             };
+            if let Some(obs) = &self.obs {
+                obs.skipped.inc();
+                obs.ring.emit(ObsEvent::RetrainHeld {
+                    trained_on: 0,
+                    candidate_l1: f64::NAN,
+                    incumbent_l1: f64::NAN,
+                });
+            }
+            return outcome;
         }
+        let fit_start = self.obs.is_some().then(Instant::now);
         self.rounds += 1;
         self.stats.retrains += 1;
         let seed = self.config.seed ^ self.rounds.wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -310,6 +396,30 @@ impl OnlineLearner {
             self.stats.promotions += 1;
         } else {
             self.stats.rejections += 1;
+        }
+        if let Some(obs) = &self.obs {
+            if let Some(start) = fit_start {
+                obs.retrain_ns.record(start.elapsed().as_nanos() as u64);
+            }
+            obs.retrains.inc();
+            if candidate_l1.is_finite() {
+                obs.holdout_l1.set(candidate_l1);
+            }
+            if promoted {
+                obs.promotions.inc();
+                obs.ring.emit(ObsEvent::RetrainPromoted {
+                    trained_on: train.len(),
+                    candidate_l1,
+                    incumbent_l1,
+                });
+            } else {
+                obs.rejections.inc();
+                obs.ring.emit(ObsEvent::RetrainHeld {
+                    trained_on: train.len(),
+                    candidate_l1,
+                    incumbent_l1,
+                });
+            }
         }
         RetrainOutcome {
             promoted,

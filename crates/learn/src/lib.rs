@@ -66,6 +66,24 @@
 //!   out of the buffer — after a workload shift the old distribution
 //!   drains instead of anchoring the selector forever. The `drift` bench
 //!   experiment scores exactly this against a no-decay twin.
+//!
+//! ## Observability
+//!
+//! The whole loop publishes into the [`prosel_obs`] layer when asked:
+//! [`OnlineLearner::observe`] binds the `learn_*` gauges/counters and the
+//! retrain-latency histogram to a [`prosel_obs::MetricsRegistry`] and
+//! routes every retrain decision into a [`prosel_obs::TraceRing`]
+//! ([`prosel_obs::ObsEvent::RetrainPromoted`] / `RetrainHeld`);
+//! [`SelectorSubscriber::observe`] does the same for the follower side,
+//! emitting one [`prosel_obs::ObsEvent::FrameRejected`] — with the typed
+//! [`prosel_obs::FrameRejectReason`] — per refused publication frame;
+//! [`SelectorHub::observe`] counts publications; and the background
+//! [`Trainer`] notes each checkpoint artifact
+//! ([`prosel_obs::ObsEvent::CheckpointEmitted`]) on the learner's ring.
+//! Share the monitor service's registry and ring
+//! ([`prosel_monitor::MonitorService::metrics_registry`] /
+//! [`prosel_monitor::MonitorService::trace_ring`]) to scrape serving and
+//! learning through one exposition.
 
 pub mod buffer;
 pub mod checkpoint;

@@ -33,8 +33,35 @@
 
 use prosel_core::selection::EstimatorSelector;
 use prosel_core::textio::fnv64;
+use prosel_obs::{Counter, FrameRejectReason, MetricsRegistry, ObsEvent, TraceRing};
 use std::io::BufRead;
 use std::sync::Arc;
+
+/// Metric handles + ring a subscriber publishes into when observed.
+struct SubscriberObs {
+    /// `subscriber_installed_total` — frames verified and installed.
+    installed: Arc<Counter>,
+    /// `subscriber_refused_total` — frames refused for any reason.
+    refused: Arc<Counter>,
+    /// Receives one [`ObsEvent::FrameRejected`] per refusal.
+    ring: TraceRing,
+}
+
+/// Restate a [`SubscribeError`] as the obs crate's plain-data reason
+/// (the learn crate depends on prosel-obs, never the reverse).
+fn reject_reason(e: &SubscribeError) -> FrameRejectReason {
+    match e {
+        SubscribeError::Io(_) => FrameRejectReason::Io,
+        SubscribeError::Torn(_) => FrameRejectReason::Torn,
+        SubscribeError::ChecksumMismatch { declared, computed } => {
+            FrameRejectReason::ChecksumMismatch { declared: *declared, computed: *computed }
+        }
+        SubscribeError::StaleEpoch { current, offered } => {
+            FrameRejectReason::StaleEpoch { current: *current, offered: *offered }
+        }
+        SubscribeError::Malformed(_) => FrameRejectReason::Malformed,
+    }
+}
 
 /// Why a publication frame was refused. Installation happens only on
 /// `Ok(Some(_))` — every error leaves the previously installed selector
@@ -114,6 +141,7 @@ pub struct Publication {
 /// installed epoch. See the module docs for the rejection rules.
 pub struct SelectorSubscriber {
     current: Option<Publication>,
+    obs: Option<SubscriberObs>,
 }
 
 impl Default for SelectorSubscriber {
@@ -127,14 +155,28 @@ impl SelectorSubscriber {
     /// frame at any epoch is accepted (late joiners catch up from the
     /// stream itself).
     pub fn new() -> SelectorSubscriber {
-        SelectorSubscriber { current: None }
+        SelectorSubscriber { current: None, obs: None }
+    }
+
+    /// Publish install/refusal counters (`subscriber_installed_total`,
+    /// `subscriber_refused_total`) into `registry` and emit one
+    /// [`ObsEvent::FrameRejected`] — carrying the typed
+    /// [`FrameRejectReason`] — onto `ring` for **every** refused frame,
+    /// so the ring is a complete audit trail of why followers skipped
+    /// publications.
+    pub fn observe(&mut self, registry: &MetricsRegistry, ring: TraceRing) {
+        self.obs = Some(SubscriberObs {
+            installed: registry.counter("subscriber_installed_total"),
+            refused: registry.counter("subscriber_refused_total"),
+            ring,
+        });
     }
 
     /// A subscriber that already serves `selector` at `epoch` (e.g.
     /// restored from a checkpoint): only frames advancing past `epoch`
     /// install.
     pub fn resume_at(epoch: u64, selector: Arc<EstimatorSelector>) -> SelectorSubscriber {
-        SelectorSubscriber { current: Some(Publication { epoch, selector }) }
+        SelectorSubscriber { current: Some(Publication { epoch, selector }), obs: None }
     }
 
     /// The installed publication, if any.
@@ -158,6 +200,25 @@ impl SelectorSubscriber {
     ///   [`SubscribeError::Io`] / [`SubscribeError::Torn`] the stream
     ///   position is undefined.
     pub fn recv_from(
+        &mut self,
+        reader: &mut dyn BufRead,
+    ) -> Result<Option<Publication>, SubscribeError> {
+        let out = self.recv_inner(reader);
+        if let Some(obs) = &self.obs {
+            match &out {
+                Ok(Some(_)) => obs.installed.inc(),
+                Ok(None) => {}
+                Err(e) => {
+                    obs.refused.inc();
+                    obs.ring.emit(ObsEvent::FrameRejected { reason: reject_reason(e) });
+                }
+            }
+        }
+        out
+    }
+
+    /// The uninstrumented decode path behind [`Self::recv_from`].
+    fn recv_inner(
         &mut self,
         reader: &mut dyn BufRead,
     ) -> Result<Option<Publication>, SubscribeError> {

@@ -18,9 +18,21 @@
 use crate::learner::OnlineLearner;
 use prosel_core::selection::EstimatorSelector;
 use prosel_monitor::HarvestedQuery;
+use prosel_obs::ObsEvent;
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Serialize one checkpoint, hand it to the sink, and note the emission
+/// (artifact size included) on the learner's trace ring when one is
+/// attached via [`OnlineLearner::observe`].
+fn emit_checkpoint(learner: &OnlineLearner, sink: impl Fn(&str)) {
+    let text = learner.checkpoint();
+    if let Some(ring) = learner.obs_ring() {
+        ring.emit(ObsEvent::CheckpointEmitted { bytes: text.len() });
+    }
+    sink(&text);
+}
 
 /// Handle of the background retraining thread. See the module docs.
 pub struct Trainer {
@@ -86,7 +98,7 @@ impl Trainer {
                     since_checkpoint += 1;
                     if *every > 0 && since_checkpoint >= *every {
                         since_checkpoint = 0;
-                        sink(&learner.checkpoint());
+                        emit_checkpoint(&learner, sink);
                     }
                 }
             }
@@ -101,7 +113,7 @@ impl Trainer {
             // The shutdown checkpoint captures the tail retrain, so a
             // restart resumes from the very state `join` returns.
             if let Some((_, sink)) = &checkpoints {
-                sink(&learner.checkpoint());
+                emit_checkpoint(&learner, sink);
             }
             learner
         });

@@ -185,6 +185,80 @@ proptest! {
         );
     }
 
+    /// An observed subscriber's trace ring records one `FrameRejected`
+    /// event — with the matching typed reason — for **every** refused
+    /// frame, and the install/refusal counters agree with the outcomes.
+    #[test]
+    fn trace_ring_captures_every_refusal(seed in 1u64..500) {
+        use prosel_core::textio::fnv64;
+        use prosel_engine::clock::ManualClock;
+        use prosel_obs::{FrameRejectReason, MetricsRegistry, ObsEvent, TraceRing};
+
+        let sel = tiny_selector(seed);
+        let good2 = SelectorHub::encode_frame(2, &sel);
+        let stale1 = SelectorHub::encode_frame(1, &sel);
+        let mut corrupt3 = SelectorHub::encode_frame(3, &sel).into_bytes();
+        let body_start = corrupt3
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == b'\n')
+            .nth(1)
+            .map(|(i, _)| i + 1)
+            .unwrap();
+        corrupt3[body_start] ^= 0x20;
+        let good4 = SelectorHub::encode_frame(4, &sel);
+        let junk = "not a selector\n";
+        let malformed9 = format!(
+            "prosel-publication v1\nepoch 9 bytes {} checksum {:016x}\n{junk}endpublication\n",
+            junk.len(),
+            fnv64(junk.as_bytes()),
+        );
+        let frame10 = SelectorHub::encode_frame(10, &sel);
+        let torn10 = &frame10.as_bytes()[..40];
+        let stream = [
+            good2.as_bytes(),
+            stale1.as_bytes(),
+            corrupt3.as_slice(),
+            good4.as_bytes(),
+            malformed9.as_bytes(),
+            torn10,
+        ]
+        .concat();
+
+        let registry = MetricsRegistry::new();
+        let ring = TraceRing::new(16, Arc::new(ManualClock::new(0.0)));
+        let mut sub = SelectorSubscriber::new();
+        sub.observe(&registry, ring.clone());
+        let mut reader = BufReader::new(stream.as_slice());
+        let mut installs = 0u64;
+        let mut refusals = 0u64;
+        for _ in 0..6 {
+            match sub.recv_from(&mut reader) {
+                Ok(Some(_)) => installs += 1,
+                Ok(None) => break,
+                Err(_) => refusals += 1,
+            }
+        }
+        prop_assert_eq!(installs, 2);
+        prop_assert_eq!(refusals, 4);
+        let snap = registry.snapshot();
+        prop_assert_eq!(snap.counter("subscriber_installed_total"), Some(installs));
+        prop_assert_eq!(snap.counter("subscriber_refused_total"), Some(refusals));
+        let reasons: Vec<FrameRejectReason> = ring
+            .recent()
+            .iter()
+            .filter_map(|r| match r.event {
+                ObsEvent::FrameRejected { reason } => Some(reason),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(reasons.len() as u64, refusals, "one ring event per refusal");
+        prop_assert_eq!(reasons[0], FrameRejectReason::StaleEpoch { current: 2, offered: 1 });
+        prop_assert!(matches!(reasons[1], FrameRejectReason::ChecksumMismatch { .. }));
+        prop_assert_eq!(reasons[2], FrameRejectReason::Malformed);
+        prop_assert_eq!(reasons[3], FrameRejectReason::Torn);
+    }
+
     /// A foreign line injected anywhere in a checkpoint is rejected.
     #[test]
     fn checkpoint_garbage_is_rejected(seed in 1u64..500, frac in 0.0f64..1.0) {

@@ -1,0 +1,240 @@
+//! The observability tax, measured: a one-shard [`MonitorService`] drives
+//! the same synthetic snapshot stream twice — once with the default
+//! instrumentation (`ObsOptions::default()`: counters + sampled latency
+//! histograms) and once untimed (`ObsOptions::untimed()`: counters only,
+//! no `Instant` reads on the hot paths) — and reports per-event ingest
+//! cost and read p99 for both sides.
+//!
+//! The acceptance bar this pins: the instrumented side must stay within
+//! ~10% of the uninstrumented side on both metrics. The bench prints the
+//! ratios and appends them to `PROSEL_BENCH_JSON` (criterion-shim JSONL,
+//! folded by `bench_report`) rather than hard-asserting, so a noisy CI
+//! box degrades the trajectory, not the build:
+//!
+//! * `obs/ingest_ns_instrumented` / `obs/ingest_ns_uninstrumented` —
+//!   best-of mean nanoseconds per delivered event, ingest through drain;
+//! * `obs/read_p99_ns_instrumented` / `obs/read_p99_ns_uninstrumented` —
+//!   p99 of per-call `query_progress` wall time;
+//! * `obs/ingest_overhead_pct` / `obs/read_p99_overhead_pct` — the A/B
+//!   deltas as percentages (negative = instrumented side measured
+//!   faster, i.e. the tax is below the noise floor).
+//!
+//! The two sides are timed in interleaved pairs with best-of selection
+//! (the `monitor_overhead` idiom) so frequency and thermal drift hit
+//! both equally. As a cross-check, the instrumented side also prints the
+//! registry's own `service_read_ns` p99 next to the externally measured
+//! one — the scrape consumers see the same latency the caller pays.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use prosel_engine::plan::{CmpOp, OperatorKind, PhysicalPlan, PlanNode, Predicate};
+use prosel_engine::trace::{Snapshot, TraceEvent};
+use prosel_estimators::EstimatorKind;
+use prosel_monitor::{MetricsRegistry, MonitorBuilder, MonitorService, ObsOptions};
+use std::sync::Arc;
+use std::time::Instant;
+
+const QUERIES: usize = 32;
+const SNAPS_PER_QUERY: usize = 128;
+const READS_PER_QUERY: usize = 400;
+
+fn scan_filter_plan(rows: f64) -> PhysicalPlan {
+    PhysicalPlan {
+        nodes: vec![
+            PlanNode {
+                op: OperatorKind::TableScan { table: "t".into(), cols: vec![0, 1] },
+                children: vec![],
+                est_rows: rows,
+                est_row_bytes: 16.0,
+                out_cols: 2,
+            },
+            PlanNode {
+                op: OperatorKind::Filter {
+                    pred: Predicate::ColCmp { col: 1, op: CmpOp::Lt, val: 5 },
+                },
+                children: vec![0],
+                est_rows: rows / 2.0,
+                est_row_bytes: 16.0,
+                out_cols: 2,
+            },
+        ],
+        root: 1,
+    }
+}
+
+/// The full event stream: `SNAPS_PER_QUERY` evenly spaced snapshots for
+/// each of `QUERIES` queries, interleaved round-robin the way a live tap
+/// would deliver them.
+fn event_stream(rows: u64) -> Vec<TraceEvent> {
+    let mut out = Vec::with_capacity(QUERIES * SNAPS_PER_QUERY);
+    for i in 0..SNAPS_PER_QUERY {
+        let k0 = rows * (i as u64 + 1) / SNAPS_PER_QUERY as u64;
+        let k1 = k0 / 2;
+        for q in 0..QUERIES {
+            let time = (i + 1) as f64;
+            out.push(TraceEvent::Snapshot {
+                query: q,
+                seq: i as u64,
+                wall: time,
+                snapshot: Snapshot {
+                    time,
+                    k: vec![k0, k1].into_boxed_slice(),
+                    bytes_read: vec![k0 * 16, 0].into_boxed_slice(),
+                    bytes_written: vec![0, k1 * 16].into_boxed_slice(),
+                    materialized: vec![0, 0].into_boxed_slice(),
+                },
+                windows: vec![(0.5, time)].into_boxed_slice(),
+            });
+        }
+    }
+    out
+}
+
+fn build_service(obs: ObsOptions) -> (MonitorService, Arc<MetricsRegistry>) {
+    let registry = Arc::new(MetricsRegistry::new());
+    let service = MonitorBuilder::fixed(EstimatorKind::Dne)
+        .shards(1)
+        .metrics(Arc::clone(&registry))
+        .observability(obs)
+        .build_service()
+        .expect("DNE is an online kind");
+    (service, registry)
+}
+
+struct DriveResult {
+    ingest_ns: u64,
+    reads: Vec<u64>,
+    registry: Arc<MetricsRegistry>,
+}
+
+/// One full drive of a side: register, ingest the whole stream, drain,
+/// then hammer the read path. Returns per-event ingest nanoseconds, the
+/// sorted per-read nanoseconds, and the side's registry — the service is
+/// shut down before returning so the next side starts cold-for-cold.
+fn drive(plan: &Arc<PhysicalPlan>, events: &[TraceEvent], obs: ObsOptions) -> DriveResult {
+    let (service, registry) = build_service(obs);
+    for q in 0..QUERIES {
+        service.register(q, Arc::clone(plan));
+    }
+    let t = Instant::now();
+    for ev in events {
+        service.ingest(ev.clone());
+    }
+    service.quiesce();
+    let ingest_ns = t.elapsed().as_nanos() as u64 / events.len() as u64;
+
+    let mut reads = Vec::with_capacity(QUERIES * READS_PER_QUERY);
+    for _ in 0..READS_PER_QUERY {
+        for q in 0..QUERIES {
+            let t = Instant::now();
+            std::hint::black_box(service.query_progress(q).expect("registered"));
+            reads.push(t.elapsed().as_nanos() as u64);
+        }
+    }
+    reads.sort_unstable();
+    service.shutdown();
+    DriveResult { ingest_ns, reads, registry }
+}
+
+fn p99(sorted: &[u64]) -> u64 {
+    sorted[(sorted.len() * 99 / 100).min(sorted.len() - 1)]
+}
+
+fn append_samples(lines: &str) {
+    if let Ok(path) = std::env::var("PROSEL_BENCH_JSON") {
+        use std::io::Write;
+        let write = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(lines.as_bytes()));
+        if let Err(e) = write {
+            eprintln!("metrics_overhead: cannot append to {path}: {e}");
+        }
+    }
+}
+
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let plan = Arc::new(scan_filter_plan(1_000_000.0));
+    let events = event_stream(1_000_000);
+
+    // Criterion's view of the ingest path, both sides; the direct A/B
+    // below is what feeds the trajectory.
+    let mut group = c.benchmark_group("metrics_ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("instrumented", |b| {
+        b.iter(|| drive(&plan, &events, ObsOptions::default()).ingest_ns)
+    });
+    group.bench_function("uninstrumented", |b| {
+        b.iter(|| drive(&plan, &events, ObsOptions::untimed()).ingest_ns)
+    });
+    group.finish();
+
+    // The A/B proper: interleaved pairs, best-of selection, rep 0 as
+    // warmup — drift hits both sides equally and the ratio stays a
+    // property of the code.
+    let reps: usize = if std::env::var("PROSEL_BENCH_QUICK").is_ok() { 3 } else { 10 };
+    let mut timed_ingest = u64::MAX;
+    let mut untimed_ingest = u64::MAX;
+    let mut timed_read_p99 = u64::MAX;
+    let mut untimed_read_p99 = u64::MAX;
+    let mut last_timed_registry = None;
+    for rep in 0..=reps {
+        // The drive that runs first in a pair inherits a fatter read
+        // tail from the previous service's thread teardown, so the
+        // order alternates per rep — best-of gives each side its quiet
+        // slots and the position bias cancels.
+        let (timed, untimed) = if rep % 2 == 0 {
+            let timed = drive(&plan, &events, ObsOptions::default());
+            (timed, drive(&plan, &events, ObsOptions::untimed()))
+        } else {
+            let untimed = drive(&plan, &events, ObsOptions::untimed());
+            (drive(&plan, &events, ObsOptions::default()), untimed)
+        };
+        if rep > 0 {
+            timed_ingest = timed_ingest.min(timed.ingest_ns);
+            untimed_ingest = untimed_ingest.min(untimed.ingest_ns);
+            timed_read_p99 = timed_read_p99.min(p99(&timed.reads));
+            untimed_read_p99 = untimed_read_p99.min(p99(&untimed.reads));
+            last_timed_registry = Some(timed.registry);
+        }
+    }
+
+    let pct = |a: u64, b: u64| (a as f64 - b as f64) / b.max(1) as f64 * 100.0;
+    let ingest_pct = pct(timed_ingest, untimed_ingest);
+    let read_pct = pct(timed_read_p99, untimed_read_p99);
+    println!(
+        "metrics_overhead: ingest {timed_ingest} ns/event instrumented vs \
+         {untimed_ingest} ns/event untimed ({ingest_pct:+.1}%)"
+    );
+    println!(
+        "metrics_overhead: read p99 {timed_read_p99} ns instrumented vs \
+         {untimed_read_p99} ns untimed ({read_pct:+.1}%)"
+    );
+    // Cross-check: the registry's own sampled read histogram should put
+    // its p99 in the same regime as the externally timed one.
+    if let Some(registry) = last_timed_registry {
+        let snap = registry.snapshot();
+        if let Some(h) = snap.histogram("service_read_ns") {
+            println!(
+                "metrics_overhead: registry-reported service_read_ns p99 {} ns \
+                 (externally measured {timed_read_p99} ns)",
+                h.quantile(0.99)
+            );
+        }
+    }
+
+    let n_events = events.len();
+    let n_reads = QUERIES * READS_PER_QUERY;
+    append_samples(&format!(
+        "{{\"name\":\"obs/ingest_ns_instrumented\",\"mean_ns\":{timed_ingest},\"iters\":{n_events}}}\n\
+         {{\"name\":\"obs/ingest_ns_uninstrumented\",\"mean_ns\":{untimed_ingest},\"iters\":{n_events}}}\n\
+         {{\"name\":\"obs/read_p99_ns_instrumented\",\"mean_ns\":{timed_read_p99},\"iters\":{n_reads}}}\n\
+         {{\"name\":\"obs/read_p99_ns_uninstrumented\",\"mean_ns\":{untimed_read_p99},\"iters\":{n_reads}}}\n\
+         {{\"name\":\"obs/ingest_overhead_pct\",\"mean_ns\":{ingest_pct:.2},\"iters\":1}}\n\
+         {{\"name\":\"obs/read_p99_overhead_pct\",\"mean_ns\":{read_pct:.2},\"iters\":1}}\n"
+    ));
+}
+
+criterion_group!(benches, bench_metrics_overhead);
+criterion_main!(benches);

@@ -119,6 +119,24 @@ impl MonitorBuilder {
         self
     }
 
+    /// Publish the monitor's counters and latency histograms into
+    /// `registry` (scrape it with
+    /// [`MonitorService::metrics`](crate::MonitorService::metrics) or
+    /// [`prosel_obs::MetricsRegistry::snapshot`]). Give each built
+    /// monitor/service its own registry; without this call a service
+    /// still creates a private, scrapeable one.
+    pub fn metrics(mut self, registry: Arc<prosel_obs::MetricsRegistry>) -> MonitorBuilder {
+        self.config.metrics = Some(registry);
+        self
+    }
+
+    /// Timing-instrumentation knobs (latency histograms on/off, 1-in-N
+    /// sampling stride). Counters are unaffected.
+    pub fn observability(mut self, obs: prosel_obs::ObsOptions) -> MonitorBuilder {
+        self.config.obs = obs;
+        self
+    }
+
     /// Shard-task count for the service form, clamped to ≥ 1 (ignored by
     /// [`Self::build_monitor`]).
     pub fn shards(mut self, n: usize) -> MonitorBuilder {
@@ -180,8 +198,17 @@ impl MonitorBuilder {
     }
 
     /// Build the sharded, concurrent [`MonitorService`] form.
-    pub fn build_service(self) -> Result<MonitorService, MonitorError> {
-        let service = MonitorService::spawn(self.prototype()?, self.shards);
+    pub fn build_service(mut self) -> Result<MonitorService, MonitorError> {
+        // The prototype never serves traffic in a service, so construct
+        // it without the registry (its counters stay detached — no dead
+        // all-zero `monitor_*` series in scrapes) and re-attach for the
+        // shard forks, which register under `monitor_shard<i>_*`.
+        let metrics = self.config.metrics.take();
+        let mut prototype = self.prototype()?;
+        if let Some(registry) = metrics {
+            prototype.attach_metrics(registry);
+        }
+        let service = MonitorService::spawn(prototype, self.shards);
         if !self.restore.is_empty() {
             if let Err(e) = service.restore_harvest_states(&self.restore) {
                 service.shutdown();

@@ -108,6 +108,17 @@
 //! [`MonitorBuilder::restore`] re-seats it; [`MonitorError`] ([`error`])
 //! is the `?`-friendly umbrella over every typed failure the crate
 //! produces.
+//!
+//! Every layer is instrumented through [`prosel_obs`]: the shard cores
+//! keep their operation counters and sampled ingest/eval latency
+//! histograms as registry metrics ([`ShardStats`] is a view over the
+//! same atomics), the service adds read/registration/swap latency, tap
+//! volume and a control-plane [`prosel_obs::TraceRing`], and the
+//! work-stealing runtime counts steals, parks and queue depth. Pass a
+//! registry via [`MonitorConfig::metrics`] /
+//! [`MonitorBuilder::metrics`], scrape with
+//! [`MonitorService::metrics`] or render the strict text exposition with
+//! [`MonitorService::render_text`].
 
 pub mod builder;
 pub mod error;
@@ -127,3 +138,7 @@ pub use shard::{
     QueryStatus, RegisterError, ShardStats, SwitchEvent,
 };
 pub use state::{HarvestState, StateError};
+
+// Observability surface, re-exported so embedders need no direct
+// `prosel-obs` dependency for the common wiring.
+pub use prosel_obs::{MetricsRegistry, MetricsSnapshot, ObsEvent, ObsOptions, TraceRing};

@@ -32,9 +32,10 @@
 //!   loop; the worker survives and keeps running other tasks. The service
 //!   layers its own dead-shard accounting on top.
 
+use prosel_obs::{Counter, Gauge, MetricsRegistry};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -74,6 +75,45 @@ impl RuntimeConfig {
     }
 }
 
+/// Scheduler instrumentation: steal count, park/unpark churn, and the
+/// live scheduled-task depth across all worker queues. Registered under
+/// `runtime_*` names; all increments are relaxed atomics on the
+/// scheduling paths (never inside a task body).
+pub(crate) struct RuntimeObs {
+    /// Tasks popped from a queue other than the popping worker's own.
+    steals: Arc<Counter>,
+    /// Times a worker went to sleep on the condvar.
+    parks: Arc<Counter>,
+    /// Times a parked worker woke up (timeout or notify).
+    unparks: Arc<Counter>,
+    /// Signed live depth behind the gauge (push/pop races can transiently
+    /// observe it negative; the gauge publishes whatever was current).
+    depth: AtomicI64,
+    depth_gauge: Arc<Gauge>,
+}
+
+impl RuntimeObs {
+    pub(crate) fn from_registry(registry: &MetricsRegistry) -> RuntimeObs {
+        RuntimeObs {
+            steals: registry.counter("runtime_steals_total"),
+            parks: registry.counter("runtime_parks_total"),
+            unparks: registry.counter("runtime_unparks_total"),
+            depth: AtomicI64::new(0),
+            depth_gauge: registry.gauge("runtime_queue_depth"),
+        }
+    }
+
+    fn task_pushed(&self) {
+        let d = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.depth_gauge.set(d as f64);
+    }
+
+    fn task_popped(&self) {
+        let d = self.depth.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.depth_gauge.set(d as f64);
+    }
+}
+
 // Per-task scheduling states. `RUNNING_DIRTY` means "schedule() was called
 // while the task was running": the worker re-queues the task after the pass
 // instead of idling it, so no wakeup is ever lost.
@@ -97,6 +137,8 @@ pub(crate) struct Shared {
     sleep: Mutex<()>,
     wake: Condvar,
     stop: AtomicBool,
+    /// Optional scheduler instrumentation (service mode wires it in).
+    obs: Option<Arc<RuntimeObs>>,
 }
 
 impl Shared {
@@ -139,6 +181,9 @@ impl Shared {
     fn push(&self, task: usize) {
         let w = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
         self.queues[w].lock().unwrap_or_else(|e| e.into_inner()).push_back(task);
+        if let Some(obs) = &self.obs {
+            obs.task_pushed();
+        }
         // Take and drop the sleep lock so the notify cannot race a worker
         // that has checked the queues but not yet parked.
         drop(self.sleep.lock().unwrap_or_else(|e| e.into_inner()));
@@ -152,6 +197,12 @@ impl Shared {
             let victim = (me + i) % n;
             let task = self.queues[victim].lock().unwrap_or_else(|e| e.into_inner()).pop_front();
             if task.is_some() {
+                if let Some(obs) = &self.obs {
+                    obs.task_popped();
+                    if victim != me {
+                        obs.steals.inc();
+                    }
+                }
                 return task;
             }
         }
@@ -181,7 +232,13 @@ fn worker_loop(shared: &Shared, me: usize, body: &(dyn Fn(usize) -> bool + Send 
         }
         // The timeout is belt-and-braces only; correctness never depends on
         // it. 10ms bounds the cost of any wakeup bug to a schedule hiccup.
+        if let Some(obs) = &shared.obs {
+            obs.parks.inc();
+        }
         let _ = shared.wake.wait_timeout(guard, Duration::from_millis(10));
+        if let Some(obs) = &shared.obs {
+            obs.unparks.inc();
+        }
     }
 }
 
@@ -210,6 +267,9 @@ fn run_task(shared: &Shared, me: usize, task: usize, body: &(dyn Fn(usize) -> bo
 /// stealable), and nudge a sleeper in case this worker is saturated.
 fn self_push(shared: &Shared, me: usize, task: usize) {
     shared.queues[me].lock().unwrap_or_else(|e| e.into_inner()).push_back(task);
+    if let Some(obs) = &shared.obs {
+        obs.task_pushed();
+    }
     drop(shared.sleep.lock().unwrap_or_else(|e| e.into_inner()));
     shared.wake.notify_one();
 }
@@ -225,10 +285,23 @@ pub(crate) struct Runtime {
 impl Runtime {
     /// Spawn a pool running `body` for tasks `0..n_tasks`. `body(task)`
     /// returns whether the task should immediately run again.
+    /// Uninstrumented [`Self::spawn_observed`] (test harness entry).
+    #[cfg(test)]
     pub(crate) fn spawn(
         n_tasks: usize,
         config: &RuntimeConfig,
         body: Arc<dyn Fn(usize) -> bool + Send + Sync>,
+    ) -> Runtime {
+        Self::spawn_observed(n_tasks, config, body, None)
+    }
+
+    /// Spawn with optional scheduler instrumentation — the service
+    /// passes a [`RuntimeObs`] registered in its metrics registry.
+    pub(crate) fn spawn_observed(
+        n_tasks: usize,
+        config: &RuntimeConfig,
+        body: Arc<dyn Fn(usize) -> bool + Send + Sync>,
+        obs: Option<Arc<RuntimeObs>>,
     ) -> Runtime {
         let n_workers = config.resolved_workers(n_tasks);
         let shared = Arc::new(Shared {
@@ -238,6 +311,7 @@ impl Runtime {
             sleep: Mutex::new(()),
             wake: Condvar::new(),
             stop: AtomicBool::new(false),
+            obs,
         });
         let workers = (0..n_workers)
             .map(|w| {

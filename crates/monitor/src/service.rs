@@ -36,20 +36,24 @@
 //! via [`SwapError`], and the frozen stats snapshot keeps serving.
 
 use crate::eta::{Eta, StaleEta};
-use crate::runtime::{Runtime, Shared as RuntimeShared};
+use crate::runtime::{Runtime, RuntimeObs, Shared as RuntimeShared};
 use crate::shard::{
-    PipelineStatus, ProgressMonitor, QueryStatus, QueryView, RegisterError, ShardStats, SwitchEvent,
+    PipelineStatus, ProgressMonitor, QueryStatus, QueryView, RegisterError, ShardCounters,
+    ShardStats, SwitchEvent,
 };
 use prosel_core::selection::EstimatorSelector;
 use prosel_engine::clock::Clock;
 use prosel_engine::plan::PhysicalPlan;
 use prosel_engine::trace::{TapSink, TraceEvent, TraceTap};
 use prosel_estimators::{EstimatorKind, ONLINE_KINDS};
+use prosel_obs::{
+    Counter, Histogram, MetricsRegistry, MetricsSnapshot, ObsEvent, ObsOptions, TraceRing,
+};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Why a [`MonitorService`] read could not be served.
 ///
@@ -309,61 +313,62 @@ impl QuerySlot {
     }
 }
 
-/// Seqlocked publish cell for one shard's [`ShardStats`] (the monotone
-/// counters; `events_rejected` lives in its own always-current atomic).
-struct StatsCell {
-    seq: SeqLock,
-    registered: AtomicUsize,
-    admitted: AtomicU64,
-    refused: AtomicU64,
-    events_ingested: AtomicU64,
-    events_unroutable: AtomicU64,
-    queries_dropped: AtomicU64,
-    queries_finished: AtomicU64,
-    harvests: AtomicU64,
+/// Service-level instrumentation: read/registration/swap latency
+/// histograms, tap volume, ingest batch sizes. All handles live in the
+/// service registry (`service_*` / `tap_*` names); the hot read path
+/// touches one counter unconditionally and a clock only on sampled
+/// reads.
+struct ServiceObs {
+    reads_total: Arc<Counter>,
+    read_ns: Arc<Histogram>,
+    register_ns: Arc<Histogram>,
+    swap_ns: Arc<Histogram>,
+    /// Events the engine tap handed to the router (counted there — the
+    /// engine cannot depend on the obs crate).
+    tap_events_total: Arc<Counter>,
+    /// Estimated wire bytes of those events ([`TraceEvent::payload_bytes`]).
+    tap_bytes_total: Arc<Counter>,
+    ingest_batch_len: Arc<Histogram>,
+    timing: bool,
+    stride: u64,
 }
 
-impl StatsCell {
-    fn new() -> StatsCell {
-        StatsCell {
-            seq: SeqLock::new(),
-            registered: AtomicUsize::new(0),
-            admitted: AtomicU64::new(0),
-            refused: AtomicU64::new(0),
-            events_ingested: AtomicU64::new(0),
-            events_unroutable: AtomicU64::new(0),
-            queries_dropped: AtomicU64::new(0),
-            queries_finished: AtomicU64::new(0),
-            harvests: AtomicU64::new(0),
+impl ServiceObs {
+    fn new(registry: &MetricsRegistry, options: ObsOptions) -> ServiceObs {
+        ServiceObs {
+            reads_total: registry.counter("service_reads_total"),
+            read_ns: registry.histogram("service_read_ns"),
+            register_ns: registry.histogram("service_register_ns"),
+            swap_ns: registry.histogram("service_swap_ns"),
+            tap_events_total: registry.counter("tap_events_total"),
+            tap_bytes_total: registry.counter("tap_bytes_total"),
+            ingest_batch_len: registry.histogram("service_ingest_batch_len"),
+            timing: options.timing,
+            stride: options.stride() as u64,
         }
     }
 
-    /// Caller holds the owning shard's core mutex.
-    fn publish(&self, stats: &ShardStats) {
-        self.seq.write(|| {
-            self.registered.store(stats.registered, Ordering::Relaxed);
-            self.admitted.store(stats.admitted, Ordering::Relaxed);
-            self.refused.store(stats.refused, Ordering::Relaxed);
-            self.events_ingested.store(stats.events_ingested, Ordering::Relaxed);
-            self.events_unroutable.store(stats.events_unroutable, Ordering::Relaxed);
-            self.queries_dropped.store(stats.queries_dropped, Ordering::Relaxed);
-            self.queries_finished.store(stats.queries_finished, Ordering::Relaxed);
-            self.harvests.store(stats.harvests, Ordering::Relaxed);
-        });
+    /// Count one read; start a timer on 1-in-N sampled reads. The
+    /// sampling tick is the read counter itself — one `fetch_add` total,
+    /// identical to the untimed path, so timing adds no shared-cacheline
+    /// traffic to unsampled reads.
+    fn read_timer(&self) -> Option<Instant> {
+        let tick = self.reads_total.tick();
+        if !self.timing {
+            return None;
+        }
+        tick.is_multiple_of(self.stride).then(Instant::now)
     }
 
-    fn read(&self, events_rejected: u64) -> ShardStats {
-        self.seq.read(|| ShardStats {
-            registered: self.registered.load(Ordering::Relaxed),
-            admitted: self.admitted.load(Ordering::Relaxed),
-            refused: self.refused.load(Ordering::Relaxed),
-            events_ingested: self.events_ingested.load(Ordering::Relaxed),
-            events_unroutable: self.events_unroutable.load(Ordering::Relaxed),
-            queries_dropped: self.queries_dropped.load(Ordering::Relaxed),
-            queries_finished: self.queries_finished.load(Ordering::Relaxed),
-            harvests: self.harvests.load(Ordering::Relaxed),
-            events_rejected,
-        })
+    fn read_done(&self, timer: Option<Instant>) {
+        if let Some(start) = timer {
+            self.read_ns.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Cold paths (registration, swaps) are timed whenever timing is on.
+    fn cold_timer(&self) -> Option<Instant> {
+        self.timing.then(Instant::now)
     }
 }
 
@@ -382,8 +387,6 @@ struct ShardSlot {
     /// core, or counted as rejected on a dead shard. `processed ==
     /// enqueued` means the queue is drained (the quiesce condition).
     processed: AtomicU64,
-    /// Events a dead shard could not ingest ([`ShardStats::events_rejected`]).
-    rejected: AtomicU64,
     alive: AtomicBool,
     /// Test hook: make the next drain pass panic mid-ingest (exercising
     /// the real crash path, poisoned core mutex included).
@@ -393,8 +396,13 @@ struct ShardSlot {
     core: Mutex<ProgressMonitor>,
     /// Published per-query read snapshots.
     registry: RwLock<HashMap<usize, Arc<QuerySlot>>>,
-    /// Published shard counters.
-    stats: StatsCell,
+    /// The shard core's own counter handles, cloned: the same atomics the
+    /// core increments, readable here without its mutex. Single source of
+    /// truth — a dead (poisoned-mutex) shard's stats stay readable, and
+    /// [`ShardStats`] readouts equal a registry scrape by construction.
+    /// The slot (not the core) owns the `events_rejected` increments: the
+    /// router and dead-queue sweeps count refusals here.
+    counters: ShardCounters,
     /// Quiesce waiters park here; the shard task notifies after each batch.
     drain_sync: Mutex<()>,
     drained: Condvar,
@@ -402,16 +410,16 @@ struct ShardSlot {
 
 impl ShardSlot {
     fn new(core: ProgressMonitor) -> ShardSlot {
+        let counters = core.counters();
         ShardSlot {
             queue: Mutex::new(VecDeque::new()),
             enqueued: AtomicU64::new(0),
             processed: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
             alive: AtomicBool::new(true),
             poison_pill: AtomicBool::new(false),
             core: Mutex::new(core),
             registry: RwLock::new(HashMap::new()),
-            stats: StatsCell::new(),
+            counters,
             drain_sync: Mutex::new(()),
             drained: Condvar::new(),
         }
@@ -448,7 +456,7 @@ impl ShardSlot {
     }
 
     fn read_stats(&self) -> ShardStats {
-        self.stats.read(self.rejected.load(Ordering::Acquire))
+        self.counters.load()
     }
 }
 
@@ -471,6 +479,17 @@ struct ServiceInner {
     /// body needs `ServiceInner` and the tap needs the runtime, so the
     /// cycle is tied here).
     runtime: OnceLock<Arc<RuntimeShared>>,
+    /// The service's metrics registry: the shards' counters, the
+    /// service-level instrumentation and the runtime's counters all
+    /// register here — [`MonitorService::metrics`] scrapes it. Taken from
+    /// [`crate::MonitorConfig::metrics`] when set, created fresh
+    /// otherwise.
+    metrics: Arc<MetricsRegistry>,
+    /// Control-plane event ring (swap installed/refused, shard panics),
+    /// stamped by the service clock.
+    ring: TraceRing,
+    /// Service-level latency/volume instrumentation.
+    obs: ServiceObs,
 }
 
 impl ServiceInner {
@@ -487,7 +506,7 @@ impl ServiceInner {
         let si = self.shard_of(ev.query());
         let slot = &self.shards[si];
         if !slot.is_alive() {
-            slot.rejected.fetch_add(1, Ordering::AcqRel);
+            slot.counters.events_rejected.inc();
             return Err(ev);
         }
         let target = {
@@ -530,7 +549,7 @@ impl ServiceInner {
             }
             let slot = &self.shards[si];
             if !slot.is_alive() {
-                slot.rejected.fetch_add(batch.len() as u64, Ordering::AcqRel);
+                slot.counters.events_rejected.add(batch.len() as u64);
                 returned.extend(batch);
                 continue;
             }
@@ -575,6 +594,9 @@ impl ServiceInner {
             return false;
         }
         let total = batch.len() as u64;
+        if total > 0 {
+            self.obs.ingest_batch_len.record(total);
+        }
         let done = AtomicU64::new(0);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             // A poisoned core mutex means an earlier panic escaped without
@@ -609,11 +631,12 @@ impl ServiceInner {
                         }
                     }
                 }
-                slot.stats.publish(&core.shard_stats());
                 // Per-event accounting (not per batch): if a later event
                 // in this batch panics the core, events already ingested
                 // stay counted as ingested — the crash bookkeeping below
-                // only rejects the genuinely unprocessed tail.
+                // only rejects the genuinely unprocessed tail. (No stats
+                // publish step: the core increments the same shared
+                // atomics the read path loads.)
                 done.fetch_add(1, Ordering::Relaxed);
                 slot.processed.fetch_add(1, Ordering::AcqRel);
             }
@@ -632,8 +655,9 @@ impl ServiceInner {
     fn kill_shard(&self, si: usize, unprocessed: u64) {
         let slot = &self.shards[si];
         slot.alive.store(false, Ordering::Release);
+        self.ring.emit(ObsEvent::ShardPanic { shard: si });
         if unprocessed > 0 {
-            slot.rejected.fetch_add(unprocessed, Ordering::AcqRel);
+            slot.counters.events_rejected.add(unprocessed);
             slot.processed.fetch_add(unprocessed, Ordering::AcqRel);
         }
         self.drain_dead(si);
@@ -649,7 +673,7 @@ impl ServiceInner {
             n
         };
         if n > 0 {
-            slot.rejected.fetch_add(n, Ordering::AcqRel);
+            slot.counters.events_rejected.add(n);
             slot.processed.fetch_add(n, Ordering::AcqRel);
         }
         slot.notify_drained();
@@ -681,10 +705,18 @@ struct ShardRouter {
 
 impl TapSink for ShardRouter {
     fn send(&self, ev: TraceEvent) -> Result<(), TraceEvent> {
+        // Tap volume is counted here, not in the engine: the engine
+        // cannot depend on the obs crate, and the router sees every
+        // event the tap emits (accepted or refused).
+        self.inner.obs.tap_events_total.inc();
+        self.inner.obs.tap_bytes_total.add(ev.payload_bytes() as u64);
         self.inner.enqueue(ev).map(|_| ())
     }
 
     fn send_batch(&self, events: Vec<TraceEvent>) -> Result<(), Vec<TraceEvent>> {
+        self.inner.obs.tap_events_total.add(events.len() as u64);
+        let bytes: usize = events.iter().map(TraceEvent::payload_bytes).sum();
+        self.inner.obs.tap_bytes_total.add(bytes as u64);
         let returned = self.inner.enqueue_batch(events);
         if returned.is_empty() {
             Ok(())
@@ -754,11 +786,19 @@ impl MonitorService {
         Self::spawn(prototype, n_shards)
     }
 
-    pub(crate) fn spawn(prototype: ProgressMonitor, n_shards: usize) -> MonitorService {
+    pub(crate) fn spawn(mut prototype: ProgressMonitor, n_shards: usize) -> MonitorService {
         let n = n_shards.max(1);
+        // Every service has a scrapeable registry: the configured one, or
+        // a private one when the caller supplied none. Shard forks pick it
+        // up through the prototype's config.
+        let metrics = prototype.ensure_metrics();
+        let obs_options = prototype.config().obs;
         let runtime_config = prototype.config().runtime.clone();
         let clock = Arc::clone(&prototype.config().clock);
-        let shards = (0..n).map(|_| ShardSlot::new(prototype.fork())).collect();
+        let shards = (0..n).map(|si| ShardSlot::new(prototype.fork(si))).collect();
+        let obs = ServiceObs::new(&metrics, obs_options);
+        let ring = TraceRing::new(256, Arc::clone(&clock));
+        let runtime_obs = Arc::new(RuntimeObs::from_registry(&metrics));
         let inner = Arc::new(ServiceInner {
             shards,
             clock,
@@ -766,12 +806,15 @@ impl MonitorService {
             stopping: AtomicBool::new(false),
             swap_lock: Mutex::new(()),
             runtime: OnceLock::new(),
+            metrics,
+            ring,
+            obs,
         });
         let body: Arc<dyn Fn(usize) -> bool + Send + Sync> = {
             let inner = Arc::clone(&inner);
             Arc::new(move |task| inner.drain_batch(task))
         };
-        let runtime = Runtime::spawn(n, &runtime_config, body);
+        let runtime = Runtime::spawn_observed(n, &runtime_config, body, Some(runtime_obs));
         let _ = inner.runtime.set(runtime.shared());
         MonitorService { inner, runtime }
     }
@@ -819,6 +862,7 @@ impl MonitorService {
         query: usize,
         plan: impl Into<Arc<PhysicalPlan>>,
     ) -> Result<(), RegisterError> {
+        let timer = self.inner.obs.cold_timer();
         let plan: Arc<PhysicalPlan> = plan.into();
         let si = self.inner.shard_of(query);
         let slot = &self.inner.shards[si];
@@ -835,7 +879,9 @@ impl MonitorService {
                 .unwrap_or_else(|e| e.into_inner())
                 .insert(query, Arc::new(QuerySlot::new(&view)));
         }
-        slot.stats.publish(&core.shard_stats());
+        if let Some(start) = timer {
+            self.inner.obs.register_ns.record(start.elapsed().as_nanos() as u64);
+        }
         result
     }
 
@@ -880,7 +926,6 @@ impl MonitorService {
                 }
                 out.push((q, result));
             }
-            slot.stats.publish(&core.shard_stats());
         }
         out
     }
@@ -901,7 +946,6 @@ impl MonitorService {
         let mut core = slot.core.lock().map_err(|_| QueryError::ShardDown)?;
         let result = core.unregister(query);
         slot.registry.write().unwrap_or_else(|e| e.into_inner()).remove(&query);
-        slot.stats.publish(&core.shard_stats());
         result
     }
 
@@ -946,8 +990,10 @@ impl MonitorService {
     /// Unregistered queries and dead shards come back as distinct
     /// [`QueryError`] values.
     pub fn query_progress(&self, query: usize) -> Result<f64, QueryError> {
-        let slot = self.slot(query)?;
-        Ok(slot.seq.read(|| load_f64(&slot.progress)))
+        let timer = self.inner.obs.read_timer();
+        let out = self.slot(query).map(|slot| slot.seq.read(|| load_f64(&slot.progress)));
+        self.inner.obs.read_done(timer);
+        out
     }
 
     /// Latest progress estimate of one pipeline.
@@ -959,7 +1005,10 @@ impl MonitorService {
 
     /// Full live status of one query.
     pub fn status(&self, query: usize) -> Result<QueryStatus, QueryError> {
-        Ok(self.slot(query)?.read_status(query))
+        let timer = self.inner.obs.read_timer();
+        let out = self.slot(query).map(|slot| slot.read_status(query));
+        self.inner.obs.read_done(timer);
+        out
     }
 
     /// Has the engine reported this query's termination?
@@ -993,7 +1042,10 @@ impl MonitorService {
     /// clock — the equivalence suites pin service-vs-monitor bit-identity
     /// on this variant).
     pub fn remaining_time_at_last_event(&self, query: usize) -> Result<Eta, QueryError> {
-        Ok(self.slot(query)?.read_eta())
+        let timer = self.inner.obs.read_timer();
+        let out = self.slot(query).map(|slot| slot.read_eta());
+        self.inner.obs.read_done(timer);
+        out
     }
 
     /// [`Self::remaining_time_at_last_event`] plus its staleness: the raw
@@ -1016,6 +1068,13 @@ impl MonitorService {
     /// carries the tracker's latest sample and end-to-end speed, which is
     /// everything [`crate::SpeedTracker::progress_at`] consults).
     pub fn progress_at_deadline(&self, query: usize, deadline: f64) -> Result<f64, QueryError> {
+        let timer = self.inner.obs.read_timer();
+        let out = self.progress_at_deadline_inner(query, deadline);
+        self.inner.obs.read_done(timer);
+        out
+    }
+
+    fn progress_at_deadline_inner(&self, query: usize, deadline: f64) -> Result<f64, QueryError> {
         let slot = self.slot(query)?;
         Ok(slot.seq.read(|| {
             if slot.finished.load(Ordering::Relaxed) {
@@ -1051,6 +1110,7 @@ impl MonitorService {
     /// broadcast must be visible (the survivors serve the new model, the
     /// dead shards are frozen on the old one), never a silent `Ok`.
     pub fn swap_selector(&self, selector: Arc<EstimatorSelector>) -> Result<u64, SwapError> {
+        let timer = self.inner.obs.cold_timer();
         let _guard = self.inner.swap_lock.lock().unwrap_or_else(|e| e.into_inner());
         let mut dead = Vec::new();
         let mut epoch: Option<u64> = None;
@@ -1067,9 +1127,15 @@ impl MonitorService {
                 Err(_) => dead.push(si),
             }
         }
+        if let Some(start) = timer {
+            self.inner.obs.swap_ns.record(start.elapsed().as_nanos() as u64);
+        }
         if dead.is_empty() {
-            Ok(epoch.expect("a service always has ≥ 1 shard"))
+            let epoch = epoch.expect("a service always has ≥ 1 shard");
+            self.inner.ring.emit(ObsEvent::SwapInstalled { epoch });
+            Ok(epoch)
         } else {
+            self.inner.ring.emit(ObsEvent::SwapRefused { dead_shards: dead.len() });
             Err(SwapError { shards: dead, epoch })
         }
     }
@@ -1105,6 +1171,38 @@ impl MonitorService {
     /// [`Self::shard_stats`] folded into one service-wide readout.
     pub fn stats(&self) -> Result<ShardStats, QueryError> {
         Ok(self.shard_stats()?.iter().fold(ShardStats::default(), |acc, s| acc.merged(s)))
+    }
+
+    /// The service's metrics registry: every shard's counters
+    /// (`monitor_shard<i>_*`), the service instrumentation (`service_*`,
+    /// `tap_*`) and the runtime's scheduler counters (`runtime_*`) all
+    /// live here. The same registry the caller passed via
+    /// [`crate::MonitorConfig::metrics`], or a service-private one.
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.inner.metrics
+    }
+
+    /// A point-in-time scrape of [`Self::metrics_registry`] — diffable
+    /// ([`MetricsSnapshot::diff`]) for per-interval rates, and consistent
+    /// with [`Self::shard_stats`] by construction (same atomics).
+    /// Wait-free for the hot paths; the scrape itself takes the registry
+    /// mutex briefly.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// [`Self::metrics`] rendered in the strict checksummed text
+    /// exposition format ([`MetricsSnapshot::render_text`]).
+    pub fn render_text(&self) -> String {
+        self.metrics().render_text()
+    }
+
+    /// The service's control-plane trace ring: swap installs/refusals and
+    /// shard panics, stamped by the service clock. Cloning shares the
+    /// buffer — a caller can hand the clone to a
+    /// [`prosel_obs::TraceRing`]-aware consumer.
+    pub fn trace_ring(&self) -> &TraceRing {
+        &self.inner.ring
     }
 
     /// Per-shard checkpointable state, in shard order: the selector epoch
@@ -1144,7 +1242,6 @@ impl MonitorService {
                 crate::MonitorError::Restore("shard died during restore".to_string())
             })?;
             core.restore_harvest_state(state);
-            slot.stats.publish(&core.shard_stats());
         }
         Ok(())
     }

@@ -30,9 +30,11 @@ use prosel_engine::trace::{
 use prosel_engine::{decompose, pipeline_weight, Pipeline};
 use prosel_estimators::soa::BoundsKernel;
 use prosel_estimators::{EstimatorKind, IncrementalObs, SnapshotCtx};
+use prosel_obs::{Counter, Histogram, MetricsRegistry, ObsOptions};
 use std::collections::BTreeMap;
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Monitor configuration.
 #[derive(Debug, Clone)]
@@ -64,6 +66,18 @@ pub struct MonitorConfig {
     /// Shard-runtime knobs (worker pool size, core affinity, ingest batch)
     /// — service mode only; a plain [`ProgressMonitor`] ignores them.
     pub runtime: RuntimeConfig,
+    /// Metrics registry the monitor publishes its counters and latency
+    /// histograms into (`monitor_*` names standalone, `monitor_shard<i>_*`
+    /// per service shard — see the README's metric inventory). `None`
+    /// (the default) keeps the same counters on detached atomics: every
+    /// readout still works, nothing is scrapeable. Give each
+    /// monitor/service its **own** registry — two services sharing one
+    /// would silently share (and double-count on) the same handles.
+    pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Timing-instrumentation knobs (latency histograms, sampling
+    /// stride). Counters are unaffected — they are the stats bookkeeping
+    /// itself.
+    pub obs: ObsOptions,
 }
 
 impl Default for MonitorConfig {
@@ -74,6 +88,8 @@ impl Default for MonitorConfig {
             clock: Arc::new(SystemClock::new()),
             max_queries: 0,
             runtime: RuntimeConfig::default(),
+            metrics: None,
+            obs: ObsOptions::default(),
         }
     }
 }
@@ -238,6 +254,119 @@ impl ShardStats {
     }
 }
 
+/// The live atomics behind [`ShardStats`]: one monitor's (one shard's,
+/// in service mode) operation counters plus its latency histograms, held
+/// as shared [`prosel_obs`] handles. There is exactly **one increment
+/// site per event**, here in the shard core — [`ShardStats`] readouts
+/// are point-in-time loads of these same atomics (single source of
+/// truth), which is what lets the service's read path fold per-shard
+/// stats wait-free without touching the shard core's lock, and lets a
+/// scrape of the registry see the identical numbers.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardCounters {
+    /// Gauge-like: kept in sync with the live query-map size at every
+    /// mutation site (reset, not incremented).
+    pub(crate) registered: Arc<Counter>,
+    pub(crate) admitted: Arc<Counter>,
+    pub(crate) refused: Arc<Counter>,
+    pub(crate) events_ingested: Arc<Counter>,
+    pub(crate) events_unroutable: Arc<Counter>,
+    pub(crate) queries_dropped: Arc<Counter>,
+    pub(crate) queries_finished: Arc<Counter>,
+    pub(crate) harvests: Arc<Counter>,
+    pub(crate) events_rejected: Arc<Counter>,
+    /// `TraceEvent::Delta` events whose sparse patch applied cleanly.
+    pub(crate) delta_decodes: Arc<Counter>,
+    /// Sampled per-event ingest latency (see [`ObsOptions`]).
+    pub(crate) ingest_ns: Arc<Histogram>,
+    /// Sampled full-snapshot / delta evaluation time (the
+    /// `advance_query` tail: bound refresh + per-pipeline offers).
+    pub(crate) snapshot_eval_ns: Arc<Histogram>,
+    pub(crate) timing: bool,
+    pub(crate) stride: u32,
+}
+
+impl ShardCounters {
+    /// Handles for one monitor. With a registry in the config the
+    /// counters register under `monitor_*` (standalone) or
+    /// `monitor_shard<i>_*` (service shard `i`); without one they live on
+    /// detached atomics — same behavior, nothing scrapeable.
+    pub(crate) fn from_config(config: &MonitorConfig, shard: Option<usize>) -> ShardCounters {
+        let (timing, stride) = (config.obs.timing, config.obs.stride());
+        match &config.metrics {
+            Some(registry) => {
+                let prefix = match shard {
+                    Some(i) => format!("monitor_shard{i}_"),
+                    None => "monitor_".to_string(),
+                };
+                let c = |name: &str| registry.counter(&format!("{prefix}{name}"));
+                ShardCounters {
+                    registered: c("registered"),
+                    admitted: c("admitted_total"),
+                    refused: c("refused_total"),
+                    events_ingested: c("events_ingested_total"),
+                    events_unroutable: c("events_unroutable_total"),
+                    queries_dropped: c("queries_dropped_total"),
+                    queries_finished: c("queries_finished_total"),
+                    harvests: c("harvests_total"),
+                    events_rejected: c("events_rejected_total"),
+                    delta_decodes: c("delta_decodes_total"),
+                    ingest_ns: registry.histogram(&format!("{prefix}ingest_ns")),
+                    snapshot_eval_ns: registry.histogram(&format!("{prefix}snapshot_eval_ns")),
+                    timing,
+                    stride,
+                }
+            }
+            None => ShardCounters {
+                registered: Arc::new(Counter::new()),
+                admitted: Arc::new(Counter::new()),
+                refused: Arc::new(Counter::new()),
+                events_ingested: Arc::new(Counter::new()),
+                events_unroutable: Arc::new(Counter::new()),
+                queries_dropped: Arc::new(Counter::new()),
+                queries_finished: Arc::new(Counter::new()),
+                harvests: Arc::new(Counter::new()),
+                events_rejected: Arc::new(Counter::new()),
+                delta_decodes: Arc::new(Counter::new()),
+                ingest_ns: Arc::new(Histogram::new()),
+                snapshot_eval_ns: Arc::new(Histogram::new()),
+                timing,
+                stride,
+            },
+        }
+    }
+
+    /// Point-in-time [`ShardStats`] view over the atomics (`registered`
+    /// included — the service reads it without locking the shard core).
+    pub(crate) fn load(&self) -> ShardStats {
+        ShardStats {
+            registered: self.registered.get() as usize,
+            admitted: self.admitted.get(),
+            refused: self.refused.get(),
+            events_ingested: self.events_ingested.get(),
+            events_unroutable: self.events_unroutable.get(),
+            queries_dropped: self.queries_dropped.get(),
+            queries_finished: self.queries_finished.get(),
+            harvests: self.harvests.get(),
+            events_rejected: self.events_rejected.get(),
+        }
+    }
+
+    /// Re-seat checkpointed monotone counters (restore path).
+    /// `registered` is live state, not a checkpointed value — it stays
+    /// synced to the query map.
+    pub(crate) fn reset_to(&self, stats: &ShardStats) {
+        self.admitted.reset(stats.admitted);
+        self.refused.reset(stats.refused);
+        self.events_ingested.reset(stats.events_ingested);
+        self.events_unroutable.reset(stats.events_unroutable);
+        self.queries_dropped.reset(stats.queries_dropped);
+        self.queries_finished.reset(stats.queries_finished);
+        self.harvests.reset(stats.harvests);
+        self.events_rejected.reset(stats.events_rejected);
+    }
+}
+
 /// One estimator switch, logged when online re-selection changes its mind.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SwitchEvent {
@@ -376,8 +505,14 @@ pub struct ProgressMonitor {
     /// they registered under.
     epoch: u64,
     harvester: Option<(Arc<dyn HarvestSink>, HarvestConfig)>,
-    /// Monotone operation counters (`registered` is derived on read).
-    stats: ShardStats,
+    /// Monotone operation counters and latency histograms — shared
+    /// wait-free atomics; [`Self::shard_stats`] is a view over them.
+    counters: ShardCounters,
+    /// Rolling event tick for 1-in-N latency sampling.
+    obs_tick: u32,
+    /// Is the event currently being ingested a sampled (timed) one? Set
+    /// by [`Self::ingest`], read by the snapshot/delta eval timing.
+    obs_timed: bool,
 }
 
 impl ProgressMonitor {
@@ -403,13 +538,17 @@ impl ProgressMonitor {
         if !prosel_estimators::ONLINE_KINDS.contains(&kind) {
             return Err(RegisterError::OracleKind(kind));
         }
+        let config = MonitorConfig::default();
+        let counters = ShardCounters::from_config(&config, None);
         Ok(ProgressMonitor {
             policy: Policy::Fixed(kind),
-            config: MonitorConfig::default(),
+            config,
             queries: BTreeMap::new(),
             epoch: 0,
             harvester: None,
-            stats: ShardStats::default(),
+            counters,
+            obs_tick: 0,
+            obs_timed: false,
         })
     }
 
@@ -425,13 +564,16 @@ impl ProgressMonitor {
         selector: impl Into<Arc<EstimatorSelector>>,
         config: MonitorConfig,
     ) -> ProgressMonitor {
+        let counters = ShardCounters::from_config(&config, None);
         ProgressMonitor {
             policy: Policy::Selector(selector.into()),
             config,
             queries: BTreeMap::new(),
             epoch: 0,
             harvester: None,
-            stats: ShardStats::default(),
+            counters,
+            obs_tick: 0,
+            obs_timed: false,
         }
     }
 
@@ -439,8 +581,11 @@ impl ProgressMonitor {
     /// give a fixed-policy monitor (whose constructors start from
     /// defaults) a deterministic clock or a different ETA window. Applies
     /// to future registrations; already-registered queries keep the ETA
-    /// window they were created with.
+    /// window they were created with. Rebuilds the metric handles from
+    /// the new config's registry, so tallies restart from zero — call
+    /// this builder-style at construction, before any traffic.
     pub fn with_config(mut self, config: MonitorConfig) -> ProgressMonitor {
+        self.counters = ShardCounters::from_config(&config, None);
         self.config = config;
         self
     }
@@ -522,12 +667,12 @@ impl ProgressMonitor {
     ) -> Result<(), RegisterError> {
         let plan: Arc<PhysicalPlan> = plan.into();
         if self.queries.contains_key(&query) {
-            self.stats.refused += 1;
+            self.counters.refused.inc();
             return Err(RegisterError::DuplicateQuery(query));
         }
         let cap = self.config.max_queries;
         if cap > 0 && self.queries.len() >= cap {
-            self.stats.refused += 1;
+            self.counters.refused.inc();
             return Err(RegisterError::Saturated { limit: cap });
         }
         let pipelines: Vec<Pipeline> = decompose(&plan);
@@ -579,7 +724,8 @@ impl ProgressMonitor {
                 last_wall: 0.0,
             },
         );
-        self.stats.admitted += 1;
+        self.counters.admitted.inc();
+        self.counters.registered.reset(self.queries.len() as u64);
         Ok(())
     }
 
@@ -587,6 +733,20 @@ impl ProgressMonitor {
     /// silently dropped (the tap may carry queries this monitor does not
     /// track).
     pub fn ingest(&mut self, ev: TraceEvent) {
+        self.obs_timed = self.counters.timing && {
+            self.obs_tick = self.obs_tick.wrapping_add(1);
+            self.obs_tick.is_multiple_of(self.counters.stride)
+        };
+        if self.obs_timed {
+            let start = Instant::now();
+            self.ingest_inner(ev);
+            self.counters.ingest_ns.record(start.elapsed().as_nanos() as u64);
+        } else {
+            self.ingest_inner(ev);
+        }
+    }
+
+    fn ingest_inner(&mut self, ev: TraceEvent) {
         match ev {
             TraceEvent::Snapshot { query, seq, wall, snapshot, windows } => {
                 self.on_snapshot(query, seq, wall, &snapshot, &windows);
@@ -596,11 +756,10 @@ impl ProgressMonitor {
             }
             TraceEvent::Thinned { query } => {
                 if let Some(qs) = self.queries.get_mut(&query) {
-                    self.stats.events_ingested += 1;
+                    self.counters.events_ingested.inc();
                     if qs.finished {
                         // A new stream reusing the id (see on_snapshot).
-                        self.queries.remove(&query);
-                        self.stats.queries_dropped += 1;
+                        self.drop_query_state(query);
                         return;
                     }
                     // Mirror the engine: odd positions survive, interval
@@ -610,12 +769,12 @@ impl ProgressMonitor {
                         pipe.obs.thin(&qs.live);
                     }
                 } else {
-                    self.stats.events_unroutable += 1;
+                    self.counters.events_unroutable.inc();
                 }
             }
             TraceEvent::Finished { query, wall, windows, total_time } => {
                 if let Some(qs) = self.queries.get_mut(&query) {
-                    self.stats.events_ingested += 1;
+                    self.counters.events_ingested.inc();
                     if qs.finished || windows.len() != qs.pipes.len() {
                         // Same contract as the snapshot path: a second
                         // termination means a new stream is reusing this
@@ -623,14 +782,13 @@ impl ProgressMonitor {
                         // mismatch means the engine ran a different plan
                         // under it — drop the state rather than panic the
                         // shard (or serve stale answers).
-                        self.queries.remove(&query);
-                        self.stats.queries_dropped += 1;
+                        self.drop_query_state(query);
                         return;
                     }
                     qs.finished = true;
                     qs.last_time = total_time;
                     qs.last_wall = qs.last_wall.max(wall);
-                    self.stats.queries_finished += 1;
+                    self.counters.queries_finished.inc();
                     for pipe in &mut qs.pipes {
                         let pid = pipe.obs.pipeline_id();
                         pipe.obs.finalize(windows[pid]);
@@ -660,13 +818,22 @@ impl ProgressMonitor {
                             records,
                             switches: qs.switches.clone(),
                         });
-                        self.stats.harvests += 1;
+                        self.counters.harvests.inc();
                     }
                 } else {
-                    self.stats.events_unroutable += 1;
+                    self.counters.events_unroutable.inc();
                 }
             }
         }
+    }
+
+    /// Defensive drop of one query's state (corrupt, late-joined or
+    /// id-reusing stream): one call site funnel so the drop counter and
+    /// the `registered` gauge can never drift from the map.
+    fn drop_query_state(&mut self, query: usize) {
+        self.queries.remove(&query);
+        self.counters.queries_dropped.inc();
+        self.counters.registered.reset(self.queries.len() as u64);
     }
 
     fn on_snapshot(
@@ -678,10 +845,10 @@ impl ProgressMonitor {
         windows: &[(f64, f64)],
     ) {
         let Some(qs) = self.queries.get_mut(&query) else {
-            self.stats.events_unroutable += 1;
+            self.counters.events_unroutable.inc();
             return;
         };
-        self.stats.events_ingested += 1;
+        self.counters.events_ingested.inc();
         if qs.finished
             || seq != qs.serial_next
             || snapshot.k.len() != qs.plan.len()
@@ -695,14 +862,17 @@ impl ProgressMonitor {
             // engine is executing a different plan under this query id:
             // state can no longer be trusted, so refuse to serve
             // corrupted estimates rather than panic or misalign.
-            self.queries.remove(&query);
-            self.stats.queries_dropped += 1;
+            self.drop_query_state(query);
             return;
         }
         // Copy the full counter vectors into the per-query scratch (no
         // allocation once the scratch is warm) and run the shared tail.
         qs.scratch.decoder.apply_full(snapshot, windows);
+        let eval_start = self.obs_timed.then(Instant::now);
         Self::advance_query(qs, self.config.reselect_every, wall, 0);
+        if let Some(start) = eval_start {
+            self.counters.snapshot_eval_ns.record(start.elapsed().as_nanos() as u64);
+        }
     }
 
     /// Ingest a [`TraceEvent::Delta`]: patch the per-query counter
@@ -718,10 +888,10 @@ impl ProgressMonitor {
         window_updates: &[(u32, (f64, f64))],
     ) {
         let Some(qs) = self.queries.get_mut(&query) else {
-            self.stats.events_unroutable += 1;
+            self.counters.events_unroutable.inc();
             return;
         };
-        self.stats.events_ingested += 1;
+        self.counters.events_ingested.inc();
         // Same contract as the snapshot path, plus: a delta is only
         // meaningful against a primed baseline (the engine always emits a
         // full snapshot first), and its node/pipeline indices must land
@@ -732,10 +902,10 @@ impl ProgressMonitor {
             && seq == qs.serial_next
             && qs.scratch.decoder.apply_delta(time, changes, window_updates);
         if !ok {
-            self.queries.remove(&query);
-            self.stats.queries_dropped += 1;
+            self.drop_query_state(query);
             return;
         }
+        self.counters.delta_decodes.inc();
         // The delta names exactly which counters moved, and the bound pass
         // only reads `GetNext` counters — refresh the bound context from
         // the first dirty topological position instead of re-evaluating
@@ -746,7 +916,11 @@ impl ProgressMonitor {
             .map(|u| qs.scratch.kernel.position_of(u.node as usize))
             .min()
             .unwrap_or(usize::MAX);
+        let eval_start = self.obs_timed.then(Instant::now);
         Self::advance_query(qs, self.config.reselect_every, wall, dirty_from);
+        if let Some(start) = eval_start {
+            self.counters.snapshot_eval_ns.record(start.elapsed().as_nanos() as u64);
+        }
     }
 
     /// The shared per-event tail of [`Self::on_snapshot`] /
@@ -974,7 +1148,7 @@ impl ProgressMonitor {
     /// register/ingest/unregister call sequence, so a deterministic driver
     /// observes byte-identical readouts across runs.
     pub fn shard_stats(&self) -> ShardStats {
-        ShardStats { registered: self.queries.len(), ..self.stats }
+        ShardStats { registered: self.queries.len(), ..self.counters.load() }
     }
 
     /// Drop a query's state (e.g. after its result was consumed).
@@ -984,7 +1158,10 @@ impl ProgressMonitor {
     /// silently absorbing them.
     pub fn unregister(&mut self, query: usize) -> Result<(), crate::service::QueryError> {
         match self.queries.remove(&query) {
-            Some(_) => Ok(()),
+            Some(_) => {
+                self.counters.registered.reset(self.queries.len() as u64);
+                Ok(())
+            }
             None => Err(crate::service::QueryError::QueryUnknown(query)),
         }
     }
@@ -1004,13 +1181,34 @@ impl ProgressMonitor {
         self.epoch = state.epoch;
         // `registered` is derived from the live query map on read; only
         // the monotone counters are carried across the restart.
-        self.stats = ShardStats { registered: 0, ..state.stats };
+        self.counters.reset_to(&state.stats);
     }
 
     /// The monitor's configuration (the service consults the shared clock
     /// and runtime knobs).
     pub(crate) fn config(&self) -> &MonitorConfig {
         &self.config
+    }
+
+    /// Service construction: make sure the config carries a metrics
+    /// registry (creating a fresh one when the caller supplied none), so
+    /// shard forks, the service instrumentation and the runtime counters
+    /// all land somewhere scrapeable. Returns the registry handle.
+    pub(crate) fn ensure_metrics(&mut self) -> Arc<MetricsRegistry> {
+        if self.config.metrics.is_none() {
+            self.config.metrics = Some(Arc::new(MetricsRegistry::new()));
+        }
+        Arc::clone(self.config.metrics.as_ref().expect("just ensured"))
+    }
+
+    /// Service construction: put `registry` in the config **without**
+    /// rebuilding this monitor's own counter handles. A service
+    /// prototype never serves traffic itself — only its forks do — so
+    /// registering its `monitor_*` series would leave a dead, all-zero
+    /// copy of every shard series in each scrape. The forks read the
+    /// registry out of the config and register `monitor_shard<i>_*`.
+    pub(crate) fn attach_metrics(&mut self, registry: Arc<MetricsRegistry>) {
+        self.config.metrics = Some(registry);
     }
 
     /// Everything the service's snapshot-publish path needs about one
@@ -1033,8 +1231,9 @@ impl ProgressMonitor {
     }
 
     /// The per-shard policy, cloned — how the service stamps out N shards
-    /// sharing one selector instance.
-    pub(crate) fn fork(&self) -> ProgressMonitor {
+    /// sharing one selector instance. The fork's metric handles register
+    /// under the shard-indexed `monitor_shard<i>_*` names.
+    pub(crate) fn fork(&self, shard: usize) -> ProgressMonitor {
         ProgressMonitor {
             policy: self.policy.clone(),
             config: self.config.clone(),
@@ -1042,8 +1241,16 @@ impl ProgressMonitor {
             epoch: self.epoch,
             harvester: self.harvester.clone(),
             // Counters are per-instance: forks start their own tallies.
-            stats: ShardStats::default(),
+            counters: ShardCounters::from_config(&self.config, Some(shard)),
+            obs_tick: 0,
+            obs_timed: false,
         }
+    }
+
+    /// The fork's counter handles, cloned — the service's slot keeps a
+    /// set so its read path can load stats without the core's lock.
+    pub(crate) fn counters(&self) -> ShardCounters {
+        self.counters.clone()
     }
 }
 
@@ -1560,7 +1767,7 @@ mod tests {
         assert_eq!(stats.registered, 0);
         assert_eq!(harvested.try_iter().count(), 1);
         // Forks start fresh tallies (service shards own their counters).
-        assert_eq!(monitor.fork().shard_stats(), ShardStats::default());
+        assert_eq!(monitor.fork(0).shard_stats(), ShardStats::default());
         // merged() folds per-shard readouts element-wise.
         let sum = stats.merged(&stats);
         assert_eq!(sum.events_ingested, 2 * stats.events_ingested);

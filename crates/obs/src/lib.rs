@@ -1,0 +1,108 @@
+//! # prosel-obs
+//!
+//! The observability layer of the monitor stack: **wait-free metrics**,
+//! **typed trace rings**, and a **strict text exposition codec** — so a
+//! live [`prosel-monitor`](../prosel_monitor/index.html) service can
+//! answer "what is ingest latency doing right now", "why was that
+//! selector frame refused" and "how long did the last retrain take"
+//! without perturbing the paths it measures.
+//!
+//! Three pieces:
+//!
+//! * [`MetricsRegistry`] — a named collection of atomic [`Counter`]s,
+//!   [`Gauge`]s and fixed log₂-bucketed [`Histogram`]s. Hot paths hold
+//!   `Arc` handles and record through a few relaxed atomic adds — no
+//!   locks, no allocation, consistent with the service's seqlock
+//!   read-path discipline. The registry mutex is touched only at metric
+//!   creation and at scrape time.
+//! * [`TraceRing`] — a bounded ring of clock-stamped structured
+//!   [`ObsEvent`]s (swap installed/refused, frame rejected with its
+//!   typed [`FrameRejectReason`], retrain promoted/held, shard panic,
+//!   checkpoint emitted). The [`prosel_engine::clock::Clock`] is
+//!   injectable, so tests see deterministic stamps.
+//! * [`MetricsSnapshot`] — the diffable scrape artifact, serialized by
+//!   [`MetricsSnapshot::render_text`] in the workspace's strict
+//!   checksummed text-artifact discipline (built on
+//!   [`prosel_core::textio`]) and parsed back bit-exactly by
+//!   [`MetricsSnapshot::parse_text`]; truncation, corruption and
+//!   trailing garbage are rejected with a typed error.
+//!
+//! The monitor, learn and bench crates thread these through every layer
+//! — runtime (steals, parks, queue depth), shard (per-event ingest
+//! latency, snapshot eval time, delta decodes), service (read /
+//! registration / swap latency, tap volume), learner (buffer occupancy,
+//! retrain duration, promotion decisions) — and the traffic harness
+//! scrapes the registry on a cadence into the bench trajectory. See the
+//! README's "Observability" section for the metric name inventory.
+//!
+//! ```
+//! use prosel_obs::{MetricsRegistry, MetricsSnapshot};
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(MetricsRegistry::new());
+//! let events = registry.counter("events_total");   // cold: registers
+//! let latency = registry.histogram("ingest_ns");
+//! for v in [120u64, 340, 95] {
+//!     events.inc();                                // hot: one atomic add
+//!     latency.record(v);                           // hot: two atomic adds
+//! }
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("events_total"), Some(3));
+//! let text = snap.render_text();
+//! assert_eq!(MetricsSnapshot::parse_text(&text).unwrap(), snap);
+//! ```
+
+pub mod metrics;
+pub mod ring;
+pub mod snapshot;
+
+pub use metrics::{
+    bucket_index, bucket_lower, bucket_upper, Counter, Gauge, Histogram, MetricsRegistry,
+    HISTOGRAM_BUCKETS,
+};
+pub use ring::{FrameRejectReason, ObsEvent, TraceRecord, TraceRing};
+pub use snapshot::{ExpositionError, HistogramSnapshot, MetricsSnapshot, Sample, SampleValue};
+
+/// Instrumentation knobs shared by the observed components.
+///
+/// Counters and gauges are always on (they replace what used to be
+/// plain-field bookkeeping, at the same one-increment-per-event cost);
+/// these knobs govern the *timing* instrumentation, whose clock reads
+/// are the only part with measurable hot-path cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsOptions {
+    /// Record latency histograms (reads, per-event ingest, snapshot
+    /// eval). Off, the timed paths skip every clock read — the
+    /// uninstrumented A/B reference of the `metrics_overhead` bench.
+    pub timing: bool,
+    /// Sample 1-in-N events for the hot-path latency histograms
+    /// (clamped to ≥ 1). Cold paths (registration, swap, retrain) are
+    /// always timed when `timing` is on.
+    ///
+    /// The default of 4096 keeps sampled events at ~2% of the
+    /// above-p99 population (1/4096 sampled vs 1/100 in the tail), so
+    /// tail-latency readings of instrumented hot paths are not
+    /// inflated by the sampler's own clock reads even when the natural
+    /// latency distribution has its knee right at p99 — the property
+    /// the `metrics_overhead` bench pins. A service answering ~100k
+    /// reads/s still lands ~25 histogram samples per second.
+    pub sample_every: u32,
+}
+
+impl Default for ObsOptions {
+    fn default() -> Self {
+        ObsOptions { timing: true, sample_every: 4096 }
+    }
+}
+
+impl ObsOptions {
+    /// The A/B reference configuration: no timing anywhere.
+    pub fn untimed() -> ObsOptions {
+        ObsOptions { timing: false, ..ObsOptions::default() }
+    }
+
+    /// `sample_every`, clamped to ≥ 1.
+    pub fn stride(&self) -> u32 {
+        self.sample_every.max(1)
+    }
+}

@@ -1,0 +1,168 @@
+//! Property net for the observability primitives: histogram bucketing
+//! (monotone bounds, count conservation, quantile brackets) and the
+//! exposition text codec (bit-exact round trip, truncation and garbage
+//! rejection) — the same discipline the workspace's other strict codecs
+//! are held to.
+
+use proptest::prelude::*;
+use prosel_obs::{
+    bucket_index, bucket_lower, bucket_upper, Histogram, MetricsSnapshot, Sample, SampleValue,
+    HISTOGRAM_BUCKETS,
+};
+
+/// The harness's exact-quantile convention: sort, then take rank
+/// `round((len - 1) · q)`.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank]
+}
+
+/// Deterministically expand compact generator parameters into a sample
+/// set mixing magnitudes (so buckets across the whole range are hit).
+fn synth_values(seed: u64, n: usize) -> Vec<u64> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            // xorshift64*, then keep a random number of low bits so the
+            // magnitude distribution is log-uniform-ish.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let keep = (x >> 58) as u32; // 0..64
+            if keep == 0 {
+                0
+            } else {
+                x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> (64 - keep)
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bucket bounds are monotone and tile the u64 range; every value
+    /// falls inside its own bucket's bounds.
+    #[test]
+    fn bucket_geometry_is_sound(seed in 1u64..u64::MAX) {
+        for i in 1..HISTOGRAM_BUCKETS {
+            prop_assert_eq!(bucket_lower(i), bucket_upper(i - 1).wrapping_add(1));
+            prop_assert!(bucket_lower(i) <= bucket_upper(i));
+        }
+        for v in synth_values(seed, 64) {
+            let i = bucket_index(v);
+            prop_assert!(i < HISTOGRAM_BUCKETS);
+            prop_assert!(bucket_lower(i) <= v && v <= bucket_upper(i), "{} not in bucket {}", v, i);
+        }
+    }
+
+    /// Recording N samples conserves the count and the sum, and the
+    /// bracket returned for p50/p99 contains the exact sample quantile.
+    #[test]
+    fn histogram_conserves_and_brackets_quantiles(seed in 1u64..u64::MAX, n in 1usize..800) {
+        let values = synth_values(seed, n);
+        let h = Histogram::new();
+        let mut sum = 0u128;
+        for &v in &values {
+            h.record(v);
+            sum += v as u128;
+        }
+        prop_assert_eq!(h.count(), n as u64);
+        prop_assert_eq!(h.sum(), sum as u64); // u64 wrap only past 2^64 total
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.99] {
+            let exact = exact_quantile(&sorted, q);
+            let (lo, hi) = h.quantile_bounds(q).expect("non-empty");
+            prop_assert!(lo <= exact && exact <= hi,
+                "q={}: exact {} outside bracket [{}, {}]", q, exact, lo, hi);
+            prop_assert!(h.quantile(q) >= exact, "point estimate must be conservative");
+        }
+    }
+
+    /// render → parse → render is the identity, and the parsed snapshot
+    /// compares equal (counters, gauge bits, histogram buckets).
+    #[test]
+    fn exposition_round_trip_is_exact(
+        seed in 1u64..u64::MAX,
+        n_counters in 0usize..6,
+        n_hists in 0usize..3,
+        gauge_raw in any::<u64>(),
+    ) {
+        let values = synth_values(seed, 32);
+        let mut samples = Vec::new();
+        for (i, v) in values.iter().take(n_counters).enumerate() {
+            samples.push(Sample { name: format!("c{i}_total"), value: SampleValue::Counter(*v) });
+        }
+        // Any bit pattern except NaNs (snapshot equality is f64 ==; the
+        // NaN payload case is pinned bit-level by a unit test).
+        let g = f64::from_bits(gauge_raw);
+        let g = if g.is_nan() { 0.25 } else { g };
+        samples.push(Sample { name: "g_gauge".into(), value: SampleValue::Gauge(g) });
+        for i in 0..n_hists {
+            let h = Histogram::new();
+            for &v in values.iter().skip(i * 8).take(8) {
+                h.record(v);
+            }
+            samples.push(Sample { name: format!("h{i}_ns"), value: SampleValue::Histogram(h.snapshot()) });
+        }
+        samples.sort_by(|a, b| a.name.cmp(&b.name));
+        let snap = MetricsSnapshot { samples };
+
+        let text = snap.render_text();
+        let back = MetricsSnapshot::parse_text(&text).expect("own output must parse");
+        prop_assert_eq!(&back, &snap);
+        prop_assert_eq!(back.render_text(), text);
+    }
+
+    /// Every strict byte-prefix of a valid exposition is rejected.
+    #[test]
+    fn exposition_truncations_are_rejected(seed in 1u64..u64::MAX, frac in 0.0f64..1.0) {
+        let h = Histogram::new();
+        for v in synth_values(seed, 24) {
+            h.record(v);
+        }
+        let snap = MetricsSnapshot { samples: vec![
+            Sample { name: "a_total".into(), value: SampleValue::Counter(seed) },
+            Sample { name: "b_ns".into(), value: SampleValue::Histogram(h.snapshot()) },
+        ]};
+        let text = snap.render_text();
+        let cut = ((text.len() - 1) as f64 * frac) as usize; // < text.len()
+        prop_assert!(
+            MetricsSnapshot::parse_text(&text[..cut]).is_err(),
+            "prefix of {} of {} bytes must be rejected", cut, text.len()
+        );
+    }
+
+    /// A corrupted byte or injected garbage line never parses.
+    #[test]
+    fn exposition_garbage_is_rejected(seed in 1u64..u64::MAX, frac in 0.0f64..1.0) {
+        let snap = MetricsSnapshot { samples: vec![
+            Sample { name: "a_total".into(), value: SampleValue::Counter(seed % 1000) },
+            Sample { name: "z_gauge".into(), value: SampleValue::Gauge(1.5) },
+        ]};
+        let text = snap.render_text();
+        // Inject a foreign line at an arbitrary position.
+        let mut lines: Vec<&str> = text.lines().collect();
+        let pos = (lines.len() as f64 * frac) as usize;
+        lines.insert(pos.min(lines.len()), "counter zzz_sneaky 7");
+        let polluted = lines.join("\n") + "\n";
+        prop_assert!(MetricsSnapshot::parse_text(&polluted).is_err(),
+            "garbage at line {} must not parse", pos);
+        // Flip one body byte: the checksum catches it even when the line
+        // still parses shape-wise.
+        let body_start = text.find('\n').unwrap() + 1;
+        let body_start = body_start + text[body_start..].find('\n').unwrap() + 1;
+        if body_start < text.len() - "endmetrics\n".len() {
+            let idx = body_start
+                + ((text.len() - "endmetrics\n".len() - body_start - 1) as f64 * frac) as usize;
+            let mut bytes = text.clone().into_bytes();
+            bytes[idx] = if bytes[idx] == b'0' { b'1' } else { b'0' };
+            if let Ok(corrupt) = String::from_utf8(bytes) {
+                if corrupt != text {
+                    prop_assert!(MetricsSnapshot::parse_text(&corrupt).is_err());
+                }
+            }
+        }
+    }
+}

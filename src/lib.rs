@@ -22,6 +22,7 @@
 //! | [`core`] | `prosel-core` | feature extraction, estimator-selection models, end-to-end progress monitor |
 //! | [`monitor`] | `prosel-monitor` | **online** monitor: live traces in, incremental estimation + dynamic re-selection out, wall-clock ETA (`remaining_time` / `progress_at_deadline`) |
 //! | [`learn`] | `prosel-learn` | **online learning**: harvested-run training buffer, background retraining, versioned selector hot-swap |
+//! | [`obs`] | `prosel-obs` | **observability**: wait-free metrics registry, typed trace ring, checksummed text exposition — scraped live off the monitor/learn stack |
 //!
 //! ## Quickstart
 //!
@@ -54,4 +55,5 @@ pub use prosel_estimators as estimators;
 pub use prosel_learn as learn;
 pub use prosel_mart as mart;
 pub use prosel_monitor as monitor;
+pub use prosel_obs as obs;
 pub use prosel_planner as planner;

@@ -49,6 +49,36 @@ fn quick_soak_is_clean_and_deterministic_at_ten_thousand_queries() {
     assert_eq!(a.stats.queries_finished, c.finished);
     assert_eq!(a.stats.registered, 0, "no query state may leak past the drain");
 
+    // The same conservation law, asserted from the metrics registry:
+    // `ShardStats` is a view over the per-shard counters, so summing the
+    // registry series must reproduce both the stats readout and the
+    // driver's own counts — one increment site per event, no drift.
+    let obs = &a.obs;
+    assert_eq!(obs.sum_counters("_events_ingested_total"), c.events_sent);
+    assert_eq!(obs.sum_counters("_events_ingested_total"), a.stats.events_ingested);
+    assert_eq!(obs.sum_counters("_events_unroutable_total"), 0);
+    assert_eq!(obs.sum_counters("_events_rejected_total"), 0);
+    assert_eq!(obs.sum_counters("_queries_dropped_total"), 0);
+    assert_eq!(obs.sum_counters("_queries_finished_total"), c.finished);
+    assert_eq!(obs.sum_counters("_admitted_total"), c.registered);
+    assert_eq!(obs.counter("tap_events_total"), Some(c.events_sent), "tap counted every send");
+    assert_eq!(obs.counter("tap_bytes_total"), Some(c.event_bytes), "tap counted every byte");
+    assert_eq!(obs.counter("service_reads_total"), Some(c.reads));
+    // The driver scrapes on the spec cadence; the final scrape is the
+    // registry's whole-run view and must dominate every earlier one.
+    assert_eq!(a.obs_scrapes.len() as u64, c.finished / spec.scrape_every as u64);
+    for earlier in &a.obs_scrapes {
+        assert!(
+            earlier.sum_counters("_events_ingested_total")
+                <= obs.sum_counters("_events_ingested_total"),
+            "scrapes of monotone counters must be monotone"
+        );
+    }
+    // The exposition codec round-trips the final scrape bit-identically.
+    let text = obs.render_text();
+    let parsed = prosel_obs::MetricsSnapshot::parse_text(&text).expect("own exposition parses");
+    assert_eq!(parsed.render_text(), text, "exposition must round-trip bit-identically");
+
     // The full deterministic transcript — counters, digests, shard stats —
     // must repeat exactly on a second drive of the same spec.
     let b = drive(&spec, &templates);
